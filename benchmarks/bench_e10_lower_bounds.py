@@ -1,0 +1,9 @@
+"""Theorems 4.2/5.2 — message lower bounds.
+
+Regenerates the measured table for experiment E10 (see DESIGN.md §4 and
+EXPERIMENTS.md) and asserts its shape checks.
+"""
+
+
+def test_e10_lower_bounds(run_experiment):
+    run_experiment("E10")

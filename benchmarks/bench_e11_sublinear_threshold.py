@@ -1,0 +1,9 @@
+"""Section I-A — sublinearity thresholds.
+
+Regenerates the measured table for experiment E11 (see DESIGN.md §4 and
+EXPERIMENTS.md) and asserts its shape checks.
+"""
+
+
+def test_e11_sublinear_threshold(run_experiment):
+    run_experiment("E11")

@@ -1,0 +1,9 @@
+"""Corollaries 1/3 — fault-free parity.
+
+Regenerates the measured table for experiment E12 (see DESIGN.md §4 and
+EXPERIMENTS.md) and asserts its shape checks.
+"""
+
+
+def test_e12_faultfree_parity(run_experiment):
+    run_experiment("E12")

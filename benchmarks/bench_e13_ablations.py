@@ -1,0 +1,9 @@
+"""Design-choice ablations.
+
+Regenerates the measured table for experiment E13 (see DESIGN.md §4 and
+EXPERIMENTS.md) and asserts its shape checks.
+"""
+
+
+def test_e13_ablations(run_experiment):
+    run_experiment("E13")

@@ -1,0 +1,9 @@
+"""Model boundaries — adaptive fault selection & the LE-based reduction.
+
+Regenerates the measured table for experiment E14 (see DESIGN.md §4 and
+EXPERIMENTS.md) and asserts its shape checks.
+"""
+
+
+def test_e14_model_boundaries(run_experiment):
+    run_experiment("E14")

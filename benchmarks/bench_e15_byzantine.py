@@ -1,0 +1,9 @@
+"""Byzantine stress — the paper's open problem 3, measured.
+
+Regenerates the measured table for experiment E15 (see DESIGN.md §4 and
+EXPERIMENTS.md) and asserts its shape checks.
+"""
+
+
+def test_e15_byzantine(run_experiment):
+    run_experiment("E15")

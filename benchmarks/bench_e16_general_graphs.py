@@ -1,0 +1,9 @@
+"""General graphs — the paper's open problem 2, measured.
+
+Regenerates the measured table for experiment E16 (see DESIGN.md §4 and
+EXPERIMENTS.md) and asserts its shape checks.
+"""
+
+
+def test_e16_general_graphs(run_experiment):
+    run_experiment("E16")

@@ -1,0 +1,9 @@
+"""Theorem 4.1 — leader-election messages vs n.
+
+Regenerates the measured table for experiment E1 (see DESIGN.md §4 and
+EXPERIMENTS.md) and asserts its shape checks.
+"""
+
+
+def test_e1_le_scaling_n(run_experiment):
+    run_experiment("E1")

@@ -1,0 +1,9 @@
+"""Theorem 4.1 — leader-election messages vs alpha.
+
+Regenerates the measured table for experiment E2 (see DESIGN.md §4 and
+EXPERIMENTS.md) and asserts its shape checks.
+"""
+
+
+def test_e2_le_scaling_alpha(run_experiment):
+    run_experiment("E2")

@@ -1,0 +1,9 @@
+"""Theorem 4.1 — leader-election round complexity.
+
+Regenerates the measured table for experiment E3 (see DESIGN.md §4 and
+EXPERIMENTS.md) and asserts its shape checks.
+"""
+
+
+def test_e3_le_rounds(run_experiment):
+    run_experiment("E3")

@@ -1,0 +1,9 @@
+"""Theorem 4.1 — elected leader non-faulty w.p. >= alpha.
+
+Regenerates the measured table for experiment E4 (see DESIGN.md §4 and
+EXPERIMENTS.md) and asserts its shape checks.
+"""
+
+
+def test_e4_leader_quality(run_experiment):
+    run_experiment("E4")

@@ -1,0 +1,9 @@
+"""Lemmas 1-3 — committee and referee sampling guarantees.
+
+Regenerates the measured table for experiment E5 (see DESIGN.md §4 and
+EXPERIMENTS.md) and asserts its shape checks.
+"""
+
+
+def test_e5_lemmas(run_experiment):
+    run_experiment("E5")

@@ -1,0 +1,9 @@
+"""Theorem 5.1 — agreement messages vs n.
+
+Regenerates the measured table for experiment E6 (see DESIGN.md §4 and
+EXPERIMENTS.md) and asserts its shape checks.
+"""
+
+
+def test_e6_agreement_scaling_n(run_experiment):
+    run_experiment("E6")

@@ -1,0 +1,9 @@
+"""Theorem 5.1 — agreement messages vs alpha.
+
+Regenerates the measured table for experiment E7 (see DESIGN.md §4 and
+EXPERIMENTS.md) and asserts its shape checks.
+"""
+
+
+def test_e7_agreement_scaling_alpha(run_experiment):
+    run_experiment("E7")

@@ -1,0 +1,9 @@
+"""Sections IV-A/V-A — explicit extensions.
+
+Regenerates the measured table for experiment E8 (see DESIGN.md §4 and
+EXPERIMENTS.md) and asserts its shape checks.
+"""
+
+
+def test_e8_explicit(run_experiment):
+    run_experiment("E8")

@@ -1,0 +1,9 @@
+"""Table I — agreement protocol comparison.
+
+Regenerates the measured table for experiment E9 (see DESIGN.md §4 and
+EXPERIMENTS.md) and asserts its shape checks.
+"""
+
+
+def test_e9_table1(run_experiment):
+    run_experiment("E9")

@@ -1,0 +1,70 @@
+"""Simulator micro-benchmarks (engine throughput, not paper artifacts).
+
+These are conventional pytest-benchmark timings: they quantify how much a
+single protocol run costs, so regressions in the engine's hot paths
+(per-edge FIFOs, wake heap, bit accounting) show up as timing changes.
+"""
+
+import pytest
+
+from repro.core import agree, elect_leader
+from repro.params import Params
+from repro.sim import Message, Network, Protocol
+
+
+class Flood(Protocol):
+    """Every node fans out to k random peers each of the first 3 rounds."""
+
+    def __init__(self, node_id, fanout=4):
+        self.node_id = node_id
+        self.fanout = fanout
+
+    def on_round(self, ctx, inbox):
+        if ctx.round <= 3:
+            for dst in ctx.sample_nodes(self.fanout):
+                ctx.send(dst, Message("X", (ctx.round,)))
+        else:
+            ctx.idle()
+
+
+def test_engine_round_loop(benchmark):
+    """Raw engine throughput: ~12k messages through the round machinery."""
+
+    def run():
+        network = Network(1024, Flood, seed=1)
+        return network.run(10).metrics.messages_sent
+
+    sent = benchmark(run)
+    assert sent == 1024 * 4 * 3
+
+
+def test_leader_election_run(benchmark):
+    """One full Section IV-A election at n=512, paper constants."""
+    result = benchmark.pedantic(
+        lambda: elect_leader(n=512, alpha=0.5, seed=2, adversary="random"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.success
+
+
+def test_agreement_run(benchmark):
+    """One full Section V-A agreement at n=2048, paper constants."""
+    result = benchmark.pedantic(
+        lambda: agree(n=2048, alpha=0.5, inputs="mixed", seed=3, adversary="random"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.success
+
+
+def test_message_bit_accounting(benchmark):
+    """Message construction + bit sizing (the hot allocation path)."""
+
+    def build():
+        total = 0
+        for i in range(5000):
+            total += Message("LE_PROP", (i, i * 17 + 1)).bits
+        return total
+
+    assert benchmark(build) > 0

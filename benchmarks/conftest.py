@@ -1,0 +1,45 @@
+"""Benchmark harness glue.
+
+Each benchmark runs one experiment from the registry exactly once (the
+experiments are Monte-Carlo sweeps — repetition happens *inside* them),
+prints the measured table the paper artifact corresponds to, and asserts
+the shape checks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink sizes/trials (CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentReport, get_experiment
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+
+
+def run_experiment_benchmark(benchmark, experiment_id: str) -> ExperimentReport:
+    """Run one registered experiment under pytest-benchmark and report."""
+    experiment = get_experiment(experiment_id)
+    report = benchmark.pedantic(
+        lambda: experiment.run(quick=QUICK), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    assert report.passed, f"{experiment_id} shape checks failed:\n{report.render()}"
+    return report
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Fixture wrapping :func:`run_experiment_benchmark`."""
+
+    def runner(experiment_id: str) -> ExperimentReport:
+        return run_experiment_benchmark(benchmark, experiment_id)
+
+    return runner

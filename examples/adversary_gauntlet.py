@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Adversary gauntlet: both protocols against every crash strategy.
+
+Runs leader election and agreement against the full adversary portfolio —
+including the fully adaptive strategy that watches the wire and crashes
+the current minimum-rank proposer mid-broadcast — and prints one row per
+(protocol, adversary).
+
+Usage::
+
+    python examples/adversary_gauntlet.py [n] [alpha] [trials]
+"""
+
+import sys
+
+from repro import agree, elect_leader
+from repro.analysis.stats import summarize_trials
+from repro.analysis.tables import format_table
+from repro.rng import seed_sequence
+
+ADVERSARIES = ["none", "eager", "lazy", "random", "staggered", "split", "adaptive"]
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    alpha = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    trials = int(sys.argv[3]) if len(sys.argv) > 3 else 5
+
+    rows = []
+    for adversary in ADVERSARIES:
+        elections = [
+            elect_leader(n=n, alpha=alpha, seed=seed, adversary=adversary)
+            for seed in seed_sequence(1, trials)
+        ]
+        agreements = [
+            agree(n=n, alpha=alpha, inputs="mixed", seed=seed, adversary=adversary)
+            for seed in seed_sequence(2, trials)
+        ]
+        rows.append(
+            {
+                "adversary": adversary,
+                "LE success": summarize_trials([r.success for r in elections]).rate,
+                "LE messages": round(
+                    sum(r.messages for r in elections) / trials
+                ),
+                "AG success": summarize_trials([r.success for r in agreements]).rate,
+                "AG messages": round(
+                    sum(r.messages for r in agreements) / trials
+                ),
+            }
+        )
+
+    print(
+        format_table(
+            rows,
+            title=f"adversary gauntlet (n={n}, alpha={alpha}, {trials} seeds each)",
+        )
+    )
+    print(
+        "\nnote: 'eager' kills all faulty nodes in round 1 — cheaper runs, "
+        "smaller committees; 'adaptive' hunts the would-be leader every round."
+    )
+
+
+if __name__ == "__main__":
+    main()

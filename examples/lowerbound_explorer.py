@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Lower-bound explorer: watch agreement collapse under message budgets.
+
+Theorems 4.2/5.2 say no algorithm can succeed with probability better than
+2/e + eps on o(sqrt(n)/alpha^1.5) messages.  This example caps the
+agreement protocol's global message budget at decreasing fractions of its
+uncapped cost and plots (textually) the success collapse; it also rebuilds
+the proofs' influence-cloud decomposition from a real trace.
+
+Usage::
+
+    python examples/lowerbound_explorer.py [n]
+"""
+
+import sys
+
+from repro import agree
+from repro.analysis.tables import format_table
+from repro.lowerbound.bounds import lower_bound_messages, min_initiators
+from repro.lowerbound.budget import budget_curve
+from repro.lowerbound.clouds import influence_clouds
+
+ALPHA = 0.5
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+
+    uncapped = agree(n=n, alpha=ALPHA, inputs="mixed", seed=9, adversary="random")
+    bound = lower_bound_messages(n, ALPHA)
+    print(
+        f"uncapped agreement run: {uncapped.messages} messages "
+        f"(= {uncapped.messages / bound:.0f} x the Omega(sqrt(n)/alpha^1.5) bound)\n"
+    )
+
+    multipliers = [0.01, 0.05, 0.2, 0.5, 1.0]
+    curve = budget_curve(
+        "agreement",
+        n=n,
+        alpha=ALPHA,
+        multipliers=multipliers,
+        trials=10,
+        master_seed=10,
+        unit=float(uncapped.messages),
+    )
+    rows = []
+    for multiplier in multipliers:
+        summary = curve[multiplier]
+        budget = int(multiplier * uncapped.messages)
+        bar = "#" * int(summary.rate * 30)
+        rows.append(
+            {
+                "budget": budget,
+                "x bound": round(budget / bound, 1),
+                "success": f"{summary.rate:.0%}",
+                "plot": bar,
+            }
+        )
+    print(format_table(rows, title="success vs message budget"))
+
+    # Influence clouds (the lower-bound proof's combinatorics) on a trace.
+    traced = agree(
+        n=n, alpha=ALPHA, inputs="mixed", seed=11, adversary="random",
+        collect_trace=True,
+    )
+    decomposition = influence_clouds(traced.trace, n)
+    sizes = decomposition.cloud_sizes()
+    print(
+        f"\ninfluence clouds: {len(decomposition.initiators)} initiators "
+        f"(Lemma 4 needs >= {min_initiators(ALPHA):.0f}); "
+        f"cloud sizes min={sizes[0]}, max={sizes[-1]}; "
+        f"smallest disjoint from the rest: {decomposition.smallest_disjoint}"
+    )
+    print(
+        "with full budget the clouds all merge (everyone influences everyone "
+        "through the referees) — starve the budget and they fall apart into "
+        "the independent trees of Lemma 8, which is why agreement fails."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: elect a leader and reach agreement in a crash-fault network.
+
+Runs the paper's two protocols on a 512-node anonymous complete network in
+which half the nodes are faulty (crash at adversary-chosen times), then
+prints what happened.
+
+Usage::
+
+    python examples/quickstart.py [n] [alpha]
+"""
+
+import sys
+
+from repro import agree, elect_leader
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    alpha = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+    print(f"network: {n} nodes, >= {alpha:.0%} non-faulty, anonymous (KT0), CONGEST")
+    print()
+
+    # ------------------------------------------------------------------
+    # Leader election (paper, Section IV-A)
+    # ------------------------------------------------------------------
+    election = elect_leader(n=n, alpha=alpha, seed=42, adversary="random")
+    print(format_table([election.summary()], title="implicit leader election"))
+    leader = election.leader_node
+    print(
+        f"\n-> node {leader} won with rank {election.ranks[leader]}"
+        f" (faulty: {election.leader_is_faulty});"
+        f" committee had {election.committee_size} candidates\n"
+    )
+
+    # ------------------------------------------------------------------
+    # Binary agreement (paper, Section V-A)
+    # ------------------------------------------------------------------
+    agreement = agree(n=n, alpha=alpha, inputs="mixed", seed=42, adversary="random")
+    print(format_table([agreement.summary()], title="implicit agreement"))
+    print(
+        f"\n-> decided {agreement.decision} "
+        f"({len(agreement.decided_bits)} nodes decided; "
+        f"the rest stay undecided — that is the *implicit* problem)\n"
+    )
+
+    # The headline: sublinear growth in n (the constants only pay off at
+    # scale — run with a larger n to see the gap widen).
+    broadcast_cost = n * (n - 1)
+    print(
+        f"one all-to-all broadcast would cost {broadcast_cost} messages; "
+        f"election used {election.messages}, agreement used {agreement.messages}."
+    )
+    print(
+        "both protocols grow ~sqrt(n) while flooding grows n^2 — "
+        "see examples/scaling_study.py for the fitted exponents."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Scaling study: measure the Theta(sqrt(n) polylog) message complexity.
+
+Sweeps the network size, measures both protocols' message counts, fits the
+growth exponents, and compares against the Theorem 4.1 / 5.1 bounds and
+the naive quadratic flooding baseline.  This is the headline claim of the
+paper made visible: message complexity *sublinear in n* while tolerating
+n/2 crash faults.
+
+Usage::
+
+    python examples/scaling_study.py [max_n]
+"""
+
+import sys
+
+from repro import agree, elect_leader
+from repro.analysis.complexity import fit_power_law
+from repro.analysis.stats import mean
+from repro.analysis.tables import format_table
+from repro.lowerbound.bounds import agreement_upper_bound, le_upper_bound
+from repro.rng import seed_sequence
+
+ALPHA = 0.5
+TRIALS = 3
+
+
+def main() -> None:
+    max_n = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+    sizes = [n for n in (128, 256, 512, 1024, 2048, 4096) if n <= max_n]
+
+    rows = []
+    le_points, ag_points = [], []
+    for n in sizes:
+        le_messages = mean(
+            [
+                elect_leader(n=n, alpha=ALPHA, seed=seed, adversary="random").messages
+                for seed in seed_sequence(3, TRIALS)
+            ]
+        )
+        ag_messages = mean(
+            [
+                agree(
+                    n=n, alpha=ALPHA, inputs="mixed", seed=seed, adversary="random"
+                ).messages
+                for seed in seed_sequence(4, TRIALS)
+            ]
+        )
+        le_points.append(le_messages)
+        ag_points.append(ag_messages)
+        rows.append(
+            {
+                "n": n,
+                "LE messages": round(le_messages),
+                "LE/bound": le_messages / le_upper_bound(n, ALPHA),
+                "AG messages": round(ag_messages),
+                "AG/bound": ag_messages / agreement_upper_bound(n, ALPHA),
+                "flooding (n^2)": n * (n - 1),
+            }
+        )
+
+    print(format_table(rows, title=f"message scaling at alpha={ALPHA}"))
+    xs = [float(n) for n in sizes]
+    le_fit = fit_power_law(xs, le_points)
+    ag_fit = fit_power_law(xs, ag_points)
+    print(
+        f"\nfitted growth: leader election ~ n^{le_fit.exponent:.2f}, "
+        f"agreement ~ n^{ag_fit.exponent:.2f} "
+        f"(sqrt + polylog drift; flooding is n^2.00)"
+    )
+    print(
+        "the 'X/bound' columns staying flat is Theorem 4.1/5.1's shape: "
+        "measured = Theta(bound)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Measurement tooling: Monte-Carlo sweeps, success-rate statistics,
+scaling fits, and plain-text tables for the experiment harness."""
+
+from .complexity import (
+    doubling_ratios,
+    fit_power_law,
+    normalized_curve,
+    polylog_flatness,
+)
+from .stats import (
+    BernoulliSummary,
+    chernoff_upper_tail,
+    mean,
+    median,
+    summarize_trials,
+    wilson_interval,
+)
+from .sweeps import collect, monte_carlo, sweep
+from .tables import format_table
+
+__all__ = [
+    "BernoulliSummary",
+    "chernoff_upper_tail",
+    "collect",
+    "doubling_ratios",
+    "fit_power_law",
+    "format_table",
+    "mean",
+    "median",
+    "monte_carlo",
+    "normalized_curve",
+    "polylog_flatness",
+    "summarize_trials",
+    "sweep",
+    "wilson_interval",
+]

@@ -1,0 +1,91 @@
+"""Scaling fits for measured complexity curves.
+
+The experiment harness checks *shape*, not constants: a measured message
+curve matches ``Theta(n^b polylog)`` when its fitted log-log slope is close
+to ``b`` (the polylog factor perturbs the slope slightly upward, so checks
+use a tolerance band), and matches a bound ``f(n)`` exactly when the
+normalised curve ``measured / f`` is flat.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = a * x^b`` in log-log space."""
+
+    exponent: float
+    prefactor: float
+    residual: float
+
+    def predict(self, x: float) -> float:
+        """Fitted value at ``x``."""
+        return self.prefactor * x**self.exponent
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = a x^b`` by least squares on ``(log x, log y)``."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit a slope")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fit needs positive data")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    if sxx == 0:
+        raise ValueError("xs are all equal; slope undefined")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    residual = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(lx, ly)
+    ) / n
+    return PowerLawFit(exponent=slope, prefactor=math.exp(intercept), residual=residual)
+
+
+def normalized_curve(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    bound: Callable[[float], float],
+) -> Dict[float, float]:
+    """``y / bound(x)`` per point — flat iff ``y = Theta(bound)``."""
+    return {x: y / bound(x) for x, y in zip(xs, ys)}
+
+
+def polylog_flatness(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    bound: Callable[[float], float],
+) -> float:
+    """Max/min ratio of the normalised curve (1.0 = perfectly flat).
+
+    A measured curve is accepted as ``Theta(bound)`` when this stays below
+    a small constant across a decade of ``x``.
+    """
+    norm = list(normalized_curve(xs, ys, bound).values())
+    if not norm:
+        raise ValueError("need at least one point")
+    low, high = min(norm), max(norm)
+    if low <= 0:
+        raise ValueError("normalised curve must be positive")
+    return high / low
+
+
+def doubling_ratios(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, ...]:
+    """``y_{i+1}/y_i`` for consecutive points (xs assumed increasing).
+
+    For ``y = Theta(sqrt(x) polylog)`` with doubling xs, ratios hover
+    around ``sqrt(2)``; for linear growth around 2.
+    """
+    if sorted(xs) != list(xs):
+        raise ValueError("xs must be increasing")
+    return tuple(b / a for a, b in zip(ys, ys[1:]))

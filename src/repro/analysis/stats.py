@@ -1,0 +1,110 @@
+"""Success-rate statistics for Monte-Carlo experiments.
+
+The paper's guarantees are "with high probability"; empirically we test
+them as *failure rate below a threshold with interval slack*, never as
+determinism.  :func:`wilson_interval` provides the confidence interval
+used throughout the test-suite and the experiment harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 2.0
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    ``z = 2.0`` gives roughly a 95% interval; the Wilson form behaves
+    sensibly at 0 and ``trials`` successes, unlike the normal
+    approximation.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} out of range [0, {trials}]")
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    # Clamp against floating-point drift so the interval always contains
+    # the point estimate.
+    low = max(0.0, min(p_hat, centre - half))
+    high = min(1.0, max(p_hat, centre + half))
+    return low, high
+
+
+def chernoff_upper_tail(mean: float, factor: float) -> float:
+    """Chernoff bound ``P[X >= (1+d) mu] <= exp(-d^2 mu / 3)`` with
+    ``factor = 1 + d >= 1`` (the form used in Lemma 1)."""
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    if factor < 1.0:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    delta = factor - 1.0
+    return math.exp(-delta * delta * mean / 3.0)
+
+
+@dataclass(frozen=True)
+class BernoulliSummary:
+    """Summary of a repeated-trial experiment."""
+
+    successes: int
+    trials: int
+
+    @property
+    def rate(self) -> float:
+        """Empirical success proportion."""
+        return self.successes / self.trials
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        """Wilson 95% interval of the success probability."""
+        return wilson_interval(self.successes, self.trials)
+
+    def at_least(self, threshold: float) -> bool:
+        """True iff the success probability is plausibly >= ``threshold``
+        (the interval's upper end reaches it)."""
+        return self.interval[1] >= threshold
+
+    def clearly_below(self, threshold: float) -> bool:
+        """True iff the success probability is confidently < ``threshold``."""
+        return self.interval[1] < threshold
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lo, hi = self.interval
+        return f"{self.successes}/{self.trials} ({self.rate:.2%}, 95% [{lo:.2f}, {hi:.2f}])"
+
+
+def summarize_trials(outcomes: Sequence[bool]) -> BernoulliSummary:
+    """Fold a sequence of pass/fail outcomes into a summary."""
+    outcomes = list(outcomes)
+    if not outcomes:
+        raise ValueError("need at least one trial")
+    return BernoulliSummary(successes=sum(outcomes), trials=len(outcomes))
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (no numpy dependency in the core path)."""
+    values = list(values)
+    if not values:
+        raise ValueError("need at least one value")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("need at least one value")
+    k = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[k]
+    return (ordered[k - 1] + ordered[k]) / 2.0

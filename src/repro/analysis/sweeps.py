@@ -1,0 +1,73 @@
+"""Monte-Carlo and parameter-sweep drivers.
+
+``monte_carlo`` repeats one configuration over derived trial seeds;
+``sweep`` crosses a parameter grid, running a Monte-Carlo at each point.
+Both return plain lists of results so callers can aggregate freely.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..rng import seed_sequence
+
+#: A task maps (seed, **point) to an arbitrary result object.
+Task = Callable[..., Any]
+
+
+def monte_carlo(
+    task: Task,
+    trials: int,
+    master_seed: int = 0,
+    **point: Any,
+) -> List[Any]:
+    """Run ``task(seed=..., **point)`` for ``trials`` derived seeds."""
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    return [task(seed=seed, **point) for seed in seed_sequence(master_seed, trials)]
+
+
+def sweep(
+    task: Task,
+    grid: Mapping[str, Sequence[Any]],
+    trials: int = 1,
+    master_seed: int = 0,
+) -> List[Tuple[Dict[str, Any], List[Any]]]:
+    """Cross the ``grid`` and Monte-Carlo each point.
+
+    Returns ``[(point_dict, [result, ...]), ...]`` in grid order.  Each
+    grid point gets its own deterministic seed stream, so adding points
+    does not reshuffle the others.
+    """
+    if not grid:
+        raise ValueError("grid must contain at least one axis")
+    names = list(grid)
+    rows: List[Tuple[Dict[str, Any], List[Any]]] = []
+    for combo_index, combo in enumerate(itertools.product(*(grid[k] for k in names))):
+        point = dict(zip(names, combo))
+        results = monte_carlo(
+            task,
+            trials,
+            master_seed=master_seed + combo_index * 1_000_003,
+            **point,
+        )
+        rows.append((point, results))
+    return rows
+
+
+def collect(
+    rows: Iterable[Tuple[Dict[str, Any], List[Any]]],
+    reducer: Callable[[List[Any]], Any],
+) -> List[Dict[str, Any]]:
+    """Reduce each sweep point's results into one flat record."""
+    flattened = []
+    for point, results in rows:
+        record = dict(point)
+        reduced = reducer(results)
+        if isinstance(reduced, dict):
+            record.update(reduced)
+        else:
+            record["value"] = reduced
+        flattened.append(record)
+    return flattened

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows a paper table would contain;
+this module does the alignment.  No external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+#: Every character str.splitlines() treats as a line boundary (more than
+#: just "\n"): CR, LF, VT, FF, FS, GS, RS, NEL, LS, PS.
+_LINE_BOUNDARIES = frozenset(
+    chr(code) for code in (0x0A, 0x0B, 0x0C, 0x0D, 0x1C, 0x1D, 0x1E, 0x85, 0x2028, 0x2029)
+)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    text = str(value)
+    # A cell must never break row alignment: collapse line boundaries.
+    if any(ch in _LINE_BOUNDARIES for ch in text):
+        text = "".join(" " if ch in _LINE_BOUNDARIES else ch for ch in text)
+    return text
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned text table.
+
+    ``columns`` fixes the column order (default: keys of the first row).
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0])
+    cells: List[List[str]] = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(line[i]) for line in cells)) for i, c in enumerate(cols)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    rule = "-" * len(header)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(line, widths)) for line in cells
+    )
+    parts = []
+    if title:
+        parts.extend([title, "=" * len(title)])
+    parts.extend([header, rule, body])
+    return "\n".join(parts)

@@ -1,0 +1,116 @@
+"""Fault-free sublinear implicit agreement — Augustine et al. [23].
+
+The fault-free reference for experiment E12's agreement column.  The
+committee structure mirrors :mod:`.kutten_le`: a ``Theta(log n)``
+candidate committee exchanges input bits through ``Theta((n log n)^1/2)``
+random referees and decides the minimum bit observed (zero-biased, like
+the paper's Section V-A protocol at ``alpha = 1``).
+
+Message complexity ``O(n^1/2 log^{3/2} n)``, 2 rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..sim.message import Delivery, Message
+from ..sim.network import Network
+from ..sim.node import Context, Protocol
+from .base import BaselineOutcome, evaluate_implicit_agreement
+
+MSG_BIT = "AAG_BIT"  # candidate -> referee: (bit,)
+MSG_MIN = "AAG_MIN"  # referee -> candidate: (min_bit,)
+
+
+class AugustineAgreementProtocol(Protocol):
+    """One node of the [23]-style fault-free implicit agreement."""
+
+    def __init__(self, node_id: int, n: int, input_bit: int,
+                 candidate_factor: float = 6.0,
+                 referee_factor: float = 2.0) -> None:
+        if input_bit not in (0, 1):
+            raise ValueError(f"input bit must be 0 or 1, got {input_bit}")
+        self.node_id = node_id
+        self.n = n
+        self.input_bit = input_bit
+        self.candidate_factor = candidate_factor
+        self.referee_factor = referee_factor
+        self.is_candidate = False
+        self.decided: Optional[int] = None
+        self._observed_min: Optional[int] = None
+
+    @property
+    def candidate_probability(self) -> float:
+        """``c log n / n``."""
+        return min(1.0, self.candidate_factor * math.log(self.n) / self.n)
+
+    @property
+    def referee_count(self) -> int:
+        """``c' sqrt(n log n)``."""
+        raw = self.referee_factor * math.sqrt(self.n * math.log(self.n))
+        return min(self.n - 1, max(1, math.ceil(raw)))
+
+    def on_start(self, ctx: Context) -> None:
+        self.is_candidate = ctx.rng.random() < self.candidate_probability
+        if self.is_candidate:
+            message = Message(MSG_BIT, (self.input_bit,))
+            for referee in ctx.sample_nodes(self.referee_count):
+                ctx.send(referee, message)
+        ctx.idle()
+
+    def on_round(self, ctx: Context, inbox: List[Delivery]) -> None:
+        bits = [d.fields[0] for d in inbox if d.kind == MSG_BIT]
+        minima = [d.fields[0] for d in inbox if d.kind == MSG_MIN]
+        if bits:
+            reply = Message(MSG_MIN, (min(bits),))
+            for delivery in inbox:
+                if delivery.kind == MSG_BIT:
+                    ctx.send(delivery.sender, reply)
+        if minima:
+            observed = min(minima)
+            if self._observed_min is None or observed < self._observed_min:
+                self._observed_min = observed
+        ctx.idle()
+
+    def on_stop(self, ctx: Context) -> None:
+        if not self.is_candidate:
+            return
+        if self._observed_min is not None:
+            self.decided = min(self._observed_min, self.input_bit)
+        else:
+            self.decided = self.input_bit
+
+
+def augustine_agree(
+    n: int,
+    inputs: Sequence[int],
+    seed: int = 0,
+    candidate_factor: float = 6.0,
+    referee_factor: float = 2.0,
+) -> BaselineOutcome:
+    """Run the fault-free [23]-style implicit agreement and evaluate it."""
+    if len(inputs) != n:
+        raise ValueError(f"got {len(inputs)} inputs for n={n}")
+    network = Network(
+        n,
+        lambda u: AugustineAgreementProtocol(
+            u, n, inputs[u], candidate_factor, referee_factor
+        ),
+        seed=seed,
+    )
+    run = network.run(4)
+    outcome = BaselineOutcome(
+        protocol="augustine-agreement",
+        n=n,
+        faulty=run.faulty,
+        crashed=run.crashed,
+        metrics=run.metrics,
+        inputs=list(inputs),
+    )
+    for u in range(n):
+        protocol: AugustineAgreementProtocol = run.protocol(u)  # type: ignore[assignment]
+        if protocol.decided is not None:
+            outcome.decisions[u] = protocol.decided
+    outcome.success = evaluate_implicit_agreement(outcome, run.alive)
+    return outcome

@@ -1,0 +1,127 @@
+"""Fault-free sublinear implicit leader election — Kutten et al. [21].
+
+The reference point for "the fault-tolerant bound matches the fault-free
+one" (paper, Section I-A and experiment E12).  Algorithm (the O(1)-round
+randomized election of [21], simplified to its core):
+
+* every node draws a rank in ``[1, n^4]`` and becomes a *candidate* with
+  probability ``c log n / n`` (expected ``c log n`` candidates);
+* each candidate sends its rank to ``c' (n log n)^(1/2)`` random referees
+  — by a birthday argument every pair of candidates hits a common referee
+  w.h.p.;
+* each referee replies to each of its candidates with the maximum rank it
+  received;
+* a candidate that sees only its own rank as every reply's maximum outputs
+  ELECTED; all other nodes output NON_ELECTED.
+
+Message complexity ``O(n^1/2 log^{3/2} n)``, 2 rounds — exactly the
+fault-free analogue of the Section IV-A structure (this is why the paper's
+algorithm degenerates to [21] at ``alpha = 1``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..sim.message import Delivery, Message
+from ..sim.network import Network
+from ..sim.node import Context, Protocol
+from ..types import NodeState
+from .base import BaselineOutcome
+
+MSG_RANK = "KLE_RANK"  # candidate -> referee: (rank,)
+MSG_MAX = "KLE_MAX"  # referee -> candidate: (max_rank,)
+
+
+class KuttenLeaderElectionProtocol(Protocol):
+    """One node of the [21]-style fault-free election."""
+
+    def __init__(self, node_id: int, n: int, candidate_factor: float = 6.0,
+                 referee_factor: float = 2.0) -> None:
+        self.node_id = node_id
+        self.n = n
+        self.candidate_factor = candidate_factor
+        self.referee_factor = referee_factor
+        self.rank: Optional[int] = None
+        self.is_candidate = False
+        self.state = NodeState.UNDECIDED
+        self._referees: List[int] = []
+        self._reply_max: Optional[int] = None
+        self._senders: List[int] = []
+
+    @property
+    def candidate_probability(self) -> float:
+        """``c log n / n`` — expected committee of ``c log n``."""
+        return min(1.0, self.candidate_factor * math.log(self.n) / self.n)
+
+    @property
+    def referee_count(self) -> int:
+        """``c' sqrt(n log n)`` referees per candidate."""
+        raw = self.referee_factor * math.sqrt(self.n * math.log(self.n))
+        return min(self.n - 1, max(1, math.ceil(raw)))
+
+    def on_start(self, ctx: Context) -> None:
+        self.rank = ctx.rng.randint(1, self.n**4)
+        self.is_candidate = ctx.rng.random() < self.candidate_probability
+        if self.is_candidate:
+            self._referees = ctx.sample_nodes(self.referee_count)
+            message = Message(MSG_RANK, (self.rank,))
+            for referee in self._referees:
+                ctx.send(referee, message)
+        ctx.idle()
+
+    def on_round(self, ctx: Context, inbox: List[Delivery]) -> None:
+        ranks = [d.fields[0] for d in inbox if d.kind == MSG_RANK]
+        maxima = [d.fields[0] for d in inbox if d.kind == MSG_MAX]
+        if ranks:
+            # Referee role: reply with the maximum rank seen.
+            best = max(ranks)
+            reply = Message(MSG_MAX, (best,))
+            for delivery in inbox:
+                if delivery.kind == MSG_RANK:
+                    ctx.send(delivery.sender, reply)
+        if maxima:
+            observed = max(maxima)
+            if self._reply_max is None or observed > self._reply_max:
+                self._reply_max = observed
+        ctx.idle()
+
+    def on_stop(self, ctx: Context) -> None:
+        if self.is_candidate and self._reply_max == self.rank:
+            self.state = NodeState.ELECTED
+        else:
+            self.state = NodeState.NON_ELECTED
+
+
+def kutten_elect_leader(
+    n: int,
+    seed: int = 0,
+    candidate_factor: float = 6.0,
+    referee_factor: float = 2.0,
+) -> BaselineOutcome:
+    """Run the fault-free [21]-style election and evaluate it.
+
+    Success: exactly one node outputs ELECTED.
+    """
+    network = Network(
+        n,
+        lambda u: KuttenLeaderElectionProtocol(
+            u, n, candidate_factor, referee_factor
+        ),
+        seed=seed,
+    )
+    run = network.run(4)
+    outcome = BaselineOutcome(
+        protocol="kutten-le",
+        n=n,
+        faulty=run.faulty,
+        crashed=run.crashed,
+        metrics=run.metrics,
+    )
+    for u in range(n):
+        protocol: KuttenLeaderElectionProtocol = run.protocol(u)  # type: ignore[assignment]
+        if protocol.state is NodeState.ELECTED:
+            outcome.elected.append(u)
+    outcome.success = len(outcome.elected) == 1
+    return outcome

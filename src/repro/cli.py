@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
+
+Commands
+--------
+
+``run E9 [--quick]``
+    Run one experiment (or ``all``) and print its measured table + checks.
+``elect --n 512 --alpha 0.5 [--adversary random] [--seed 0]``
+    One leader-election run, summary printed.
+``agree --n 512 --alpha 0.5 [--inputs mixed] [--adversary random]``
+    One agreement run, summary printed.
+``params --n 1024 --alpha 0.25``
+    Show the derived sampling parameters and bounds for a configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.tables import format_table
+from .core.runner import agree, elect_leader
+from .experiments.registry import all_experiments, get_experiment
+from .params import Params
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment.lower() == "all":
+        experiments = all_experiments()
+    else:
+        experiments = [get_experiment(args.experiment)]
+    failed = 0
+    reports = []
+    for experiment in experiments:
+        report = experiment.run(quick=args.quick)
+        reports.append(report)
+        print(report.render())
+        print()
+        failed += 0 if report.passed else 1
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump([r.to_dict() for r in reports], handle, indent=2, default=str)
+        print(f"wrote {args.json}")
+    return 1 if failed else 0
+
+
+def _cmd_elect(args: argparse.Namespace) -> int:
+    result = elect_leader(
+        n=args.n, alpha=args.alpha, seed=args.seed, adversary=args.adversary
+    )
+    print(format_table([result.summary()], title="leader election"))
+    return 0 if result.success else 1
+
+
+def _cmd_agree(args: argparse.Namespace) -> int:
+    result = agree(
+        n=args.n,
+        alpha=args.alpha,
+        inputs=args.inputs,
+        seed=args.seed,
+        adversary=args.adversary,
+    )
+    print(format_table([result.summary()], title="agreement"))
+    return 0 if result.success else 1
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    params = Params(n=args.n, alpha=args.alpha)
+    rows = [
+        {"quantity": "candidate probability", "value": params.candidate_probability},
+        {"quantity": "expected committee |C|", "value": params.expected_candidates},
+        {"quantity": "referees per candidate", "value": params.referee_count},
+        {"quantity": "iterations", "value": params.iterations},
+        {"quantity": "max faulty", "value": params.max_faulty},
+        {"quantity": "LE message bound (no const)", "value": params.le_message_bound()},
+        {
+            "quantity": "agreement message bound (no const)",
+            "value": params.agreement_message_bound(),
+        },
+        {
+            "quantity": "lower bound (no const)",
+            "value": params.lower_bound_messages(),
+        },
+        {"quantity": "LE sublinear regime", "value": params.le_sublinear()},
+        {"quantity": "agreement sublinear regime", "value": params.agreement_sublinear()},
+    ]
+    print(format_table(rows, title=f"parameters for n={args.n}, alpha={args.alpha}"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import generate_report
+
+    only = [e.upper() for e in args.only] if args.only else None
+    markdown = generate_report(quick=args.quick, only=only)
+    with open(args.output, "w") as handle:
+        handle.write(markdown)
+    print(f"wrote {args.output}")
+    return 0 if "**FAIL**" not in markdown else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerant leader election & agreement (Kumar-Molla) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run an experiment (E1..E16 or 'all')")
+    run.add_argument("experiment")
+    run.add_argument("--quick", action="store_true", help="small sizes/trials")
+    run.add_argument("--json", default=None, help="also write results as JSON")
+    run.set_defaults(func=_cmd_run)
+
+    elect = sub.add_parser("elect", help="one leader-election run")
+    elect.add_argument("--n", type=int, default=512)
+    elect.add_argument("--alpha", type=float, default=0.5)
+    elect.add_argument("--seed", type=int, default=0)
+    elect.add_argument("--adversary", default="random")
+    elect.set_defaults(func=_cmd_elect)
+
+    agree_cmd = sub.add_parser("agree", help="one agreement run")
+    agree_cmd.add_argument("--n", type=int, default=512)
+    agree_cmd.add_argument("--alpha", type=float, default=0.5)
+    agree_cmd.add_argument("--seed", type=int, default=0)
+    agree_cmd.add_argument("--inputs", default="mixed")
+    agree_cmd.add_argument("--adversary", default="random")
+    agree_cmd.set_defaults(func=_cmd_agree)
+
+    params_cmd = sub.add_parser("params", help="show derived parameters")
+    params_cmd.add_argument("--n", type=int, required=True)
+    params_cmd.add_argument("--alpha", type=float, required=True)
+    params_cmd.set_defaults(func=_cmd_params)
+
+    report = sub.add_parser(
+        "report", help="run all experiments and write EXPERIMENTS.md"
+    )
+    report.add_argument("--quick", action="store_true")
+    report.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    report.add_argument(
+        "--only", nargs="*", default=None, help="experiment ids to include"
+    )
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""The paper's contribution: fault-tolerant implicit leader election
+(Section IV-A) and implicit agreement (Section V-A), plus their explicit
+extensions.
+
+High-level entry points
+-----------------------
+
+:func:`elect_leader` and :func:`agree` build the network, run the protocol
+against a chosen adversary, and return a result object with the outcome,
+the correctness verdicts, and the message/round metrics.
+
+>>> from repro.core import elect_leader
+>>> result = elect_leader(n=256, alpha=0.5, seed=3, adversary="staggered")
+>>> result.success, result.messages
+(True, ...)
+"""
+
+from .agreement import AgreementProtocol
+from .explicit import ExplicitAgreementProtocol, ExplicitLeaderElectionProtocol
+from .leader_based_agreement import (
+    LeaderBasedAgreementProtocol,
+    decode_input_from_rank,
+    encode_input_in_rank,
+)
+from .leader_election import LeaderElectionProtocol
+from .ranks import draw_rank, rank_collision_probability
+from .results import (
+    AgreementResult,
+    ExplicitAgreementResult,
+    ExplicitLeaderElectionResult,
+    LeaderElectionResult,
+)
+from .runner import (
+    INPUT_PATTERNS,
+    agree,
+    agree_explicit,
+    agree_via_election,
+    elect_leader,
+    elect_leader_explicit,
+    make_inputs,
+)
+from .schedule import AgreementSchedule, LeaderElectionSchedule
+
+__all__ = [
+    "AgreementProtocol",
+    "AgreementResult",
+    "AgreementSchedule",
+    "ExplicitAgreementProtocol",
+    "ExplicitAgreementResult",
+    "ExplicitLeaderElectionProtocol",
+    "ExplicitLeaderElectionResult",
+    "INPUT_PATTERNS",
+    "LeaderBasedAgreementProtocol",
+    "LeaderElectionProtocol",
+    "LeaderElectionResult",
+    "LeaderElectionSchedule",
+    "agree",
+    "agree_explicit",
+    "agree_via_election",
+    "decode_input_from_rank",
+    "draw_rank",
+    "encode_input_in_rank",
+    "elect_leader",
+    "elect_leader_explicit",
+    "make_inputs",
+    "rank_collision_probability",
+]

@@ -1,0 +1,139 @@
+"""Fault-tolerant implicit binary agreement (paper, Section V-A).
+
+The algorithm is a zero-biased propagation over the same candidate/referee
+committee structure as the leader election:
+
+* **Step 0** (round 1): every candidate sends its input bit to its sampled
+  referees (which also registers it with them); a candidate holding ``0``
+  decides 0 immediately.
+* **Step 1** (odd iteration rounds): a candidate that learns ``0`` from a
+  referee and has not decided 0 yet decides 0 and forwards ``0`` to its
+  referees — once, ever.
+* **Step 2** (even iteration rounds): a referee holding ``0`` forwards it
+  to all its registered candidates — once, ever.
+
+After ``Theta(log n/alpha)`` iterations every alive candidate that can be
+reached by a surviving zero has decided 0; candidates that never saw a
+zero decide 1 (their own input — so validity is automatic).  Non-candidate
+nodes stay undecided (this is the *implicit* problem; see
+:mod:`repro.core.explicit` for the explicit extension).
+
+Every message carries a single bit, so the message-bit complexity is the
+message count times O(1) — Theorem 5.1's ``O(n^1/2 log^{3/2} n/alpha^{3/2})``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..params import Params
+from ..sim.message import Delivery, Message
+from ..sim.node import Context, Protocol
+from ..types import Decision
+from .schedule import AgreementSchedule
+
+MSG_VALUE = "AG_VAL"  # candidate -> referee: (bit,)   registration + input
+MSG_ZERO_TO_REFEREE = "AG_Z2R"  # candidate -> referee: ()
+MSG_ZERO_TO_CANDIDATE = "AG_Z2C"  # referee -> candidate: ()
+
+
+class AgreementProtocol(Protocol):
+    """One node's view of the Section V-A protocol.
+
+    Outputs: :attr:`decision` (ZERO / ONE / UNDECIDED) and
+    :attr:`is_candidate`.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        params: Params,
+        schedule: AgreementSchedule,
+        input_bit: int,
+    ) -> None:
+        if input_bit not in (0, 1):
+            raise ValueError(f"input bit must be 0 or 1, got {input_bit}")
+        self.node_id = node_id
+        self.params = params
+        self.schedule = schedule
+        self.input_bit = input_bit
+
+        self.is_candidate = False
+        self.decision = Decision.UNDECIDED
+
+        # Candidate state.
+        self._referees: List[int] = []
+        self._sent_zero = False
+
+        # Referee state.
+        self._registered: List[int] = []
+        self._has_zero = False
+        self._forwarded_zero = False
+
+    # ------------------------------------------------------------------
+
+    def on_start(self, ctx: Context) -> None:
+        self.is_candidate = ctx.rng.random() < self.params.candidate_probability
+        if not self.is_candidate:
+            ctx.idle()
+            return
+        # Step 0: register with the referees, carrying the input bit.
+        self._referees = ctx.sample_nodes(self.params.referee_count)
+        announce = Message(MSG_VALUE, (self.input_bit,))
+        for referee in self._referees:
+            ctx.send(referee, announce)
+        if self.input_bit == 0:
+            self.decision = Decision.ZERO
+            self._sent_zero = True  # the registration itself carried the 0
+        ctx.idle()
+
+    def on_round(self, ctx: Context, inbox: List[Delivery]) -> None:
+        saw_zero_as_candidate = False
+        saw_zero_as_referee = False
+        for delivery in inbox:
+            kind = delivery.kind
+            if kind == MSG_VALUE:
+                self._registered.append(delivery.sender)
+                if delivery.fields[0] == 0:
+                    saw_zero_as_referee = True
+            elif kind == MSG_ZERO_TO_REFEREE:
+                saw_zero_as_referee = True
+            elif kind == MSG_ZERO_TO_CANDIDATE:
+                saw_zero_as_candidate = True
+
+        if saw_zero_as_referee:
+            self._has_zero = True
+        if self._has_zero and not self._forwarded_zero and self._registered:
+            # Step 2: forward the zero to every registered candidate, once.
+            self._forwarded_zero = True
+            zero = Message(MSG_ZERO_TO_CANDIDATE, ())
+            for candidate in self._registered:
+                ctx.send(candidate, zero)
+
+        if saw_zero_as_candidate and self.is_candidate:
+            # Step 1: decide 0 and forward it, once.
+            if self.decision is not Decision.ZERO:
+                self.decision = Decision.ZERO
+            if not self._sent_zero:
+                self._sent_zero = True
+                zero = Message(MSG_ZERO_TO_REFEREE, ())
+                for referee in self._referees:
+                    ctx.send(referee, zero)
+
+        ctx.idle()
+
+    def on_stop(self, ctx: Context) -> None:
+        if self.is_candidate and self.decision is Decision.UNDECIDED:
+            # Never saw a zero: decide our own input (which must be 1 for
+            # the decision to still be undecided, except in budget-capped
+            # runs where the registration itself may have been suppressed).
+            self.decision = Decision.of(self.input_bit)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def decided_bit(self) -> Optional[int]:
+        """The decided bit, or None while undecided."""
+        if self.decision is Decision.UNDECIDED:
+            return None
+        return self.decision.bit

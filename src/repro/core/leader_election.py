@@ -1,0 +1,375 @@
+"""Fault-tolerant implicit leader election (paper, Section IV-A).
+
+Protocol sketch (all sampling quantities from :class:`repro.params.Params`):
+
+1. Every node draws a random *rank* in ``[1, n^4]`` (its ID) and becomes a
+   **candidate** with probability ``6 log n / (alpha n)`` (Lemma 1).
+2. Each candidate samples ``2 (n log n / alpha)^(1/2)`` **referees** and
+   registers its rank with them; referees forward the rank lists back, so
+   every candidate learns (w.h.p.) the ranks of all other candidates
+   (Lemma 3: every candidate pair shares a non-faulty referee).
+3. Iteratively (``Theta(log n/alpha)`` iterations of 4 rounds each):
+
+   * each unresolved candidate *proposes* the minimum rank of its
+     ``rankList`` (Step 1); a candidate proposing its own rank marks
+     itself leader;
+   * referees aggregate and forward the **maximum** proposed rank, with a
+     flag saying whether that rank was proposed by its owner (Step 2);
+   * candidates adopt an owner-confirmed maximum, echo it, or — when the
+     maximum is unknown to them — prune their ``rankList`` and propose a
+     higher rank next (Step 3);
+   * a candidate whose proposal sees no progress for a full iteration
+     concludes the proposed node crashed, removes the rank, and advances
+     to the next minimum (Step 4).
+
+The protocol converges on the largest rank that is ever self-proposed by a
+node that stays alive long enough for one referee round-trip; each crash
+can stall at most one iteration, and the committee has at most
+``O(log n/alpha)`` members, hence the iteration budget.
+
+Interpretation decisions beyond the paper's prose (see DESIGN.md §5):
+
+* **Live-leader re-confirmation.**  A marked leader that observes an
+  unflagged aggregate of its own rank (someone probing it) re-sends its
+  confirmation.  Without this, a candidate that missed the original
+  confirmation would time the leader's rank out and the network could
+  elect two leaders.  The paper's "u doesn't respond" line refers to
+  flagged (already-confirmed) aggregates, which we likewise do not answer.
+* **Echo throttling.**  Candidates support/echo a given rank at most once
+  (the paper sends each such message "in the next round" once); this keeps
+  the message complexity at the Theorem 4.1 bound.
+* **Empty-rankList fallback.**  If every known rank has been disproved, a
+  candidate falls back to ``{own rank}``; this is unreachable in the
+  w.h.p. regime but guarantees liveness in pathological executions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..params import Params
+from ..sim.message import Delivery, Message
+from ..sim.node import Context, Protocol
+from ..types import NodeState
+from .ranks import draw_rank
+from .schedule import LeaderElectionSchedule
+
+MSG_RANK = "LE_RANK"  # candidate -> referee: (rank,)                 registration
+MSG_LIST = "LE_LIST"  # referee -> candidate: (rank,)                 one known rank
+MSG_PROPOSE = "LE_PROP"  # candidate -> referee: (sender_rank, rank)  Step 1
+MSG_AGG = "LE_AGG"  # referee -> candidate: (owner_flag, rank)        Steps 2/4
+MSG_CONFIRM = "LE_CONF"  # candidate -> referee: (sender_rank, rank)  Step 3
+
+
+class LeaderElectionProtocol(Protocol):
+    """One node's view of the Section IV-A protocol.
+
+    Every node runs the same code; the candidate and referee roles are
+    sub-states (a node can hold both).  Outputs:
+
+    * :attr:`state` — ELECTED / NON_ELECTED / UNDECIDED (implicit LE);
+    * :attr:`leader_rank` — the rank this node believes won (candidates
+      only; ``None`` for passive nodes);
+    * :attr:`rank` — the node's own rank.
+    """
+
+    def __init__(self, node_id: int, params: Params, schedule: LeaderElectionSchedule) -> None:
+        self.node_id = node_id
+        self.params = params
+        self.schedule = schedule
+
+        self.rank: Optional[int] = None
+        self.is_candidate = False
+        self.state = NodeState.UNDECIDED
+        self.leader_rank: Optional[int] = None
+
+        # Candidate state.
+        self._referees: List[int] = []
+        self._rank_list: Set[int] = set()
+        self._proposed: Set[int] = set()
+        self._supported: Set[int] = set()
+        self._outstanding: Optional[int] = None
+        self._deadline: Optional[int] = None
+        self._marked = False
+        self._confirmed = False
+
+        # Referee state.
+        self._registered: dict = {}  # sender node -> announced rank
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def on_start(self, ctx: Context) -> None:
+        self.rank = self._draw_rank(ctx)
+        self.is_candidate = ctx.rng.random() < self.params.candidate_probability
+        if not self.is_candidate:
+            ctx.idle()
+            return
+        self._rank_list = {self.rank}
+        self._referees = ctx.sample_nodes(self.params.referee_count)
+        announce = Message(MSG_RANK, (self.rank,))
+        for referee in self._referees:
+            ctx.send(referee, announce)
+        ctx.wake_at(self.schedule.iteration_start)
+
+    def on_round(self, ctx: Context, inbox: List[Delivery]) -> None:
+        proposals = []  # (sender_rank, rank) seen as referee this round
+        agg_best: Optional[int] = None
+        agg_owner = False
+        new_registrations = []
+
+        for delivery in inbox:
+            kind = delivery.kind
+            if kind == MSG_RANK:
+                new_registrations.append((delivery.sender, delivery.fields[0]))
+            elif kind == MSG_LIST:
+                self._rank_list.add(delivery.fields[0])
+            elif kind in (MSG_PROPOSE, MSG_CONFIRM):
+                proposals.append(delivery.fields)
+            elif kind == MSG_AGG:
+                flag, rank = delivery.fields
+                if agg_best is None or rank > agg_best:
+                    agg_best, agg_owner = rank, bool(flag)
+                elif rank == agg_best and flag:
+                    agg_owner = True
+
+        if new_registrations:
+            self._referee_register(ctx, new_registrations)
+        if proposals:
+            self._referee_aggregate(ctx, proposals)
+        if self.is_candidate:
+            if agg_best is not None:
+                self._candidate_handle_aggregate(ctx, agg_best, agg_owner)
+            self._candidate_act(ctx)
+        elif not self._registered:
+            ctx.idle()
+        # A pure referee with registrations stays reactive: it idles unless
+        # messages arrive, which the engine handles via the default wake —
+        # so put it back to sleep explicitly.
+        if not self.is_candidate and self._registered:
+            ctx.idle()
+
+    def on_stop(self, ctx: Context) -> None:
+        if not self.is_candidate:
+            self.state = NodeState.NON_ELECTED
+            return
+        if self.leader_rank is None:
+            # Paper: candidates agree on the minimum rank left in their
+            # rankList at termination.
+            self.leader_rank = min(self._rank_list) if self._rank_list else self.rank
+        self.state = NodeState.ELECTED if self._marked else NodeState.NON_ELECTED
+
+    def _draw_rank(self, ctx: Context) -> int:
+        """Draw this node's rank (subclass hook — e.g. the leader-based
+        agreement reduction encodes the input bit in the rank)."""
+        return draw_rank(ctx.rng, self.params.n, self.params.rank_exponent)
+
+    # ------------------------------------------------------------------
+    # Referee role
+    # ------------------------------------------------------------------
+
+    def _referee_register(self, ctx: Context, arrivals: List[tuple]) -> None:
+        """Record new candidates and exchange rank lists (pre-processing).
+
+        Sends each existing candidate the new ranks, and each new candidate
+        every other known rank, one rank per message (the engine's per-edge
+        FIFO spreads them over rounds — CONGEST).
+        """
+        known_before = dict(self._registered)
+        for sender, rank in arrivals:
+            self._registered[sender] = rank
+        cache: dict = {}
+
+        def list_message(rank: int) -> Message:
+            message = cache.get(rank)
+            if message is None:
+                message = cache[rank] = Message(MSG_LIST, (rank,))
+            return message
+
+        for sender, rank in arrivals:
+            for other, other_rank in known_before.items():
+                ctx.send(other, list_message(rank))
+                ctx.send(sender, list_message(other_rank))
+        # Ranks among the new arrivals themselves.
+        for i, (sender, rank) in enumerate(arrivals):
+            for other, other_rank in arrivals[i + 1 :]:
+                ctx.send(other, list_message(rank))
+                ctx.send(sender, list_message(other_rank))
+
+    def _referee_aggregate(self, ctx: Context, proposals: List[tuple]) -> None:
+        """Steps 2/4: forward the maximum proposed rank to all registered
+        candidates, flagging whether its owner proposed it."""
+        best = max(rank for _, rank in proposals)
+        owner = any(
+            sender_rank == rank == best for sender_rank, rank in proposals
+        )
+        reply = Message(MSG_AGG, (int(owner), best))
+        for candidate in self._registered:
+            ctx.send(candidate, reply)
+
+    # ------------------------------------------------------------------
+    # Candidate role
+    # ------------------------------------------------------------------
+
+    def _candidate_handle_aggregate(self, ctx: Context, pmax: int, owner: bool) -> None:
+        """Step 3: react to the maximum aggregated rank of this round."""
+        assert self.rank is not None
+        # Prune every rank strictly below the observed maximum (they can
+        # no longer win); the paper prunes on every higher-rank receipt.
+        if any(r < pmax for r in self._rank_list):
+            self._rank_list = {r for r in self._rank_list if r >= pmax}
+        if self._marked and pmax > self.rank:
+            # A higher rank displaced us; unmark.
+            self._marked = False
+            self._confirmed = False
+            self.state = NodeState.UNDECIDED
+            self.leader_rank = None
+
+        if pmax == self.rank:
+            if owner:
+                # Our own confirmation came back: leadership established.
+                self._marked = True
+                self._confirmed = True
+                self.state = NodeState.ELECTED
+                self.leader_rank = self.rank
+                self._outstanding = None
+                self._deadline = None
+            else:
+                # Someone is probing our rank (their referees never saw our
+                # confirmation): re-confirm so they can adopt instead of
+                # timing us out.  [DESIGN.md §5: live-leader re-confirmation]
+                self._marked = True
+                self.state = NodeState.ELECTED
+                self.leader_rank = self.rank
+                self._send_confirmation(ctx)
+            return
+
+        if self.leader_rank is not None and self._confirmed and pmax < self.leader_rank:
+            return  # stale echo of an already-beaten rank
+
+        if owner:
+            # The rank's owner itself proposed/confirmed it: adopt.
+            previously_confirmed = self._confirmed and self.leader_rank == pmax
+            self.leader_rank = pmax
+            self._confirmed = True
+            self._marked = False
+            self.state = NodeState.UNDECIDED
+            self._outstanding = None
+            self._deadline = None
+            if pmax not in self._supported and not previously_confirmed:
+                # Paper: the adopter echoes the winner once, spreading it to
+                # candidates whose referees missed the confirmation.
+                self._supported.add(pmax)
+                self._send_support(ctx, pmax)
+            return
+
+        if pmax in self._rank_list:
+            # Unconfirmed maximum we know about: support it (echo), then
+            # await its owner's confirmation (Step 4 timeout otherwise).
+            if self._confirmed and self.leader_rank == pmax:
+                return
+            self._confirmed = False
+            self.leader_rank = pmax
+            if self._outstanding != pmax:
+                self._outstanding = pmax
+                self._deadline = self.schedule.confirmation_deadline(ctx.round)
+                self._wake_for_deadline(ctx)
+            if pmax not in self._supported:
+                self._supported.add(pmax)
+                self._send_support(ctx, pmax)
+            return
+
+        # Unknown maximum: distrust it; propose a higher rank of our own
+        # list at the next opportunity (rankList is already pruned, and
+        # ``_candidate_act`` runs right after this handler).
+        if self._outstanding is not None and self._outstanding < pmax:
+            self._outstanding = None
+            self._deadline = None
+
+    def _candidate_act(self, ctx: Context) -> None:
+        """Step 1/Step 4 driver: timeouts and new proposals."""
+        assert self.rank is not None
+        round_ = ctx.round
+        if round_ < self.schedule.iteration_start:
+            # Pre-processing phase: just collect rank lists.
+            ctx.wake_at(self.schedule.iteration_start)
+            return
+
+        if self._outstanding is not None and self._deadline is not None:
+            if round_ >= self._deadline:
+                # Step 4: the proposed/supported rank never got confirmed —
+                # its owner is presumed crashed.  Drop it and move on.
+                timed_out = self._outstanding
+                self._outstanding = None
+                self._deadline = None
+                if timed_out == self.rank:
+                    # Our own confirmation went unanswered; retry rather
+                    # than disown our rank.
+                    self._send_confirmation(ctx)
+                else:
+                    self._rank_list.discard(timed_out)
+                    self._supported.discard(timed_out)
+                    if self.leader_rank == timed_out and not self._confirmed:
+                        self.leader_rank = None
+
+        if self._confirmed:
+            ctx.idle()
+            return
+
+        if self._outstanding is None:
+            self._propose_next(ctx)
+
+        self._wake_for_deadline(ctx)
+
+    def _propose_next(self, ctx: Context) -> None:
+        """Step 1: propose the minimum unproposed rank of the rankList."""
+        assert self.rank is not None
+        if not self._rank_list:
+            # Liveness fallback (DESIGN.md §5): every known rank has been
+            # disproved; fall back to our own.
+            self._rank_list = {self.rank}
+            self._proposed.clear()
+        unproposed = [r for r in self._rank_list if r not in self._proposed]
+        if not unproposed:
+            # Everything was proposed already and nothing confirmed: probe
+            # the smallest remaining rank again.
+            self._proposed -= self._rank_list
+            unproposed = sorted(self._rank_list)
+        proposal = min(unproposed)
+        self._proposed.add(proposal)
+        self._outstanding = proposal
+        self._deadline = self.schedule.confirmation_deadline(ctx.round)
+        if proposal == self.rank:
+            # Step 1: proposing our own rank marks us leader (tentatively,
+            # until the confirmation echo arrives).
+            self._marked = True
+            self.state = NodeState.ELECTED
+            self.leader_rank = self.rank
+        message = Message(MSG_PROPOSE, (self.rank, proposal))
+        for referee in self._referees:
+            ctx.send(referee, message)
+
+    def _send_confirmation(self, ctx: Context) -> None:
+        """Send CONF(own, own): the owner (re-)asserts its leadership."""
+        assert self.rank is not None
+        self._outstanding = self.rank
+        self._deadline = self.schedule.confirmation_deadline(ctx.round)
+        message = Message(MSG_CONFIRM, (self.rank, self.rank))
+        for referee in self._referees:
+            ctx.send(referee, message)
+        self._wake_for_deadline(ctx)
+
+    def _send_support(self, ctx: Context, rank: int) -> None:
+        """Echo a maximum rank to our referees (Step 3 support message)."""
+        assert self.rank is not None
+        message = Message(MSG_CONFIRM, (self.rank, rank))
+        for referee in self._referees:
+            ctx.send(referee, message)
+
+    def _wake_for_deadline(self, ctx: Context) -> None:
+        """Sleep until the confirmation deadline (or for good if none)."""
+        if self._deadline is not None and self._deadline > ctx.round:
+            ctx.wake_at(self._deadline)
+        elif self._confirmed:
+            ctx.idle()

@@ -1,0 +1,30 @@
+"""Random ranks (Section IV-A).
+
+Each node draws an integer rank uniformly from ``[1, n^4]``; the rank
+doubles as the node's ID in the anonymous network.  The range is chosen so
+that all ``n`` ranks are distinct with high probability (a union bound
+gives collision probability at most ``n^2 / (2 n^4) <= 1/(2 n^2)``).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def draw_rank(rng: random.Random, n: int, exponent: int = 4) -> int:
+    """Draw a rank uniformly from ``[1, n**exponent]``."""
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    if exponent < 1:
+        raise ValueError(f"need exponent >= 1, got {exponent}")
+    return rng.randint(1, n**exponent)
+
+
+def rank_collision_probability(n: int, exponent: int = 4) -> float:
+    """Union-bound estimate of the probability that two ranks collide.
+
+    ``P[collision] <= C(n, 2) / n**exponent``.
+    """
+    if n < 2:
+        return 0.0
+    return min(1.0, (n * (n - 1) / 2.0) / float(n**exponent))

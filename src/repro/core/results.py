@@ -1,0 +1,289 @@
+"""Result objects with the paper's correctness conditions evaluated.
+
+Correctness is judged over nodes that are *alive at the end of the run*
+(standard for crash faults), with one paper-specific refinement for leader
+election: Definition 1's footnote allows the elected leader to crash
+*after* the election, so :attr:`LeaderElectionResult.success` also accepts
+runs in which the unique node that reached the ELECTED state crashed
+later, provided every alive candidate still agrees on that node's rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..sim.metrics import Metrics
+from ..sim.trace import Trace
+from ..types import Decision
+
+
+@dataclass
+class LeaderElectionResult:
+    """Outcome of one leader-election run."""
+
+    n: int
+    alpha: float
+    seed: int
+    adversary: str
+    faulty: Set[int]
+    crashed: Dict[int, int]
+    metrics: Metrics
+    trace: Optional[Trace]
+
+    #: Alive nodes in the ELECTED state at the end of the run.
+    elected_alive: List[int] = field(default_factory=list)
+    #: Crashed nodes that were in the ELECTED state when they crashed.
+    elected_crashed: List[int] = field(default_factory=list)
+    #: node -> final leader-rank belief, for every alive candidate.
+    beliefs: Dict[int, Optional[int]] = field(default_factory=dict)
+    #: node -> own rank, for every node (candidates and passives alike).
+    ranks: Dict[int, int] = field(default_factory=dict)
+    #: Alive candidate nodes.
+    candidates_alive: List[int] = field(default_factory=list)
+    #: All candidate nodes (including crashed ones).
+    candidates_all: List[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def committee_size(self) -> int:
+        """Number of nodes that self-selected as candidates."""
+        return len(self.candidates_all)
+
+    @property
+    def agreed_rank(self) -> Optional[int]:
+        """The common leader-rank belief of alive candidates, if unanimous."""
+        values = {self.beliefs[u] for u in self.candidates_alive}
+        if len(values) == 1:
+            value = values.pop()
+            return value
+        return None
+
+    @property
+    def beliefs_agree(self) -> bool:
+        """True iff all alive candidates share one non-null leader belief."""
+        return bool(self.candidates_alive) and self.agreed_rank is not None
+
+    @property
+    def strict_success(self) -> bool:
+        """Exactly one *alive* ELECTED node, and every alive candidate
+        believes that node's rank."""
+        if len(self.elected_alive) != 1:
+            return False
+        leader = self.elected_alive[0]
+        return self.beliefs_agree and self.agreed_rank == self.ranks[leader]
+
+    @property
+    def success(self) -> bool:
+        """The paper's success condition (Definition 1 + footnote 3).
+
+        Either a unique alive leader that everyone believes in, or — when
+        the elected node crashed after electing itself — a unique crashed
+        ELECTED node whose rank every alive candidate still believes.
+        """
+        if self.strict_success:
+            return True
+        if not self.elected_alive and len(self.elected_crashed) == 1:
+            leader = self.elected_crashed[0]
+            return self.beliefs_agree and self.agreed_rank == self.ranks[leader]
+        return False
+
+    @property
+    def leader_node(self) -> Optional[int]:
+        """The winning node, under the paper's success condition."""
+        if self.strict_success:
+            return self.elected_alive[0]
+        if self.success:
+            return self.elected_crashed[0]
+        return None
+
+    @property
+    def leader_is_faulty(self) -> Optional[bool]:
+        """Whether the elected leader belongs to the static faulty set."""
+        leader = self.leader_node
+        if leader is None:
+            return None
+        return leader in self.faulty
+
+    @property
+    def messages(self) -> int:
+        """Total messages sent (the paper's message complexity)."""
+        return self.metrics.messages_sent
+
+    @property
+    def rounds(self) -> int:
+        """Nominal round count of the run."""
+        return self.metrics.rounds
+
+    def summary(self) -> Dict[str, object]:
+        """Headline facts as a plain dict (tables/logging)."""
+        return {
+            "n": self.n,
+            "alpha": self.alpha,
+            "adversary": self.adversary,
+            "success": self.success,
+            "strict_success": self.strict_success,
+            "leader_node": self.leader_node,
+            "leader_is_faulty": self.leader_is_faulty,
+            "committee_size": self.committee_size,
+            "messages": self.messages,
+            "bits": self.metrics.bits_sent,
+            "rounds": self.rounds,
+            "rounds_executed": self.metrics.rounds_executed,
+            "crashes": self.metrics.crashes,
+        }
+
+
+@dataclass
+class ExplicitLeaderElectionResult(LeaderElectionResult):
+    """Outcome of an explicit leader-election run.
+
+    Adds the per-node knowledge of the winner: the explicit problem
+    requires *every* node to know the leader's identity (rank).
+    """
+
+    #: node -> leader rank known after the broadcast, for alive nodes.
+    explicit_ranks: Dict[int, Optional[int]] = field(default_factory=dict)
+
+    @property
+    def explicit_success(self) -> bool:
+        """Implicit success plus: every alive node knows the winner's rank."""
+        if not self.success:
+            return False
+        leader = self.leader_node
+        assert leader is not None
+        expected = self.ranks[leader]
+        return all(
+            rank == expected for rank in self.explicit_ranks.values()
+        ) and len(self.explicit_ranks) > 0
+
+    @property
+    def knowledge_fraction(self) -> float:
+        """Fraction of alive nodes that know the agreed leader rank."""
+        if not self.explicit_ranks:
+            return 0.0
+        expected = self.agreed_rank
+        known = sum(1 for rank in self.explicit_ranks.values() if rank == expected)
+        return known / len(self.explicit_ranks)
+
+
+@dataclass
+class AgreementResult:
+    """Outcome of one implicit-agreement run."""
+
+    n: int
+    alpha: float
+    seed: int
+    adversary: str
+    inputs: Sequence[int]
+    faulty: Set[int]
+    crashed: Dict[int, int]
+    metrics: Metrics
+    trace: Optional[Trace]
+
+    #: node -> Decision, for every alive node.
+    decisions: Dict[int, Decision] = field(default_factory=dict)
+    #: Alive candidate nodes.
+    candidates_alive: List[int] = field(default_factory=list)
+    #: All candidate nodes (including crashed ones).
+    candidates_all: List[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def decided_bits(self) -> List[int]:
+        """Bits decided by alive nodes."""
+        return [
+            d.bit for d in self.decisions.values() if d is not Decision.UNDECIDED
+        ]
+
+    @property
+    def decision(self) -> Optional[int]:
+        """The common decided bit, or None if no/contradictory decisions."""
+        bits = set(self.decided_bits)
+        if len(bits) == 1:
+            return bits.pop()
+        return None
+
+    @property
+    def agreement_holds(self) -> bool:
+        """Definition 2, condition 1: some node decided, all decisions equal."""
+        bits = self.decided_bits
+        return bool(bits) and len(set(bits)) == 1
+
+    @property
+    def validity_holds(self) -> bool:
+        """Definition 2, condition 2: the decided value is some node's input.
+
+        Vacuously true while nothing is decided.
+        """
+        return all(bit in set(self.inputs) for bit in set(self.decided_bits))
+
+    @property
+    def success(self) -> bool:
+        """Implicit agreement as per Definition 2."""
+        return self.agreement_holds and self.validity_holds
+
+    @property
+    def committee_size(self) -> int:
+        """Number of nodes that self-selected as candidates."""
+        return len(self.candidates_all)
+
+    @property
+    def messages(self) -> int:
+        """Total messages sent."""
+        return self.metrics.messages_sent
+
+    @property
+    def rounds(self) -> int:
+        """Nominal round count of the run."""
+        return self.metrics.rounds
+
+    def summary(self) -> Dict[str, object]:
+        """Headline facts as a plain dict (tables/logging)."""
+        return {
+            "n": self.n,
+            "alpha": self.alpha,
+            "adversary": self.adversary,
+            "success": self.success,
+            "decision": self.decision,
+            "committee_size": self.committee_size,
+            "messages": self.messages,
+            "bits": self.metrics.bits_sent,
+            "rounds": self.rounds,
+            "rounds_executed": self.metrics.rounds_executed,
+            "crashes": self.metrics.crashes,
+        }
+
+
+@dataclass
+class ExplicitAgreementResult(AgreementResult):
+    """Outcome of an explicit agreement run.
+
+    Adds the per-node knowledge of the agreed bit: the explicit problem
+    requires *every* node to decide.
+    """
+
+    #: node -> bit known after the broadcast, for alive nodes.
+    explicit_bits: Dict[int, Optional[int]] = field(default_factory=dict)
+
+    @property
+    def explicit_success(self) -> bool:
+        """Implicit success plus: every alive node knows the agreed bit."""
+        if not self.success:
+            return False
+        expected = self.decision
+        return (
+            bool(self.explicit_bits)
+            and all(bit == expected for bit in self.explicit_bits.values())
+        )
+
+    @property
+    def knowledge_fraction(self) -> float:
+        """Fraction of alive nodes that know the agreed bit."""
+        if not self.explicit_bits:
+            return 0.0
+        expected = self.decision
+        known = sum(1 for bit in self.explicit_bits.values() if bit == expected)
+        return known / len(self.explicit_bits)

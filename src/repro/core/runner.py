@@ -1,0 +1,375 @@
+"""High-level entry points: build a network, run a protocol, evaluate.
+
+These are the functions most users call:
+
+>>> from repro.core import elect_leader, agree
+>>> elect_leader(n=512, alpha=0.5, seed=1, adversary="staggered").success
+True
+>>> agree(n=512, alpha=0.5, inputs="single0", seed=1).decision
+0
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+from ..faults.adversary import Adversary
+from ..faults.strategies import named_adversary
+from ..params import CongestBudget, Params
+from ..rng import derive_seed
+from ..sim.network import Network, RunResult
+from ..types import NodeState
+from .agreement import AgreementProtocol
+from .explicit import ExplicitAgreementProtocol, ExplicitLeaderElectionProtocol
+from .leader_election import LeaderElectionProtocol
+from .results import (
+    AgreementResult,
+    ExplicitAgreementResult,
+    ExplicitLeaderElectionResult,
+    LeaderElectionResult,
+)
+from .schedule import AgreementSchedule, LeaderElectionSchedule
+
+#: Rounds appended after the nominal schedule to fit the explicit
+#: broadcast wave (broadcast + delivery).
+EXPLICIT_TAIL_ROUNDS = 3
+
+AdversarySpec = Union[str, Adversary]
+
+#: Named input patterns for the agreement problem.
+INPUT_PATTERNS = ("all0", "all1", "mixed", "single0", "single1")
+
+
+def _resolve_adversary(spec: AdversarySpec, horizon: int) -> Adversary:
+    if isinstance(spec, Adversary):
+        return spec
+    return named_adversary(spec, horizon)
+
+
+def make_inputs(
+    n: int, pattern: Union[str, Sequence[int]], seed: int = 0
+) -> List[int]:
+    """Materialise an input-bit vector for the agreement problem.
+
+    ``pattern`` is either an explicit bit sequence or one of
+    :data:`INPUT_PATTERNS`:
+
+    * ``all0`` / ``all1`` — unanimous inputs;
+    * ``mixed`` — independent fair coin per node;
+    * ``single0`` / ``single1`` — one random node holds the minority bit
+      (the hardest validity cases: the lone value must either spread or
+      die with its holder).
+    """
+    if not isinstance(pattern, str):
+        inputs = [int(b) for b in pattern]
+        if len(inputs) != n:
+            raise ConfigurationError(
+                f"got {len(inputs)} input bits for n={n} nodes"
+            )
+        if any(b not in (0, 1) for b in inputs):
+            raise ConfigurationError("inputs must be bits")
+        return inputs
+    rng = random.Random(derive_seed(seed, "inputs", pattern))
+    if pattern == "all0":
+        return [0] * n
+    if pattern == "all1":
+        return [1] * n
+    if pattern == "mixed":
+        return [rng.randint(0, 1) for _ in range(n)]
+    if pattern == "single0":
+        inputs = [1] * n
+        inputs[rng.randrange(n)] = 0
+        return inputs
+    if pattern == "single1":
+        inputs = [0] * n
+        inputs[rng.randrange(n)] = 1
+        return inputs
+    raise ConfigurationError(
+        f"unknown input pattern {pattern!r}; choose from {INPUT_PATTERNS}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Leader election
+# ----------------------------------------------------------------------
+
+
+def elect_leader(
+    n: int,
+    alpha: float,
+    seed: int = 0,
+    adversary: AdversarySpec = "random",
+    faulty_count: Optional[int] = None,
+    params: Optional[Params] = None,
+    collect_trace: bool = False,
+    message_budget: Optional[int] = None,
+    extra_rounds: int = 0,
+) -> LeaderElectionResult:
+    """Run the Section IV-A fault-tolerant implicit leader election.
+
+    Parameters
+    ----------
+    n, alpha:
+        Network size and non-faulty fraction (``alpha in [log^2 n/n, 1]``).
+    seed:
+        Master seed; runs are exactly reproducible from ``(args, seed)``.
+    adversary:
+        An :class:`~repro.faults.Adversary` or a short name
+        (``none/eager/lazy/random/staggered/split/adaptive``).
+    faulty_count:
+        Size of the static faulty set; defaults to the maximum the
+        parameters tolerate.
+    message_budget:
+        Optional global cap on sent messages (lower-bound experiments).
+    extra_rounds:
+        Extra rounds appended after the nominal schedule (robustness
+        experiments).
+    """
+    params = params or Params(n=n, alpha=alpha)
+    schedule = LeaderElectionSchedule.from_params(params)
+    total_rounds = schedule.last_round + extra_rounds
+    adversary = _resolve_adversary(adversary, total_rounds)
+    if faulty_count is None:
+        faulty_count = params.max_faulty
+
+    network = Network(
+        n,
+        lambda u: LeaderElectionProtocol(u, params, schedule),
+        seed=seed,
+        adversary=adversary,
+        max_faulty=faulty_count,
+        congest=CongestBudget(n),
+        collect_trace=collect_trace,
+        message_budget=message_budget,
+    )
+    run = network.run(total_rounds)
+    return _evaluate_leader_election(run, params, seed, adversary)
+
+
+def _evaluate_leader_election(
+    run: RunResult, params: Params, seed: int, adversary: Adversary
+) -> LeaderElectionResult:
+    result = LeaderElectionResult(
+        n=run.n,
+        alpha=params.alpha,
+        seed=seed,
+        adversary=adversary.name(),
+        faulty=run.faulty,
+        crashed=run.crashed,
+        metrics=run.metrics,
+        trace=run.trace,
+    )
+    for u in range(run.n):
+        protocol: LeaderElectionProtocol = run.protocol(u)  # type: ignore[assignment]
+        if protocol.rank is not None:
+            result.ranks[u] = protocol.rank
+        if not protocol.is_candidate:
+            continue
+        result.candidates_all.append(u)
+        if u in run.crashed:
+            if protocol.state is NodeState.ELECTED:
+                result.elected_crashed.append(u)
+            continue
+        result.candidates_alive.append(u)
+        result.beliefs[u] = protocol.leader_rank
+        if protocol.state is NodeState.ELECTED:
+            result.elected_alive.append(u)
+    return result
+
+
+def elect_leader_explicit(
+    n: int,
+    alpha: float,
+    seed: int = 0,
+    adversary: AdversarySpec = "random",
+    faulty_count: Optional[int] = None,
+    params: Optional[Params] = None,
+) -> ExplicitLeaderElectionResult:
+    """Run explicit leader election (implicit + one broadcast round).
+
+    On top of the implicit outcome, the result records which nodes learnt
+    the winner's rank (``explicit_ranks`` / ``explicit_success``).
+    """
+    params = params or Params(n=n, alpha=alpha)
+    schedule = LeaderElectionSchedule.from_params(params)
+    total_rounds = schedule.last_round + EXPLICIT_TAIL_ROUNDS
+    adversary = _resolve_adversary(adversary, total_rounds)
+    if faulty_count is None:
+        faulty_count = params.max_faulty
+
+    network = Network(
+        n,
+        lambda u: ExplicitLeaderElectionProtocol(u, params, schedule),
+        seed=seed,
+        adversary=adversary,
+        max_faulty=faulty_count,
+        congest=CongestBudget(n),
+    )
+    run = network.run(total_rounds)
+    base = _evaluate_leader_election(run, params, seed, adversary)
+    result = ExplicitLeaderElectionResult(**vars(base))
+    for u in range(run.n):
+        if u in run.crashed:
+            continue
+        protocol: ExplicitLeaderElectionProtocol = run.protocol(u)  # type: ignore[assignment]
+        result.explicit_ranks[u] = protocol.explicit_leader_rank
+    return result
+
+
+# ----------------------------------------------------------------------
+# Agreement
+# ----------------------------------------------------------------------
+
+
+def agree(
+    n: int,
+    alpha: float,
+    inputs: Union[str, Sequence[int]] = "mixed",
+    seed: int = 0,
+    adversary: AdversarySpec = "random",
+    faulty_count: Optional[int] = None,
+    params: Optional[Params] = None,
+    collect_trace: bool = False,
+    message_budget: Optional[int] = None,
+    extra_rounds: int = 0,
+) -> AgreementResult:
+    """Run the Section V-A fault-tolerant implicit agreement.
+
+    ``inputs`` is an explicit bit vector or a named pattern
+    (see :func:`make_inputs`).  Other parameters as in
+    :func:`elect_leader`.
+    """
+    params = params or Params(n=n, alpha=alpha)
+    schedule = AgreementSchedule.from_params(params)
+    total_rounds = schedule.last_round + extra_rounds
+    adversary = _resolve_adversary(adversary, total_rounds)
+    if faulty_count is None:
+        faulty_count = params.max_faulty
+    input_bits = make_inputs(n, inputs, seed)
+
+    network = Network(
+        n,
+        lambda u: AgreementProtocol(u, params, schedule, input_bits[u]),
+        seed=seed,
+        adversary=adversary,
+        max_faulty=faulty_count,
+        inputs=input_bits,
+        congest=CongestBudget(n),
+        collect_trace=collect_trace,
+        message_budget=message_budget,
+    )
+    run = network.run(total_rounds)
+    return _evaluate_agreement(run, params, seed, adversary, input_bits)
+
+
+def agree_explicit(
+    n: int,
+    alpha: float,
+    inputs: Union[str, Sequence[int]] = "mixed",
+    seed: int = 0,
+    adversary: AdversarySpec = "random",
+    faulty_count: Optional[int] = None,
+    params: Optional[Params] = None,
+) -> ExplicitAgreementResult:
+    """Run explicit agreement (implicit + one broadcast round).
+
+    On top of the implicit outcome, the result records which nodes learnt
+    the agreed bit (``explicit_bits`` / ``explicit_success``).
+    """
+    params = params or Params(n=n, alpha=alpha)
+    schedule = AgreementSchedule.from_params(params)
+    total_rounds = schedule.last_round + EXPLICIT_TAIL_ROUNDS
+    adversary = _resolve_adversary(adversary, total_rounds)
+    if faulty_count is None:
+        faulty_count = params.max_faulty
+    input_bits = make_inputs(n, inputs, seed)
+
+    network = Network(
+        n,
+        lambda u: ExplicitAgreementProtocol(u, params, schedule, input_bits[u]),
+        seed=seed,
+        adversary=adversary,
+        max_faulty=faulty_count,
+        inputs=input_bits,
+        congest=CongestBudget(n),
+    )
+    run = network.run(total_rounds)
+    base = _evaluate_agreement(run, params, seed, adversary, input_bits)
+    result = ExplicitAgreementResult(**vars(base))
+    for u in range(run.n):
+        if u in run.crashed:
+            continue
+        protocol: ExplicitAgreementProtocol = run.protocol(u)  # type: ignore[assignment]
+        result.explicit_bits[u] = protocol.explicit_decision
+    return result
+
+
+def agree_via_election(
+    n: int,
+    alpha: float,
+    inputs: Union[str, Sequence[int]] = "mixed",
+    seed: int = 0,
+    adversary: AdversarySpec = "random",
+    faulty_count: Optional[int] = None,
+    params: Optional[Params] = None,
+) -> AgreementResult:
+    """Solve implicit agreement by the Section V reduction through leader
+    election (agree on the elected leader's input bit).
+
+    Costs the election's ``O(n^1/2 log^{5/2} n/alpha^{5/2})`` messages —
+    a ``log n/alpha`` factor more than :func:`agree`; exists to measure
+    that remark (experiment E13's table).
+    """
+    from .leader_based_agreement import LeaderBasedAgreementProtocol
+
+    params = params or Params(n=n, alpha=alpha)
+    schedule = LeaderElectionSchedule.from_params(params)
+    total_rounds = schedule.last_round
+    adversary = _resolve_adversary(adversary, total_rounds)
+    if faulty_count is None:
+        faulty_count = params.max_faulty
+    input_bits = make_inputs(n, inputs, seed)
+
+    network = Network(
+        n,
+        lambda u: LeaderBasedAgreementProtocol(u, params, schedule, input_bits[u]),
+        seed=seed,
+        adversary=adversary,
+        max_faulty=faulty_count,
+        inputs=input_bits,
+        congest=CongestBudget(n),
+    )
+    run = network.run(total_rounds)
+    return _evaluate_agreement(run, params, seed, adversary, input_bits)
+
+
+def _evaluate_agreement(
+    run: RunResult,
+    params: Params,
+    seed: int,
+    adversary: Adversary,
+    inputs: Sequence[int],
+) -> AgreementResult:
+    result = AgreementResult(
+        n=run.n,
+        alpha=params.alpha,
+        seed=seed,
+        adversary=adversary.name(),
+        inputs=list(inputs),
+        faulty=run.faulty,
+        crashed=run.crashed,
+        metrics=run.metrics,
+        trace=run.trace,
+    )
+    for u in range(run.n):
+        protocol: AgreementProtocol = run.protocol(u)  # type: ignore[assignment]
+        if protocol.is_candidate:
+            result.candidates_all.append(u)
+        if u in run.crashed:
+            continue
+        if protocol.is_candidate:
+            result.candidates_alive.append(u)
+        result.decisions[u] = protocol.decision
+    return result

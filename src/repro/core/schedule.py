@@ -1,0 +1,101 @@
+"""Round schedules for the two protocols.
+
+Both protocols are driven by fixed, globally known phase boundaries
+(every node knows ``n`` and ``alpha``, hence the whole schedule — paper,
+Section II).  All quantities are ``Theta(log n / alpha)`` as in the
+paper's round-complexity accounting (Theorem 4.1 / 5.1); the explicit
+constants are derived from the w.h.p. bounds of Lemma 1.
+
+Leader election (iteration length 4, Section IV-A)::
+
+    round 1                       candidates sample referees, send RANK
+    rounds 2 .. 1+F               referees forward rank lists (CONGEST
+                                  FIFO: one rank per edge per round)
+    round S = 2+F                 first iteration starts
+    S + 4k                        iteration k: PROPOSE round
+    S + 4k + 1                    referees aggregate (AGG)
+    S + 4k + 2                    candidates confirm/adopt (CONF)
+    S + 4k + 3                    referees forward confirmations (AGG)
+
+Agreement (iteration length 2, Section V-A)::
+
+    round 1                       candidates send VALUE(b) to referees;
+                                  0-holders decide 0
+    rounds 2, 4, 6, ...           referees forward ZERO
+    rounds 3, 5, 7, ...           candidates adopt 0, forward ZERO
+
+The forwarding budget ``F`` equals the w.h.p. maximum committee size
+(Lemma 1: ``|C| <= 12 log n / alpha`` w.h.p.), because a referee serving
+``c`` candidates must push ``c - 1`` ranks down one edge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..params import Params
+
+
+def max_candidates_whp(params: Params) -> int:
+    """W.h.p. upper bound on the committee size (Lemma 1): twice the mean."""
+    return max(1, math.ceil(2.0 * params.expected_candidates))
+
+
+@dataclass(frozen=True)
+class LeaderElectionSchedule:
+    """Phase boundaries of the Section IV-A protocol."""
+
+    forwarding_rounds: int
+    iterations: int
+    iteration_length: int = 4
+
+    @classmethod
+    def from_params(cls, params: Params) -> "LeaderElectionSchedule":
+        return cls(
+            forwarding_rounds=max_candidates_whp(params) + 2,
+            iterations=params.iterations,
+        )
+
+    @property
+    def iteration_start(self) -> int:
+        """First PROPOSE round."""
+        return 2 + self.forwarding_rounds
+
+    def iteration_round(self, k: int) -> int:
+        """PROPOSE round of iteration ``k`` (0-based)."""
+        if not 0 <= k < self.iterations:
+            raise ValueError(f"iteration {k} out of range [0, {self.iterations})")
+        return self.iteration_start + self.iteration_length * k
+
+    @property
+    def last_round(self) -> int:
+        """Nominal length of a run (with a small tail for in-flight AGGs)."""
+        return (
+            self.iteration_start
+            + self.iteration_length * self.iterations
+            + self.iteration_length
+        )
+
+    def confirmation_deadline(self, proposed_in: int) -> int:
+        """Round by which a proposal made in ``proposed_in`` must have been
+        resolved (Step 4's "didn't receive any updates in the next 4
+        rounds")."""
+        return proposed_in + self.iteration_length + 1
+
+
+@dataclass(frozen=True)
+class AgreementSchedule:
+    """Phase boundaries of the Section V-A protocol."""
+
+    iterations: int
+    iteration_length: int = 2
+
+    @classmethod
+    def from_params(cls, params: Params) -> "AgreementSchedule":
+        return cls(iterations=params.iterations)
+
+    @property
+    def last_round(self) -> int:
+        """Nominal length of a run."""
+        return 1 + self.iteration_length * self.iterations + self.iteration_length

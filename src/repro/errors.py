@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter combination is outside the model's validity range."""
+
+
+class CongestViolation(ReproError):
+    """A protocol tried to send a message exceeding the CONGEST bit budget."""
+
+
+class KnowledgeViolation(ReproError):
+    """A protocol addressed a node it could not know under KT0 anonymity."""
+
+
+class SimulationError(ReproError):
+    """The engine reached an inconsistent state (a bug, not a protocol fault)."""
+
+
+class ProtocolViolation(ReproError):
+    """A protocol broke an engine contract (e.g. sent after deciding to halt)."""
+
+
+class BudgetExceeded(ReproError):
+    """A hard message/round budget was exhausted (used by lower-bound tooling)."""

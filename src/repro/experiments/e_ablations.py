@@ -1,0 +1,107 @@
+"""Experiment E13: ablations of the paper's sampling constants.
+
+DESIGN.md calls out three design choices the paper fixes by constants:
+
+* the candidate probability constant (paper: 6) — Lemma 1/2 need the
+  committee big enough to contain a non-faulty node;
+* the referee-count constant (paper: 2) — Lemma 3 needs every candidate
+  pair to share a non-faulty referee;
+* the iteration multiplier — Theorem 4.1 needs one iteration per
+  potential committee crash.
+
+The ablation sweeps each constant down and reports the success/message
+trade-off: the paper's defaults should sit on the reliable side, and
+shrinking the referee constant should visibly cut messages at the price
+of reliability at the aggressive end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.stats import mean, summarize_trials
+from ..analysis.sweeps import monte_carlo
+from ..core.runner import agree
+from ..params import Params
+from .harness import Check, Experiment, ExperimentReport
+
+
+def _run_e13(quick: bool) -> ExperimentReport:
+    n = 256 if quick else 512
+    alpha = 0.25
+    trials = 8 if quick else 20
+    rows: List[Dict[str, object]] = []
+    rates: Dict[tuple, float] = {}
+    messages: Dict[tuple, float] = {}
+    candidate_factors = [1.0, 6.0] if quick else [0.5, 1.0, 3.0, 6.0]
+    referee_factors = [0.25, 2.0] if quick else [0.125, 0.5, 1.0, 2.0]
+
+    for cf in candidate_factors:
+        for rf in referee_factors:
+            params = Params(
+                n=n, alpha=alpha, candidate_factor=cf, referee_factor=rf
+            )
+            results = monte_carlo(
+                lambda seed, params=params: agree(
+                    n=n,
+                    alpha=alpha,
+                    inputs="single0",
+                    seed=seed,
+                    adversary="random",
+                    params=params,
+                ),
+                trials=trials,
+                master_seed=115,
+            )
+            informed = summarize_trials([_informed(r) for r in results])
+            msg = mean([r.messages for r in results])
+            rates[(cf, rf)] = informed.rate
+            messages[(cf, rf)] = msg
+            rows.append(
+                {
+                    "candidate_factor": cf,
+                    "referee_factor": rf,
+                    "messages": round(msg),
+                    "informed_success": informed.rate,
+                }
+            )
+
+    default_key = (candidate_factors[-1], referee_factors[-1])
+    cheapest_key = (candidate_factors[0], referee_factors[0])
+    checks = [
+        Check(
+            "paper defaults are reliable",
+            rates[default_key] >= 0.9,
+            f"success {rates[default_key]:.2f} at factors {default_key}",
+        ),
+        Check(
+            "smaller constants cost reliability or are dominated",
+            rates[cheapest_key] <= rates[default_key] + 1e-9,
+            f"{rates[cheapest_key]:.2f} @ {cheapest_key} vs "
+            f"{rates[default_key]:.2f} @ {default_key}",
+        ),
+        Check(
+            "smaller constants buy messages",
+            messages[cheapest_key] < messages[default_key],
+            f"{messages[cheapest_key]:.0f} vs {messages[default_key]:.0f}",
+        ),
+    ]
+    return ExperimentReport(
+        experiment_id="E13",
+        title=f"sampling-constant ablations (agreement, n={n}, alpha={alpha})",
+        paper_claim="constants 6 (candidates) and 2 (referees) back Lemmas 1-3",
+        rows=rows,
+        checks=checks,
+    )
+
+
+def _informed(result) -> bool:
+    """Success notion that also demands the zero reached the committee."""
+    if not result.success:
+        return False
+    candidate_inputs = {result.inputs[u] for u in result.candidates_all}
+    target = 0 if 0 in candidate_inputs else 1
+    return result.decision == target
+
+
+E13 = Experiment("E13", "constant ablations", "design-choice ablations", _run_e13)

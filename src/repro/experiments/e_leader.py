@@ -1,0 +1,239 @@
+"""Experiments E1-E4: Theorem 4.1 (fault-tolerant leader election).
+
+* E1 — message complexity vs ``n`` is ``Theta(n^1/2 log^{5/2} n)`` at
+  constant alpha: the measured curve, normalised by the bound, stays flat,
+  and the fitted growth exponent is well below linear.
+* E2 — message complexity vs ``alpha`` grows as ``alpha^{-5/2}``:
+  normalised flatness across an alpha sweep.
+* E3 — round complexity is ``Theta(log n / alpha)``.
+* E4 — the elected leader is non-faulty with probability ``>= alpha``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.complexity import fit_power_law, polylog_flatness
+from ..analysis.stats import mean, summarize_trials
+from ..analysis.sweeps import monte_carlo
+from ..core.runner import elect_leader
+from ..lowerbound.bounds import le_upper_bound
+from .harness import Check, Experiment, ExperimentReport
+
+#: Normalised-curve flatness tolerance (max/min ratio) accepted as Theta().
+FLATNESS_TOLERANCE = 3.5
+
+
+def _run_e1(quick: bool) -> ExperimentReport:
+    sizes = [64, 128, 256] if quick else [128, 256, 512, 1024]
+    trials = 3 if quick else 8
+    alpha = 0.5
+    rows: List[Dict[str, object]] = []
+    xs: List[float] = []
+    ys: List[float] = []
+    for n in sizes:
+        results = monte_carlo(
+            lambda seed, n=n: elect_leader(n=n, alpha=alpha, seed=seed, adversary="random"),
+            trials=trials,
+            master_seed=101,
+        )
+        messages = mean([r.messages for r in results])
+        success = summarize_trials([r.success for r in results])
+        bound = le_upper_bound(n, alpha)
+        rows.append(
+            {
+                "n": n,
+                "messages": round(messages),
+                "bound": round(bound),
+                "messages/bound": messages / bound,
+                "success": success.rate,
+            }
+        )
+        xs.append(float(n))
+        ys.append(messages)
+    fit = fit_power_law(xs, ys)
+    flatness = polylog_flatness(xs, ys, lambda n: le_upper_bound(int(n), alpha))
+    report = ExperimentReport(
+        experiment_id="E1",
+        title="leader election: messages vs n (alpha = 1/2)",
+        paper_claim="Theorem 4.1: O(n^1/2 log^{5/2} n / alpha^{5/2}) messages",
+        rows=rows,
+    )
+    report.checks.append(
+        Check(
+            "sublinear growth",
+            fit.exponent < 1.0,
+            f"fitted exponent {fit.exponent:.2f} (sqrt + polylog drift expected ~0.6-0.9)",
+        )
+    )
+    report.checks.append(
+        Check(
+            "matches Theta(n^1/2 log^{5/2} n)",
+            flatness <= FLATNESS_TOLERANCE,
+            f"normalised max/min ratio {flatness:.2f} <= {FLATNESS_TOLERANCE}",
+        )
+    )
+    report.checks.append(
+        Check(
+            "elects a leader w.h.p.",
+            all(row["success"] >= 0.99 for row in rows) if not quick
+            else all(row["success"] > 0.6 for row in rows),
+            "success rate per n in table",
+        )
+    )
+    return report
+
+
+def _run_e2(quick: bool) -> ExperimentReport:
+    # Message cost grows as alpha^{-5/2}: the alpha=0.25 point is already
+    # ~10x the alpha=1 point, which is plenty to fit the scaling.
+    n = 128 if quick else 512
+    alphas = [1.0, 0.5] if quick else [1.0, 0.5, 0.25]
+    trials = 3 if quick else 4
+    rows: List[Dict[str, object]] = []
+    normalised: List[float] = []
+    for alpha in alphas:
+        results = monte_carlo(
+            lambda seed, alpha=alpha: elect_leader(
+                n=n, alpha=alpha, seed=seed, adversary="random"
+            ),
+            trials=trials,
+            master_seed=102,
+        )
+        messages = mean([r.messages for r in results])
+        bound = le_upper_bound(n, alpha)
+        rows.append(
+            {
+                "alpha": alpha,
+                "max_faulty": results[0].metrics.crashes,
+                "messages": round(messages),
+                "bound": round(bound),
+                "messages/bound": messages / bound,
+                "success": summarize_trials([r.success for r in results]).rate,
+            }
+        )
+        normalised.append(messages / bound)
+    monotone = all(
+        a["messages"] <= b["messages"]
+        for a, b in zip(rows, rows[1:])
+    )
+    flat = max(normalised) / min(normalised)
+    report = ExperimentReport(
+        experiment_id="E2",
+        title=f"leader election: messages vs alpha (n = {n})",
+        paper_claim="Theorem 4.1: message complexity scales as alpha^{-5/2}",
+        rows=rows,
+    )
+    report.checks.append(
+        Check(
+            "messages grow as faults grow",
+            monotone,
+            "message count non-decreasing as alpha decreases",
+        )
+    )
+    report.checks.append(
+        Check(
+            "matches alpha^{-5/2} shape",
+            flat <= FLATNESS_TOLERANCE,
+            f"normalised max/min ratio {flat:.2f} <= {FLATNESS_TOLERANCE}",
+        )
+    )
+    return report
+
+
+def _run_e3(quick: bool) -> ExperimentReport:
+    points = (
+        [(64, 1.0), (128, 0.5)]
+        if quick
+        else [(128, 1.0), (256, 1.0), (512, 0.5), (512, 0.25), (1024, 0.5)]
+    )
+    trials = 3 if quick else 5
+    rows: List[Dict[str, object]] = []
+    normalised: List[float] = []
+    for n, alpha in points:
+        results = monte_carlo(
+            lambda seed, n=n, alpha=alpha: elect_leader(
+                n=n, alpha=alpha, seed=seed, adversary="staggered"
+            ),
+            trials=trials,
+            master_seed=103,
+        )
+        rounds = mean([r.rounds for r in results])
+        import math
+
+        bound = math.log(n) / alpha
+        rows.append(
+            {
+                "n": n,
+                "alpha": alpha,
+                "rounds": round(rounds),
+                "log(n)/alpha": round(bound, 1),
+                "rounds/bound": rounds / bound,
+            }
+        )
+        normalised.append(rounds / bound)
+    flat = max(normalised) / min(normalised)
+    report = ExperimentReport(
+        experiment_id="E3",
+        title="leader election: rounds vs log(n)/alpha",
+        paper_claim="Theorem 4.1: O(log n / alpha) rounds",
+        rows=rows,
+    )
+    report.checks.append(
+        Check(
+            "matches Theta(log n / alpha)",
+            flat <= FLATNESS_TOLERANCE,
+            f"normalised max/min ratio {flat:.2f} <= {FLATNESS_TOLERANCE}",
+        )
+    )
+    return report
+
+
+def _run_e4(quick: bool) -> ExperimentReport:
+    n = 128 if quick else 256
+    alphas = [0.5] if quick else [0.75, 0.5]
+    trials = 20 if quick else 50
+    rows: List[Dict[str, object]] = []
+    checks: List[Check] = []
+    for alpha in alphas:
+        results = monte_carlo(
+            lambda seed, alpha=alpha: elect_leader(
+                n=n, alpha=alpha, seed=seed, adversary="lazy"
+            ),
+            trials=trials,
+            master_seed=104,
+        )
+        judged = [r for r in results if r.success]
+        nonfaulty = summarize_trials(
+            [not r.leader_is_faulty for r in judged]
+        )
+        rows.append(
+            {
+                "alpha": alpha,
+                "trials": len(judged),
+                "leader_nonfaulty_rate": nonfaulty.rate,
+                "wilson_low": nonfaulty.interval[0],
+                "required": alpha,
+            }
+        )
+        checks.append(
+            Check(
+                f"alpha={alpha}: P[leader non-faulty] >= alpha",
+                nonfaulty.at_least(alpha),
+                f"{nonfaulty}",
+            )
+        )
+    report = ExperimentReport(
+        experiment_id="E4",
+        title=f"elected leader is non-faulty w.p. >= alpha (n = {n})",
+        paper_claim="Theorem 4.1: the elected leader is non-faulty w.p. >= alpha",
+        rows=rows,
+        checks=checks,
+    )
+    return report
+
+
+E1 = Experiment("E1", "LE messages vs n", "Thm 4.1 message bound", _run_e1)
+E2 = Experiment("E2", "LE messages vs alpha", "Thm 4.1 alpha scaling", _run_e2)
+E3 = Experiment("E3", "LE rounds", "Thm 4.1 round bound", _run_e3)
+E4 = Experiment("E4", "leader quality", "Thm 4.1 non-faulty leader", _run_e4)

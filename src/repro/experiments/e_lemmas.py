@@ -1,0 +1,119 @@
+"""Experiment E5: the sampling lemmas behind the committee structure.
+
+* Lemma 1 — with candidate probability ``6 log n/(alpha n)``, the
+  committee size is in ``[2 log n/alpha, 12 log n/alpha]`` w.h.p.
+* Lemma 2 — the committee contains a non-faulty node w.h.p.
+* Lemma 3 — every pair of candidates shares a non-faulty referee w.h.p.
+
+These are pure sampling facts, so the experiment measures them directly
+(no network run needed), with the faulty set chosen uniformly at maximum
+size.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from itertools import combinations
+from typing import Dict, List
+
+from ..analysis.stats import summarize_trials
+from ..params import Params
+from ..rng import seed_sequence
+from .harness import Check, Experiment, ExperimentReport
+
+
+def _sample_committee(params: Params, rng: random.Random) -> List[int]:
+    p = params.candidate_probability
+    return [u for u in range(params.n) if rng.random() < p]
+
+
+def _trial(params: Params, seed: int) -> Dict[str, bool]:
+    rng = random.Random(seed)
+    n = params.n
+    committee = _sample_committee(params, rng)
+    faulty = set(rng.sample(range(n), params.max_faulty))
+    log_n = math.log(n)
+    lo = 2 * log_n / params.alpha
+    hi = 12 * log_n / params.alpha
+    size_ok = lo <= len(committee) <= hi
+    nonfaulty_ok = any(u not in faulty for u in committee)
+
+    referees = {
+        u: set(rng.sample([v for v in range(n) if v != u], params.referee_count))
+        for u in committee
+    }
+    pair_ok = all(
+        any(w not in faulty for w in referees[u] & referees[v])
+        for u, v in combinations(committee, 2)
+    )
+    return {
+        "size_in_band": size_ok,
+        "has_nonfaulty_candidate": nonfaulty_ok,
+        "pairwise_common_nonfaulty_referee": pair_ok,
+        "committee_size": len(committee),
+    }
+
+
+def _run_e5(quick: bool) -> ExperimentReport:
+    configs = (
+        [(256, 0.5)] if quick else [(256, 0.5), (1024, 0.5), (1024, 0.25), (4096, 0.5)]
+    )
+    trials = 20 if quick else 50
+    rows = []
+    checks = []
+    for n, alpha in configs:
+        params = Params(n=n, alpha=alpha)
+        outcomes = [
+            _trial(params, seed) for seed in seed_sequence(105 + n, trials)
+        ]
+        size = summarize_trials([o["size_in_band"] for o in outcomes])
+        nonfaulty = summarize_trials(
+            [o["has_nonfaulty_candidate"] for o in outcomes]
+        )
+        pair = summarize_trials(
+            [o["pairwise_common_nonfaulty_referee"] for o in outcomes]
+        )
+        mean_size = sum(o["committee_size"] for o in outcomes) / trials
+        rows.append(
+            {
+                "n": n,
+                "alpha": alpha,
+                "mean_|C|": round(mean_size, 1),
+                "expected_|C|": round(params.expected_candidates, 1),
+                "size_band_rate": size.rate,
+                "nonfaulty_rate": nonfaulty.rate,
+                "common_referee_rate": pair.rate,
+            }
+        )
+        checks.append(
+            Check(
+                f"n={n}, alpha={alpha}: Lemma 1 size band",
+                size.at_least(0.95),
+                str(size),
+            )
+        )
+        checks.append(
+            Check(
+                f"n={n}, alpha={alpha}: Lemma 2 non-faulty candidate",
+                nonfaulty.at_least(0.99),
+                str(nonfaulty),
+            )
+        )
+        checks.append(
+            Check(
+                f"n={n}, alpha={alpha}: Lemma 3 common non-faulty referee",
+                pair.at_least(0.95),
+                str(pair),
+            )
+        )
+    return ExperimentReport(
+        experiment_id="E5",
+        title="sampling lemmas 1-3",
+        paper_claim="Lemmas 1-3: committee size, non-faulty member, common referees, all w.h.p.",
+        rows=rows,
+        checks=checks,
+    )
+
+
+E5 = Experiment("E5", "sampling lemmas", "Lemmas 1-3", _run_e5)

@@ -1,0 +1,142 @@
+"""Experiment E10: the message-complexity lower bounds (Thms 4.2 / 5.2).
+
+Three falsifiable predictions:
+
+1. **Spend** — uncapped successful runs spend at least the bound
+   ``n^1/2/alpha^{3/2}`` (the upper-bound protocols exceed it by polylog
+   factors, so the measured ratio must be >= 1).
+2. **Collapse** — capping the global message budget well below the bound
+   drives the success rate down towards (and below) the ``2/e + eps``
+   regime of Theorem 4.2, while budgets comfortably above the measured
+   cost leave success intact.
+3. **Structure** — Lemma 4's machinery: executions have at least
+   ``1/(2 alpha)`` initiators (nodes that send before receiving).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from ..analysis.stats import mean
+from ..core.runner import agree, elect_leader
+from ..lowerbound.bounds import lower_bound_messages, min_initiators
+from ..lowerbound.budget import budget_curve
+from ..lowerbound.clouds import influence_clouds
+from .harness import Check, Experiment, ExperimentReport
+
+
+def _run_e10(quick: bool) -> ExperimentReport:
+    n = 256 if quick else 1024
+    alpha = 0.5
+    trials = 6 if quick else 20
+    bound = lower_bound_messages(n, alpha)
+
+    rows: List[Dict[str, object]] = []
+    checks: List[Check] = []
+
+    # 1. Spend check on uncapped runs.
+    le_result = elect_leader(n=n, alpha=alpha, seed=7, adversary="random")
+    ag_result = agree(n=n, alpha=alpha, inputs="mixed", seed=7, adversary="random")
+    rows.append(
+        {
+            "measurement": "uncapped LE spend / bound",
+            "value": round(le_result.messages / bound, 1),
+        }
+    )
+    rows.append(
+        {
+            "measurement": "uncapped agreement spend / bound",
+            "value": round(ag_result.messages / bound, 1),
+        }
+    )
+    checks.append(
+        Check(
+            "successful runs spend >= the lower bound",
+            le_result.messages >= bound and ag_result.messages >= bound,
+            f"LE {le_result.messages} and AG {ag_result.messages} vs bound {bound:.0f}",
+        )
+    )
+
+    # 2. Collapse under message caps (agreement: the cheap protocol).
+    # Budgets are expressed as fractions of the *measured* uncapped cost:
+    # the protocol's constants put its real spend far above the constant-
+    # free bound, so "well below the bound" means small fractions of the
+    # actual cost, and "ample" means slightly above it.
+    measured = ag_result.messages
+    multipliers = [0.05, 0.5, 1.2] if quick else [0.01, 0.05, 0.2, 0.5, 0.9, 1.2]
+    curve = budget_curve(
+        "agreement",
+        n=n,
+        alpha=alpha,
+        multipliers=multipliers,
+        trials=trials,
+        master_seed=111,
+        unit=float(measured),
+    )
+    for multiplier, summary in curve.items():
+        rows.append(
+            {
+                "measurement": (
+                    f"agreement success @ budget {multiplier} x measured cost "
+                    f"(= {multiplier * measured / bound:.0f} x bound)"
+                ),
+                "value": round(summary.rate, 2),
+            }
+        )
+    lowest = curve[min(multipliers)]
+    highest = curve[max(multipliers)]
+    threshold = 2.0 / math.e
+    checks.append(
+        Check(
+            "success collapses at starved budgets",
+            lowest.clearly_below(threshold + 0.25)
+            or lowest.rate < highest.rate - 0.3,
+            f"@{min(multipliers)}x: {lowest}; @{max(multipliers)}x: {highest}",
+        )
+    )
+    checks.append(
+        Check(
+            "ample budget restores success",
+            highest.at_least(0.9),
+            str(highest),
+        )
+    )
+
+    # 3. Initiator structure (Lemma 4) on a traced run.
+    traced = agree(
+        n=n, alpha=alpha, inputs="mixed", seed=13, adversary="random", collect_trace=True
+    )
+    assert traced.trace is not None
+    decomposition = influence_clouds(traced.trace, n)
+    needed = min_initiators(alpha)
+    rows.append(
+        {
+            "measurement": "initiators (Lemma 4 needs >= 1/(2 alpha))",
+            "value": len(decomposition.initiators),
+        }
+    )
+    rows.append(
+        {
+            "measurement": "required initiators",
+            "value": round(needed, 1),
+        }
+    )
+    checks.append(
+        Check(
+            "enough initiators (Lemma 4)",
+            len(decomposition.initiators) >= needed,
+            f"{len(decomposition.initiators)} >= {needed:.1f}",
+        )
+    )
+    return ExperimentReport(
+        experiment_id="E10",
+        title=f"message lower bounds (n = {n}, alpha = {alpha})",
+        paper_claim="Theorems 4.2/5.2: Omega(n^1/2/alpha^{3/2}) messages needed for success prob > 2/e",
+        rows=rows,
+        checks=checks,
+        columns=["measurement", "value"],
+    )
+
+
+E10 = Experiment("E10", "lower bounds", "Thms 4.2/5.2", _run_e10)

@@ -1,0 +1,88 @@
+"""Experiment harness primitives.
+
+An :class:`Experiment` bundles an id, the paper artifact it reproduces,
+and a ``run(quick)`` callable returning an :class:`ExperimentReport` —
+rows (the measured table) plus shape checks (pass/fail with detail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..analysis.tables import format_table
+
+
+@dataclass(frozen=True)
+class Check:
+    """One shape check of an experiment."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}" + (f" — {self.detail}" if self.detail else "")
+
+
+@dataclass
+class ExperimentReport:
+    """Everything an experiment produces."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    checks: List[Check] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    columns: Optional[Sequence[str]] = None
+
+    @property
+    def passed(self) -> bool:
+        """True iff every check passed."""
+        return all(check.passed for check in self.checks)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable form (used by ``repro run --json``)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "passed": self.passed,
+            "rows": self.rows,
+            "checks": [
+                {"name": c.name, "passed": c.passed, "detail": c.detail}
+                for c in self.checks
+            ],
+            "notes": list(self.notes),
+        }
+
+    def render(self) -> str:
+        """Human-readable report (table + checks + notes)."""
+        parts = [
+            f"{self.experiment_id}: {self.title}",
+            f"paper claim: {self.paper_claim}",
+            "",
+            format_table(self.rows, columns=self.columns),
+            "",
+        ]
+        parts.extend(str(check) for check in self.checks)
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    runner: Callable[[bool], ExperimentReport]
+
+    def run(self, quick: bool = False) -> ExperimentReport:
+        """Execute the experiment (``quick`` shrinks sizes/trials)."""
+        return self.runner(quick)

@@ -1,0 +1,38 @@
+"""The experiment registry (ids E1-E16, DESIGN.md section 4)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .e_adaptive import E14
+from .e_agreement import E6, E7, E8
+from .e_extensions import E15, E16
+from .e_ablations import E13
+from .e_leader import E1, E2, E3, E4
+from .e_lemmas import E5
+from .e_lowerbound import E10
+from .e_parity import E12
+from .e_table1 import E9
+from .e_thresholds import E11
+from .harness import Experiment
+
+_ALL: List[Experiment] = [
+    E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16,
+]
+_BY_ID: Dict[str, Experiment] = {e.experiment_id: e for e in _ALL}
+
+
+def all_experiments() -> List[Experiment]:
+    """All registered experiments in id order."""
+    return list(_ALL)
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id (e.g. ``"E9"``)."""
+    key = experiment_id.upper()
+    try:
+        return _BY_ID[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_BY_ID)}"
+        ) from None

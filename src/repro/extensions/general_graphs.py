@@ -1,0 +1,208 @@
+"""Leader election on general graphs (paper, open problem 2).
+
+The Section IV-A protocol needs the complete topology: a candidate can
+*directly* sample referee ports among all ``n`` nodes.  On a general graph
+the analogous primitive is a random walk of length ``~ t_mix`` — after
+mixing, the walk's endpoint is (nearly) a uniform sample.  Gilbert,
+Robinson and Sourav [43] turn this into implicit leader election with
+``Õ(sqrt(n) * t_mix)`` messages on well-connected graphs.
+
+This module implements that walk-based election in its simplified core:
+
+1. every node draws a rank and becomes a candidate w.p. ``c log n / n``;
+2. **announce** — each candidate releases ``2 (n log n)^(1/2)`` tokens
+   carrying its rank; each token walks ``L ~ t_mix`` steps, and every
+   visited node remembers the largest rank that ever walked through it;
+3. **query** — each candidate releases the same number of fresh tokens;
+   each walks ``L`` steps, reads the largest recorded rank at its
+   endpoint, and walks home (``L`` more steps);
+4. a candidate that saw only its own rank outputs ELECTED; by a birthday
+   argument, two candidates' endpoint sets intersect w.h.p., so the
+   maximum rank wins everywhere.
+
+The walks are simulated directly on a ``networkx`` graph (one message per
+walk step — the engine in :mod:`repro.sim` is specialised to the complete
+anonymous topology, and shoehorning arbitrary graphs into it would model
+neither model faithfully).  Fault-free, like [43].
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from ..rng import RngFactory
+
+
+@dataclass
+class WalkLeaderElectionOutcome:
+    """Outcome of one walk-based election on a general graph."""
+
+    n: int
+    graph_kind: str
+    candidates: List[int]
+    elected: List[int]
+    messages: int
+    rounds: int
+    ranks: Dict[int, int]
+
+    @property
+    def success(self) -> bool:
+        """Exactly one node output ELECTED."""
+        return len(self.elected) == 1
+
+    @property
+    def winner_rank(self) -> Optional[int]:
+        """Rank of the winner, if unique."""
+        if not self.success:
+            return None
+        return self.ranks[self.elected[0]]
+
+
+def build_graph(kind: str, n: int, rng: random.Random) -> nx.Graph:
+    """Build a named test topology.
+
+    ``complete``, ``regular`` (random 8-regular — an expander w.h.p.),
+    ``torus`` (2-d grid with wraparound; large mixing time), ``ring``
+    (worst-case mixing).
+    """
+    if kind == "complete":
+        return nx.complete_graph(n)
+    if kind == "regular":
+        degree = min(8, n - 1)
+        if (degree * n) % 2:
+            degree -= 1
+        return nx.random_regular_graph(degree, n, seed=rng.randint(0, 2**31))
+    if kind == "torus":
+        side = int(math.isqrt(n))
+        graph = nx.grid_2d_graph(side, side, periodic=True)
+        return nx.convert_node_labels_to_integers(graph)
+    if kind == "ring":
+        return nx.cycle_graph(n)
+    raise ValueError(f"unknown graph kind {kind!r}")
+
+
+def mixing_walk_length(kind: str, n: int, factor: float = 2.0) -> int:
+    """Closed-form walk length ``~ t_mix`` per topology class.
+
+    Expanders mix in ``O(log n)``; the torus in ``O(n)`` (side length
+    squared); the ring needs ``Theta(n^2)`` and is only offered for tiny
+    ``n``.  See :func:`estimate_mixing_time` for the spectral estimate
+    computed from an actual graph.
+    """
+    if kind in ("complete", "regular"):
+        return max(2, math.ceil(factor * math.log(n) ** 2))
+    if kind == "torus":
+        return max(2, math.ceil(factor * n))
+    if kind == "ring":
+        return max(2, math.ceil(factor * n * n / 4))
+    raise ValueError(f"unknown graph kind {kind!r}")
+
+
+def estimate_mixing_time(graph: nx.Graph, epsilon: float = 0.25) -> int:
+    """Spectral estimate of the lazy-walk mixing time.
+
+    For the lazy random walk, ``t_mix(eps) ~ log(n/eps) / gap`` where
+    ``gap`` is the spectral gap of the lazy transition matrix — estimated
+    here from the normalized Laplacian's second-smallest eigenvalue
+    (``gap = lambda_2 / 2`` for the lazy walk).  Exact enough to *size*
+    walks on unfamiliar topologies; the closed forms above are used for
+    the named test graphs.
+    """
+    import numpy as np
+
+    n = graph.number_of_nodes()
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    if not nx.is_connected(graph):
+        raise ValueError("mixing time undefined: graph is disconnected")
+    laplacian = nx.normalized_laplacian_matrix(graph).todense()
+    eigenvalues = np.sort(np.linalg.eigvalsh(laplacian))
+    gap = float(eigenvalues[1]) / 2.0  # lazy walk halves the gap
+    if gap <= 0:
+        raise ValueError("zero spectral gap")
+    return max(1, math.ceil(math.log(n / epsilon) / gap))
+
+
+def _walk(graph: nx.Graph, start: int, length: int, rng: random.Random) -> int:
+    """Lazy random walk of ``length`` steps; returns the endpoint."""
+    node = start
+    for _ in range(length):
+        if rng.random() < 0.5:  # laziness removes periodicity
+            continue
+        neighbours = list(graph.neighbors(node))
+        if not neighbours:
+            return node
+        node = rng.choice(neighbours)
+    return node
+
+
+def walk_based_leader_election(
+    n: int,
+    graph_kind: str = "regular",
+    seed: int = 0,
+    candidate_factor: float = 6.0,
+    token_factor: float = 2.0,
+    walk_factor: float = 2.0,
+) -> WalkLeaderElectionOutcome:
+    """Run the [43]-style walk-based implicit election.
+
+    Messages are counted as one per walk step (each step traverses one
+    edge); rounds as the two walk phases' lengths.
+    """
+    if n < 8:
+        raise ValueError(f"need n >= 8, got {n}")
+    rngs = RngFactory(seed)
+    graph_rng = rngs.stream("graph")
+    graph = build_graph(graph_kind, n, graph_rng)
+    actual_n = graph.number_of_nodes()
+    walk_length = mixing_walk_length(graph_kind, actual_n, walk_factor)
+
+    node_rng = rngs.stream("nodes")
+    candidate_probability = min(
+        1.0, candidate_factor * math.log(actual_n) / actual_n
+    )
+    ranks = {u: node_rng.randint(1, actual_n**4) for u in graph.nodes}
+    candidates = [
+        u for u in graph.nodes if node_rng.random() < candidate_probability
+    ]
+    tokens = max(
+        1, math.ceil(token_factor * math.sqrt(actual_n * math.log(actual_n)))
+    )
+
+    messages = 0
+    recorded: Dict[int, int] = {}  # node -> max announced rank
+
+    # Phase 1: announce.
+    walk_rng = rngs.stream("walks")
+    for candidate in candidates:
+        for _ in range(tokens):
+            endpoint = _walk(graph, candidate, walk_length, walk_rng)
+            messages += walk_length
+            if recorded.get(endpoint, 0) < ranks[candidate]:
+                recorded[endpoint] = ranks[candidate]
+
+    # Phase 2: query (walk out, read, walk home).
+    elected: List[int] = []
+    for candidate in candidates:
+        best_seen = ranks[candidate]
+        for _ in range(tokens):
+            endpoint = _walk(graph, candidate, walk_length, walk_rng)
+            messages += 2 * walk_length  # out + home
+            best_seen = max(best_seen, recorded.get(endpoint, 0))
+        if best_seen == ranks[candidate]:
+            elected.append(candidate)
+
+    return WalkLeaderElectionOutcome(
+        n=actual_n,
+        graph_kind=graph_kind,
+        candidates=candidates,
+        elected=elected,
+        messages=messages,
+        rounds=3 * walk_length,
+        ranks=ranks,
+    )

@@ -1,0 +1,44 @@
+"""Crash-fault adversaries (the paper's fault model, Section II).
+
+A *static* adversary selects up to ``f <= (1 - alpha) n`` faulty nodes
+before the execution starts; during the execution it *adaptively* decides
+in which round each faulty node crashes and which subset of that node's
+final-round messages is delivered.  Non-faulty nodes never crash.
+
+The theorems hold against every such adversary, so the test-suite and the
+benchmarks run each protocol against a portfolio of strategies, including
+the natural worst cases suggested by the proofs (crash the current minimum
+proposer mid-broadcast, deliver to half the referees, ...).
+"""
+
+from .adversary import Adversary, CrashOrder, RoundView
+from .strategies import (
+    AdaptiveMinProposerCrash,
+    CandidateHunter,
+    EagerCrash,
+    LazyCrash,
+    NoFaults,
+    RandomCrash,
+    RefereeCrash,
+    SplitDeliveryCrash,
+    StaggeredCrash,
+    named_adversary,
+    standard_portfolio,
+)
+
+__all__ = [
+    "AdaptiveMinProposerCrash",
+    "Adversary",
+    "CandidateHunter",
+    "CrashOrder",
+    "EagerCrash",
+    "LazyCrash",
+    "NoFaults",
+    "RandomCrash",
+    "RefereeCrash",
+    "RoundView",
+    "SplitDeliveryCrash",
+    "StaggeredCrash",
+    "named_adversary",
+    "standard_portfolio",
+]

@@ -1,0 +1,46 @@
+"""Empirical machinery for the message-complexity lower bounds.
+
+Theorems 4.2 and 5.2 state that any algorithm succeeding with probability
+``2/e + eps`` must send ``Omega(n^1/2 / alpha^{3/2})`` messages.  A lower
+bound cannot be "run", but it makes two falsifiable predictions that this
+package measures:
+
+* **Spend check** — every successful run of any correct algorithm must
+  spend at least the bound (up to the hidden constant).
+  :mod:`~repro.lowerbound.bounds` provides the formulas.
+* **Budget collapse** — capping an algorithm's global message budget below
+  the bound must drive its success probability down (the proofs show the
+  communication graph then splits into non-interacting influence clouds
+  that decide independently).  :mod:`~repro.lowerbound.budget` runs
+  budget-capped variants of the Section IV/V protocols.
+
+The proofs' combinatorial objects — the communication graph, initiators,
+and influence clouds — are rebuilt from execution traces by
+:mod:`~repro.lowerbound.comm_graph` and :mod:`~repro.lowerbound.clouds`,
+so their structural lemmas (e.g. Lemma 4's ``>= 1/(2 alpha)`` initiators,
+Lemma 8's forest shape at low budgets) can be checked on real runs.
+"""
+
+from .bounds import (
+    agreement_upper_bound,
+    le_upper_bound,
+    lower_bound_messages,
+    min_initiators,
+)
+from .budget import budget_curve, run_budgeted_agreement, run_budgeted_election
+from .clouds import CloudDecomposition, influence_clouds
+from .comm_graph import CommunicationGraph, communication_graph
+
+__all__ = [
+    "CloudDecomposition",
+    "CommunicationGraph",
+    "agreement_upper_bound",
+    "budget_curve",
+    "communication_graph",
+    "influence_clouds",
+    "le_upper_bound",
+    "lower_bound_messages",
+    "min_initiators",
+    "run_budgeted_agreement",
+    "run_budgeted_election",
+]

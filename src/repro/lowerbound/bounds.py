@@ -1,0 +1,47 @@
+"""Closed forms of the paper's bounds (without hidden constants).
+
+All experiment checks compare *measured* quantities against these shapes;
+constants are fitted, never assumed.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def lower_bound_messages(n: int, alpha: float) -> float:
+    """Theorems 4.2 / 5.2: ``n^1/2 / alpha^{3/2}``."""
+    _validate(n, alpha)
+    return math.sqrt(n) / alpha**1.5
+
+
+def le_upper_bound(n: int, alpha: float) -> float:
+    """Theorem 4.1: ``n^1/2 log^{5/2} n / alpha^{5/2}``."""
+    _validate(n, alpha)
+    return math.sqrt(n) * math.log(n) ** 2.5 / alpha**2.5
+
+
+def agreement_upper_bound(n: int, alpha: float) -> float:
+    """Theorem 5.1: ``n^1/2 log^{3/2} n / alpha^{3/2}``."""
+    _validate(n, alpha)
+    return math.sqrt(n) * math.log(n) ** 1.5 / alpha**1.5
+
+
+def min_initiators(alpha: float) -> float:
+    """Lemma 4: any constant-probability election needs ``>= 1/(2 alpha)``
+    initiator nodes."""
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    return 1.0 / (2.0 * alpha)
+
+
+def success_probability_threshold() -> float:
+    """The ``2/e`` success threshold of Theorem 4.2."""
+    return 2.0 / math.e
+
+
+def _validate(n: int, alpha: float) -> None:
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")

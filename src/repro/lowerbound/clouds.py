@@ -1,0 +1,95 @@
+"""Initiators and influence clouds (Section IV-B).
+
+Definitions from the proof of Theorem 4.2:
+
+* a node is an **initiator** if it sends its first message before being
+  influenced — i.e. before receiving any message;
+* the **influence cloud** of an initiator ``u`` at round ``r`` is the set
+  of nodes reachable from ``u`` along directed delivered edges of ``C^r``.
+
+Lemma 4 argues any constant-probability election needs at least
+``1/(2 alpha)`` initiators; Lemma 5 argues that a low-message algorithm
+leaves the smallest cloud disjoint from the others with good probability.
+Both are measurable on traces, which is what this module does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..sim.trace import Trace
+from ..types import NodeId, Round
+from .comm_graph import CommunicationGraph
+
+
+@dataclass
+class CloudDecomposition:
+    """Initiators and their influence clouds for one execution."""
+
+    initiators: List[NodeId]
+    clouds: Dict[NodeId, Set[NodeId]]
+
+    @property
+    def smallest_cloud(self) -> Optional[Set[NodeId]]:
+        """The smallest influence cloud (ties broken by initiator id)."""
+        if not self.clouds:
+            return None
+        initiator = min(self.clouds, key=lambda u: (len(self.clouds[u]), u))
+        return self.clouds[initiator]
+
+    @property
+    def smallest_disjoint(self) -> Optional[bool]:
+        """Event N of Lemma 5: the smallest cloud intersects no other."""
+        smallest = self.smallest_cloud
+        if smallest is None:
+            return None
+        initiator = min(self.clouds, key=lambda u: (len(self.clouds[u]), u))
+        others: Set[NodeId] = set()
+        for u, cloud in self.clouds.items():
+            if u != initiator:
+                others |= cloud
+        return not (smallest & others)
+
+    def cloud_sizes(self) -> List[int]:
+        """Sizes of all clouds, ascending."""
+        return sorted(len(cloud) for cloud in self.clouds.values())
+
+
+def find_initiators(trace: Trace) -> List[NodeId]:
+    """Nodes whose first send precedes their first receipt."""
+    first_send: Dict[NodeId, Round] = {}
+    first_receive: Dict[NodeId, Round] = {}
+    for event in trace.sends():
+        if event.src not in first_send:
+            first_send[event.src] = event.round
+    for event in trace.deliveries():
+        assert event.dst is not None
+        # A message delivered in round r is seen at the start of round r+1.
+        if event.dst not in first_receive:
+            first_receive[event.dst] = event.round + 1
+    initiators = [
+        u
+        for u, sent in first_send.items()
+        if sent < first_receive.get(u, sent + 1)
+    ]
+    return sorted(initiators)
+
+
+def influence_clouds(trace: Trace, n: int) -> CloudDecomposition:
+    """Compute the influence-cloud decomposition of an execution."""
+    graph = CommunicationGraph(n=n, edges=list(trace.delivered_edges()))
+    adjacency = graph.successors()
+    initiators = find_initiators(trace)
+    clouds: Dict[NodeId, Set[NodeId]] = {}
+    for initiator in initiators:
+        reached: Set[NodeId] = set()
+        stack = [initiator]
+        while stack:
+            node = stack.pop()
+            if node in reached:
+                continue
+            reached.add(node)
+            stack.extend(adjacency.get(node, set()) - reached)
+        clouds[initiator] = reached
+    return CloudDecomposition(initiators=initiators, clouds=clouds)

@@ -1,0 +1,101 @@
+"""The communication graph of an execution (Sections IV-B / V-B).
+
+The lower-bound proofs study the directed graph ``C^r`` with an edge
+``u -> v`` whenever ``u`` sent a message to ``v`` in some round ``<= r``
+(Section IV-B), and — for the agreement bound — the *first-contact* graph
+``G_p`` in which the edge appears only if ``u``'s message preceded any
+message from ``v`` to ``u`` (Section V-B).  This module rebuilds both
+from an execution trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..sim.trace import Trace
+from ..types import NodeId, Round
+
+
+@dataclass
+class CommunicationGraph:
+    """Directed multigraph of deliveries, with send rounds."""
+
+    n: int
+    #: Ordered delivered edges: (src, dst, round).
+    edges: List[Tuple[NodeId, NodeId, Round]] = field(default_factory=list)
+
+    @property
+    def nodes_communicating(self) -> Set[NodeId]:
+        """Nodes with at least one delivered message (either direction)."""
+        out: Set[NodeId] = set()
+        for src, dst, _ in self.edges:
+            out.add(src)
+            out.add(dst)
+        return out
+
+    def successors(self) -> Dict[NodeId, Set[NodeId]]:
+        """Adjacency of the (collapsed) directed graph."""
+        adj: Dict[NodeId, Set[NodeId]] = {}
+        for src, dst, _ in self.edges:
+            adj.setdefault(src, set()).add(dst)
+        return adj
+
+    def undirected_components(self) -> List[Set[NodeId]]:
+        """Connected components over communicating nodes (undirected)."""
+        neighbours: Dict[NodeId, Set[NodeId]] = {}
+        for src, dst, _ in self.edges:
+            neighbours.setdefault(src, set()).add(dst)
+            neighbours.setdefault(dst, set()).add(src)
+        seen: Set[NodeId] = set()
+        components: List[Set[NodeId]] = []
+        for start in neighbours:
+            if start in seen:
+                continue
+            stack = [start]
+            component: Set[NodeId] = set()
+            while stack:
+                node = stack.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                stack.extend(neighbours[node] - component)
+            seen |= component
+            components.append(component)
+        return components
+
+    def first_contact_graph(self) -> "CommunicationGraph":
+        """The ``G_p`` of Section V-B: keep ``u -> v`` only if ``u``'s first
+        message to ``v`` precedes any message from ``v`` to ``u``."""
+        first: Dict[Tuple[NodeId, NodeId], Round] = {}
+        for src, dst, round_ in self.edges:
+            key = (src, dst)
+            if key not in first or round_ < first[key]:
+                first[key] = round_
+        kept: List[Tuple[NodeId, NodeId, Round]] = []
+        for (src, dst), round_ in first.items():
+            reverse = first.get((dst, src))
+            if reverse is None or round_ < reverse:
+                kept.append((src, dst, round_))
+        return CommunicationGraph(n=self.n, edges=sorted(kept, key=lambda e: e[2]))
+
+    def is_forest_of_out_trees(self) -> bool:
+        """Lemma 8's shape: every component has exactly one root (zero
+        in-degree) and every non-root has in-degree exactly one."""
+        indegree: Dict[NodeId, int] = {}
+        for src, dst, _ in self.edges:
+            indegree.setdefault(src, indegree.get(src, 0))
+            indegree[dst] = indegree.get(dst, 0) + 1
+        for component in self.undirected_components():
+            roots = [u for u in component if indegree.get(u, 0) == 0]
+            if len(roots) != 1:
+                return False
+            if any(indegree.get(u, 0) > 1 for u in component - set(roots)):
+                return False
+        return True
+
+
+def communication_graph(trace: Trace, n: int) -> CommunicationGraph:
+    """Build the delivered-message communication graph from a trace."""
+    edges = list(trace.delivered_edges())
+    return CommunicationGraph(n=n, edges=edges)

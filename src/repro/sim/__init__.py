@@ -1,0 +1,43 @@
+"""Synchronous crash-fault complete-network simulator (the paper's model).
+
+This subpackage implements the machine of Section II of the paper:
+
+* a fully-connected synchronous network of ``n`` nodes;
+* anonymity (KT0): nodes address each other only through uniformly sampled
+  ports or by replying to the sender of a received message;
+* CONGEST: at most one message of ``O(log n)`` bits per ordered edge per
+  round, enforced by per-edge FIFO queues and payload bit-sizing;
+* crash faults: a static adversary picks the faulty set up-front and
+  adaptively chooses crash rounds; in a node's crash round an arbitrary
+  adversary-chosen subset of its outgoing messages is lost.
+
+Public surface: :class:`Network`, :class:`Protocol`, :class:`Context`,
+:class:`Message`, :class:`Metrics`, :class:`Trace`.
+"""
+
+from .message import Delivery, Envelope, Message, payload_bits
+from .metrics import Metrics
+from .network import Network, RunResult
+from .node import Context, Protocol
+from .replay import RoundSummary, busiest_round, replay, timeline_table
+from .trace import Trace, TraceEvent
+from .validate import validate_run
+
+__all__ = [
+    "Context",
+    "Delivery",
+    "Envelope",
+    "Message",
+    "Metrics",
+    "Network",
+    "Protocol",
+    "RoundSummary",
+    "RunResult",
+    "Trace",
+    "TraceEvent",
+    "busiest_round",
+    "payload_bits",
+    "replay",
+    "timeline_table",
+    "validate_run",
+]

@@ -1,0 +1,105 @@
+"""Message primitives and CONGEST payload sizing.
+
+A protocol-level :class:`Message` is a ``(kind, fields)`` pair; ``kind`` is
+a short string tag and ``fields`` a tuple of small integers (or ``None``
+for the paper's null value).  This is deliberately restrictive: it makes
+the CONGEST bit-size of every payload computable, so the engine can verify
+that protocols never exceed the per-edge budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..types import NodeId, Round
+
+#: Field values are small ints or None (the paper's ``bot`` marker).
+Field = Optional[int]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A protocol-level message: a tagged tuple of small integer fields."""
+
+    kind: str
+    fields: Tuple[Field, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValueError("message kind must be non-empty")
+        for value in self.fields:
+            if value is not None and not isinstance(value, int):
+                raise TypeError(
+                    f"message fields must be int or None, got {value!r}"
+                )
+        # Bit size is consulted on every enqueue (CONGEST check) and every
+        # wire send (accounting); compute it once.
+        object.__setattr__(self, "_bits", payload_bits(self))
+
+    @property
+    def bits(self) -> int:
+        """CONGEST size of this message in bits (see :func:`payload_bits`)."""
+        return self._bits  # type: ignore[attr-defined]
+
+    def field(self, index: int) -> Field:
+        """Return field ``index`` (convenience accessor)."""
+        return self.fields[index]
+
+
+def payload_bits(message: Message) -> int:
+    """Bit-size of a message under a natural fixed-point encoding.
+
+    * the kind tag costs 8 bits (protocols use a handful of kinds);
+    * each integer field costs ``ceil(log2(|v| + 2))`` bits plus a
+      presence bit; ``None`` costs the presence bit only.
+
+    The exact encoding does not matter for the reproduction; what matters
+    is that a rank in ``[1, n^4]`` costs ``Theta(log n)`` bits so that the
+    engine's CONGEST check is meaningful.
+    """
+    bits = 8
+    for value in message.fields:
+        bits += 1
+        if value is not None:
+            bits += max(1, math.ceil(math.log2(abs(value) + 2)))
+    return bits
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight on a specific ordered edge in a specific round."""
+
+    src: NodeId
+    dst: NodeId
+    message: Message
+    round_sent: Round
+
+    @property
+    def bits(self) -> int:
+        """CONGEST size of the enclosed message."""
+        return self.message.bits
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """A message as seen by its receiver.
+
+    ``sender`` is the arrival port: under KT0 it is the only handle the
+    receiver gains, and it may be used as a send address (reply).
+    """
+
+    sender: NodeId
+    message: Message
+    round_received: Round
+
+    @property
+    def kind(self) -> str:
+        """Kind tag of the enclosed message."""
+        return self.message.kind
+
+    @property
+    def fields(self) -> Tuple[Field, ...]:
+        """Fields of the enclosed message."""
+        return self.message.fields

@@ -1,0 +1,384 @@
+"""The synchronous round engine.
+
+Executes the model of Section II of the paper:
+
+* In round ``r`` every *active* alive node runs its protocol callback with
+  the messages delivered to it this round, and queues outgoing messages.
+* Per ordered edge, one queued message is placed on the wire per round
+  (CONGEST); further messages on the same edge wait in FIFO order.
+* The adversary then chooses which faulty nodes crash *in this round*; an
+  adversary-chosen subset of a crashing node's wire messages is lost, the
+  rest are delivered.  A crashed node is inactive forever after (its
+  queued-but-untransmitted messages are discarded).
+* Wire messages are delivered at the start of round ``r + 1``.
+
+The engine never iterates over the ``n^2`` edges — the complete topology
+is implicit and only materialised edges (actual sends) cost work, which is
+what makes simulating sublinear-message protocols on large ``n`` cheap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import BudgetExceeded, CongestViolation, SimulationError
+from ..faults.adversary import Adversary, RoundView
+from ..params import CongestBudget
+from ..rng import RngFactory
+from ..types import Knowledge, NodeId, Round
+from .message import Delivery, Envelope, Message
+from .metrics import Metrics
+from .node import NEVER, Context, Protocol
+from .trace import Trace, TraceEvent
+
+#: Safety valve: a run may never execute more rounds than this.
+HARD_MAX_ROUNDS = 1_000_000
+
+
+@dataclass
+class RunResult:
+    """Everything observable after a run."""
+
+    n: int
+    protocols: Sequence[Protocol]
+    metrics: Metrics
+    trace: Optional[Trace]
+    faulty: Set[NodeId]
+    crashed: Dict[NodeId, Round]
+    rounds: Round
+
+    @property
+    def alive(self) -> List[NodeId]:
+        """Nodes that had not crashed by the end of the run."""
+        return [u for u in range(self.n) if u not in self.crashed]
+
+    @property
+    def nonfaulty(self) -> List[NodeId]:
+        """Nodes outside the static faulty set."""
+        return [u for u in range(self.n) if u not in self.faulty]
+
+    def protocol(self, node: NodeId) -> Protocol:
+        """The protocol instance that ran on ``node``."""
+        return self.protocols[node]
+
+
+class Network:
+    """A complete synchronous network of ``n`` nodes under crash faults."""
+
+    def __init__(
+        self,
+        n: int,
+        protocol_factory: Callable[[NodeId], Protocol],
+        *,
+        seed: int = 0,
+        adversary: Optional[Adversary] = None,
+        max_faulty: int = 0,
+        inputs: Optional[Sequence[int]] = None,
+        knowledge: Knowledge = Knowledge.KT0,
+        congest: Optional[CongestBudget] = None,
+        enforce_congest: bool = True,
+        collect_trace: bool = False,
+        message_budget: Optional[int] = None,
+        budget_mode: str = "suppress",
+    ) -> None:
+        if n < 2:
+            raise SimulationError(f"need at least 2 nodes, got {n}")
+        self.n = n
+        self._rngs = RngFactory(seed)
+        self.adversary = adversary or Adversary()
+        self.knowledge = knowledge
+        self.congest = congest or CongestBudget(n)
+        self.enforce_congest = enforce_congest
+        self._bits_cap = self.congest.bits_per_message
+        self.metrics = Metrics()
+        self.trace: Optional[Trace] = Trace() if collect_trace else None
+        if budget_mode not in ("suppress", "raise"):
+            raise SimulationError(f"unknown budget_mode {budget_mode!r}")
+        self.message_budget = message_budget
+        self.budget_mode = budget_mode
+        self.budget_exhausted = False
+
+        enforce_kt0 = knowledge is Knowledge.KT0
+        self.contexts: List[Context] = [
+            Context(self, u, self._rngs.node_stream(u), enforce_kt0)
+            for u in range(n)
+        ]
+        if knowledge is Knowledge.KT1:
+            # Nodes know all their neighbours' handles up-front.
+            for ctx in self.contexts:
+                ctx._known.update(range(n))
+        self.protocols: List[Protocol] = [protocol_factory(u) for u in range(n)]
+
+        adversary_rng = self._rngs.adversary_stream()
+        self._adversary_rng = adversary_rng
+        self.max_faulty = max_faulty
+        self.faulty: Set[NodeId] = set(
+            self.adversary.select_faulty(n, max_faulty, adversary_rng, inputs)
+        )
+        if len(self.faulty) > max_faulty:
+            raise SimulationError(
+                f"adversary selected {len(self.faulty)} faulty nodes, "
+                f"budget is {max_faulty}"
+            )
+        self.crashed: Dict[NodeId, Round] = {}
+
+        # Per-sender FIFO queues: sender -> dst -> deque of Messages.
+        self._queues: List[Dict[NodeId, Deque[Message]]] = [dict() for _ in range(n)]
+        self._queued_total = 0
+        self._pending_senders: Set[NodeId] = set()
+        self._inboxes: Dict[NodeId, List[Delivery]] = {}
+        self._round: Round = 0
+        # Wake schedule: a min-heap of (round, node) entries with lazy
+        # deletion — an entry is live iff it matches the node's current
+        # ``_next_wake``.  Every node starts awake in round 1.
+        self._wake_heap: List[Tuple[Round, NodeId]] = [(1, u) for u in range(n)]
+
+    # ------------------------------------------------------------------
+    # Context callbacks
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        """Queue a message on the ordered edge ``src -> dst`` (FIFO)."""
+        if self.enforce_congest and message.bits > self._bits_cap:
+            raise CongestViolation(
+                f"message {message.kind!r} is {message.bits} bits; CONGEST "
+                f"budget is {self._bits_cap} bits for n={self.n}"
+            )
+        queue = self._queues[src].setdefault(dst, deque())
+        queue.append(message)
+        self._queued_total += 1
+        self._pending_senders.add(src)
+
+    # ------------------------------------------------------------------
+    # Round machinery
+    # ------------------------------------------------------------------
+
+    def run(self, total_rounds: Round) -> RunResult:
+        """Execute ``total_rounds`` synchronous rounds and finalize."""
+        if total_rounds < 1:
+            raise SimulationError(f"total_rounds must be >= 1, got {total_rounds}")
+        if total_rounds > HARD_MAX_ROUNDS:
+            raise SimulationError(
+                f"total_rounds {total_rounds} exceeds hard cap {HARD_MAX_ROUNDS}"
+            )
+
+        for r in range(1, total_rounds + 1):
+            self._round = r
+            if self._quiescent() and self.adversary.done(self._view([])):
+                # Nothing can happen in any later round; fast-forward.
+                break
+            self._execute_round(r)
+
+        self.metrics.rounds = total_rounds
+        for u, protocol in enumerate(self.protocols):
+            if u not in self.crashed:
+                ctx = self.contexts[u]
+                ctx.round = total_rounds
+                protocol.on_stop(ctx)
+        return RunResult(
+            n=self.n,
+            protocols=self.protocols,
+            metrics=self.metrics,
+            trace=self.trace,
+            faulty=self.faulty,
+            crashed=dict(self.crashed),
+            rounds=total_rounds,
+        )
+
+    def _entry_live(self, entry: Tuple[Round, NodeId]) -> bool:
+        """True iff a wake-heap entry still matches its node's schedule."""
+        round_, u = entry
+        if u in self.crashed:
+            return False
+        ctx = self.contexts[u]
+        return ctx._next_wake != NEVER and ctx._next_wake == round_
+
+    def _quiescent(self) -> bool:
+        """True when no future activity is possible without a new message."""
+        if self._queued_total or self._inboxes:
+            return False
+        heap = self._wake_heap
+        while heap and not self._entry_live(heap[0]):
+            heapq.heappop(heap)
+        return not heap
+
+    def _execute_round(self, r: Round) -> None:
+        self.metrics.begin_round()
+        inboxes = self._inboxes
+        self._inboxes = {}
+
+        # 1. Protocol steps for active alive nodes (scheduled wakes plus
+        # nodes with deliveries).
+        heap = self._wake_heap
+        due: Set[NodeId] = set()
+        while heap and heap[0][0] <= r:
+            entry = heapq.heappop(heap)
+            if self._entry_live(entry):
+                due.add(entry[1])
+        for u in inboxes:
+            if u not in self.crashed:
+                due.add(u)
+        for u in sorted(due):
+            ctx = self.contexts[u]
+            inbox = inboxes.get(u, [])
+            ctx.round = r
+            ctx._next_wake = r + 1  # stay active by default
+            for delivery in inbox:
+                ctx.learn(delivery.sender)
+            protocol = self.protocols[u]
+            if r == 1:
+                protocol.on_start(ctx)
+            protocol.on_round(ctx, inbox)
+            if ctx._next_wake != NEVER:
+                heapq.heappush(heap, (ctx._next_wake, u))
+
+        # 2. Wire transmission: one queued message per ordered edge.
+        wire: List[Envelope] = []
+        outboxes: Dict[NodeId, List[Envelope]] = {}
+        for u in sorted(self._pending_senders):
+            if u in self.crashed:
+                continue
+            queues = self._queues[u]
+            if not queues:
+                continue
+            sent: List[Envelope] = []
+            emptied: List[NodeId] = []
+            for dst, queue in queues.items():
+                message = queue.popleft()
+                self._queued_total -= 1
+                if not queue:
+                    emptied.append(dst)
+                envelope = Envelope(src=u, dst=dst, message=message, round_sent=r)
+                if self._record_send(envelope):
+                    sent.append(envelope)
+            for dst in emptied:
+                del queues[dst]
+            if not queues:
+                self._pending_senders.discard(u)
+            if sent:
+                wire.extend(sent)
+                if u in self.faulty or self.adversary.dynamic_selection:
+                    outboxes[u] = sent
+
+        # 3. Adversary crashes.
+        view = self._view_with_outboxes(outboxes)
+        orders = self.adversary.plan_round(view, self._adversary_rng)
+        # CONGEST guarantees (src, dst) uniquely identifies a wire message
+        # within a round, so drops can be keyed by edge.
+        dropped: Set[Tuple[NodeId, NodeId]] = set()
+        for victim, order in orders.items():
+            if victim not in self.faulty:
+                # An adaptive-selection adversary corrupts on the fly,
+                # charging the fault budget (paper: static selection only —
+                # this path exists for experiment E14's demonstration).
+                if not self.adversary.dynamic_selection:
+                    raise SimulationError(
+                        f"adversary crashed non-faulty node {victim}"
+                    )
+                if len(self.faulty) >= self.max_faulty:
+                    raise SimulationError(
+                        "dynamic-selection adversary exceeded the fault "
+                        f"budget {self.max_faulty}"
+                    )
+                self.faulty.add(victim)
+            if victim in self.crashed:
+                continue
+            self.crashed[victim] = r
+            self.metrics.record_crash()
+            if self.trace is not None:
+                self.trace.record(TraceEvent(round=r, kind="crash", src=victim))
+            # Discard untransmitted queue content of the crashed node.
+            for queue in self._queues[victim].values():
+                self._queued_total -= len(queue)
+            self._queues[victim] = {}
+            self._pending_senders.discard(victim)
+            for envelope in outboxes.get(victim, []):
+                if not order.keep(envelope):
+                    dropped.add((envelope.src, envelope.dst))
+
+        # 4. Delivery scheduling for round r + 1.
+        for envelope in wire:
+            if (envelope.src, envelope.dst) in dropped:
+                self.metrics.record_drop()
+                if self.trace is not None:
+                    self.trace.record(
+                        TraceEvent(
+                            round=r,
+                            kind="drop",
+                            src=envelope.src,
+                            dst=envelope.dst,
+                            message_kind=envelope.message.kind,
+                        )
+                    )
+                continue
+            if envelope.dst in self.crashed:
+                # Receiver is dead; the message evaporates silently.
+                continue
+            self.metrics.record_delivery()
+            if self.trace is not None:
+                self.trace.record(
+                    TraceEvent(
+                        round=r,
+                        kind="deliver",
+                        src=envelope.src,
+                        dst=envelope.dst,
+                        message_kind=envelope.message.kind,
+                    )
+                )
+            self._inboxes.setdefault(envelope.dst, []).append(
+                Delivery(
+                    sender=envelope.src,
+                    message=envelope.message,
+                    round_received=r + 1,
+                )
+            )
+
+    def _record_send(self, envelope: Envelope) -> bool:
+        """Account for one wire message; False means it was budget-suppressed.
+
+        The suppress mode models "an algorithm that sends at most B
+        messages" for the lower-bound experiments (Theorems 4.2/5.2): once
+        the global budget is spent, no further message leaves any node.
+        """
+        if self.message_budget is not None:
+            if self.metrics.messages_sent >= self.message_budget:
+                self.budget_exhausted = True
+                if self.budget_mode == "raise":
+                    raise BudgetExceeded(
+                        f"message budget {self.message_budget} exhausted "
+                        f"in round {envelope.round_sent}"
+                    )
+                return False
+        self.metrics.record_send(envelope.src, envelope.message.kind, envelope.bits)
+        if self.trace is not None:
+            self.trace.record(
+                TraceEvent(
+                    round=envelope.round_sent,
+                    kind="send",
+                    src=envelope.src,
+                    dst=envelope.dst,
+                    message_kind=envelope.message.kind,
+                )
+            )
+        return True
+
+    def _view(self, wire: List[Envelope]) -> RoundView:
+        return self._view_with_outboxes({})
+
+    def _view_with_outboxes(
+        self, outboxes: Dict[NodeId, List[Envelope]]
+    ) -> RoundView:
+        faulty_alive = {u for u in self.faulty if u not in self.crashed}
+        return RoundView(
+            round=self._round,
+            n=self.n,
+            faulty_alive=faulty_alive,
+            crashed=self.crashed,
+            outboxes=outboxes,
+            protocols=self.protocols,
+            budget_remaining=max(0, self.max_faulty - len(self.faulty)),
+        )

@@ -1,0 +1,188 @@
+"""Protocol base class and the per-node engine API (:class:`Context`).
+
+A protocol instance runs on exactly one node.  The engine drives it with:
+
+* :meth:`Protocol.on_start` once, in round 1, before any messages;
+* :meth:`Protocol.on_round` in every round the node is *active* (a node is
+  active until it calls :meth:`Context.idle`; an idle node is re-activated
+  by an incoming message or a scheduled :meth:`Context.wake_at`);
+* :meth:`Protocol.on_stop` once, at the nominal end of the run, for nodes
+  that have not crashed.
+
+All interaction with the network goes through the :class:`Context`.  Under
+KT0 the context enforces the paper's anonymity discipline: a node may only
+address (a) ports obtained from :meth:`Context.sample_nodes` and (b) the
+``sender`` handle of a delivered message.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, List, Sequence, Set
+
+from ..errors import KnowledgeViolation, ProtocolViolation
+from ..types import Knowledge, NodeId, Round
+from .message import Delivery, Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .network import Network
+
+#: Sentinel wake round meaning "never" (idle until a message arrives).
+NEVER: Round = -1
+
+
+class Protocol:
+    """Base class for node protocols.
+
+    Subclasses override the three lifecycle hooks and expose their outputs
+    as attributes; the engine never inspects protocol internals.
+    """
+
+    def on_start(self, ctx: "Context") -> None:
+        """Called once in round 1 before any message exchange."""
+
+    def on_round(self, ctx: "Context", inbox: List[Delivery]) -> None:
+        """Called each active round with the messages delivered this round."""
+
+    def on_stop(self, ctx: "Context") -> None:
+        """Called at the nominal end of the run (alive nodes only)."""
+
+
+class Context:
+    """Engine API handed to a protocol on every callback.
+
+    The context is long-lived (one per node per run); ``round`` and the
+    wake bookkeeping are refreshed by the engine between callbacks.
+    """
+
+    __slots__ = (
+        "_network",
+        "node_id",
+        "n",
+        "rng",
+        "round",
+        "_next_wake",
+        "_known",
+        "_halted",
+        "_enforce_kt0",
+    )
+
+    def __init__(
+        self,
+        network: "Network",
+        node_id: NodeId,
+        rng: random.Random,
+        enforce_kt0: bool,
+    ) -> None:
+        self._network = network
+        self.node_id = node_id
+        self.n = network.n
+        self.rng = rng
+        self.round: Round = 0
+        self._next_wake: Round = 1
+        self._known: Set[NodeId] = set()
+        self._halted = False
+        self._enforce_kt0 = enforce_kt0
+
+    # ------------------------------------------------------------------
+    # Sending and sampling
+    # ------------------------------------------------------------------
+
+    def send(self, dst: NodeId, message: Message) -> None:
+        """Queue ``message`` for ``dst``.
+
+        Messages on the same ordered edge are transmitted one per round
+        (CONGEST); distinct destinations go out in parallel.
+        """
+        if self._halted:
+            raise ProtocolViolation(
+                f"node {self.node_id} sent after halting"
+            )
+        if dst == self.node_id:
+            raise ProtocolViolation(f"node {self.node_id} sent to itself")
+        if not 0 <= dst < self.n:
+            raise ProtocolViolation(f"invalid destination {dst}")
+        if self._enforce_kt0 and dst not in self._known:
+            raise KnowledgeViolation(
+                f"KT0: node {self.node_id} addressed unknown node {dst}"
+            )
+        self._network._enqueue(self.node_id, dst, message)
+
+    def send_many(self, dsts: Sequence[NodeId], message: Message) -> None:
+        """Queue the same message for every destination in ``dsts``."""
+        for dst in dsts:
+            self.send(dst, message)
+
+    def sample_nodes(self, k: int) -> List[NodeId]:
+        """Sample ``k`` distinct uniform ports (other nodes) — KT0 style.
+
+        In a complete anonymous network, choosing ``k`` distinct random
+        ports is exactly choosing ``k`` distinct random other nodes; the
+        sampled handles become legal send addresses.
+        """
+        if not 0 <= k <= self.n - 1:
+            raise ProtocolViolation(
+                f"cannot sample {k} of {self.n - 1} ports"
+            )
+        population = range(self.n)
+        sampled: List[NodeId] = []
+        seen = {self.node_id}
+        # Rejection sampling: k is always o(n) in these protocols, but fall
+        # back to random.sample when k is a large fraction of n.
+        if k > (self.n - 1) // 2:
+            candidates = [i for i in population if i != self.node_id]
+            sampled = self.rng.sample(candidates, k)
+        else:
+            while len(sampled) < k:
+                pick = self.rng.randrange(self.n)
+                if pick not in seen:
+                    seen.add(pick)
+                    sampled.append(pick)
+        self._known.update(sampled)
+        return sampled
+
+    def all_ports(self) -> List[NodeId]:
+        """All ``n - 1`` ports of this node (KT0-legal: a node may always
+        send through every one of its own ports, e.g. to broadcast).
+
+        The handles become legal send addresses.
+        """
+        ports = [u for u in range(self.n) if u != self.node_id]
+        self._known.update(ports)
+        return ports
+
+    def learn(self, node: NodeId) -> None:
+        """Record that this node legitimately knows ``node``.
+
+        Called by the engine for message senders; protocols may also call
+        it when a learned handle is carried inside a payload they received
+        (forwarded introductions are allowed in KT0: knowledge travels with
+        messages).
+        """
+        self._known.add(node)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def idle(self) -> None:
+        """Sleep until a message arrives (cancels any scheduled wake)."""
+        self._next_wake = NEVER
+
+    def wake_at(self, round_: Round) -> None:
+        """Ensure :meth:`Protocol.on_round` runs in round ``round_``."""
+        if round_ <= self.round:
+            raise ProtocolViolation(
+                f"wake_at({round_}) is not in the future (round {self.round})"
+            )
+        self._next_wake = round_
+
+    def halt(self) -> None:
+        """Permanently stop participating (the node keeps its outputs)."""
+        self._halted = True
+        self._next_wake = NEVER
+
+    @property
+    def halted(self) -> bool:
+        """True once :meth:`halt` has been called."""
+        return self._halted

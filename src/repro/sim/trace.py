@@ -1,0 +1,77 @@
+"""Structured execution traces.
+
+Tracing is optional (it costs memory proportional to the message count) and
+is consumed by :mod:`repro.lowerbound`, which rebuilds the paper's
+*communication graph* and *influence clouds* from the recorded sends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..types import NodeId, Round
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event.
+
+    ``kind`` is one of ``"send"``, ``"deliver"``, ``"drop"``, ``"crash"``.
+    For message events ``src``/``dst``/``message_kind`` are set; for crash
+    events only ``src``.
+    """
+
+    round: Round
+    kind: str
+    src: NodeId
+    dst: Optional[NodeId] = None
+    message_kind: Optional[str] = None
+
+
+@dataclass
+class Trace:
+    """Append-only event log of one run."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, event: TraceEvent) -> None:
+        """Append one event (no-op when disabled)."""
+        if self.enabled:
+            self.events.append(event)
+
+    # -- queries used by the lower-bound tooling ------------------------
+
+    def sends(self) -> Iterator[TraceEvent]:
+        """All send events, in order."""
+        return (e for e in self.events if e.kind == "send")
+
+    def deliveries(self) -> Iterator[TraceEvent]:
+        """All delivery events, in order."""
+        return (e for e in self.events if e.kind == "deliver")
+
+    def crashes(self) -> Iterator[TraceEvent]:
+        """All crash events, in order."""
+        return (e for e in self.events if e.kind == "crash")
+
+    def delivered_edges(self) -> Iterator[Tuple[NodeId, NodeId, Round]]:
+        """``(src, dst, round)`` for every delivered message."""
+        for event in self.deliveries():
+            assert event.dst is not None
+            yield event.src, event.dst, event.round
+
+    def communicating_nodes(self) -> Set[NodeId]:
+        """Nodes that sent or received at least one delivered message."""
+        nodes: Set[NodeId] = set()
+        for src, dst, _ in self.delivered_edges():
+            nodes.add(src)
+            nodes.add(dst)
+        return nodes
+
+    def message_count(self) -> int:
+        """Number of send events recorded."""
+        return sum(1 for _ in self.sends())
+
+    def __len__(self) -> int:
+        return len(self.events)

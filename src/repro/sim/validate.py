@@ -1,0 +1,121 @@
+"""Trace validator: model-level invariants checked on a finished run.
+
+Every execution of the Section II machine must satisfy a handful of
+protocol-independent laws.  ``validate_run`` replays a traced
+:class:`~repro.sim.network.RunResult` and returns the list of violations
+(empty = clean).  The test-suite runs it under randomized protocols and
+adversaries; downstream users can run it on their own protocols as a
+cheap model-conformance check.
+
+Checked invariants:
+
+* **conservation** — every send is delivered, dropped, or evaporated
+  (receiver already dead); the trace and the metrics agree on the counts;
+* **CONGEST rate** — at most one message per ordered edge per round;
+* **crash finality** — no node sends after its crash round, and dropped
+  messages occur only in their sender's crash round;
+* **no self-messages** and all endpoints in ``[0, n)``;
+* **fault discipline** — only members of the (final) faulty set crash.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..types import NodeId, Round
+from .network import RunResult
+
+
+def validate_run(result: RunResult) -> List[str]:
+    """Return the model-invariant violations of a traced run (empty = ok)."""
+    if result.trace is None:
+        raise ValueError("run was not traced; pass collect_trace=True")
+    violations: List[str] = []
+    trace = result.trace
+
+    sends = list(trace.sends())
+    deliveries = list(trace.deliveries())
+    drops = [e for e in trace.events if e.kind == "drop"]
+    crashes = {e.src: e.round for e in trace.crashes()}
+
+    # Conservation, trace-internal and against the metrics.
+    if len(sends) != result.metrics.messages_sent:
+        violations.append(
+            f"trace has {len(sends)} sends, metrics counted "
+            f"{result.metrics.messages_sent}"
+        )
+    if len(deliveries) != result.metrics.messages_delivered:
+        violations.append(
+            f"trace has {len(deliveries)} deliveries, metrics counted "
+            f"{result.metrics.messages_delivered}"
+        )
+    evaporated = len(sends) - len(deliveries) - len(drops)
+    if evaporated < 0:
+        violations.append(
+            f"more deliveries+drops ({len(deliveries)}+{len(drops)}) than "
+            f"sends ({len(sends)})"
+        )
+    if evaporated > 0 and not crashes:
+        violations.append(
+            f"{evaporated} messages evaporated but nothing ever crashed"
+        )
+
+    # Per-event laws.
+    seen_edges: Set[Tuple[Round, NodeId, NodeId]] = set()
+    outcome_edges: Dict[Tuple[Round, NodeId, NodeId], str] = {}
+    for event in sends:
+        assert event.dst is not None
+        if event.src == event.dst:
+            violations.append(f"round {event.round}: self-message at {event.src}")
+        if not (0 <= event.src < result.n and 0 <= event.dst < result.n):
+            violations.append(
+                f"round {event.round}: endpoint out of range "
+                f"({event.src} -> {event.dst})"
+            )
+        key = (event.round, event.src, event.dst)
+        if key in seen_edges:
+            violations.append(
+                f"round {event.round}: two messages on edge "
+                f"{event.src} -> {event.dst} (CONGEST violation)"
+            )
+        seen_edges.add(key)
+        crash_round = crashes.get(event.src)
+        if crash_round is not None and event.round > crash_round:
+            violations.append(
+                f"round {event.round}: dead node {event.src} "
+                f"(crashed round {crash_round}) sent a message"
+            )
+
+    for event in deliveries + drops:
+        key = (event.round, event.src, event.dst)
+        if key not in seen_edges:
+            violations.append(
+                f"round {event.round}: {event.kind} without a matching send "
+                f"on {event.src} -> {event.dst}"
+            )
+        previous = outcome_edges.get(key)
+        if previous is not None:
+            violations.append(
+                f"round {event.round}: message {event.src} -> {event.dst} "
+                f"both {previous} and {event.kind}"
+            )
+        outcome_edges[key] = event.kind
+
+    for event in drops:
+        crash_round = crashes.get(event.src)
+        if crash_round != event.round:
+            violations.append(
+                f"round {event.round}: drop from {event.src} outside its "
+                f"crash round ({crash_round})"
+            )
+
+    # Fault discipline.
+    for node, round_ in crashes.items():
+        if node not in result.faulty:
+            violations.append(
+                f"round {round_}: non-faulty node {node} crashed"
+            )
+    if dict(result.crashed) != crashes:
+        violations.append("trace crashes disagree with RunResult.crashed")
+
+    return violations

@@ -1,0 +1,69 @@
+"""Shared primitive types for the repro package.
+
+The simulator models an anonymous complete network, so node identifiers
+(`NodeId`) are *engine-internal* handles: protocols must acquire them only
+through :meth:`repro.sim.node.Context.sample_nodes` (port sampling) or from
+the ``sender`` field of a delivered message (replying along the arrival
+port).  This mirrors the KT0 knowledge model of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Engine-internal node handle.  Semantically a port, see module docstring.
+NodeId = int
+
+#: 1-based synchronous round number.
+Round = int
+
+#: A rank drawn uniformly from ``[1, n**4]``; doubles as the node ID in the
+#: paper's algorithms (Section IV-A).
+Rank = int
+
+
+class NodeState(enum.Enum):
+    """Leader-election output state of a node (paper, Definition 1)."""
+
+    UNDECIDED = "undecided"
+    ELECTED = "elected"
+    NON_ELECTED = "non_elected"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NodeState.{self.name}"
+
+
+class Decision(enum.Enum):
+    """Binary-agreement output state of a node (paper, Definition 2)."""
+
+    UNDECIDED = "undecided"
+    ZERO = 0
+    ONE = 1
+
+    @classmethod
+    def of(cls, bit: int) -> "Decision":
+        """Return the decision for input bit ``bit`` (0 or 1)."""
+        if bit == 0:
+            return cls.ZERO
+        if bit == 1:
+            return cls.ONE
+        raise ValueError(f"binary input must be 0 or 1, got {bit!r}")
+
+    @property
+    def bit(self) -> int:
+        """The decided bit; raises if undecided."""
+        if self is Decision.UNDECIDED:
+            raise ValueError("node is undecided")
+        return int(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Decision.{self.name}"
+
+
+class Knowledge(enum.Enum):
+    """Initial topology knowledge model (paper, Section II)."""
+
+    #: Nodes know nothing about their neighbours (anonymous network).
+    KT0 = "KT0"
+    #: Nodes know the IDs of their neighbours and the connecting ports.
+    KT1 = "KT1"

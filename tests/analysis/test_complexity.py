@@ -1,0 +1,79 @@
+"""Unit tests for scaling fits (repro.analysis.complexity)."""
+
+import math
+
+import pytest
+
+from repro.analysis.complexity import (
+    doubling_ratios,
+    fit_power_law,
+    normalized_curve,
+    polylog_flatness,
+)
+
+
+class TestFitPowerLaw:
+    def test_recovers_exact_sqrt(self):
+        xs = [64, 256, 1024, 4096]
+        ys = [3 * math.sqrt(x) for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.5, abs=1e-9)
+        assert fit.prefactor == pytest.approx(3.0, rel=1e-6)
+        assert fit.residual == pytest.approx(0.0, abs=1e-12)
+
+    def test_recovers_linear(self):
+        xs = [10, 100, 1000]
+        fit = fit_power_law(xs, [7 * x for x in xs])
+        assert fit.exponent == pytest.approx(1.0, abs=1e-9)
+
+    def test_predict(self):
+        xs = [2, 4, 8]
+        fit = fit_power_law(xs, [x**2 for x in xs])
+        assert fit.predict(16) == pytest.approx(256, rel=1e-6)
+
+    def test_polylog_inflates_exponent_slightly(self):
+        xs = [256.0, 1024.0, 4096.0]
+        ys = [math.sqrt(x) * math.log(x) ** 1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert 0.5 < fit.exponent < 0.85
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 1])
+        with pytest.raises(ValueError):
+            fit_power_law([2, 2], [1, 1])
+
+
+class TestNormalizedCurve:
+    def test_flat_when_matching(self):
+        xs = [64, 256, 1024]
+        bound = lambda x: math.sqrt(x) * math.log(x)
+        ys = [5 * bound(x) for x in xs]
+        ratio = polylog_flatness(xs, ys, bound)
+        assert ratio == pytest.approx(1.0)
+
+    def test_detects_mismatch(self):
+        xs = [64, 256, 1024]
+        ys = [x for x in xs]  # linear vs sqrt bound
+        ratio = polylog_flatness(xs, ys, math.sqrt)
+        assert ratio == pytest.approx(4.0)
+
+    def test_normalized_curve_values(self):
+        curve = normalized_curve([4, 16], [8, 16], math.sqrt)
+        assert curve == {4: 4.0, 16: 4.0}
+
+
+class TestDoublingRatios:
+    def test_sqrt_growth(self):
+        xs = [256, 512, 1024]
+        ys = [math.sqrt(x) for x in xs]
+        for ratio in doubling_ratios(xs, ys):
+            assert ratio == pytest.approx(math.sqrt(2))
+
+    def test_requires_sorted_xs(self):
+        with pytest.raises(ValueError):
+            doubling_ratios([2, 1], [1, 2])

@@ -1,0 +1,94 @@
+"""Unit tests for success-rate statistics (repro.analysis.stats)."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    BernoulliSummary,
+    chernoff_upper_tail,
+    mean,
+    median,
+    summarize_trials,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(30, 60)
+        assert lo < 0.5 < hi
+
+    def test_narrower_with_more_trials(self):
+        lo1, hi1 = wilson_interval(5, 10)
+        lo2, hi2 = wilson_interval(500, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_behaves_at_extremes(self):
+        lo, hi = wilson_interval(0, 20)
+        assert lo == 0.0 and 0 < hi < 0.4
+        lo, hi = wilson_interval(20, 20)
+        assert 0.6 < lo < 1 and hi == 1.0
+
+    def test_bounds_clipped_to_unit(self):
+        lo, hi = wilson_interval(1, 2)
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+
+class TestChernoff:
+    def test_matches_formula(self):
+        # P[X >= 2 mu] <= exp(-mu/3)
+        assert chernoff_upper_tail(9.0, 2.0) == pytest.approx(math.exp(-3.0))
+
+    def test_smaller_for_larger_mean(self):
+        assert chernoff_upper_tail(100, 1.5) < chernoff_upper_tail(10, 1.5)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(-1, 2)
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(1, 0.5)
+
+
+class TestBernoulliSummary:
+    def test_rate(self):
+        assert BernoulliSummary(3, 4).rate == 0.75
+
+    def test_at_least(self):
+        summary = BernoulliSummary(19, 20)
+        assert summary.at_least(0.9)
+        assert not summary.clearly_below(0.9)
+
+    def test_clearly_below(self):
+        summary = BernoulliSummary(1, 100)
+        assert summary.clearly_below(0.5)
+
+    def test_summarize_trials(self):
+        summary = summarize_trials([True, True, False])
+        assert summary.successes == 2
+        assert summary.trials == 3
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_trials([])
+
+
+class TestHelpers:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_median_odd_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+        with pytest.raises(ValueError):
+            median([])

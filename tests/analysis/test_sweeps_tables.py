@@ -1,0 +1,79 @@
+"""Unit tests for sweeps and table rendering (repro.analysis)."""
+
+import pytest
+
+from repro.analysis.sweeps import collect, monte_carlo, sweep
+from repro.analysis.tables import format_table
+
+
+def fake_task(seed, n=0, alpha=0.0):
+    return {"seed": seed, "n": n, "alpha": alpha}
+
+
+class TestMonteCarlo:
+    def test_runs_trials_with_distinct_seeds(self):
+        results = monte_carlo(fake_task, trials=5, master_seed=1, n=8)
+        assert len(results) == 5
+        assert len({r["seed"] for r in results}) == 5
+
+    def test_reproducible(self):
+        a = monte_carlo(fake_task, trials=3, master_seed=1)
+        b = monte_carlo(fake_task, trials=3, master_seed=1)
+        assert a == b
+
+    def test_validates_trials(self):
+        with pytest.raises(ValueError):
+            monte_carlo(fake_task, trials=0)
+
+
+class TestSweep:
+    def test_crosses_grid(self):
+        rows = sweep(fake_task, {"n": [8, 16], "alpha": [0.5, 1.0]}, trials=2)
+        points = [point for point, _ in rows]
+        assert len(points) == 4
+        assert {"n": 8, "alpha": 0.5} in points
+
+    def test_point_seeds_stable_under_grid_growth(self):
+        small = sweep(fake_task, {"n": [8]}, trials=2)
+        large = sweep(fake_task, {"n": [8, 16]}, trials=2)
+        assert small[0][1] == large[0][1]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(fake_task, {})
+
+    def test_collect_with_dict_reducer(self):
+        rows = sweep(fake_task, {"n": [8]}, trials=3)
+        flat = collect(rows, lambda results: {"count": len(results)})
+        assert flat == [{"n": 8, "count": 3}]
+
+    def test_collect_with_scalar_reducer(self):
+        rows = sweep(fake_task, {"n": [8]}, trials=3)
+        flat = collect(rows, len)
+        assert flat == [{"n": 8, "value": 3}]
+
+
+class TestFormatTable:
+    def test_renders_columns_aligned(self):
+        text = format_table(
+            [{"a": 1, "b": "xx"}, {"a": 222, "b": "y"}], columns=["a", "b"]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len({len(line) for line in lines[-2:]}) == 1  # aligned rows
+
+    def test_bool_and_float_formatting(self):
+        text = format_table([{"ok": True, "x": 0.123456, "big": 123456.0}])
+        assert "yes" in text
+        assert "0.123" in text
+        assert "1.23e+05" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="t")
+
+    def test_title_rendered(self):
+        assert format_table([{"a": 1}], title="hello").startswith("hello")
+
+    def test_missing_column_values_blank(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert text

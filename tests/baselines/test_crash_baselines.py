@@ -1,0 +1,130 @@
+"""Tests for the crash-fault Table I baselines."""
+
+import pytest
+
+from repro.baselines import (
+    committee_agreement,
+    flooding_consensus,
+    gossip_consensus,
+    rotating_coordinator_consensus,
+)
+from repro.core import make_inputs
+from repro.faults.strategies import EagerCrash, RandomCrash, StaggeredCrash
+from repro.rng import seed_sequence
+
+N = 128
+F = N // 2 - 1
+
+
+def _inputs(seed, pattern="mixed"):
+    return make_inputs(N, pattern, seed)
+
+
+class TestCommitteeAgreement:
+    def test_succeeds_under_random_crashes(self):
+        ok = sum(
+            committee_agreement(
+                N, _inputs(s), seed=s, adversary=RandomCrash(horizon=6), faulty_count=F
+            ).success
+            for s in seed_sequence(1, 8)
+        )
+        assert ok >= 7
+
+    def test_explicit_everyone_decides(self):
+        outcome = committee_agreement(N, _inputs(2), seed=2)
+        assert len(outcome.decisions) == N
+
+    def test_messages_are_n_log_n_scale(self):
+        small = committee_agreement(128, make_inputs(128, "mixed", 3), seed=3).messages
+        large = committee_agreement(512, make_inputs(512, "mixed", 3), seed=3).messages
+        # Linear-ish growth: 4x n -> between 3.5x and 8x messages.
+        assert 3.5 * small <= large <= 8 * small
+
+    def test_all_zero_valid(self):
+        outcome = committee_agreement(N, [0] * N, seed=4)
+        assert outcome.success
+        assert set(outcome.decisions.values()) == {0}
+
+    def test_input_length_validated(self):
+        with pytest.raises(ValueError):
+            committee_agreement(N, [0, 1], seed=5)
+
+
+class TestGossipConsensus:
+    def test_succeeds_under_random_crashes(self):
+        ok = sum(
+            gossip_consensus(
+                N, _inputs(s), seed=s, adversary=RandomCrash(horizon=6), faulty_count=F
+            ).success
+            for s in seed_sequence(7, 8)
+        )
+        assert ok >= 7
+
+    def test_decides_minimum_whp(self):
+        outcome = gossip_consensus(N, _inputs(8), seed=8)
+        assert outcome.success
+        assert set(outcome.decisions.values()) == {min(outcome.inputs)}
+
+    def test_rounds_logarithmic(self):
+        outcome = gossip_consensus(1024, make_inputs(1024, "mixed", 9), seed=9)
+        assert outcome.metrics.rounds_executed <= 40
+
+    def test_all_one_stays_one(self):
+        outcome = gossip_consensus(N, [1] * N, seed=10)
+        assert set(outcome.decisions.values()) == {1}
+
+
+class TestFloodingConsensus:
+    def test_correct_under_every_portfolio_adversary(self):
+        for adversary in (EagerCrash(), RandomCrash(horizon=20), StaggeredCrash(period=2)):
+            outcome = flooding_consensus(
+                64, make_inputs(64, "mixed", 11), seed=11,
+                adversary=adversary, faulty_count=31,
+            )
+            assert outcome.success, adversary.name()
+
+    def test_quadratic_messages(self):
+        outcome = flooding_consensus(64, make_inputs(64, "mixed", 12), seed=12)
+        assert outcome.messages >= 64 * 63  # at least one full broadcast wave
+
+    def test_runs_f_plus_one_rounds(self):
+        outcome = flooding_consensus(
+            64, make_inputs(64, "mixed", 13), seed=13, faulty_count=10
+        )
+        assert outcome.rounds == 13  # f+1 phases + 2 tail
+
+    def test_deterministic_success_fault_free(self):
+        outcome = flooding_consensus(32, [1] * 16 + [0] * 16, seed=14)
+        assert outcome.success
+        assert set(outcome.decisions.values()) == {0}
+
+
+class TestRotatingCoordinator:
+    def test_correct_under_every_portfolio_adversary(self):
+        for adversary in (EagerCrash(), RandomCrash(horizon=20), StaggeredCrash(period=2)):
+            outcome = rotating_coordinator_consensus(
+                64, make_inputs(64, "mixed", 15), seed=15,
+                adversary=adversary, faulty_count=31,
+            )
+            assert outcome.success, adversary.name()
+
+    def test_adopts_first_coordinator_fault_free(self):
+        inputs = [1] * 64
+        inputs[0] = 0  # node 0 coordinates phase 1
+        outcome = rotating_coordinator_consensus(64, inputs, seed=16)
+        assert set(outcome.decisions.values()) == {0}
+
+    def test_messages_linear_in_f(self):
+        small = rotating_coordinator_consensus(
+            64, make_inputs(64, "mixed", 17), seed=17, faulty_count=8
+        ).messages
+        large = rotating_coordinator_consensus(
+            64, make_inputs(64, "mixed", 17), seed=17, faulty_count=32
+        ).messages
+        assert large > 2 * small
+
+    def test_phases_capped_at_n(self):
+        outcome = rotating_coordinator_consensus(
+            32, make_inputs(32, "mixed", 18), seed=18, faulty_count=31
+        )
+        assert outcome.rounds <= 34

@@ -1,0 +1,72 @@
+"""Tests for the fault-free baselines ([21] / [23] style)."""
+
+from repro.baselines import augustine_agree, kutten_elect_leader
+from repro.core import make_inputs
+from repro.rng import seed_sequence
+
+
+class TestKuttenLeaderElection:
+    def test_elects_unique_leader_whp(self):
+        ok = sum(kutten_elect_leader(256, seed=s).success for s in seed_sequence(1, 10))
+        assert ok >= 9
+
+    def test_two_rounds_suffice(self):
+        outcome = kutten_elect_leader(256, seed=2)
+        assert outcome.metrics.rounds_executed <= 4
+
+    def test_sublinear_messages_at_scale(self):
+        outcome = kutten_elect_leader(4096, seed=3)
+        assert outcome.success
+        assert outcome.messages < 4096 * 12  # far below n^2; Õ(sqrt n) regime
+
+    def test_message_growth_is_sublinear(self):
+        small = kutten_elect_leader(256, seed=4).messages
+        large = kutten_elect_leader(1024, seed=4).messages
+        assert large < 4 * small  # 4x n -> less than 4x messages
+
+    def test_no_faults_in_run(self):
+        outcome = kutten_elect_leader(128, seed=5)
+        assert outcome.faulty == set()
+        assert outcome.crashed == {}
+
+    def test_deterministic_by_seed(self):
+        a = kutten_elect_leader(128, seed=6)
+        b = kutten_elect_leader(128, seed=6)
+        assert a.messages == b.messages
+        assert a.elected == b.elected
+
+
+class TestAugustineAgreement:
+    def test_agrees_whp(self):
+        ok = 0
+        for s in seed_sequence(7, 10):
+            inputs = make_inputs(256, "mixed", s)
+            ok += augustine_agree(256, inputs, seed=s).success
+        assert ok >= 9
+
+    def test_zero_biased_decision(self):
+        inputs = [0] + [1] * 255
+        outcome = augustine_agree(256, inputs, seed=8)
+        decided = set(outcome.decisions.values())
+        assert decided <= {0, 1}
+        assert outcome.success
+
+    def test_all_one_decides_one(self):
+        outcome = augustine_agree(128, [1] * 128, seed=9)
+        assert outcome.success
+        assert set(outcome.decisions.values()) == {1}
+
+    def test_all_zero_decides_zero(self):
+        outcome = augustine_agree(128, [0] * 128, seed=10)
+        assert outcome.success
+        assert set(outcome.decisions.values()) == {0}
+
+    def test_only_candidates_decide(self):
+        outcome = augustine_agree(256, [1] * 256, seed=11)
+        assert 0 < len(outcome.decisions) < 256
+
+    def test_input_length_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            augustine_agree(128, [0, 1], seed=12)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test-suite.
+
+Most protocol tests run with reduced sampling constants (``fast_params``):
+smaller committees and referee sets keep each run in the ~10ms range while
+exercising exactly the same code paths.  A handful of integration tests
+use the paper's constants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import Params
+
+#: Reduced constants: ~10x fewer messages per run, still reliable at the
+#: sizes the tests use (validated empirically; see integration tests for
+#: the paper constants).
+FAST = dict(candidate_factor=3.0, referee_factor=1.5, iteration_factor=4.0)
+
+
+@pytest.fixture
+def fast_params():
+    """Factory for reduced-constant Params."""
+
+    def make(n: int, alpha: float = 0.5, **overrides) -> Params:
+        kwargs = {**FAST, **overrides}
+        return Params(n=n, alpha=alpha, **kwargs)
+
+    return make
+
+
+@pytest.fixture
+def paper_params():
+    """Factory for paper-constant Params."""
+
+    def make(n: int, alpha: float = 0.5, **overrides) -> Params:
+        return Params(n=n, alpha=alpha, **overrides)
+
+    return make

@@ -1,0 +1,159 @@
+"""Behavioural tests for the Section V-A agreement protocol."""
+
+import pytest
+
+from repro.core import agree, make_inputs
+from repro.rng import seed_sequence
+from repro.types import Decision
+
+N = 96
+ALPHA = 0.5
+
+
+def run(seed, inputs="mixed", adversary="random", fast_params=None, **kwargs):
+    return agree(
+        n=N,
+        alpha=ALPHA,
+        inputs=inputs,
+        seed=seed,
+        adversary=adversary,
+        params=fast_params,
+        **kwargs,
+    )
+
+
+class TestValidity:
+    def test_all_zero_decides_zero(self, fast_params):
+        result = run(1, inputs="all0", fast_params=fast_params(N))
+        assert result.success
+        assert result.decision == 0
+
+    def test_all_one_decides_one(self, fast_params):
+        result = run(2, inputs="all1", fast_params=fast_params(N))
+        assert result.success
+        assert result.decision == 1
+
+    def test_all_one_is_nearly_silent_after_registration(self, fast_params):
+        # With unanimous 1-inputs no zero ever propagates: the only
+        # messages are the candidate registrations.
+        params = fast_params(N)
+        result = run(3, inputs="all1", adversary="none", fast_params=params)
+        expected = result.committee_size * params.referee_count
+        assert result.messages == expected
+
+    def test_mixed_inputs_decide_some_input(self, fast_params):
+        result = run(4, inputs="mixed", fast_params=fast_params(N))
+        assert result.success
+        assert result.decision in (0, 1)
+
+    def test_decision_is_always_somebodys_input(self, fast_params):
+        for seed in seed_sequence(5, 10):
+            result = run(seed, inputs="single0", fast_params=fast_params(N))
+            assert result.validity_holds
+
+
+class TestZeroBias:
+    def test_zero_wins_when_candidate_holds_it(self, fast_params):
+        # Force the zero onto a specific node and make everyone candidate-
+        # eligible enough that the committee sees it often.
+        for seed in seed_sequence(7, 10):
+            result = run(seed, inputs="mixed", adversary="none", fast_params=fast_params(N))
+            candidate_bits = {result.inputs[u] for u in result.candidates_all}
+            expected = 0 if 0 in candidate_bits else 1
+            assert result.decision == expected
+
+    def test_single_zero_outside_committee_yields_one(self, fast_params):
+        # If the lone zero-holder is not a candidate, the committee decides 1
+        # (valid: 1 is someone's input).
+        inputs = [1] * N
+        inputs[0] = 0
+        result = run(11, inputs=inputs, adversary="none", fast_params=fast_params(N))
+        if 0 not in result.candidates_all:
+            assert result.decision == 1
+        else:
+            assert result.decision == 0
+        assert result.success
+
+
+class TestUnderCrashes:
+    @pytest.mark.parametrize(
+        "adversary", ["eager", "lazy", "random", "staggered", "split", "adaptive"]
+    )
+    def test_succeeds_against_portfolio(self, fast_params, adversary):
+        successes = sum(
+            run(seed, adversary=adversary, fast_params=fast_params(N)).success
+            for seed in seed_sequence(13, 5)
+        )
+        assert successes >= 4
+
+    def test_agreement_over_alive_nodes_only(self, fast_params):
+        result = run(17, adversary="eager", fast_params=fast_params(N))
+        assert set(result.decisions) == set(range(N)) - set(result.crashed)
+
+    def test_implicit_agreement_leaves_passives_undecided(self, fast_params):
+        result = run(19, adversary="none", fast_params=fast_params(N))
+        passive = [
+            u
+            for u in result.decisions
+            if u not in result.candidates_all
+        ]
+        assert passive  # there are passive nodes at these sizes
+        assert all(result.decisions[u] is Decision.UNDECIDED for u in passive)
+
+    def test_crashing_zero_holders_can_flip_to_one(self, fast_params):
+        # With eager crashes the zero might die with its holders; the
+        # committee must still agree (on either value).
+        for seed in seed_sequence(23, 10):
+            result = run(seed, inputs="single0", adversary="eager", fast_params=fast_params(N))
+            assert result.agreement_holds
+
+
+class TestInputs:
+    def test_explicit_vector_roundtrip(self, fast_params):
+        inputs = [u % 2 for u in range(N)]
+        result = run(29, inputs=inputs, fast_params=fast_params(N))
+        assert list(result.inputs) == inputs
+
+    def test_make_inputs_patterns(self):
+        assert make_inputs(10, "all0") == [0] * 10
+        assert make_inputs(10, "all1") == [1] * 10
+        assert sum(make_inputs(10, "single0")) == 9
+        assert sum(make_inputs(10, "single1")) == 1
+        mixed = make_inputs(1000, "mixed", seed=1)
+        assert 300 < sum(mixed) < 700
+
+    def test_make_inputs_deterministic_per_seed(self):
+        assert make_inputs(100, "mixed", seed=5) == make_inputs(100, "mixed", seed=5)
+        assert make_inputs(100, "mixed", seed=5) != make_inputs(100, "mixed", seed=6)
+
+    def test_make_inputs_validates(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            make_inputs(10, "bogus")
+        with pytest.raises(ConfigurationError):
+            make_inputs(10, [0, 1])  # wrong length
+        with pytest.raises(ConfigurationError):
+            make_inputs(3, [0, 1, 2])  # not bits
+
+
+class TestComplexity:
+    def test_messages_within_theorem_bound_scaled(self, paper_params):
+        params = paper_params(128)
+        result = agree(
+            n=128, alpha=0.5, inputs="mixed", seed=31, adversary="none", params=params
+        )
+        assert result.messages <= 60 * params.agreement_message_bound()
+
+    def test_single_bit_payloads(self, fast_params):
+        # Theorem 5.1 counts bits: all agreement messages are O(1) fields.
+        result = run(37, fast_params=fast_params(N))
+        assert result.metrics.bits_sent <= 16 * result.messages
+
+    def test_cheaper_than_leader_election(self, fast_params, paper_params):
+        from repro.core import elect_leader
+
+        params = paper_params(128)
+        ag = agree(n=128, alpha=0.5, inputs="mixed", seed=41, params=params)
+        le = elect_leader(n=128, alpha=0.5, seed=41, params=params)
+        assert ag.messages < le.messages

@@ -1,0 +1,140 @@
+"""White-box unit tests of the agreement protocol state machine.
+
+Drives a single :class:`AgreementProtocol` through a fake context, pinning
+down Steps 0-2 of Section V-A: registration, zero propagation, the
+once-ever forwarding rules, and the decide-1-at-the-end default.
+"""
+
+from repro.core.agreement import (
+    MSG_VALUE,
+    MSG_ZERO_TO_CANDIDATE,
+    MSG_ZERO_TO_REFEREE,
+    AgreementProtocol,
+)
+from repro.core.schedule import AgreementSchedule
+from repro.params import Params
+from repro.sim.message import Delivery, Message
+from repro.types import Decision
+
+from .test_le_statemachine import FakeContext
+
+
+def make_node(input_bit, node_id=0, candidate=None):
+    params = Params(n=64, alpha=0.5)
+    schedule = AgreementSchedule.from_params(params)
+    protocol = AgreementProtocol(node_id, params, schedule, input_bit)
+    if candidate is not None:
+        protocol.is_candidate = candidate
+        protocol._referees = [1, 2, 3] if candidate else []
+    return protocol, FakeContext(node_id=node_id)
+
+
+def value_msg(bit, sender=9):
+    return Delivery(sender=sender, message=Message(MSG_VALUE, (bit,)), round_received=2)
+
+
+def zero_to_candidate(sender=9):
+    return Delivery(
+        sender=sender, message=Message(MSG_ZERO_TO_CANDIDATE, ()), round_received=3
+    )
+
+
+def zero_to_referee(sender=9):
+    return Delivery(
+        sender=sender, message=Message(MSG_ZERO_TO_REFEREE, ()), round_received=3
+    )
+
+
+class TestStep0:
+    def test_zero_holder_decides_immediately(self):
+        protocol, ctx = make_node(0)
+        protocol.params = protocol.params.with_(candidate_factor=1e9)  # force candidacy
+        protocol.on_start(ctx)
+        assert protocol.is_candidate
+        assert protocol.decision is Decision.ZERO
+        values = [m for _, m in ctx.sent if m.kind == MSG_VALUE]
+        assert all(m.fields == (0,) for m in values)
+
+    def test_one_holder_registers_without_deciding(self):
+        protocol, ctx = make_node(1)
+        protocol.params = protocol.params.with_(candidate_factor=1e9)
+        protocol.on_start(ctx)
+        assert protocol.decision is Decision.UNDECIDED
+        values = [m for _, m in ctx.sent if m.kind == MSG_VALUE]
+        assert values and all(m.fields == (1,) for m in values)
+
+    def test_non_candidate_stays_silent(self):
+        protocol, ctx = make_node(0)
+        protocol.params = protocol.params.with_(candidate_factor=1e-12)
+        protocol.on_start(ctx)
+        assert not protocol.is_candidate
+        assert not ctx.sent
+        assert ctx.idled
+
+    def test_input_validated(self):
+        import pytest
+
+        params = Params(n=64, alpha=0.5)
+        schedule = AgreementSchedule.from_params(params)
+        with pytest.raises(ValueError):
+            AgreementProtocol(0, params, schedule, 2)
+
+
+class TestRefereeRole:
+    def test_forwards_zero_to_registered_candidates_once(self):
+        protocol, ctx = make_node(1)
+        protocol.on_round(ctx, [value_msg(1, sender=10), value_msg(0, sender=11)])
+        forwards = [
+            dst for dst, m in ctx.sent if m.kind == MSG_ZERO_TO_CANDIDATE
+        ]
+        assert sorted(forwards) == [10, 11]
+        # Once ever: a later zero triggers nothing.
+        ctx.sent.clear()
+        protocol.on_round(ctx, [zero_to_referee(sender=12)])
+        assert not [m for _, m in ctx.sent if m.kind == MSG_ZERO_TO_CANDIDATE]
+
+    def test_all_one_registrations_stay_silent(self):
+        protocol, ctx = make_node(1)
+        protocol.on_round(ctx, [value_msg(1, sender=10), value_msg(1, sender=11)])
+        assert not ctx.sent
+
+    def test_late_zero_reaches_earlier_registrants(self):
+        protocol, ctx = make_node(1)
+        protocol.on_round(ctx, [value_msg(1, sender=10)])
+        assert not ctx.sent
+        protocol.on_round(ctx, [zero_to_referee(sender=12)])
+        forwards = [dst for dst, m in ctx.sent if m.kind == MSG_ZERO_TO_CANDIDATE]
+        assert forwards == [10]
+
+
+class TestCandidateZeroAdoption:
+    def test_adopts_and_forwards_once(self):
+        protocol, ctx = make_node(1, candidate=True)
+        protocol.on_round(ctx, [zero_to_candidate()])
+        assert protocol.decision is Decision.ZERO
+        forwards = [m for _, m in ctx.sent if m.kind == MSG_ZERO_TO_REFEREE]
+        assert len(forwards) == 3  # one per referee
+        ctx.sent.clear()
+        protocol.on_round(ctx, [zero_to_candidate(sender=20)])
+        assert not ctx.sent  # once ever
+
+    def test_zero_input_candidate_does_not_reforward(self):
+        protocol, ctx = make_node(0, candidate=True)
+        protocol._sent_zero = True  # registration carried the zero
+        protocol.decision = Decision.ZERO
+        protocol.on_round(ctx, [zero_to_candidate()])
+        assert not [m for _, m in ctx.sent if m.kind == MSG_ZERO_TO_REFEREE]
+
+
+class TestDecisionDefault:
+    def test_undecided_candidate_decides_own_input_at_stop(self):
+        protocol, ctx = make_node(1, candidate=True)
+        protocol.on_stop(ctx)
+        assert protocol.decision is Decision.ONE
+        assert protocol.decided_bit == 1
+
+    def test_passive_node_stays_undecided(self):
+        protocol, ctx = make_node(1, candidate=False)
+        protocol.on_stop(ctx)
+        assert protocol.decision is Decision.UNDECIDED
+        assert protocol.decided_bit is None

@@ -1,0 +1,107 @@
+"""Edge-case and boundary tests for the core protocols."""
+
+import math
+
+import pytest
+
+from repro.core import agree, elect_leader
+from repro.errors import ConfigurationError
+from repro.params import MIN_NETWORK_SIZE, Params, alpha_floor
+
+
+class TestTinyNetworks:
+    def test_smallest_supported_network(self):
+        result = elect_leader(n=MIN_NETWORK_SIZE, alpha=1.0, seed=1, adversary="none")
+        assert result.success
+
+    def test_small_network_agreement(self):
+        result = agree(n=MIN_NETWORK_SIZE, alpha=1.0, inputs="all0", seed=1)
+        assert result.success
+        assert result.decision == 0
+
+    def test_below_minimum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            elect_leader(n=4, alpha=1.0, seed=1)
+
+
+class TestAlphaBoundaries:
+    def test_alpha_one_is_fault_free(self):
+        result = elect_leader(n=64, alpha=1.0, seed=2, adversary="random")
+        assert result.faulty == set()
+        assert result.strict_success
+
+    def test_alpha_at_floor(self):
+        n = 128
+        alpha = min(1.0, alpha_floor(n) * 1.01)
+        result = agree(n=n, alpha=alpha, inputs="mixed", seed=3, adversary="random")
+        assert result.success
+
+    def test_candidate_probability_saturates_at_small_n_low_alpha(self):
+        # When 6 log n/(alpha n) >= 1 every node is a candidate; the
+        # protocol must still work (committee == whole network).
+        n = 64
+        alpha = min(1.0, alpha_floor(n) * 1.05)
+        params = Params(n=n, alpha=alpha)
+        assert params.candidate_probability == 1.0
+        result = agree(n=n, alpha=alpha, inputs="single0", seed=4, adversary="random")
+        assert result.success
+
+
+class TestNonPowerOfTwo:
+    @pytest.mark.parametrize("n", [97, 130, 250])
+    def test_odd_sizes(self, n, fast_params):
+        result = elect_leader(
+            n=n, alpha=0.5, seed=5, adversary="staggered", params=fast_params(n)
+        )
+        assert result.success
+
+
+class TestExtraRounds:
+    def test_extra_rounds_do_not_change_outcome(self, fast_params):
+        params = fast_params(96)
+        base = elect_leader(n=96, alpha=0.5, seed=6, adversary="none", params=params)
+        extended = elect_leader(
+            n=96, alpha=0.5, seed=6, adversary="none", params=params, extra_rounds=200
+        )
+        # The protocol is quiescent after convergence: more rounds change
+        # nothing but the nominal round count.
+        assert extended.messages == base.messages
+        assert extended.agreed_rank == base.agreed_rank
+        assert extended.rounds == base.rounds + 200
+
+
+class TestFaultyCountOverride:
+    def test_partial_fault_budget(self, fast_params):
+        result = elect_leader(
+            n=96, alpha=0.5, seed=7, adversary="eager",
+            params=fast_params(96), faulty_count=5,
+        )
+        assert len(result.faulty) == 5
+        assert result.success
+
+    def test_agreement_zero_faults_under_crash_adversary(self, fast_params):
+        result = agree(
+            n=96, alpha=0.5, inputs="mixed", seed=8, adversary="random",
+            params=fast_params(96), faulty_count=0,
+        )
+        assert result.metrics.crashes == 0
+        assert result.success
+
+
+class TestDeterminismEndToEnd:
+    def test_identical_runs(self, fast_params):
+        a = elect_leader(
+            n=96, alpha=0.5, seed=9, adversary="split", params=fast_params(96)
+        )
+        b = elect_leader(
+            n=96, alpha=0.5, seed=9, adversary="split", params=fast_params(96)
+        )
+        assert a.messages == b.messages
+        assert a.agreed_rank == b.agreed_rank
+        assert a.crashed == b.crashed
+        assert a.summary() == b.summary()
+
+    def test_seed_changes_committee(self, fast_params):
+        a = elect_leader(n=96, alpha=0.5, seed=10, params=fast_params(96))
+        b = elect_leader(n=96, alpha=0.5, seed=11, params=fast_params(96))
+        assert a.candidates_all != b.candidates_all

@@ -1,0 +1,105 @@
+"""Behavioural tests for the explicit extensions (repro.core.explicit)."""
+
+import pytest
+
+from repro.core import agree_explicit, elect_leader_explicit
+from repro.rng import seed_sequence
+
+N = 96
+ALPHA = 0.5
+
+
+class TestExplicitLeaderElection:
+    def test_everyone_learns_the_leader(self, fast_params):
+        result = elect_leader_explicit(
+            n=N, alpha=ALPHA, seed=1, adversary="none", params=fast_params(N)
+        )
+        assert result.explicit_success
+        assert result.knowledge_fraction == 1.0
+
+    def test_explicit_ranks_cover_alive_nodes(self, fast_params):
+        result = elect_leader_explicit(
+            n=N, alpha=ALPHA, seed=2, adversary="staggered", params=fast_params(N)
+        )
+        assert set(result.explicit_ranks) == set(range(N)) - set(result.crashed)
+
+    def test_explicit_costs_extra_linear_messages(self, fast_params):
+        from repro.core import elect_leader
+
+        params = fast_params(N)
+        implicit = elect_leader(n=N, alpha=ALPHA, seed=3, adversary="none", params=params)
+        explicit = elect_leader_explicit(
+            n=N, alpha=ALPHA, seed=3, adversary="none", params=params
+        )
+        extra = explicit.messages - implicit.messages
+        # Every candidate broadcasts to n-1 ports.
+        assert extra == explicit.committee_size * (N - 1)
+
+    def test_survives_crash_portfolio(self, fast_params):
+        for adversary in ("eager", "random", "split"):
+            ok = sum(
+                elect_leader_explicit(
+                    n=N, alpha=ALPHA, seed=seed, adversary=adversary, params=fast_params(N)
+                ).success
+                for seed in seed_sequence(5, 4)
+            )
+            assert ok >= 3
+
+    def test_knowledge_consistent_with_implicit_agreement(self, fast_params):
+        result = elect_leader_explicit(
+            n=N, alpha=ALPHA, seed=7, adversary="random", params=fast_params(N)
+        )
+        if result.success:
+            known = {r for r in result.explicit_ranks.values() if r is not None}
+            assert known == {result.agreed_rank}
+
+
+class TestExplicitAgreement:
+    def test_everyone_learns_the_bit(self, fast_params):
+        result = agree_explicit(
+            n=N, alpha=ALPHA, inputs="mixed", seed=11, adversary="none",
+            params=fast_params(N),
+        )
+        assert result.explicit_success
+        assert result.knowledge_fraction == 1.0
+
+    def test_explicit_bit_matches_implicit_decision(self, fast_params):
+        result = agree_explicit(
+            n=N, alpha=ALPHA, inputs="single1", seed=13, adversary="none",
+            params=fast_params(N),
+        )
+        assert result.success
+        bits = {b for b in result.explicit_bits.values() if b is not None}
+        assert bits == {result.decision}
+
+    def test_all_zero_broadcasts_zero(self, fast_params):
+        result = agree_explicit(
+            n=N, alpha=ALPHA, inputs="all0", seed=17, adversary="none",
+            params=fast_params(N),
+        )
+        assert result.explicit_success
+        assert result.decision == 0
+
+    def test_survives_crash_portfolio(self, fast_params):
+        for adversary in ("eager", "random", "adaptive"):
+            ok = sum(
+                agree_explicit(
+                    n=N, alpha=ALPHA, inputs="mixed", seed=seed, adversary=adversary,
+                    params=fast_params(N),
+                ).success
+                for seed in seed_sequence(19, 4)
+            )
+            assert ok >= 3
+
+    def test_explicit_message_overhead_is_committee_broadcast(self, fast_params):
+        from repro.core import agree
+
+        params = fast_params(N)
+        implicit = agree(
+            n=N, alpha=ALPHA, inputs="all1", seed=23, adversary="none", params=params
+        )
+        explicit = agree_explicit(
+            n=N, alpha=ALPHA, inputs="all1", seed=23, adversary="none", params=params
+        )
+        extra = explicit.messages - implicit.messages
+        assert extra == explicit.committee_size * (N - 1)

@@ -1,0 +1,100 @@
+"""Unit tests for the explicit-result evaluation logic (no network runs)."""
+
+from repro.core.results import (
+    ExplicitAgreementResult,
+    ExplicitLeaderElectionResult,
+)
+from repro.sim.metrics import Metrics
+from repro.types import Decision
+
+
+def le_result(**overrides):
+    base = dict(
+        n=8,
+        alpha=0.5,
+        seed=0,
+        adversary="test",
+        faulty=set(),
+        crashed={},
+        metrics=Metrics(),
+        trace=None,
+        elected_alive=[3],
+        candidates_alive=[3, 5],
+        beliefs={3: 77, 5: 77},
+        ranks={3: 77, 5: 12},
+    )
+    base.update(overrides)
+    return ExplicitLeaderElectionResult(**base)
+
+
+def ag_result(**overrides):
+    base = dict(
+        n=8,
+        alpha=0.5,
+        seed=0,
+        adversary="test",
+        inputs=[0, 1, 1, 1, 0, 1, 1, 1],
+        faulty=set(),
+        crashed={},
+        metrics=Metrics(),
+        trace=None,
+        decisions={0: Decision.ZERO, 4: Decision.ZERO},
+        candidates_alive=[0, 4],
+    )
+    base.update(overrides)
+    return ExplicitAgreementResult(**base)
+
+
+class TestExplicitLeaderElection:
+    def test_full_knowledge_succeeds(self):
+        result = le_result(explicit_ranks={u: 77 for u in range(8)})
+        assert result.explicit_success
+        assert result.knowledge_fraction == 1.0
+
+    def test_partial_knowledge_fails_explicit(self):
+        ranks = {u: 77 for u in range(8)}
+        ranks[6] = None
+        result = le_result(explicit_ranks=ranks)
+        assert not result.explicit_success
+        assert result.knowledge_fraction == 7 / 8
+
+    def test_wrong_rank_fails(self):
+        ranks = {u: 77 for u in range(8)}
+        ranks[6] = 12
+        assert not le_result(explicit_ranks=ranks).explicit_success
+
+    def test_no_knowledge_at_all(self):
+        result = le_result(explicit_ranks={})
+        assert not result.explicit_success
+        assert result.knowledge_fraction == 0.0
+
+    def test_implicit_failure_blocks_explicit(self):
+        result = le_result(
+            elected_alive=[],
+            explicit_ranks={u: 77 for u in range(8)},
+        )
+        assert not result.explicit_success
+
+
+class TestExplicitAgreement:
+    def test_full_knowledge_succeeds(self):
+        result = ag_result(explicit_bits={u: 0 for u in range(8)})
+        assert result.explicit_success
+        assert result.knowledge_fraction == 1.0
+
+    def test_conflicting_bit_fails(self):
+        bits = {u: 0 for u in range(8)}
+        bits[2] = 1
+        assert not ag_result(explicit_bits=bits).explicit_success
+
+    def test_empty_bits_fail(self):
+        result = ag_result(explicit_bits={})
+        assert not result.explicit_success
+        assert result.knowledge_fraction == 0.0
+
+    def test_implicit_failure_blocks_explicit(self):
+        result = ag_result(
+            decisions={0: Decision.ZERO, 4: Decision.ONE},
+            explicit_bits={u: 0 for u in range(8)},
+        )
+        assert not result.explicit_success

@@ -1,0 +1,80 @@
+"""Tests for the agreement-via-leader-election reduction (Section V remark)."""
+
+import random
+
+import pytest
+
+from repro.core import agree, agree_via_election
+from repro.core.leader_based_agreement import (
+    decode_input_from_rank,
+    encode_input_in_rank,
+)
+from repro.rng import seed_sequence
+
+N = 96
+ALPHA = 0.5
+
+
+class TestRankEncoding:
+    def test_roundtrip(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            rank = rng.randint(1, N**4)
+            for bit in (0, 1):
+                encoded = encode_input_in_rank(rank, bit)
+                assert decode_input_from_rank(encoded) == bit
+
+    def test_stays_in_range(self):
+        for rank in (1, 2, N**4 - 1, N**4):
+            for bit in (0, 1):
+                assert 1 <= encode_input_in_rank(rank, bit) <= N**4
+
+    def test_preserves_rank_when_parity_matches(self):
+        assert encode_input_in_rank(10, 0) == 10
+        assert encode_input_in_rank(11, 1) == 11
+
+    def test_shifts_by_at_most_one(self):
+        for rank in range(2, 50):
+            for bit in (0, 1):
+                assert abs(encode_input_in_rank(rank, bit) - rank) <= 1
+
+
+class TestReduction:
+    def test_reaches_agreement(self, fast_params):
+        ok = sum(
+            agree_via_election(
+                n=N, alpha=ALPHA, inputs="mixed", seed=seed, adversary="random",
+                params=fast_params(N),
+            ).success
+            for seed in seed_sequence(1, 8)
+        )
+        assert ok >= 7
+
+    def test_validity_structural(self, fast_params):
+        # The decided bit is the winner's input — always valid.
+        for seed in seed_sequence(2, 8):
+            result = agree_via_election(
+                n=N, alpha=ALPHA, inputs="single1", seed=seed, adversary="random",
+                params=fast_params(N),
+            )
+            assert result.validity_holds
+
+    def test_unanimous_inputs_decide_that_bit(self, fast_params):
+        for pattern, expected in (("all0", 0), ("all1", 1)):
+            result = agree_via_election(
+                n=N, alpha=ALPHA, inputs=pattern, seed=3, adversary="none",
+                params=fast_params(N),
+            )
+            assert result.success
+            assert result.decision == expected
+
+    def test_costs_more_than_direct_agreement(self, fast_params):
+        params = fast_params(N)
+        reduced = agree_via_election(
+            n=N, alpha=ALPHA, inputs="mixed", seed=5, adversary="none", params=params
+        )
+        direct = agree(
+            n=N, alpha=ALPHA, inputs="mixed", seed=5, adversary="none", params=params
+        )
+        # Section V: the reduction pays the election's extra polylog factor.
+        assert reduced.messages > 2 * direct.messages

@@ -1,0 +1,169 @@
+"""Behavioural tests for the Section IV-A leader-election protocol.
+
+These use reduced sampling constants (see conftest.FAST) so each run is
+~10ms; the integration suite re-runs key cases with paper constants.
+"""
+
+import pytest
+
+from repro.core import elect_leader
+from repro.core.leader_election import LeaderElectionProtocol
+from repro.core.schedule import LeaderElectionSchedule
+from repro.faults.strategies import LazyCrash
+from repro.rng import seed_sequence
+from repro.types import NodeState
+
+N = 96
+ALPHA = 0.5
+
+
+def run(seed, adversary="random", fast_params=None, n=N, alpha=ALPHA, **kwargs):
+    return elect_leader(
+        n=n, alpha=alpha, seed=seed, adversary=adversary, params=fast_params, **kwargs
+    )
+
+
+class TestHappyPath:
+    def test_fault_free_elects_unique_leader(self, fast_params):
+        result = run(1, adversary="none", fast_params=fast_params(N))
+        assert result.strict_success
+        assert len(result.elected_alive) == 1
+
+    def test_leader_has_a_rank_everyone_believes(self, fast_params):
+        result = run(2, adversary="none", fast_params=fast_params(N))
+        leader = result.leader_node
+        assert result.agreed_rank == result.ranks[leader]
+
+    def test_all_nodes_decide_a_state(self, fast_params):
+        result = run(3, adversary="none", fast_params=fast_params(N), collect_trace=True)
+        # Every alive node's protocol ends in ELECTED or NON_ELECTED.
+        # (The result object only tracks candidates; spot-check via ranks.)
+        assert len(result.ranks) == N
+
+    def test_fault_free_uses_no_crashes(self, fast_params):
+        result = run(4, adversary="none", fast_params=fast_params(N))
+        assert result.metrics.crashes == 0
+        assert result.crashed == {}
+
+    def test_committee_size_reasonable(self, fast_params):
+        params = fast_params(N)
+        result = run(5, adversary="none", fast_params=params)
+        assert 1 <= result.committee_size <= 4 * params.expected_candidates
+
+
+class TestUnderCrashes:
+    @pytest.mark.parametrize(
+        "adversary", ["eager", "lazy", "random", "staggered", "split", "adaptive"]
+    )
+    def test_succeeds_against_portfolio(self, fast_params, adversary):
+        successes = sum(
+            run(seed, adversary=adversary, fast_params=fast_params(N)).success
+            for seed in seed_sequence(11, 5)
+        )
+        assert successes >= 4  # w.h.p. Monte-Carlo: allow one unlucky seed
+
+    def test_at_most_one_alive_leader(self, fast_params):
+        for seed in seed_sequence(13, 10):
+            result = run(seed, adversary="split", fast_params=fast_params(N))
+            assert len(result.elected_alive) <= 1
+
+    def test_eager_crash_shrinks_message_count(self, fast_params):
+        alive = run(17, adversary="none", fast_params=fast_params(N)).messages
+        crashed = run(17, adversary="eager", fast_params=fast_params(N)).messages
+        assert crashed < alive
+
+    def test_posthumous_leader_accepted(self, fast_params):
+        # Lazy adversary crashes everything near the end: if the leader was
+        # faulty it crashed *after* electing itself (Definition 1 footnote).
+        outcomes = [
+            run(seed, adversary="lazy", fast_params=fast_params(N))
+            for seed in seed_sequence(19, 8)
+        ]
+        assert all(o.success for o in outcomes)
+        assert any(o.elected_crashed for o in outcomes) or all(
+            o.strict_success for o in outcomes
+        )
+
+    def test_crashed_node_never_wins_while_alive_nodes_disagree(self, fast_params):
+        # success=False runs must never be reported as success.
+        for seed in seed_sequence(23, 10):
+            result = run(seed, adversary="adaptive", fast_params=fast_params(N))
+            if not result.beliefs_agree:
+                assert not result.success
+
+
+class TestFaultBudget:
+    def test_explicit_faulty_count(self, fast_params):
+        result = run(29, fast_params=fast_params(N), faulty_count=10)
+        assert len(result.faulty) == 10
+
+    def test_zero_faulty_count(self, fast_params):
+        result = run(31, fast_params=fast_params(N), faulty_count=0)
+        assert result.faulty == set()
+        assert result.strict_success
+
+    def test_default_uses_max_faulty(self, fast_params):
+        params = fast_params(N)
+        result = run(37, fast_params=params)
+        assert len(result.faulty) == params.max_faulty
+
+
+class TestLeaderQuality:
+    def test_leader_nonfaulty_rate_near_alpha(self, fast_params):
+        # Under a uniform faulty set of (1-alpha) n nodes that never
+        # crashes before the end, P[leader non-faulty] ~ alpha.
+        trials = 30
+        nonfaulty = 0
+        judged = 0
+        for seed in seed_sequence(41, trials):
+            result = run(seed, adversary=LazyCrash(), fast_params=fast_params(N))
+            if result.success:
+                judged += 1
+                nonfaulty += not result.leader_is_faulty
+        assert judged >= trials - 2
+        # alpha = 0.5: expect ~half; demand at least a third (30 trials).
+        assert nonfaulty / judged >= 1 / 3
+
+
+class TestProtocolStateMachine:
+    def _protocol(self, node_id=0, n=64, alpha=0.5):
+        from repro.params import Params
+
+        params = Params(n=n, alpha=alpha)
+        schedule = LeaderElectionSchedule.from_params(params)
+        return LeaderElectionProtocol(node_id, params, schedule)
+
+    def test_initial_state(self):
+        protocol = self._protocol()
+        assert protocol.state is NodeState.UNDECIDED
+        assert protocol.rank is None
+        assert not protocol.is_candidate
+
+    def test_non_candidate_finishes_non_elected(self, fast_params):
+        result = run(43, adversary="none", fast_params=fast_params(N))
+        # Every non-candidate is NON_ELECTED; sample one via the result.
+        assert set(result.candidates_all) != set(range(N))
+
+    def test_messages_within_theorem_bound_scaled(self, paper_params):
+        # With paper constants the measured count must stay within a
+        # constant multiple of the Theorem 4.1 bound.
+        params = paper_params(128)
+        result = run(47, adversary="none", fast_params=params, n=128)
+        assert result.messages <= 60 * params.le_message_bound()
+
+    def test_rounds_match_schedule(self, fast_params):
+        params = fast_params(N)
+        schedule = LeaderElectionSchedule.from_params(params)
+        result = run(53, adversary="none", fast_params=params)
+        assert result.rounds == schedule.last_round
+
+
+class TestTraceIntegration:
+    def test_trace_collects_events(self, fast_params):
+        result = run(59, fast_params=fast_params(N), collect_trace=True)
+        assert result.trace is not None
+        assert result.trace.message_count() == result.messages
+
+    def test_no_trace_by_default(self, fast_params):
+        result = run(61, fast_params=fast_params(N))
+        assert result.trace is None

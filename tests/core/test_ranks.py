@@ -1,0 +1,47 @@
+"""Unit tests for rank drawing (repro.core.ranks)."""
+
+import random
+
+import pytest
+
+from repro.core.ranks import draw_rank, rank_collision_probability
+
+
+class TestDrawRank:
+    def test_in_range(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            rank = draw_rank(rng, 16)
+            assert 1 <= rank <= 16**4
+
+    def test_validates_n(self):
+        with pytest.raises(ValueError):
+            draw_rank(random.Random(0), 1)
+
+    def test_validates_exponent(self):
+        with pytest.raises(ValueError):
+            draw_rank(random.Random(0), 16, exponent=0)
+
+    def test_deterministic_per_rng_state(self):
+        assert draw_rank(random.Random(5), 64) == draw_rank(random.Random(5), 64)
+
+    def test_distinct_whp_empirically(self):
+        rng = random.Random(7)
+        ranks = [draw_rank(rng, 256) for _ in range(256)]
+        assert len(set(ranks)) == 256
+
+
+class TestCollisionProbability:
+    def test_union_bound_formula(self):
+        assert rank_collision_probability(100) == pytest.approx(
+            (100 * 99 / 2) / 100**4
+        )
+
+    def test_tiny_for_paper_exponent(self):
+        assert rank_collision_probability(2**20) < 1e-6
+
+    def test_capped_at_one(self):
+        assert rank_collision_probability(100, exponent=1) == 1.0
+
+    def test_zero_for_single_node(self):
+        assert rank_collision_probability(1) == 0.0

@@ -1,0 +1,166 @@
+"""Unit tests for result evaluation logic (repro.core.results).
+
+These build result objects directly (no network runs) so each success
+condition's edge cases can be pinned down precisely.
+"""
+
+from repro.core.results import AgreementResult, LeaderElectionResult
+from repro.sim.metrics import Metrics
+from repro.types import Decision
+
+
+def le_result(**overrides):
+    base = dict(
+        n=8,
+        alpha=0.5,
+        seed=0,
+        adversary="test",
+        faulty=set(),
+        crashed={},
+        metrics=Metrics(),
+        trace=None,
+    )
+    base.update(overrides)
+    return LeaderElectionResult(**base)
+
+
+def ag_result(**overrides):
+    base = dict(
+        n=8,
+        alpha=0.5,
+        seed=0,
+        adversary="test",
+        inputs=[0, 1, 1, 1, 0, 1, 1, 1],
+        faulty=set(),
+        crashed={},
+        metrics=Metrics(),
+        trace=None,
+    )
+    base.update(overrides)
+    return AgreementResult(**base)
+
+
+class TestLeaderElectionSuccess:
+    def test_unique_alive_leader(self):
+        result = le_result(
+            elected_alive=[3],
+            candidates_alive=[3, 5],
+            beliefs={3: 77, 5: 77},
+            ranks={3: 77, 5: 12},
+        )
+        assert result.strict_success
+        assert result.success
+        assert result.leader_node == 3
+
+    def test_two_alive_leaders_fail(self):
+        result = le_result(
+            elected_alive=[3, 5],
+            candidates_alive=[3, 5],
+            beliefs={3: 77, 5: 12},
+            ranks={3: 77, 5: 12},
+        )
+        assert not result.success
+
+    def test_no_leader_fails(self):
+        result = le_result(
+            elected_alive=[],
+            candidates_alive=[3, 5],
+            beliefs={3: 77, 5: 77},
+            ranks={3: 77, 5: 12},
+        )
+        assert not result.strict_success
+        assert not result.success
+
+    def test_disagreeing_beliefs_fail(self):
+        result = le_result(
+            elected_alive=[3],
+            candidates_alive=[3, 5],
+            beliefs={3: 77, 5: 12},
+            ranks={3: 77, 5: 12},
+        )
+        assert not result.success
+
+    def test_posthumous_leader_counts(self):
+        # Definition 1 footnote: the winner crashed after electing itself.
+        result = le_result(
+            elected_alive=[],
+            elected_crashed=[2],
+            crashed={2: 9},
+            candidates_alive=[3, 5],
+            beliefs={3: 50, 5: 50},
+            ranks={2: 50, 3: 77, 5: 12},
+        )
+        assert not result.strict_success
+        assert result.success
+        assert result.leader_node == 2
+
+    def test_two_posthumous_leaders_fail(self):
+        result = le_result(
+            elected_crashed=[2, 4],
+            crashed={2: 9, 4: 9},
+            candidates_alive=[3],
+            beliefs={3: 50},
+            ranks={2: 50, 4: 60, 3: 77},
+        )
+        assert not result.success
+
+    def test_leader_is_faulty_flag(self):
+        result = le_result(
+            elected_alive=[3],
+            candidates_alive=[3],
+            beliefs={3: 77},
+            ranks={3: 77},
+            faulty={3},
+        )
+        assert result.leader_is_faulty is True
+
+    def test_leader_is_faulty_none_without_leader(self):
+        assert le_result().leader_is_faulty is None
+
+    def test_summary_contains_headline_fields(self):
+        summary = le_result().summary()
+        for key in ("n", "alpha", "success", "messages", "rounds"):
+            assert key in summary
+
+
+class TestAgreementSuccess:
+    def test_unanimous_zero(self):
+        result = ag_result(
+            decisions={0: Decision.ZERO, 1: Decision.ZERO, 2: Decision.UNDECIDED}
+        )
+        assert result.agreement_holds
+        assert result.validity_holds
+        assert result.success
+        assert result.decision == 0
+
+    def test_split_decision_fails(self):
+        result = ag_result(decisions={0: Decision.ZERO, 1: Decision.ONE})
+        assert not result.agreement_holds
+        assert not result.success
+        assert result.decision is None
+
+    def test_nobody_decided_fails(self):
+        result = ag_result(decisions={0: Decision.UNDECIDED})
+        assert not result.agreement_holds
+        assert not result.success
+
+    def test_validity_checks_inputs(self):
+        # Deciding 0 with all-1 inputs violates validity.
+        result = ag_result(
+            inputs=[1] * 8,
+            decisions={0: Decision.ZERO},
+        )
+        assert result.agreement_holds
+        assert not result.validity_holds
+        assert not result.success
+
+    def test_decided_bits_only_counts_decided(self):
+        result = ag_result(
+            decisions={0: Decision.ONE, 1: Decision.UNDECIDED, 2: Decision.ONE}
+        )
+        assert result.decided_bits == [1, 1]
+
+    def test_summary_contains_headline_fields(self):
+        summary = ag_result().summary()
+        for key in ("n", "alpha", "success", "decision", "messages"):
+            assert key in summary

@@ -1,0 +1,81 @@
+"""Runner-level validation and wiring tests (repro.core.runner)."""
+
+import pytest
+
+from repro.core import INPUT_PATTERNS, agree, elect_leader
+from repro.core.runner import _resolve_adversary
+from repro.faults import Adversary, EagerCrash
+
+
+class TestAdversaryResolution:
+    def test_instance_passthrough(self):
+        adversary = EagerCrash()
+        assert _resolve_adversary(adversary, horizon=10) is adversary
+
+    def test_name_resolution(self):
+        assert _resolve_adversary("eager", horizon=10).name() == "eager"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            _resolve_adversary("borg", horizon=10)
+
+    def test_custom_adversary_through_runner(self, fast_params):
+        class CountingAdversary(Adversary):
+            calls = 0
+
+            def plan_round(self, view, rng):
+                CountingAdversary.calls += 1
+                return {}
+
+            def done(self, view):
+                return True
+
+        result = agree(
+            n=96, alpha=0.5, inputs="all1", seed=1,
+            adversary=CountingAdversary(), params=fast_params(96),
+        )
+        assert result.success
+        assert CountingAdversary.calls > 0
+
+
+class TestInputPatterns:
+    def test_constant_matches_make_inputs(self):
+        from repro.core import make_inputs
+
+        for pattern in INPUT_PATTERNS:
+            bits = make_inputs(32, pattern, seed=1)
+            assert len(bits) == 32
+
+    def test_adversary_sees_inputs(self, fast_params):
+        seen = {}
+
+        class Inspector(Adversary):
+            def select_faulty(self, n, max_faulty, rng, inputs=None):
+                seen["inputs"] = inputs
+                return set()
+
+            def done(self, view):
+                return True
+
+        agree(
+            n=96, alpha=0.5, inputs="all0", seed=2,
+            adversary=Inspector(), params=fast_params(96),
+        )
+        assert seen["inputs"] == [0] * 96
+
+
+class TestResultWiring:
+    def test_seed_recorded(self, fast_params):
+        result = elect_leader(n=96, alpha=0.5, seed=777, params=fast_params(96))
+        assert result.seed == 777
+
+    def test_adversary_name_recorded(self, fast_params):
+        result = elect_leader(
+            n=96, alpha=0.5, seed=1, adversary="staggered", params=fast_params(96)
+        )
+        assert result.adversary == "staggered/4"
+
+    def test_alpha_recorded_from_params(self, fast_params):
+        params = fast_params(96, alpha=0.25)
+        result = agree(n=96, alpha=0.25, inputs="mixed", seed=1, params=params)
+        assert result.alpha == 0.25

@@ -1,0 +1,74 @@
+"""Unit tests for the protocol round schedules (repro.core.schedule)."""
+
+import pytest
+
+from repro.core.schedule import (
+    AgreementSchedule,
+    LeaderElectionSchedule,
+    max_candidates_whp,
+)
+from repro.params import Params
+
+
+class TestLeaderElectionSchedule:
+    def test_phases_are_ordered(self):
+        params = Params(n=512, alpha=0.5)
+        schedule = LeaderElectionSchedule.from_params(params)
+        assert 1 < schedule.iteration_start < schedule.last_round
+
+    def test_iteration_rounds_are_four_apart(self):
+        schedule = LeaderElectionSchedule.from_params(Params(n=512, alpha=0.5))
+        assert schedule.iteration_round(1) - schedule.iteration_round(0) == 4
+        assert schedule.iteration_round(0) == schedule.iteration_start
+
+    def test_iteration_out_of_range(self):
+        schedule = LeaderElectionSchedule.from_params(Params(n=512, alpha=0.5))
+        with pytest.raises(ValueError):
+            schedule.iteration_round(schedule.iterations)
+        with pytest.raises(ValueError):
+            schedule.iteration_round(-1)
+
+    def test_forwarding_budget_covers_committee(self):
+        params = Params(n=512, alpha=0.5)
+        schedule = LeaderElectionSchedule.from_params(params)
+        assert schedule.forwarding_rounds >= max_candidates_whp(params)
+
+    def test_confirmation_deadline_covers_round_trip(self):
+        schedule = LeaderElectionSchedule.from_params(Params(n=512, alpha=0.5))
+        # Probe at r: referee(r+1), owner re-confirm(r+2), referee(r+3),
+        # arrival(r+4) — the deadline must be past r+4.
+        assert schedule.confirmation_deadline(10) >= 15
+
+    def test_rounds_scale_with_inverse_alpha(self):
+        fast = LeaderElectionSchedule.from_params(Params(n=512, alpha=1.0))
+        slow = LeaderElectionSchedule.from_params(Params(n=512, alpha=0.25))
+        assert slow.last_round > 2 * fast.last_round
+
+    def test_last_round_has_tail_slack(self):
+        schedule = LeaderElectionSchedule.from_params(Params(n=512, alpha=0.5))
+        assert (
+            schedule.last_round
+            >= schedule.iteration_round(schedule.iterations - 1) + 4
+        )
+
+
+class TestAgreementSchedule:
+    def test_two_round_iterations(self):
+        schedule = AgreementSchedule.from_params(Params(n=512, alpha=0.5))
+        assert schedule.iteration_length == 2
+        assert schedule.last_round == 1 + 2 * schedule.iterations + 2
+
+    def test_iterations_match_params(self):
+        params = Params(n=512, alpha=0.25)
+        schedule = AgreementSchedule.from_params(params)
+        assert schedule.iterations == params.iterations
+
+
+class TestMaxCandidatesWhp:
+    def test_twice_the_mean(self):
+        params = Params(n=1024, alpha=0.5)
+        assert max_candidates_whp(params) >= 2 * params.expected_candidates - 1
+
+    def test_at_least_one(self):
+        params = Params(n=64, alpha=1.0, candidate_factor=0.01)
+        assert max_candidates_whp(params) >= 1

@@ -1,0 +1,97 @@
+"""Unit tests for the experiment harness and registry."""
+
+import pytest
+
+from repro.experiments import (
+    Check,
+    Experiment,
+    ExperimentReport,
+    all_experiments,
+    get_experiment,
+)
+
+
+class TestCheck:
+    def test_str_marks_pass_and_fail(self):
+        assert "PASS" in str(Check("x", True))
+        assert "FAIL" in str(Check("x", False, "why"))
+
+
+class TestExperimentReport:
+    def _report(self, checks):
+        return ExperimentReport(
+            experiment_id="EX",
+            title="t",
+            paper_claim="c",
+            rows=[{"a": 1}],
+            checks=checks,
+        )
+
+    def test_passed_requires_all_checks(self):
+        assert self._report([Check("a", True), Check("b", True)]).passed
+        assert not self._report([Check("a", True), Check("b", False)]).passed
+
+    def test_render_contains_table_and_checks(self):
+        text = self._report([Check("shape", True, "ok")]).render()
+        assert "EX: t" in text
+        assert "paper claim: c" in text
+        assert "shape" in text
+
+    def test_notes_rendered(self):
+        report = self._report([])
+        report.notes.append("caveat")
+        assert "note: caveat" in report.render()
+
+    def test_to_dict_roundtrips_fields(self):
+        report = self._report([Check("shape", True, "ok")])
+        data = report.to_dict()
+        assert data["experiment_id"] == "EX"
+        assert data["passed"] is True
+        assert data["rows"] == [{"a": 1}]
+        assert data["checks"] == [
+            {"name": "shape", "passed": True, "detail": "ok"}
+        ]
+
+    def test_to_dict_is_json_serialisable(self):
+        import json
+
+        report = self._report([Check("shape", False)])
+        assert json.loads(json.dumps(report.to_dict()))["passed"] is False
+
+
+class TestRegistry:
+    def test_sixteen_experiments(self):
+        experiments = all_experiments()
+        assert [e.experiment_id for e in experiments] == [
+            f"E{i}" for i in range(1, 17)
+        ]
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e9").experiment_id == "E9"
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            get_experiment("E99")
+
+    def test_every_experiment_has_claim(self):
+        for experiment in all_experiments():
+            assert experiment.paper_claim
+            assert experiment.title
+
+
+class TestQuickRuns:
+    """Smoke-run the cheap experiments end-to-end in quick mode."""
+
+    def test_e5_quick_passes(self):
+        report = get_experiment("E5").run(quick=True)
+        assert report.rows
+        assert report.passed, report.render()
+
+    def test_e7_quick_passes(self):
+        report = get_experiment("E7").run(quick=True)
+        assert report.rows
+        assert report.passed, report.render()
+
+    def test_e11_quick_passes(self):
+        report = get_experiment("E11").run(quick=True)
+        assert report.passed, report.render()

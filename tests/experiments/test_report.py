@@ -1,0 +1,43 @@
+"""Tests for the EXPERIMENTS.md generator (repro.experiments.report)."""
+
+from repro.experiments.harness import Check, ExperimentReport
+from repro.experiments.report import generate_report, render_markdown
+
+
+def _report(experiment_id="E5", passed=True):
+    return ExperimentReport(
+        experiment_id=experiment_id,
+        title="a title",
+        paper_claim="a claim",
+        rows=[{"x": 1, "y": 2.5}],
+        checks=[Check("shape", passed, "details")],
+        notes=["a note"],
+    )
+
+
+class TestRenderMarkdown:
+    def test_contains_index_and_sections(self):
+        text = render_markdown([_report()], quick=True, elapsed=1.0)
+        assert "# EXPERIMENTS" in text
+        assert "| E5 | a title | **PASS** (1/1 checks) |" in text
+        assert "## E5: a title" in text
+        assert "**Paper claim.** a claim" in text
+        assert "- **PASS** shape — details" in text
+        assert "- *note:* a note" in text
+
+    def test_fail_marked(self):
+        text = render_markdown([_report(passed=False)], quick=False, elapsed=1.0)
+        assert "**FAIL**" in text
+
+    def test_quick_flag_recorded(self):
+        quick = render_markdown([_report()], quick=True, elapsed=1.0)
+        full = render_markdown([_report()], quick=False, elapsed=1.0)
+        assert "--quick" in quick
+        assert "--quick" not in full
+
+
+class TestGenerateReport:
+    def test_only_filter(self):
+        text = generate_report(quick=True, only=["E5"])
+        assert "## E5" in text
+        assert "## E1:" not in text

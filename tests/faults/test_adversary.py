@@ -1,0 +1,105 @@
+"""Unit tests for the adversary interface (repro.faults.adversary)."""
+
+import random
+
+import pytest
+
+from repro.faults.adversary import Adversary, CrashOrder, RoundView
+from repro.sim.message import Envelope, Message
+
+
+def _envelope(src=0, dst=1):
+    return Envelope(src=src, dst=dst, message=Message("X"), round_sent=1)
+
+
+class TestCrashOrder:
+    def test_drop_all(self):
+        order = CrashOrder.drop_all()
+        assert not order.keep(_envelope())
+
+    def test_keep_all(self):
+        order = CrashOrder.keep_all()
+        assert order.keep(_envelope())
+
+    def test_keep_destinations(self):
+        order = CrashOrder.keep_destinations({2, 3})
+        assert order.keep(_envelope(dst=2))
+        assert not order.keep(_envelope(dst=1))
+
+    def test_keep_fraction_zero_and_one(self):
+        rng = random.Random(0)
+        assert not CrashOrder.keep_fraction(0.0, rng).keep(_envelope())
+        assert CrashOrder.keep_fraction(1.0, rng).keep(_envelope())
+
+    def test_keep_fraction_validates(self):
+        with pytest.raises(ValueError):
+            CrashOrder.keep_fraction(1.5, random.Random(0))
+
+    def test_keep_fraction_is_random(self):
+        rng = random.Random(1)
+        order = CrashOrder.keep_fraction(0.5, rng)
+        outcomes = {order.keep(_envelope()) for _ in range(50)}
+        assert outcomes == {True, False}
+
+
+class TestRoundView:
+    def test_sending_faulty(self):
+        view = RoundView(
+            round=3,
+            n=8,
+            faulty_alive={1, 2, 3},
+            crashed={},
+            outboxes={1: [_envelope(src=1)], 3: []},
+        )
+        assert view.sending_faulty() == [1]
+
+    def test_budget_remaining_defaults_to_zero(self):
+        view = RoundView(round=1, n=8, faulty_alive=set(), crashed={}, outboxes={})
+        assert view.budget_remaining == 0
+
+    def test_budget_remaining_exposed_by_engine(self):
+        from repro.faults.adversary import Adversary
+        from repro.sim import Message, Network, Protocol
+
+        seen = []
+
+        class Recorder(Adversary):
+            def select_faulty(self, n, max_faulty, rng, inputs=None):
+                return {0, 1}
+
+            def plan_round(self, view, rng):
+                seen.append(view.budget_remaining)
+                return {}
+
+            def done(self, view):
+                return False
+
+        class Quiet(Protocol):
+            def __init__(self, u):
+                self.u = u
+
+            def on_round(self, ctx, inbox):
+                if self.u == 2 and ctx.round == 1:
+                    ctx.send(ctx.sample_nodes(1)[0], Message("X"))
+                ctx.idle()
+
+        network = Network(8, Quiet, adversary=Recorder(), max_faulty=5)
+        network.run(3)
+        assert seen and all(value == 3 for value in seen)  # 5 budget - 2 used
+
+
+class TestBaseAdversary:
+    def test_default_is_fault_free(self):
+        adversary = Adversary()
+        rng = random.Random(0)
+        assert adversary.select_faulty(16, 8, rng) == set()
+        view = RoundView(round=1, n=16, faulty_alive=set(), crashed={}, outboxes={})
+        assert adversary.plan_round(view, rng) == {}
+        assert adversary.done(view)
+
+    def test_done_waits_for_faulty(self):
+        view = RoundView(round=1, n=16, faulty_alive={3}, crashed={}, outboxes={})
+        assert not Adversary().done(view)
+
+    def test_name(self):
+        assert Adversary().name() == "Adversary"

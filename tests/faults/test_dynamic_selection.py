@@ -1,0 +1,87 @@
+"""Tests for adaptive-selection adversaries (CandidateHunter + engine
+support for corrupting nodes mid-run)."""
+
+import pytest
+
+from repro.core import elect_leader
+from repro.errors import SimulationError
+from repro.faults import CandidateHunter
+from repro.faults.adversary import Adversary, CrashOrder
+from repro.rng import seed_sequence
+from repro.sim import Message, Network, Protocol
+
+
+class Speaker(Protocol):
+    """Every node speaks in round 1."""
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+
+    def on_round(self, ctx, inbox):
+        if ctx.round == 1:
+            ctx.send(ctx.sample_nodes(1)[0], Message("HI"))
+        ctx.idle()
+
+
+class TestEngineDynamicSelection:
+    def test_budget_enforced_for_dynamic_adversary(self):
+        class GreedyHunter(Adversary):
+            dynamic_selection = True
+
+            def plan_round(self, view, rng):
+                if view.round != 1:
+                    return {}
+                return {
+                    u: CrashOrder.drop_all() for u in sorted(view.outboxes)
+                }
+
+        network = Network(16, Speaker, adversary=GreedyHunter(), max_faulty=4)
+        with pytest.raises(SimulationError):
+            network.run(3)
+
+    def test_static_adversary_still_rejected_off_set(self):
+        class Cheater(Adversary):
+            def plan_round(self, view, rng):
+                if view.round == 1:
+                    return {0: CrashOrder.drop_all()}
+                return {}
+
+        network = Network(16, Speaker, adversary=Cheater(), max_faulty=4)
+        with pytest.raises(SimulationError):
+            network.run(3)
+
+    def test_corrupted_nodes_join_faulty_set(self):
+        network = Network(16, Speaker, adversary=CandidateHunter(), max_faulty=4)
+        result = network.run(4)
+        assert len(result.faulty) == 4
+        assert set(result.crashed) == result.faulty
+
+
+class TestCandidateHunter:
+    def test_kills_election_when_budget_covers_committee(self, fast_params):
+        params = fast_params(96)  # committee ~27 < budget 48
+        failures = sum(
+            not elect_leader(
+                n=96, alpha=0.5, seed=seed, adversary="hunter", params=params
+            ).success
+            for seed in seed_sequence(1, 6)
+        )
+        assert failures >= 5
+
+    def test_harmless_with_tiny_budget(self, fast_params):
+        params = fast_params(96)
+        ok = sum(
+            elect_leader(
+                n=96, alpha=0.5, seed=seed, adversary="hunter",
+                params=params, faulty_count=2,
+            ).success
+            for seed in seed_sequence(2, 6)
+        )
+        assert ok >= 5
+
+    def test_validates_rounds(self):
+        with pytest.raises(ValueError):
+            CandidateHunter(rounds=0)
+
+    def test_name(self):
+        assert CandidateHunter(rounds=2).name() == "candidate-hunter@2"

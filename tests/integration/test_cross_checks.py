@@ -1,0 +1,87 @@
+"""Cross-cutting consistency checks: metrics vs trace vs results.
+
+For every (protocol, adversary) pair, a traced run must satisfy the model
+validator, and the numbers reported through three independent channels —
+Metrics counters, the Trace event log, and the result object — must agree.
+"""
+
+import pytest
+
+from repro.core import agree, elect_leader
+from repro.core.agreement import MSG_VALUE
+from repro.core.leader_election import MSG_LIST, MSG_RANK
+from repro.sim import RunResult, validate_run
+
+ADVERSARIES = ["none", "eager", "random", "staggered", "split", "adaptive"]
+
+
+def _as_run(result):
+    return RunResult(
+        n=result.n,
+        protocols=[],
+        metrics=result.metrics,
+        trace=result.trace,
+        faulty=result.faulty,
+        crashed=result.crashed,
+        rounds=result.rounds,
+    )
+
+
+@pytest.mark.parametrize("adversary", ADVERSARIES)
+def test_election_channels_agree(fast_params, adversary):
+    result = elect_leader(
+        n=96, alpha=0.5, seed=5, adversary=adversary,
+        params=fast_params(96), collect_trace=True,
+    )
+    assert validate_run(_as_run(result)) == []
+    assert result.trace.message_count() == result.messages
+    assert len(list(result.trace.crashes())) == result.metrics.crashes == len(
+        result.crashed
+    )
+
+
+@pytest.mark.parametrize("adversary", ADVERSARIES)
+def test_agreement_channels_agree(fast_params, adversary):
+    result = agree(
+        n=96, alpha=0.5, inputs="mixed", seed=6, adversary=adversary,
+        params=fast_params(96), collect_trace=True,
+    )
+    assert validate_run(_as_run(result)) == []
+    assert result.trace.message_count() == result.messages
+
+
+def test_election_message_kind_distribution(fast_params):
+    """The per-kind counts must match the protocol's phase structure."""
+    params = fast_params(96)
+    result = elect_leader(
+        n=96, alpha=0.5, seed=7, adversary="none", params=params
+    )
+    kinds = result.metrics.per_kind_messages
+    committee = result.committee_size
+    # Registration: exactly |C| * referee_count RANK messages.
+    assert kinds[MSG_RANK] == committee * params.referee_count
+    # Every other kind appears, and LIST forwarding dominates (the
+    # alpha^{5/2} term of Theorem 4.1 comes from the rank lists).
+    assert kinds[MSG_LIST] > kinds[MSG_RANK]
+    assert set(kinds) == {MSG_RANK, MSG_LIST, "LE_PROP", "LE_AGG", "LE_CONF"}
+
+
+def test_agreement_message_kind_distribution(fast_params):
+    params = fast_params(96)
+    result = agree(
+        n=96, alpha=0.5, inputs="all1", seed=8, adversary="none", params=params
+    )
+    kinds = result.metrics.per_kind_messages
+    # All-1 inputs: registrations only, no zero ever propagates.
+    assert set(kinds) == {MSG_VALUE}
+    assert kinds[MSG_VALUE] == result.committee_size * params.referee_count
+
+
+def test_per_node_sent_totals(fast_params):
+    result = elect_leader(
+        n=96, alpha=0.5, seed=9, adversary="random", params=fast_params(96)
+    )
+    assert sum(result.metrics.per_node_sent.values()) == result.messages
+    # Every candidate sent at least its referee registrations.
+    for candidate in result.candidates_all:
+        assert result.metrics.per_node_sent.get(candidate, 0) > 0

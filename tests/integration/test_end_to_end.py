@@ -1,0 +1,91 @@
+"""End-to-end integration tests with the paper's constants.
+
+Slower than the unit suite (paper-sized committees and referee sets) but
+they exercise the exact configuration the theorems describe.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import (
+    agree,
+    agree_explicit,
+    elect_leader,
+    elect_leader_explicit,
+)
+from repro.lowerbound.bounds import agreement_upper_bound, le_upper_bound
+from repro.rng import seed_sequence
+
+
+class TestPaperConstantsLeaderElection:
+    @pytest.mark.parametrize("adversary", ["random", "adaptive", "staggered"])
+    def test_election_succeeds(self, adversary):
+        for seed in seed_sequence(71, 3):
+            result = elect_leader(n=128, alpha=0.5, seed=seed, adversary=adversary)
+            assert result.success, (adversary, seed)
+
+    def test_low_alpha_tolerates_many_faults(self):
+        result = elect_leader(n=128, alpha=0.25, seed=72, adversary="random")
+        assert result.success
+        assert len(result.faulty) == 96  # 3n/4 faulty nodes
+
+    def test_messages_track_theorem_bound(self):
+        small = elect_leader(n=128, alpha=0.5, seed=73, adversary="none").messages
+        large = elect_leader(n=512, alpha=0.5, seed=73, adversary="none").messages
+        predicted = le_upper_bound(512, 0.5) / le_upper_bound(128, 0.5)
+        assert large / small == pytest.approx(predicted, rel=0.6)
+
+
+class TestPaperConstantsAgreement:
+    @pytest.mark.parametrize("pattern", ["all0", "all1", "mixed", "single0"])
+    def test_agreement_succeeds(self, pattern):
+        for seed in seed_sequence(74, 3):
+            result = agree(
+                n=256, alpha=0.5, inputs=pattern, seed=seed, adversary="random"
+            )
+            assert result.success, (pattern, seed)
+
+    def test_messages_track_theorem_bound(self):
+        small = agree(n=256, alpha=0.5, inputs="mixed", seed=75).messages
+        large = agree(n=1024, alpha=0.5, inputs="mixed", seed=75).messages
+        predicted = agreement_upper_bound(1024, 0.5) / agreement_upper_bound(256, 0.5)
+        assert large / small == pytest.approx(predicted, rel=0.6)
+
+    def test_very_low_alpha(self):
+        # alpha = 16/n region: tolerate n - log^2 n faults (the paper's
+        # resilience ceiling).
+        n = 256
+        import math
+
+        alpha = (math.log(n) ** 2) / n * 1.05
+        result = agree(n=n, alpha=alpha, inputs="mixed", seed=76, adversary="random")
+        assert result.success
+        assert len(result.faulty) >= n - 2 * math.ceil(math.log(n) ** 2)
+
+
+class TestExplicitEndToEnd:
+    def test_explicit_election(self):
+        result = elect_leader_explicit(n=128, alpha=0.5, seed=77, adversary="random")
+        assert result.success
+        assert result.knowledge_fraction > 0.99
+
+    def test_explicit_agreement(self):
+        result = agree_explicit(
+            n=128, alpha=0.5, inputs="mixed", seed=78, adversary="random"
+        )
+        assert result.explicit_success
+
+
+class TestCliSubprocess:
+    def test_module_invocation(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "elect", "--n", "96", "--seed", "1",
+             "--adversary", "staggered"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "leader election" in completed.stdout

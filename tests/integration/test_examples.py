@@ -1,0 +1,38 @@
+"""Every example script must run end-to-end (small sizes)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+#: script -> small-size argv keeping each run in the seconds range.
+CASES = {
+    "quickstart.py": ["96"],
+    "permissionless_committee.py": ["256"],
+    "adversary_gauntlet.py": ["96", "0.5", "2"],
+    "scaling_study.py": ["256"],
+    "lowerbound_explorer.py": ["128"],
+    "byzantine_frontier.py": ["96", "3"],
+    "general_graphs_tour.py": ["100"],
+    "rolling_epochs.py": ["96", "3"],
+}
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES), "new example? add it to CASES"
+
+
+@pytest.mark.parametrize("script,args", sorted(CASES.items()))
+def test_example_runs(script, args):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must print their findings"

@@ -1,0 +1,50 @@
+"""Unit tests for the bound formulas (repro.lowerbound.bounds)."""
+
+import math
+
+import pytest
+
+from repro.lowerbound.bounds import (
+    agreement_upper_bound,
+    le_upper_bound,
+    lower_bound_messages,
+    min_initiators,
+    success_probability_threshold,
+)
+
+
+class TestFormulas:
+    def test_lower_bound_value(self):
+        assert lower_bound_messages(1024, 0.25) == pytest.approx(32 / 0.25**1.5)
+
+    def test_lower_bound_grows_with_faults(self):
+        assert lower_bound_messages(1024, 0.1) > lower_bound_messages(1024, 0.9)
+
+    def test_ordering_lower_below_agreement_below_le(self):
+        for n in (256, 4096):
+            for alpha in (0.1, 0.5, 1.0):
+                lb = lower_bound_messages(n, alpha)
+                ag = agreement_upper_bound(n, alpha)
+                le = le_upper_bound(n, alpha)
+                assert lb < ag < le
+
+    def test_gap_is_polylog(self):
+        # agreement bound / lower bound == log^{3/2} n exactly.
+        n, alpha = 4096, 0.5
+        ratio = agreement_upper_bound(n, alpha) / lower_bound_messages(n, alpha)
+        assert ratio == pytest.approx(math.log(n) ** 1.5)
+
+    def test_min_initiators(self):
+        assert min_initiators(0.5) == 1.0
+        assert min_initiators(0.05) == 10.0
+
+    def test_threshold_is_two_over_e(self):
+        assert success_probability_threshold() == pytest.approx(2 / math.e)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lower_bound_messages(1, 0.5)
+        with pytest.raises(ValueError):
+            lower_bound_messages(64, 0.0)
+        with pytest.raises(ValueError):
+            min_initiators(0.0)

@@ -1,0 +1,54 @@
+"""Tests for budget-capped runs (repro.lowerbound.budget)."""
+
+import pytest
+
+from repro.lowerbound.budget import (
+    budget_curve,
+    run_budgeted_agreement,
+    run_budgeted_election,
+)
+
+
+class TestBudgetedRuns:
+    def test_budget_respected_for_agreement(self):
+        result = run_budgeted_agreement(96, 0.5, budget=50, seed=1)
+        assert result.messages <= 50
+
+    def test_budget_respected_for_election(self):
+        result = run_budgeted_election(96, 0.5, budget=50, seed=1)
+        assert result.messages <= 50
+
+    def test_zero_budget_sends_nothing(self):
+        result = run_budgeted_agreement(96, 0.5, budget=0, seed=2)
+        assert result.messages == 0
+
+    def test_huge_budget_is_no_op(self):
+        capped = run_budgeted_agreement(96, 0.5, budget=10**9, seed=3)
+        from repro.core import agree
+
+        free = agree(n=96, alpha=0.5, inputs="mixed", seed=3, adversary="random")
+        assert capped.messages == free.messages
+        assert capped.success == free.success
+
+
+class TestBudgetCurve:
+    def test_curve_shape(self):
+        curve = budget_curve(
+            "agreement", n=96, alpha=0.5, multipliers=[0.1, 50.0],
+            trials=5, master_seed=4,
+        )
+        assert set(curve) == {0.1, 50.0}
+        starved = curve[0.1]
+        ample = curve[50.0]
+        assert starved.rate <= ample.rate
+
+    def test_unit_override(self):
+        curve = budget_curve(
+            "agreement", n=96, alpha=0.5, multipliers=[1.0],
+            trials=3, master_seed=5, unit=10.0,
+        )
+        assert 1.0 in curve
+
+    def test_unknown_problem_rejected(self):
+        with pytest.raises(ValueError):
+            budget_curve("sorting", n=96, alpha=0.5, multipliers=[1.0])

@@ -1,0 +1,79 @@
+"""Unit tests for influence clouds (repro.lowerbound.clouds)."""
+
+from repro.lowerbound.clouds import find_initiators, influence_clouds
+from repro.sim.trace import Trace, TraceEvent
+
+
+def _delivered(trace, src, dst, round_):
+    trace.record(TraceEvent(round=round_, kind="send", src=src, dst=dst, message_kind="X"))
+    trace.record(
+        TraceEvent(round=round_, kind="deliver", src=src, dst=dst, message_kind="X")
+    )
+
+
+class TestInitiators:
+    def test_spontaneous_sender_is_initiator(self):
+        trace = Trace()
+        _delivered(trace, 0, 1, 1)
+        assert find_initiators(trace) == [0]
+
+    def test_reactive_sender_is_not_initiator(self):
+        # Node 1 receives in round 1 (available round 2), replies round 2.
+        trace = Trace()
+        _delivered(trace, 0, 1, 1)
+        _delivered(trace, 1, 0, 2)
+        assert find_initiators(trace) == [0]
+
+    def test_concurrent_initiators(self):
+        trace = Trace()
+        _delivered(trace, 0, 2, 1)
+        _delivered(trace, 1, 3, 1)
+        assert find_initiators(trace) == [0, 1]
+
+    def test_silent_nodes_are_not_initiators(self):
+        trace = Trace()
+        _delivered(trace, 0, 1, 1)
+        assert 1 not in find_initiators(trace)
+
+
+class TestInfluenceClouds:
+    def test_cloud_is_reachable_set(self):
+        trace = Trace()
+        _delivered(trace, 0, 1, 1)
+        _delivered(trace, 1, 2, 2)
+        decomposition = influence_clouds(trace, n=8)
+        assert decomposition.clouds[0] == {0, 1, 2}
+
+    def test_disjoint_clouds(self):
+        trace = Trace()
+        _delivered(trace, 0, 1, 1)
+        _delivered(trace, 4, 5, 1)
+        decomposition = influence_clouds(trace, n=8)
+        assert decomposition.smallest_disjoint is True
+        assert decomposition.cloud_sizes() == [2, 2]
+
+    def test_merged_clouds_detected(self):
+        trace = Trace()
+        _delivered(trace, 0, 2, 1)
+        _delivered(trace, 1, 2, 1)  # both initiators reach node 2
+        decomposition = influence_clouds(trace, n=8)
+        assert decomposition.smallest_disjoint is False
+
+    def test_empty_trace(self):
+        decomposition = influence_clouds(Trace(), n=8)
+        assert decomposition.initiators == []
+        assert decomposition.smallest_cloud is None
+        assert decomposition.smallest_disjoint is None
+
+    def test_on_real_agreement_run(self, fast_params):
+        from repro.core import agree
+        from repro.lowerbound.bounds import min_initiators
+
+        result = agree(
+            n=96, alpha=0.5, inputs="mixed", seed=3, adversary="random",
+            params=fast_params(96), collect_trace=True,
+        )
+        decomposition = influence_clouds(result.trace, n=96)
+        # Initiators are exactly the candidates that got a registration out.
+        assert len(decomposition.initiators) >= min_initiators(0.5)
+        assert set(decomposition.initiators) <= set(result.candidates_all)

@@ -1,0 +1,85 @@
+"""Unit tests for communication graphs (repro.lowerbound.comm_graph)."""
+
+from repro.lowerbound.comm_graph import CommunicationGraph, communication_graph
+from repro.sim.trace import Trace, TraceEvent
+
+
+def _trace(edges):
+    trace = Trace()
+    for src, dst, round_ in edges:
+        trace.record(
+            TraceEvent(round=round_, kind="send", src=src, dst=dst, message_kind="X")
+        )
+        trace.record(
+            TraceEvent(round=round_, kind="deliver", src=src, dst=dst, message_kind="X")
+        )
+    return trace
+
+
+class TestConstruction:
+    def test_from_trace(self):
+        graph = communication_graph(_trace([(0, 1, 1), (1, 2, 2)]), n=4)
+        assert graph.edges == [(0, 1, 1), (1, 2, 2)]
+
+    def test_only_delivered_messages_count(self):
+        trace = Trace()
+        trace.record(TraceEvent(round=1, kind="send", src=0, dst=1, message_kind="X"))
+        trace.record(TraceEvent(round=1, kind="drop", src=0, dst=1, message_kind="X"))
+        graph = communication_graph(trace, n=4)
+        assert graph.edges == []
+
+    def test_communicating_nodes(self):
+        graph = CommunicationGraph(n=8, edges=[(0, 1, 1), (2, 3, 1)])
+        assert graph.nodes_communicating == {0, 1, 2, 3}
+
+
+class TestComponents:
+    def test_undirected_components(self):
+        graph = CommunicationGraph(
+            n=8, edges=[(0, 1, 1), (1, 2, 1), (4, 5, 1)]
+        )
+        components = sorted(
+            sorted(component) for component in graph.undirected_components()
+        )
+        assert components == [[0, 1, 2], [4, 5]]
+
+    def test_successors(self):
+        graph = CommunicationGraph(n=4, edges=[(0, 1, 1), (0, 2, 1), (0, 1, 2)])
+        assert graph.successors() == {0: {1, 2}}
+
+
+class TestFirstContact:
+    def test_keeps_earlier_direction(self):
+        graph = CommunicationGraph(n=4, edges=[(0, 1, 1), (1, 0, 3)])
+        fc = graph.first_contact_graph()
+        assert fc.edges == [(0, 1, 1)]
+
+    def test_simultaneous_contact_drops_both(self):
+        # Neither message strictly precedes the other.
+        graph = CommunicationGraph(n=4, edges=[(0, 1, 2), (1, 0, 2)])
+        assert graph.first_contact_graph().edges == []
+
+    def test_unrelated_edges_survive(self):
+        graph = CommunicationGraph(n=4, edges=[(0, 1, 1), (2, 3, 2)])
+        assert graph.first_contact_graph().edges == [(0, 1, 1), (2, 3, 2)]
+
+
+class TestForestShape:
+    def test_star_is_a_tree(self):
+        graph = CommunicationGraph(n=8, edges=[(0, 1, 1), (0, 2, 1), (0, 3, 1)])
+        assert graph.is_forest_of_out_trees()
+
+    def test_two_roots_fail(self):
+        # 0 -> 1 <- 2: node 1 has in-degree 2; component has two roots.
+        graph = CommunicationGraph(n=8, edges=[(0, 1, 1), (2, 1, 1)])
+        assert not graph.is_forest_of_out_trees()
+
+    def test_forest_of_two_trees(self):
+        graph = CommunicationGraph(
+            n=8, edges=[(0, 1, 1), (0, 2, 1), (4, 5, 1)]
+        )
+        assert graph.is_forest_of_out_trees()
+
+    def test_chain_is_a_tree(self):
+        graph = CommunicationGraph(n=8, edges=[(0, 1, 1), (1, 2, 2), (2, 3, 3)])
+        assert graph.is_forest_of_out_trees()

@@ -1,0 +1,53 @@
+"""Empirical check of Lemma 8's structural claim.
+
+Lemma 8 (Section V-B): a low-message execution's first-contact
+communication graph is, w.h.p., a forest of out-trees — the independent
+"deciding trees" whose uncoordinated decisions doom any algorithm that
+talks too little.  We verify the shape on budget-starved runs and its
+breakdown (merging clouds) on full-budget runs.
+"""
+
+import math
+
+from repro.core import agree
+from repro.lowerbound.comm_graph import communication_graph
+from repro.rng import seed_sequence
+
+N = 256
+
+
+def _graph(seed, budget):
+    result = agree(
+        n=N,
+        alpha=0.5,
+        inputs="mixed",
+        seed=seed,
+        adversary="none",
+        message_budget=budget,
+        collect_trace=True,
+    )
+    return communication_graph(result.trace, N).first_contact_graph()
+
+
+class TestForestShape:
+    def test_starved_runs_form_forests(self):
+        budget = max(2, int(math.sqrt(N) / 2))
+        forests = sum(
+            _graph(seed, budget).is_forest_of_out_trees()
+            for seed in seed_sequence(31, 8)
+        )
+        assert forests >= 7  # w.h.p. per Lemma 8
+
+    def test_starved_runs_touch_few_nodes(self):
+        # B messages can influence at most 2B nodes (Lemma 5's counting).
+        budget = max(2, int(math.sqrt(N) / 2))
+        graph = _graph(32, budget)
+        assert len(graph.nodes_communicating) <= 2 * budget
+
+    def test_full_budget_merges_everything(self):
+        # With the full message budget the committee's clouds all merge:
+        # far from a forest, one giant strongly-intertwined component.
+        graph = _graph(33, budget=None)
+        assert not graph.is_forest_of_out_trees()
+        components = graph.undirected_components()
+        assert max(len(c) for c in components) > N / 2

@@ -1,0 +1,106 @@
+"""Property-based tests of the paper protocols' safety invariants.
+
+These hold on *every* execution (not just w.h.p.):
+
+* agreement validity: a decided bit is always some node's input
+  (Definition 2, condition 2 — structural in the protocol);
+* at most one *alive* node ends ELECTED whenever beliefs agree;
+* the adversary never crashes non-faulty nodes, and crash counts stay
+  within the fault budget;
+* budget-capped runs never exceed their cap.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import agree, elect_leader
+from repro.params import Params
+
+adversary_names = st.sampled_from(
+    ["none", "eager", "lazy", "random", "staggered", "split", "adaptive"]
+)
+
+
+def _params(n):
+    return Params(n=n, alpha=0.5, candidate_factor=2.0, referee_factor=1.0,
+                  iteration_factor=3.0)
+
+
+class TestAgreementSafety:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        adversary=adversary_names,
+        pattern=st.sampled_from(["all0", "all1", "mixed", "single0", "single1"]),
+    )
+    def test_validity_always_holds(self, seed, adversary, pattern):
+        result = agree(
+            n=64, alpha=0.5, inputs=pattern, seed=seed, adversary=adversary,
+            params=_params(64),
+        )
+        assert result.validity_holds
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        adversary=adversary_names,
+    )
+    def test_faulty_budget_respected(self, seed, adversary):
+        result = agree(
+            n=64, alpha=0.5, inputs="mixed", seed=seed, adversary=adversary,
+            params=_params(64),
+        )
+        assert len(result.faulty) <= Params(n=64, alpha=0.5).max_faulty
+        assert set(result.crashed) <= result.faulty
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        budget=st.integers(min_value=0, max_value=500),
+    )
+    def test_budget_never_exceeded(self, seed, budget):
+        result = agree(
+            n=64, alpha=0.5, inputs="mixed", seed=seed, adversary="random",
+            params=_params(64), message_budget=budget,
+        )
+        assert result.messages <= budget
+
+
+class TestElectionSafety:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        adversary=adversary_names,
+    )
+    def test_crashed_never_in_alive_elected(self, seed, adversary):
+        result = elect_leader(
+            n=64, alpha=0.5, seed=seed, adversary=adversary, params=_params(64)
+        )
+        assert not (set(result.elected_alive) & set(result.crashed))
+        assert not (set(result.candidates_alive) & set(result.crashed))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        adversary=adversary_names,
+    )
+    def test_success_implies_unique_winner(self, seed, adversary):
+        result = elect_leader(
+            n=64, alpha=0.5, seed=seed, adversary=adversary, params=_params(64)
+        )
+        if result.strict_success:
+            assert len(result.elected_alive) == 1
+        if result.success and not result.strict_success:
+            assert len(result.elected_crashed) == 1
+            assert not result.elected_alive
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_beliefs_only_from_drawn_ranks(self, seed):
+        result = elect_leader(
+            n=64, alpha=0.5, seed=seed, adversary="random", params=_params(64)
+        )
+        all_ranks = set(result.ranks.values())
+        for belief in result.beliefs.values():
+            if belief is not None:
+                assert belief in all_ranks

@@ -1,0 +1,119 @@
+"""Property-based tests of engine invariants.
+
+Random 'scatter' protocols send random fan-outs under random crash
+adversaries; whatever happens, the engine's conservation laws must hold:
+
+* every wire message is delivered, dropped, or evaporated (dead receiver);
+* the CONGEST invariant: per round, at most one message per ordered edge;
+* seeds fully determine the run.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.strategies import EagerCrash, RandomCrash, StaggeredCrash
+from repro.sim import Message, Network, Protocol
+
+
+class Scatter(Protocol):
+    """Sends a random fan-out for the first few rounds, echoes afterwards."""
+
+    def __init__(self, node_id, fanout, chatty_rounds):
+        self.node_id = node_id
+        self.fanout = fanout
+        self.chatty_rounds = chatty_rounds
+
+    def on_round(self, ctx, inbox):
+        for delivery in inbox:
+            if delivery.kind == "PING":
+                ctx.send(delivery.sender, Message("PONG"))
+        if ctx.round <= self.chatty_rounds and ctx.rng.random() < 0.5:
+            for dst in ctx.sample_nodes(self.fanout):
+                ctx.send(dst, Message("PING"))
+        else:
+            ctx.idle()
+
+
+def _run(seed, n, fanout, chatty_rounds, adversary):
+    network = Network(
+        n,
+        lambda u: Scatter(u, fanout, chatty_rounds),
+        seed=seed,
+        adversary=adversary,
+        max_faulty=n // 2,
+        collect_trace=True,
+    )
+    return network.run(chatty_rounds + 10)
+
+
+adversaries = st.sampled_from(
+    [
+        lambda: EagerCrash(),
+        lambda: RandomCrash(horizon=6),
+        lambda: StaggeredCrash(period=2),
+    ]
+)
+
+
+class TestConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=4, max_value=32),
+        fanout=st.integers(min_value=1, max_value=3),
+        make_adversary=adversaries,
+    )
+    def test_every_sent_message_is_accounted(self, seed, n, fanout, make_adversary):
+        result = _run(seed, n, fanout, 4, make_adversary())
+        metrics = result.metrics
+        evaporated = (
+            metrics.messages_sent
+            - metrics.messages_delivered
+            - metrics.messages_dropped
+        )
+        assert evaporated >= 0  # only dead receivers eat messages
+        assert metrics.messages_delivered >= 0
+        # Evaporation requires crashes.
+        if not result.crashed:
+            assert evaporated == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=4, max_value=32),
+        fanout=st.integers(min_value=1, max_value=3),
+        make_adversary=adversaries,
+    )
+    def test_congest_one_message_per_edge_per_round(
+        self, seed, n, fanout, make_adversary
+    ):
+        result = _run(seed, n, fanout, 4, make_adversary())
+        seen = set()
+        for event in result.trace.sends():
+            key = (event.round, event.src, event.dst)
+            assert key not in seen, "two messages on one edge in one round"
+            seen.add(key)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=4, max_value=24),
+    )
+    def test_seed_determinism(self, seed, n):
+        a = _run(seed, n, 2, 3, RandomCrash(horizon=5))
+        b = _run(seed, n, 2, 3, RandomCrash(horizon=5))
+        assert a.metrics.summary() == b.metrics.summary()
+        assert a.crashed == b.crashed
+        assert a.faulty == b.faulty
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=4, max_value=24),
+    )
+    def test_crashed_nodes_send_nothing_after_crash(self, seed, n):
+        result = _run(seed, n, 2, 3, RandomCrash(horizon=5))
+        for event in result.trace.sends():
+            crash_round = result.crashed.get(event.src)
+            if crash_round is not None:
+                assert event.round <= crash_round

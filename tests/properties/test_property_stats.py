@@ -1,0 +1,73 @@
+"""Property-based tests for the statistics and fitting helpers."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.complexity import fit_power_law
+from repro.analysis.stats import wilson_interval
+from repro.rng import derive_seed
+
+
+class TestWilsonProperties:
+    @given(
+        trials=st.integers(min_value=1, max_value=10_000),
+        data=st.data(),
+    )
+    def test_interval_always_contains_estimate(self, trials, data):
+        successes = data.draw(st.integers(min_value=0, max_value=trials))
+        lo, hi = wilson_interval(successes, trials)
+        assert 0.0 <= lo <= successes / trials <= hi <= 1.0
+
+    @given(
+        successes=st.integers(min_value=0, max_value=100),
+    )
+    def test_more_trials_never_widen(self, successes):
+        lo1, hi1 = wilson_interval(successes, 100)
+        lo2, hi2 = wilson_interval(successes * 10, 1000)
+        assert (hi2 - lo2) <= (hi1 - lo1) + 1e-12
+
+
+class TestPowerLawProperties:
+    @settings(max_examples=50)
+    @given(
+        exponent=st.floats(min_value=-2.0, max_value=3.0),
+        prefactor=st.floats(min_value=0.01, max_value=1000.0),
+    )
+    def test_fit_recovers_synthetic_law(self, exponent, prefactor):
+        xs = [4.0, 16.0, 64.0, 256.0]
+        ys = [prefactor * x**exponent for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert math.isclose(fit.exponent, exponent, abs_tol=1e-6)
+        assert math.isclose(fit.prefactor, prefactor, rel_tol=1e-5)
+
+    @settings(max_examples=30)
+    @given(scale=st.floats(min_value=0.5, max_value=100.0))
+    def test_scaling_ys_only_changes_prefactor(self, scale):
+        xs = [2.0, 8.0, 32.0]
+        ys = [x**1.5 for x in xs]
+        base = fit_power_law(xs, ys)
+        scaled = fit_power_law(xs, [scale * y for y in ys])
+        assert math.isclose(base.exponent, scaled.exponent, abs_tol=1e-9)
+        assert math.isclose(scaled.prefactor, scale * base.prefactor, rel_tol=1e-6)
+
+
+class TestSeedDerivationProperties:
+    @settings(max_examples=100)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**63),
+        labels=st.lists(
+            st.one_of(st.integers(), st.text(max_size=10)), max_size=4
+        ),
+    )
+    def test_stable_and_in_range(self, seed, labels):
+        a = derive_seed(seed, *labels)
+        b = derive_seed(seed, *labels)
+        assert a == b
+        assert 0 <= a < 2**64
+
+    @settings(max_examples=100)
+    @given(seed=st.integers(min_value=0, max_value=2**32))
+    def test_label_changes_seed(self, seed):
+        assert derive_seed(seed, "a") != derive_seed(seed, "b")

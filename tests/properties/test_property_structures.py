@@ -1,0 +1,142 @@
+"""Property-based tests of the core data structures.
+
+Messages, traces, communication graphs, influence clouds, and the table
+renderer must behave on *arbitrary* well-typed inputs, not just the ones
+the protocols happen to produce.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.tables import format_table
+from repro.lowerbound.clouds import find_initiators, influence_clouds
+from repro.lowerbound.comm_graph import CommunicationGraph
+from repro.sim.message import Message, payload_bits
+from repro.sim.trace import Trace, TraceEvent
+
+fields = st.tuples() | st.tuples(st.integers(0, 2**40) | st.none()) | st.tuples(
+    st.integers(0, 2**40) | st.none(), st.integers(0, 2**40) | st.none()
+)
+
+
+class TestMessageProperties:
+    @given(kind=st.text(min_size=1, max_size=8), fs=fields)
+    def test_bits_positive_and_stable(self, kind, fs):
+        message = Message(kind, fs)
+        assert message.bits >= 8
+        assert message.bits == payload_bits(message)
+
+    @given(value=st.integers(min_value=0, max_value=2**60))
+    def test_bits_monotone_in_value(self, value):
+        small = Message("X", (value,)).bits
+        large = Message("X", (value * 2 + 2,)).bits
+        assert large >= small
+
+    @given(fs=fields)
+    def test_equal_messages_hash_equal(self, fs):
+        assert hash(Message("K", fs)) == hash(Message("K", fs))
+
+
+edges = st.lists(
+    st.tuples(
+        st.integers(0, 15), st.integers(0, 15), st.integers(1, 20)
+    ).filter(lambda e: e[0] != e[1]),
+    max_size=30,
+)
+
+
+def _trace_from_edges(edge_list):
+    trace = Trace()
+    for src, dst, round_ in sorted(edge_list, key=lambda e: e[2]):
+        trace.record(
+            TraceEvent(round=round_, kind="send", src=src, dst=dst, message_kind="X")
+        )
+        trace.record(
+            TraceEvent(round=round_, kind="deliver", src=src, dst=dst, message_kind="X")
+        )
+    return trace
+
+
+class TestCommunicationGraphProperties:
+    @settings(max_examples=60)
+    @given(edge_list=edges)
+    def test_components_partition_communicating_nodes(self, edge_list):
+        graph = CommunicationGraph(n=16, edges=sorted(edge_list, key=lambda e: e[2]))
+        components = graph.undirected_components()
+        covered = set()
+        for component in components:
+            assert not (component & covered), "components must be disjoint"
+            covered |= component
+        assert covered == graph.nodes_communicating
+
+    @settings(max_examples=60)
+    @given(edge_list=edges)
+    def test_first_contact_is_antisymmetric(self, edge_list):
+        graph = CommunicationGraph(n=16, edges=sorted(edge_list, key=lambda e: e[2]))
+        fc = graph.first_contact_graph()
+        directed = {(src, dst) for src, dst, _ in fc.edges}
+        assert not any((dst, src) in directed for src, dst in directed)
+
+    @settings(max_examples=60)
+    @given(edge_list=edges)
+    def test_first_contact_is_subgraph(self, edge_list):
+        graph = CommunicationGraph(n=16, edges=sorted(edge_list, key=lambda e: e[2]))
+        original = {(src, dst) for src, dst, _ in graph.edges}
+        for src, dst, _ in graph.first_contact_graph().edges:
+            assert (src, dst) in original
+
+
+class TestInfluenceCloudProperties:
+    @settings(max_examples=60)
+    @given(edge_list=edges)
+    def test_clouds_contain_their_initiators(self, edge_list):
+        trace = _trace_from_edges(edge_list)
+        decomposition = influence_clouds(trace, n=16)
+        for initiator, cloud in decomposition.clouds.items():
+            assert initiator in cloud
+
+    @settings(max_examples=60)
+    @given(edge_list=edges)
+    def test_initiators_sent_something(self, edge_list):
+        trace = _trace_from_edges(edge_list)
+        senders = {event.src for event in trace.sends()}
+        assert set(find_initiators(trace)) <= senders
+
+    @settings(max_examples=60)
+    @given(edge_list=edges)
+    def test_union_of_clouds_covers_all_delivered_receivers_of_initiators(
+        self, edge_list
+    ):
+        trace = _trace_from_edges(edge_list)
+        decomposition = influence_clouds(trace, n=16)
+        union = set()
+        for cloud in decomposition.clouds.values():
+            union |= cloud
+        assert set(decomposition.initiators) <= union
+
+
+table_rows = st.lists(
+    st.dictionaries(
+        keys=st.sampled_from(["a", "b", "c"]),
+        values=st.integers(-10**6, 10**6)
+        | st.floats(allow_nan=False, allow_infinity=False, width=32)
+        | st.booleans()
+        | st.text(max_size=12),
+        min_size=1,
+        max_size=3,
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestTableProperties:
+    @settings(max_examples=60)
+    @given(rows=table_rows)
+    def test_renders_without_crashing_and_aligns(self, rows):
+        text = format_table(rows, columns=["a", "b", "c"])
+        lines = text.splitlines()
+        body = lines[2:]
+        assert len(body) == len(rows)
+        # All rendered rows share the header's width or less (ljust pads).
+        assert all(len(line) <= len(lines[0]) + 2 for line in body)

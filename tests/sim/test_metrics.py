@@ -1,0 +1,54 @@
+"""Unit tests for metric accounting (repro.sim.metrics)."""
+
+from repro.sim.metrics import Metrics
+
+
+class TestMetrics:
+    def test_record_send_counts_messages_and_bits(self):
+        metrics = Metrics()
+        metrics.begin_round()
+        metrics.record_send(0, "X", 16)
+        metrics.record_send(1, "X", 16)
+        metrics.record_send(0, "Y", 8)
+        assert metrics.messages_sent == 3
+        assert metrics.bits_sent == 40
+        assert metrics.per_kind_messages == {"X": 2, "Y": 1}
+        assert metrics.per_node_sent == {0: 2, 1: 1}
+
+    def test_per_round_series(self):
+        metrics = Metrics()
+        metrics.begin_round()
+        metrics.record_send(0, "X", 8)
+        metrics.begin_round()
+        metrics.record_send(0, "X", 8)
+        metrics.record_send(0, "X", 8)
+        assert metrics.per_round_messages == [1, 2]
+        assert metrics.max_round_messages == 2
+
+    def test_delivery_and_drop_counters(self):
+        metrics = Metrics()
+        metrics.record_delivery()
+        metrics.record_drop()
+        metrics.record_drop()
+        assert metrics.messages_delivered == 1
+        assert metrics.messages_dropped == 2
+
+    def test_crash_counter(self):
+        metrics = Metrics()
+        metrics.record_crash()
+        assert metrics.crashes == 1
+
+    def test_summary_keys(self):
+        summary = Metrics().summary()
+        assert {
+            "messages_sent",
+            "messages_delivered",
+            "messages_dropped",
+            "bits_sent",
+            "rounds",
+            "rounds_executed",
+            "crashes",
+        } == set(summary)
+
+    def test_max_round_messages_empty(self):
+        assert Metrics().max_round_messages == 0

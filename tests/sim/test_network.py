@@ -1,0 +1,363 @@
+"""Engine semantics tests (repro.sim.network): synchrony, CONGEST FIFO,
+crash handling, fast-forward, budgets, determinism."""
+
+import pytest
+
+from repro.errors import BudgetExceeded, CongestViolation, SimulationError
+from repro.faults.adversary import Adversary, CrashOrder
+from repro.faults.strategies import EagerCrash, LazyCrash
+from repro.params import CongestBudget
+from repro.sim import Message, Network, Protocol
+from repro.types import Knowledge
+
+
+class Chatter(Protocol):
+    """Node 0 sends `count` messages to node 1 in round 1; others idle."""
+
+    def __init__(self, node_id, count=1, kind="X"):
+        self.node_id = node_id
+        self.count = count
+        self.kind = kind
+        self.received = []
+
+    def on_round(self, ctx, inbox):
+        for delivery in inbox:
+            self.received.append((ctx.round, delivery.kind, delivery.fields))
+        if self.node_id == 0 and ctx.round == 1:
+            ctx.learn(1)
+            for i in range(self.count):
+                ctx.send(1, Message(self.kind, (i,)))
+        ctx.idle()
+
+
+class TestSynchrony:
+    def test_message_arrives_next_round(self):
+        network = Network(4, lambda u: Chatter(u))
+        result = network.run(5)
+        receiver = result.protocol(1)
+        assert receiver.received == [(2, "X", (0,))]
+
+    def test_congest_fifo_one_message_per_edge_per_round(self):
+        # 3 messages on the same edge take 3 consecutive rounds.
+        network = Network(4, lambda u: Chatter(u, count=3))
+        result = network.run(6)
+        receiver = result.protocol(1)
+        assert [r for (r, _, _) in receiver.received] == [2, 3, 4]
+        assert [f for (_, _, f) in receiver.received] == [(0,), (1,), (2,)]
+
+    def test_distinct_edges_transmit_in_parallel(self):
+        class Fanout(Protocol):
+            def __init__(self, u):
+                self.u = u
+                self.arrivals = []
+
+            def on_round(self, ctx, inbox):
+                self.arrivals.extend(ctx.round for _ in inbox)
+                if self.u == 0 and ctx.round == 1:
+                    for dst in (1, 2, 3):
+                        ctx.learn(dst)
+                        ctx.send(dst, Message("X"))
+                ctx.idle()
+
+        network = Network(4, Fanout)
+        result = network.run(4)
+        for dst in (1, 2, 3):
+            assert result.protocol(dst).arrivals == [2]
+
+    def test_max_round_messages_respects_congest(self):
+        network = Network(4, lambda u: Chatter(u, count=5))
+        result = network.run(8)
+        # One edge in use: at most 1 message per round hits the wire.
+        assert result.metrics.max_round_messages == 1
+
+
+class TestCongestEnforcement:
+    def test_oversized_message_rejected(self):
+        class Oversized(Protocol):
+            def __init__(self, u):
+                self.u = u
+
+            def on_round(self, ctx, inbox):
+                if self.u == 0:
+                    ctx.learn(1)
+                    ctx.send(1, Message("X", (2 ** 400,)))
+                ctx.idle()
+
+        network = Network(8, Oversized)
+        with pytest.raises(CongestViolation):
+            network.run(2)
+
+    def test_enforcement_can_be_disabled(self):
+        class Oversized(Protocol):
+            def __init__(self, u):
+                self.u = u
+
+            def on_round(self, ctx, inbox):
+                if self.u == 0 and ctx.round == 1:
+                    ctx.learn(1)
+                    ctx.send(1, Message("X", (2 ** 400,)))
+                ctx.idle()
+
+        network = Network(8, Oversized, enforce_congest=False)
+        assert network.run(3).metrics.messages_sent == 1
+
+
+class TestCrashSemantics:
+    def test_adversary_cannot_crash_nonfaulty(self):
+        class BadAdversary(Adversary):
+            def select_faulty(self, n, max_faulty, rng, inputs=None):
+                return {0}
+
+            def plan_round(self, view, rng):
+                return {1: CrashOrder.drop_all()}  # 1 is not faulty
+
+        network = Network(4, lambda u: Chatter(u), adversary=BadAdversary(), max_faulty=1)
+        with pytest.raises(SimulationError):
+            network.run(3)
+
+    def test_adversary_budget_enforced(self):
+        class Greedy(Adversary):
+            def select_faulty(self, n, max_faulty, rng, inputs=None):
+                return set(range(n))  # exceeds budget
+
+        with pytest.raises(SimulationError):
+            Network(4, lambda u: Chatter(u), adversary=Greedy(), max_faulty=1)
+
+    def test_drop_all_loses_crash_round_messages(self):
+        class CrashSender(Adversary):
+            def select_faulty(self, n, max_faulty, rng, inputs=None):
+                return {0}
+
+            def plan_round(self, view, rng):
+                if view.round == 1:
+                    return {0: CrashOrder.drop_all()}
+                return {}
+
+        network = Network(
+            4, lambda u: Chatter(u, count=1), adversary=CrashSender(), max_faulty=1
+        )
+        result = network.run(4)
+        assert result.metrics.messages_sent == 1
+        assert result.metrics.messages_dropped == 1
+        assert result.metrics.messages_delivered == 0
+        assert result.protocol(1).received == []
+        assert result.crashed == {0: 1}
+
+    def test_keep_all_crash_delivers_crash_round_messages(self):
+        class CrashSender(Adversary):
+            def select_faulty(self, n, max_faulty, rng, inputs=None):
+                return {0}
+
+            def plan_round(self, view, rng):
+                if view.round == 1:
+                    return {0: CrashOrder.keep_all()}
+                return {}
+
+        network = Network(
+            4, lambda u: Chatter(u, count=1), adversary=CrashSender(), max_faulty=1
+        )
+        result = network.run(4)
+        assert result.protocol(1).received == [(2, "X", (0,))]
+        assert result.crashed == {0: 1}
+
+    def test_crashed_node_queue_is_discarded(self):
+        # 3 queued messages, crash in round 1 with keep_all: only the first
+        # (already on the wire) survives; the queued remainder dies.
+        class CrashSender(Adversary):
+            def select_faulty(self, n, max_faulty, rng, inputs=None):
+                return {0}
+
+            def plan_round(self, view, rng):
+                if view.round == 1:
+                    return {0: CrashOrder.keep_all()}
+                return {}
+
+        network = Network(
+            4, lambda u: Chatter(u, count=3), adversary=CrashSender(), max_faulty=1
+        )
+        result = network.run(6)
+        assert [f for (_, _, f) in result.protocol(1).received] == [(0,)]
+
+    def test_keep_destinations_partitions_receivers(self):
+        class SplitSender(Protocol):
+            def __init__(self, u):
+                self.u = u
+                self.got = False
+
+            def on_round(self, ctx, inbox):
+                if inbox:
+                    self.got = True
+                if self.u == 0 and ctx.round == 1:
+                    for dst in (1, 2, 3):
+                        ctx.learn(dst)
+                        ctx.send(dst, Message("X"))
+                ctx.idle()
+
+        class PartitionCrash(Adversary):
+            def select_faulty(self, n, max_faulty, rng, inputs=None):
+                return {0}
+
+            def plan_round(self, view, rng):
+                if view.round == 1:
+                    return {0: CrashOrder.keep_destinations({1})}
+                return {}
+
+        network = Network(4, SplitSender, adversary=PartitionCrash(), max_faulty=1)
+        result = network.run(3)
+        assert result.protocol(1).got
+        assert not result.protocol(2).got
+        assert not result.protocol(3).got
+
+    def test_messages_to_dead_node_evaporate(self):
+        class LateSender(Protocol):
+            def __init__(self, u):
+                self.u = u
+
+            def on_round(self, ctx, inbox):
+                if self.u == 1 and ctx.round == 3:
+                    ctx.learn(0)
+                    ctx.send(0, Message("X"))
+                ctx.idle() if self.u != 1 else None
+
+        network = Network(
+            4, LateSender, adversary=EagerCrash(), max_faulty=1
+        )
+        result = network.run(5)
+        # Node 0 may or may not be the faulty one under the random pick;
+        # force determinism by checking totals only.
+        assert result.metrics.messages_delivered + result.metrics.messages_dropped <= 1
+
+    def test_crashed_node_does_not_get_on_stop(self):
+        stopped = []
+
+        class Stopper(Protocol):
+            def __init__(self, u):
+                self.u = u
+
+            def on_round(self, ctx, inbox):
+                ctx.idle()
+
+            def on_stop(self, ctx):
+                stopped.append(self.u)
+
+        network = Network(4, Stopper, adversary=EagerCrash(), max_faulty=2)
+        result = network.run(3)
+        assert set(stopped) == set(range(4)) - set(result.crashed)
+
+
+class TestFastForward:
+    def test_quiescent_run_skips_rounds(self):
+        network = Network(8, lambda u: Chatter(u))
+        result = network.run(1000)
+        assert result.metrics.rounds == 1000
+        assert result.metrics.rounds_executed < 10
+
+    def test_fast_forward_waits_for_adversary(self):
+        # A lazy adversary crashing at round 50 keeps the engine ticking
+        # (cheaply) until the crash is delivered.
+        network = Network(
+            8, lambda u: Chatter(u), adversary=LazyCrash(crash_round=50), max_faulty=4
+        )
+        result = network.run(100)
+        assert result.metrics.crashes == 4
+        assert 50 <= result.metrics.rounds_executed <= 60
+
+    def test_on_stop_runs_at_nominal_end(self):
+        final_rounds = []
+
+        class Stopper(Protocol):
+            def __init__(self, u):
+                self.u = u
+
+            def on_round(self, ctx, inbox):
+                ctx.idle()
+
+            def on_stop(self, ctx):
+                final_rounds.append(ctx.round)
+
+        network = Network(4, Stopper)
+        network.run(77)
+        assert final_rounds == [77] * 4
+
+
+class TestBudget:
+    def test_suppress_mode_caps_messages(self):
+        network = Network(4, lambda u: Chatter(u, count=10), message_budget=4)
+        result = network.run(20)
+        assert result.metrics.messages_sent == 4
+        assert network.budget_exhausted
+
+    def test_raise_mode_raises(self):
+        network = Network(
+            4,
+            lambda u: Chatter(u, count=10),
+            message_budget=4,
+            budget_mode="raise",
+        )
+        with pytest.raises(BudgetExceeded):
+            network.run(20)
+
+    def test_unknown_budget_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            Network(4, lambda u: Chatter(u), budget_mode="bogus")
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        def run(seed):
+            network = Network(
+                16,
+                lambda u: Chatter(u, count=2),
+                seed=seed,
+                adversary=EagerCrash(),
+                max_faulty=8,
+            )
+            result = network.run(6)
+            return (
+                result.metrics.messages_sent,
+                result.metrics.messages_dropped,
+                sorted(result.faulty),
+                dict(result.crashed),
+            )
+
+        assert run(5) == run(5)
+
+    def test_different_seed_different_faulty_set(self):
+        def faulty(seed):
+            network = Network(
+                64,
+                lambda u: Chatter(u),
+                seed=seed,
+                adversary=EagerCrash(),
+                max_faulty=32,
+            )
+            network.run(2)
+            return sorted(network.faulty)
+
+        assert faulty(1) != faulty(2)
+
+
+class TestValidation:
+    def test_rejects_single_node(self):
+        with pytest.raises(SimulationError):
+            Network(1, lambda u: Chatter(u))
+
+    def test_rejects_zero_rounds(self):
+        network = Network(4, lambda u: Chatter(u))
+        with pytest.raises(SimulationError):
+            network.run(0)
+
+    def test_rejects_over_hard_cap(self):
+        from repro.sim.network import HARD_MAX_ROUNDS
+
+        network = Network(4, lambda u: Chatter(u))
+        with pytest.raises(SimulationError):
+            network.run(HARD_MAX_ROUNDS + 1)
+
+    def test_run_result_alive_and_nonfaulty(self):
+        network = Network(
+            8, lambda u: Chatter(u), adversary=EagerCrash(), max_faulty=4
+        )
+        result = network.run(3)
+        assert set(result.alive) == set(range(8)) - set(result.crashed)
+        assert set(result.nonfaulty) == set(range(8)) - result.faulty

@@ -1,0 +1,232 @@
+"""Unit tests for the per-node engine API (repro.sim.node.Context)."""
+
+import pytest
+
+from repro.errors import KnowledgeViolation, ProtocolViolation
+from repro.sim import Message, Network, Protocol
+from repro.types import Knowledge
+
+
+class Recorder(Protocol):
+    """Programmable protocol: runs a script of (round -> callable)."""
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.script = {}
+        self.inboxes = []
+        self.error = None
+
+    def on_round(self, ctx, inbox):
+        self.inboxes.append((ctx.round, inbox))
+        action = self.script.get(ctx.round)
+        if action:
+            try:
+                action(ctx)
+            except Exception as exc:  # re-raised by tests via .error
+                self.error = exc
+                raise
+
+
+def _network(n=8, scripts=None, **kwargs):
+    protocols = {}
+
+    def factory(u):
+        protocol = Recorder(u)
+        if scripts and u in scripts:
+            protocol.script = scripts[u]
+        protocols[u] = protocol
+        return protocol
+
+    network = Network(n, factory, seed=1, **kwargs)
+    return network, protocols
+
+
+class TestSampling:
+    def test_sample_nodes_distinct_and_not_self(self):
+        def check(ctx):
+            sampled = ctx.sample_nodes(5)
+            assert len(sampled) == len(set(sampled)) == 5
+            assert ctx.node_id not in sampled
+
+        network, _ = _network(scripts={0: {1: check}})
+        network.run(2)
+
+    def test_sample_all_other_nodes(self):
+        def check(ctx):
+            sampled = ctx.sample_nodes(7)
+            assert sorted(sampled) == [1, 2, 3, 4, 5, 6, 7]
+
+        network, _ = _network(scripts={0: {1: check}})
+        network.run(2)
+
+    def test_sample_too_many_rejected(self):
+        def check(ctx):
+            ctx.sample_nodes(8)
+
+        network, protocols = _network(scripts={0: {1: check}})
+        with pytest.raises(ProtocolViolation):
+            network.run(2)
+
+    def test_all_ports_lists_everyone_else(self):
+        def check(ctx):
+            assert sorted(ctx.all_ports()) == [1, 2, 3, 4, 5, 6, 7]
+
+        network, _ = _network(scripts={0: {1: check}})
+        network.run(2)
+
+
+class TestKnowledgeEnforcement:
+    def test_kt0_blocks_unknown_destination(self):
+        def bad(ctx):
+            ctx.send(3, Message("X"))
+
+        network, _ = _network(scripts={0: {1: bad}})
+        with pytest.raises(KnowledgeViolation):
+            network.run(2)
+
+    def test_kt0_allows_sampled_destination(self):
+        def good(ctx):
+            target = ctx.sample_nodes(1)[0]
+            ctx.send(target, Message("X"))
+
+        network, _ = _network(scripts={0: {1: good}})
+        result = network.run(3)
+        assert result.metrics.messages_sent == 1
+
+    def test_kt0_allows_reply_to_sender(self):
+        replies = []
+
+        class Replier(Protocol):
+            def __init__(self, u):
+                self.u = u
+
+            def on_round(self, ctx, inbox):
+                if self.u == 0 and ctx.round == 1:
+                    ctx.send(ctx.sample_nodes(1)[0], Message("PING"))
+                for delivery in inbox:
+                    if delivery.kind == "PING":
+                        # Reply along the arrival port: legal under KT0.
+                        ctx.send(delivery.sender, Message("PONG"))
+                        replies.append(delivery.sender)
+                ctx.idle()
+
+        network = Network(8, Replier, seed=2)
+        result = network.run(4)
+        assert result.metrics.messages_delivered == 2  # ping + pong
+        assert replies == [0]
+
+    def test_kt1_allows_any_destination(self):
+        def bold(ctx):
+            ctx.send(5, Message("X"))
+
+        network, _ = _network(scripts={0: {1: bold}}, knowledge=Knowledge.KT1)
+        result = network.run(2)
+        assert result.metrics.messages_sent == 1
+
+    def test_learn_whitelists_forwarded_handle(self):
+        def use_learned(ctx):
+            ctx.learn(6)
+            ctx.send(6, Message("X"))
+
+        network, _ = _network(scripts={0: {1: use_learned}})
+        assert network.run(2).metrics.messages_sent == 1
+
+
+class TestSendValidation:
+    def test_send_to_self_rejected(self):
+        def selfie(ctx):
+            ctx.send(ctx.node_id, Message("X"))
+
+        network, _ = _network(scripts={0: {1: selfie}})
+        with pytest.raises(ProtocolViolation):
+            network.run(2)
+
+    def test_send_out_of_range_rejected(self):
+        def oob(ctx):
+            ctx.send(99, Message("X"))
+
+        network, _ = _network(scripts={0: {1: oob}}, knowledge=Knowledge.KT1)
+        with pytest.raises(ProtocolViolation):
+            network.run(2)
+
+    def test_send_after_halt_rejected(self):
+        def halt_then_send(ctx):
+            ctx.halt()
+            ctx.send(1, Message("X"))
+
+        network, _ = _network(scripts={0: {1: halt_then_send}}, knowledge=Knowledge.KT1)
+        with pytest.raises(ProtocolViolation):
+            network.run(2)
+
+    def test_send_many(self):
+        def fanout(ctx):
+            ctx.send_many(ctx.sample_nodes(3), Message("X"))
+
+        network, _ = _network(scripts={0: {1: fanout}})
+        assert network.run(2).metrics.messages_sent == 3
+
+
+class TestScheduling:
+    def test_wake_at_past_round_rejected(self):
+        def bad_wake(ctx):
+            ctx.wake_at(ctx.round)
+
+        network, _ = _network(scripts={0: {1: bad_wake}})
+        with pytest.raises(ProtocolViolation):
+            network.run(2)
+
+    def test_wake_at_fires_exactly_once(self):
+        rounds_seen = []
+
+        class Waker(Protocol):
+            def __init__(self, u):
+                self.u = u
+
+            def on_round(self, ctx, inbox):
+                rounds_seen.append((self.u, ctx.round))
+                if self.u == 0 and ctx.round == 1:
+                    ctx.wake_at(5)
+                else:
+                    ctx.idle()
+
+        network = Network(4, Waker, seed=0)
+        network.run(8)
+        zero_rounds = [r for (u, r) in rounds_seen if u == 0]
+        assert zero_rounds == [1, 5]
+
+    def test_idle_node_woken_by_message(self):
+        woken_rounds = []
+
+        class Sleeper(Protocol):
+            def __init__(self, u):
+                self.u = u
+
+            def on_round(self, ctx, inbox):
+                if inbox:
+                    woken_rounds.append(ctx.round)
+                if self.u == 0 and ctx.round == 3:
+                    ctx.send(ctx.sample_nodes(1)[0], Message("X"))
+                    ctx.idle()
+                elif self.u == 0:
+                    pass  # stays active until round 3
+                else:
+                    ctx.idle()
+
+        network = Network(4, Sleeper, seed=3)
+        network.run(6)
+        assert woken_rounds == [4]
+
+    def test_halted_node_never_runs_again(self):
+        calls = []
+
+        class Halter(Protocol):
+            def __init__(self, u):
+                self.u = u
+
+            def on_round(self, ctx, inbox):
+                calls.append((self.u, ctx.round))
+                ctx.halt()
+
+        network = Network(3, Halter, seed=0)
+        network.run(5)
+        assert calls == [(0, 1), (1, 1), (2, 1)]

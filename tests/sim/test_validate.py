@@ -1,0 +1,139 @@
+"""Tests for the trace validator (repro.sim.validate)."""
+
+import pytest
+
+from repro.core import agree, elect_leader
+from repro.sim import Network, RunResult, validate_run
+from repro.sim.metrics import Metrics
+from repro.sim.trace import Trace, TraceEvent
+
+
+def _result(events, n=8, faulty=frozenset(), crashed=None, metrics=None):
+    trace = Trace()
+    for event in events:
+        trace.record(event)
+    if metrics is None:
+        metrics = Metrics()
+        metrics.messages_sent = sum(1 for e in events if e.kind == "send")
+        metrics.messages_delivered = sum(1 for e in events if e.kind == "deliver")
+        metrics.messages_dropped = sum(1 for e in events if e.kind == "drop")
+    return RunResult(
+        n=n,
+        protocols=[],
+        metrics=metrics,
+        trace=trace,
+        faulty=set(faulty),
+        crashed=dict(crashed or {}),
+        rounds=10,
+    )
+
+
+def send(r, src, dst):
+    return TraceEvent(round=r, kind="send", src=src, dst=dst, message_kind="X")
+
+
+def deliver(r, src, dst):
+    return TraceEvent(round=r, kind="deliver", src=src, dst=dst, message_kind="X")
+
+
+def drop(r, src, dst):
+    return TraceEvent(round=r, kind="drop", src=src, dst=dst, message_kind="X")
+
+
+def crash(r, node):
+    return TraceEvent(round=r, kind="crash", src=node)
+
+
+class TestCleanTraces:
+    def test_empty_trace_is_clean(self):
+        assert validate_run(_result([])) == []
+
+    def test_simple_exchange_is_clean(self):
+        events = [send(1, 0, 1), deliver(1, 0, 1), send(2, 1, 0), deliver(2, 1, 0)]
+        assert validate_run(_result(events)) == []
+
+    def test_crash_with_drop_is_clean(self):
+        events = [send(1, 0, 1), drop(1, 0, 1), crash(1, 0)]
+        result = _result(events, faulty={0}, crashed={0: 1})
+        assert validate_run(result) == []
+
+    def test_untraced_run_rejected(self):
+        result = _result([])
+        result.trace = None
+        with pytest.raises(ValueError):
+            validate_run(result)
+
+
+class TestViolations:
+    def test_congest_double_send(self):
+        events = [send(1, 0, 1), send(1, 0, 1)]
+        assert any("CONGEST" in v for v in validate_run(_result(events)))
+
+    def test_self_message(self):
+        assert any("self-message" in v for v in validate_run(_result([send(1, 2, 2)])))
+
+    def test_send_after_crash(self):
+        events = [crash(1, 0), send(2, 0, 1)]
+        result = _result(events, faulty={0}, crashed={0: 1})
+        assert any("dead node" in v for v in validate_run(result))
+
+    def test_delivery_without_send(self):
+        assert any(
+            "without a matching send" in v
+            for v in validate_run(_result([deliver(1, 0, 1)]))
+        )
+
+    def test_drop_outside_crash_round(self):
+        events = [send(2, 0, 1), drop(2, 0, 1), crash(5, 0)]
+        result = _result(events, faulty={0}, crashed={0: 5})
+        assert any("outside its crash round" in v for v in validate_run(result))
+
+    def test_nonfaulty_crash(self):
+        events = [crash(1, 3)]
+        result = _result(events, faulty=set(), crashed={3: 1})
+        assert any("non-faulty" in v for v in validate_run(result))
+
+    def test_metrics_mismatch(self):
+        metrics = Metrics()
+        metrics.messages_sent = 99
+        result = _result([send(1, 0, 1), deliver(1, 0, 1)], metrics=metrics)
+        assert any("metrics counted" in v for v in validate_run(result))
+
+    def test_evaporation_without_crash(self):
+        events = [send(1, 0, 1)]  # never delivered, never dropped, no crash
+        assert any("evaporated" in v for v in validate_run(_result(events)))
+
+
+class TestRealRuns:
+    @pytest.mark.parametrize("adversary", ["none", "eager", "random", "adaptive"])
+    def test_leader_election_runs_are_clean(self, fast_params, adversary):
+        result = elect_leader(
+            n=96, alpha=0.5, seed=3, adversary=adversary,
+            params=fast_params(96), collect_trace=True,
+        )
+        run = RunResult(
+            n=result.n,
+            protocols=[],
+            metrics=result.metrics,
+            trace=result.trace,
+            faulty=result.faulty,
+            crashed=result.crashed,
+            rounds=result.rounds,
+        )
+        assert validate_run(run) == []
+
+    def test_agreement_runs_are_clean(self, fast_params):
+        result = agree(
+            n=96, alpha=0.5, inputs="mixed", seed=4, adversary="split",
+            params=fast_params(96), collect_trace=True,
+        )
+        run = RunResult(
+            n=result.n,
+            protocols=[],
+            metrics=result.metrics,
+            trace=result.trace,
+            faulty=result.faulty,
+            crashed=result.crashed,
+            rounds=result.rounds,
+        )
+        assert validate_run(run) == []

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "E5"])
+        assert args.experiment == "E5"
+        assert not args.quick
+
+    def test_elect_defaults(self):
+        args = build_parser().parse_args(["elect"])
+        assert args.n == 512
+        assert args.alpha == 0.5
+
+
+class TestCommands:
+    def test_params_command(self, capsys):
+        assert main(["params", "--n", "512", "--alpha", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "candidate probability" in out
+        assert "referees per candidate" in out
+
+    def test_elect_command(self, capsys):
+        code = main(
+            ["elect", "--n", "96", "--alpha", "0.5", "--seed", "3",
+             "--adversary", "staggered"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "leader election" in out
+
+    def test_agree_command(self, capsys):
+        code = main(
+            ["agree", "--n", "96", "--alpha", "0.5", "--seed", "3",
+             "--inputs", "single0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "agreement" in out
+
+    def test_run_command_quick(self, capsys):
+        assert main(["run", "E5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "E5" in out
+        assert "PASS" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "E99"])

@@ -1,0 +1,30 @@
+"""Sanity tests for the exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "ConfigurationError",
+            "CongestViolation",
+            "KnowledgeViolation",
+            "SimulationError",
+            "ProtocolViolation",
+            "BudgetExceeded",
+        ):
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CongestViolation("too big")
+
+    def test_distinct_types(self):
+        with pytest.raises(errors.KnowledgeViolation):
+            try:
+                raise errors.KnowledgeViolation("kt0")
+            except errors.CongestViolation:  # pragma: no cover
+                pytest.fail("wrong class caught")

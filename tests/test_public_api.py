@@ -1,0 +1,55 @@
+"""Public-API surface tests: __all__ must resolve, lazy exports must work."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.core",
+    "repro.experiments",
+    "repro.extensions",
+    "repro.faults",
+    "repro.lowerbound",
+    "repro.sim",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} must declare __all__"
+    for name in module.__all__:
+        assert getattr(module, name, None) is not None, f"{package}.{name}"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_lazy_top_level_exports():
+    import repro
+
+    assert callable(repro.elect_leader)
+    assert callable(repro.agree)
+    with pytest.raises(AttributeError):
+        repro.nonexistent_thing
+
+
+def test_top_level_docstring_names_the_paper():
+    import repro
+
+    assert "Kumar" in repro.__doc__ and "Molla" in repro.__doc__
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_every_public_item_has_a_docstring(package):
+    module = importlib.import_module(package)
+    for name in module.__all__:
+        item = getattr(module, name)
+        if callable(item) or isinstance(item, type):
+            assert item.__doc__, f"{package}.{name} lacks a docstring"

@@ -1,0 +1,63 @@
+"""Unit tests for seeded randomness (repro.rng)."""
+
+from repro.rng import RngFactory, derive_seed, seed_sequence
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "node", 7) == derive_seed(42, "node", 7)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "node", 7) != derive_seed(42, "node", 8)
+        assert derive_seed(42, "node") != derive_seed(42, "adversary")
+
+    def test_master_seed_sensitivity(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_64_bit_range(self):
+        for seed in (0, 1, 2**63):
+            assert 0 <= derive_seed(seed, "a") < 2**64
+
+    def test_no_label_concatenation_ambiguity(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+
+class TestRngFactory:
+    def test_streams_are_independent(self):
+        factory = RngFactory(9)
+        a = factory.node_stream(0)
+        b = factory.node_stream(1)
+        assert [a.random() for _ in range(4)] != [b.random() for _ in range(4)]
+
+    def test_streams_are_reproducible(self):
+        first = RngFactory(9).node_stream(3).random()
+        second = RngFactory(9).node_stream(3).random()
+        assert first == second
+
+    def test_named_streams_do_not_collide(self):
+        factory = RngFactory(5)
+        values = {
+            factory.adversary_stream().random(),
+            factory.engine_stream().random(),
+            factory.node_stream(0).random(),
+        }
+        assert len(values) == 3
+
+    def test_spawn_creates_distinct_subspace(self):
+        factory = RngFactory(5)
+        child = factory.spawn("trial", 1)
+        assert child.node_stream(0).random() != factory.node_stream(0).random()
+
+
+class TestSeedSequence:
+    def test_yields_count(self):
+        assert len(list(seed_sequence(0, 10))) == 10
+
+    def test_prefix_stability(self):
+        # Trial i's seed must not depend on the total number of trials.
+        assert list(seed_sequence(7, 3)) == list(seed_sequence(7, 10))[:3]
+
+    def test_distinct(self):
+        seeds = list(seed_sequence(7, 100))
+        assert len(set(seeds)) == 100

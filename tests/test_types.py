@@ -1,0 +1,38 @@
+"""Unit tests for shared types (repro.types)."""
+
+import pytest
+
+from repro.types import Decision, Knowledge, NodeState
+
+
+class TestDecision:
+    def test_of_bits(self):
+        assert Decision.of(0) is Decision.ZERO
+        assert Decision.of(1) is Decision.ONE
+
+    def test_of_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            Decision.of(2)
+
+    def test_bit_roundtrip(self):
+        assert Decision.ZERO.bit == 0
+        assert Decision.ONE.bit == 1
+
+    def test_undecided_has_no_bit(self):
+        with pytest.raises(ValueError):
+            Decision.UNDECIDED.bit
+
+
+class TestNodeState:
+    def test_three_states(self):
+        assert {s.name for s in NodeState} == {
+            "UNDECIDED",
+            "ELECTED",
+            "NON_ELECTED",
+        }
+
+
+class TestKnowledge:
+    def test_models(self):
+        assert Knowledge.KT0.value == "KT0"
+        assert Knowledge.KT1.value == "KT1"
