@@ -15,11 +15,20 @@ from .stats import (
     summarize_trials,
     wilson_interval,
 )
-from .sweeps import collect, monte_carlo, sweep
+from .sweeps import (
+    ResilientSweepResult,
+    SweepPoint,
+    collect,
+    monte_carlo,
+    resilient_sweep,
+    sweep,
+)
 from .tables import format_table
 
 __all__ = [
     "BernoulliSummary",
+    "ResilientSweepResult",
+    "SweepPoint",
     "chernoff_upper_tail",
     "collect",
     "doubling_ratios",
@@ -30,6 +39,7 @@ __all__ = [
     "monte_carlo",
     "normalized_curve",
     "polylog_flatness",
+    "resilient_sweep",
     "summarize_trials",
     "sweep",
     "wilson_interval",

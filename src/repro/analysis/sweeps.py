@@ -3,12 +3,18 @@
 ``monte_carlo`` repeats one configuration over derived trial seeds;
 ``sweep`` crosses a parameter grid, running a Monte-Carlo at each point.
 Both return plain lists of results so callers can aggregate freely.
+
+``resilient_sweep`` is the fault-tolerant sibling: each trial runs under
+a :class:`~repro.exec.ResilientExecutor` (timeout, retry, quarantine,
+journal), failed trials degrade to annotated partial results instead of
+aborting the grid, and a journalled sweep can be killed and resumed.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..rng import seed_sequence
 
@@ -54,6 +60,134 @@ def sweep(
         )
         rows.append((point, results))
     return rows
+
+
+@dataclass
+class SweepPoint:
+    """One grid point of a resilient sweep, with per-trial bookkeeping."""
+
+    point: Dict[str, Any]
+    results: List[Any] = field(default_factory=list)
+    attempted: int = 0
+    completed: int = 0
+    failed: int = 0
+
+    def as_row(self) -> Dict[str, Any]:
+        """The point's parameters plus its attempt accounting."""
+        row = dict(self.point)
+        row.update(
+            attempted=self.attempted, completed=self.completed, failed=self.failed
+        )
+        return row
+
+
+@dataclass
+class ResilientSweepResult:
+    """A grid sweep that survives (and accounts for) failing trials."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+    #: Outcomes of trials that did not produce a result.
+    failures: List[Any] = field(default_factory=list)
+
+    @property
+    def attempted(self) -> int:
+        return sum(p.attempted for p in self.points)
+
+    @property
+    def completed(self) -> int:
+        return sum(p.completed for p in self.points)
+
+    @property
+    def failed(self) -> int:
+        return sum(p.failed for p in self.points)
+
+    @property
+    def complete(self) -> bool:
+        """True when every attempted trial produced a result."""
+        return self.failed == 0
+
+    def rows(self) -> List[Tuple[Dict[str, Any], List[Any]]]:
+        """The classic ``sweep`` shape (point dict, result list)."""
+        return [(p.point, p.results) for p in self.points]
+
+    def counts(self) -> Dict[str, int]:
+        """Headline accounting for tables and logs."""
+        return {
+            "attempted": self.attempted,
+            "completed": self.completed,
+            "failed": self.failed,
+        }
+
+
+def _trial_key(combo_index: int, point: Mapping[str, Any], trial: int) -> str:
+    """Stable journal key: grid position + parameters + trial index."""
+    described = ",".join(f"{k}={point[k]!r}" for k in sorted(point))
+    return f"point[{combo_index}]({described})#trial{trial}"
+
+
+def resilient_sweep(
+    task: Task,
+    grid: Mapping[str, Sequence[Any]],
+    trials: int = 1,
+    master_seed: int = 0,
+    *,
+    executor: Optional["ResilientExecutor"] = None,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    timeout_seconds: Optional[float] = None,
+    retries: int = 0,
+) -> ResilientSweepResult:
+    """Cross ``grid`` like :func:`sweep`, but never die on a bad trial.
+
+    Each trial runs under a :class:`~repro.exec.ResilientExecutor`; a
+    trial that fails (or times out) after its retries is recorded in the
+    result's ``failures`` and the sweep continues, so callers get partial
+    rows with exact ``attempted/completed/failed`` counts.  With
+    ``journal_path`` set, every outcome is checkpointed; ``resume=True``
+    reloads the journal and skips trials that already completed — their
+    journalled (serialised) values are returned in place of live results.
+
+    Seed derivation matches :func:`sweep` exactly, so a resumed or
+    retried-free resilient sweep is trial-for-trial identical to the
+    plain one.
+    """
+    from ..exec import Journal, ResilientExecutor, RetryPolicy
+
+    if not grid:
+        raise ValueError("grid must contain at least one axis")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if executor is None:
+        executor = ResilientExecutor(
+            timeout_seconds=timeout_seconds,
+            retry=RetryPolicy(retries=retries),
+        )
+    if journal_path is not None and executor.journal is None:
+        executor.journal = Journal(journal_path)
+    if resume:
+        executor.load_completed()
+    elif executor.journal is not None:
+        executor.journal.clear()
+
+    names = list(grid)
+    outcome = ResilientSweepResult()
+    for combo_index, combo in enumerate(itertools.product(*(grid[k] for k in names))):
+        point = dict(zip(names, combo))
+        sweep_point = SweepPoint(point=point)
+        point_seed = master_seed + combo_index * 1_000_003
+        for trial, seed in enumerate(seed_sequence(point_seed, trials)):
+            trial_outcome = executor.run_trial(
+                task, key=_trial_key(combo_index, point, trial), seed=seed, **point
+            )
+            sweep_point.attempted += 1
+            if trial_outcome.ok:
+                sweep_point.completed += 1
+                sweep_point.results.append(trial_outcome.value)
+            else:
+                sweep_point.failed += 1
+                outcome.failures.append(trial_outcome)
+        outcome.points.append(sweep_point)
+    return outcome
 
 
 def collect(

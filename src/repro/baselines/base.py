@@ -38,8 +38,13 @@ class BaselineOutcome:
 
     @property
     def rounds(self) -> int:
-        """Nominal rounds."""
+        """Last round the engine actually executed."""
         return self.metrics.rounds
+
+    @property
+    def horizon(self) -> int:
+        """Requested round count (the protocol's nominal schedule)."""
+        return self.metrics.horizon
 
     def summary(self) -> Dict[str, object]:
         """Headline facts for tables."""

@@ -1,0 +1,56 @@
+"""Adversary fuzzing: random crash schedules, safety oracles, shrinking.
+
+The paper's theorems hold *for every* adaptive crash schedule; this
+subpackage searches that space empirically.  A :class:`FuzzedAdversary`
+samples schedules from a generation grammar, every run is checked against
+the model validator plus protocol safety oracles, and failing schedules
+are recorded as deterministic, replayable :class:`CrashScript` objects
+and shrunk to minimal reproducers.
+
+See ``docs/CHAOS.md`` for the grammar, the oracle list, and the replay
+workflow (``repro fuzz`` / ``repro replay``).
+"""
+
+from .fuzzer import (
+    FAST_CONSTANTS,
+    PROTOCOLS,
+    FuzzCase,
+    FuzzReport,
+    FuzzScenario,
+    classify,
+    default_scenarios,
+    fuzz,
+    fuzz_one,
+    replay_case,
+    run_scenario,
+)
+from .grammar import FuzzedAdversary, GrammarConfig, sample_filter, sample_script
+from .oracles import agreement_oracle, leader_election_oracle
+from .script import CrashScript, DeliveryFilter, as_script
+from .shrink import ShrinkResult, shrink_case, shrink_script
+
+__all__ = [
+    "FAST_CONSTANTS",
+    "PROTOCOLS",
+    "CrashScript",
+    "DeliveryFilter",
+    "FuzzCase",
+    "FuzzReport",
+    "FuzzScenario",
+    "FuzzedAdversary",
+    "GrammarConfig",
+    "ShrinkResult",
+    "agreement_oracle",
+    "as_script",
+    "classify",
+    "default_scenarios",
+    "fuzz",
+    "fuzz_one",
+    "leader_election_oracle",
+    "replay_case",
+    "run_scenario",
+    "sample_filter",
+    "sample_script",
+    "shrink_case",
+    "shrink_script",
+]

@@ -1,0 +1,323 @@
+"""Schedule-space fuzzing: the empirical analogue of "for every adversary".
+
+The paper's guarantees (Theorems 4.1/5.1) quantify over *all* adaptive
+crash schedules; the hand-written portfolio in
+:mod:`repro.faults.strategies` covers seven of them.  The fuzzer samples
+the schedule space at random: each trial draws a :class:`FuzzedAdversary`
+schedule from the grammar, runs a protocol under it with a full trace,
+and checks
+
+* the model validator (:func:`repro.sim.validate.validate_run`), which
+  now also enforces delivery latency, and
+* the protocol safety oracle (:mod:`repro.chaos.oracles`),
+
+treating any engine exception as a violation as well.  A failing trial is
+packaged as a :class:`FuzzCase` — scenario parameters plus the realised
+:class:`CrashScript` — shrunk to a minimal reproducer, and returned for
+storage/replay (``repro fuzz`` / ``repro replay``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.runner import agree, elect_leader
+from ..core.schedule import AgreementSchedule, LeaderElectionSchedule
+from ..errors import ConfigurationError, ReproError
+from ..faults.adversary import Adversary
+from ..params import Params
+from ..rng import derive_seed
+from ..sim.network import RunResult
+from ..sim.validate import validate_run
+from ..types import Round
+from .grammar import FuzzedAdversary, GrammarConfig
+from .oracles import agreement_oracle, leader_election_oracle
+from .script import CrashScript, as_script
+
+PROTOCOLS = ("election", "agreement")
+
+#: Reduced sampling constants for high-throughput fuzzing (validated by
+#: the test-suite's fast fixtures: same code paths, ~10x fewer messages).
+FAST_CONSTANTS = dict(candidate_factor=3.0, referee_factor=1.5, iteration_factor=4.0)
+
+
+@dataclass(frozen=True)
+class FuzzScenario:
+    """Everything needed to rebuild one fuzzed run except its schedule."""
+
+    protocol: str
+    n: int = 64
+    alpha: float = 0.5
+    inputs: Union[str, Tuple[int, ...]] = "mixed"
+    fast_constants: bool = True
+    extra_rounds: int = 0
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}"
+            )
+
+    def params(self) -> Params:
+        constants = FAST_CONSTANTS if self.fast_constants else {}
+        return Params(n=self.n, alpha=self.alpha, **constants)
+
+    def horizon(self) -> Round:
+        params = self.params()
+        if self.protocol == "election":
+            schedule = LeaderElectionSchedule.from_params(params)
+        else:
+            schedule = AgreementSchedule.from_params(params)
+        return schedule.last_round + self.extra_rounds
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "alpha": self.alpha,
+            "inputs": list(self.inputs)
+            if not isinstance(self.inputs, str)
+            else self.inputs,
+            "fast_constants": self.fast_constants,
+            "extra_rounds": self.extra_rounds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FuzzScenario":
+        inputs = data.get("inputs", "mixed")
+        if not isinstance(inputs, str):
+            inputs = tuple(int(b) for b in inputs)
+        return cls(
+            protocol=str(data["protocol"]),
+            n=int(data.get("n", 64)),
+            alpha=float(data.get("alpha", 0.5)),
+            inputs=inputs,
+            fast_constants=bool(data.get("fast_constants", True)),
+            extra_rounds=int(data.get("extra_rounds", 0)),
+        )
+
+
+@dataclass
+class FuzzCase:
+    """A reproducer: scenario + seed + schedule (+ observed violations)."""
+
+    scenario: FuzzScenario
+    seed: int
+    script: CrashScript
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def signature(self) -> Tuple[str, ...]:
+        """Coarse failure classes, for shrink-preservation checks."""
+        return classify(self.violations)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": 1,
+            "scenario": self.scenario.to_dict(),
+            "seed": self.seed,
+            "script": self.script.to_dict(),
+            "violations": list(self.violations),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FuzzCase":
+        return cls(
+            scenario=FuzzScenario.from_dict(data["scenario"]),
+            seed=int(data["seed"]),
+            script=as_script(data["script"]),
+            violations=[str(v) for v in data.get("violations", [])],
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzCase":
+        return cls.from_dict(json.loads(text))
+
+
+def classify(violations: Sequence[str]) -> Tuple[str, ...]:
+    """Sorted failure classes of a violation list.
+
+    ``"oracle"`` for problem-definition breaks, ``"engine"`` for engine
+    exceptions, ``"model"`` for validator findings — shrinking preserves
+    this set, so a minimised script still fails *the same way*.
+    """
+    classes = set()
+    for violation in violations:
+        prefix = violation.split(":", 1)[0].strip()
+        classes.add(prefix if prefix in ("oracle", "engine") else "model")
+    return tuple(sorted(classes))
+
+
+def run_scenario(
+    scenario: FuzzScenario, seed: int, adversary: Adversary
+) -> Tuple[List[str], Optional[Any]]:
+    """Run one scenario under ``adversary`` and return (violations, result).
+
+    Engine exceptions become ``"engine: ..."`` violations (the run has no
+    result then); otherwise violations combine the model validator and
+    the protocol oracle.
+    """
+    params = scenario.params()
+    try:
+        if scenario.protocol == "election":
+            result = elect_leader(
+                n=scenario.n,
+                alpha=scenario.alpha,
+                seed=seed,
+                adversary=adversary,
+                params=params,
+                collect_trace=True,
+                extra_rounds=scenario.extra_rounds,
+            )
+        else:
+            result = agree(
+                n=scenario.n,
+                alpha=scenario.alpha,
+                inputs=scenario.inputs,
+                seed=seed,
+                adversary=adversary,
+                params=params,
+                collect_trace=True,
+                extra_rounds=scenario.extra_rounds,
+            )
+    except ReproError as exc:
+        return [f"engine: {type(exc).__name__}: {exc}"], None
+
+    run = RunResult(
+        n=result.n,
+        protocols=[],
+        metrics=result.metrics,
+        trace=result.trace,
+        faulty=result.faulty,
+        crashed=result.crashed,
+        rounds=result.rounds,
+        horizon=result.horizon,
+    )
+    violations = [f"model: {v}" for v in validate_run(run)]
+    if scenario.protocol == "election":
+        violations.extend(leader_election_oracle(result))
+    else:
+        violations.extend(agreement_oracle(result))
+    return violations, result
+
+
+def replay_case(case: FuzzCase) -> List[str]:
+    """Re-run a recorded case and return the violations it produces now."""
+    violations, _ = run_scenario(case.scenario, case.seed, case.script)
+    return violations
+
+
+def fuzz_one(
+    scenario: FuzzScenario,
+    seed: int,
+    config: Optional[GrammarConfig] = None,
+) -> Optional[FuzzCase]:
+    """One fuzz trial; a :class:`FuzzCase` when it failed, else ``None``."""
+    adversary = FuzzedAdversary(
+        horizon=scenario.horizon(),
+        config=config,
+        label=f"fuzz@{seed}",
+    )
+    violations, _ = run_scenario(scenario, seed, adversary)
+    if not violations:
+        return None
+    assert adversary.script is not None
+    return FuzzCase(
+        scenario=scenario,
+        seed=seed,
+        script=adversary.script,
+        violations=violations,
+    )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    attempted: int = 0
+    failures: List[FuzzCase] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    #: (scenario protocol, seed) pairs attempted, for reproducibility.
+    trials: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no trial produced a violation."""
+        return not self.failures
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "attempted": self.attempted,
+            "failures": len(self.failures),
+            "clean": self.clean,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+        }
+
+
+def fuzz(
+    scenarios: Sequence[FuzzScenario],
+    seeds: int = 50,
+    master_seed: int = 0,
+    budget_seconds: Optional[float] = None,
+    config: Optional[GrammarConfig] = None,
+    shrink_failures: bool = True,
+) -> FuzzReport:
+    """Fuzz each scenario over derived seeds (or until the time budget).
+
+    With ``budget_seconds`` set, trials keep running round-robin over the
+    scenarios until the budget expires (at least one trial per scenario
+    always runs); otherwise exactly ``seeds`` trials run per scenario.
+    Failures are shrunk to minimal reproducers unless
+    ``shrink_failures=False``.
+    """
+    from .shrink import shrink_case
+
+    if not scenarios:
+        raise ConfigurationError("need at least one scenario")
+    report = FuzzReport()
+    start = time.monotonic()
+    index = 0
+    while True:
+        if budget_seconds is None:
+            if index >= seeds:
+                break
+        elif index > 0 and time.monotonic() - start >= budget_seconds:
+            break
+        for scenario in scenarios:
+            trial_seed = derive_seed(master_seed, "fuzz", scenario.protocol, index)
+            report.trials.append((scenario.protocol, trial_seed))
+            report.attempted += 1
+            case = fuzz_one(scenario, trial_seed, config=config)
+            if case is not None:
+                if shrink_failures:
+                    case = shrink_case(case)
+                report.failures.append(case)
+        index += 1
+    report.elapsed_seconds = time.monotonic() - start
+    return report
+
+
+def default_scenarios(
+    n: int = 64,
+    alpha: float = 0.5,
+    protocols: Sequence[str] = PROTOCOLS,
+    fast_constants: bool = True,
+    inputs: Union[str, Tuple[int, ...]] = "mixed",
+) -> List[FuzzScenario]:
+    """The standard scenario pair (leader election + agreement)."""
+    return [
+        FuzzScenario(
+            protocol=protocol,
+            n=n,
+            alpha=alpha,
+            inputs=inputs,
+            fast_constants=fast_constants,
+        )
+        for protocol in protocols
+    ]

@@ -1,0 +1,160 @@
+"""The fuzzer's generation grammar.
+
+A fuzzed schedule is drawn in three layers, mirroring the paper's
+adversary definition (Section II):
+
+1. **static selection** — a faulty set of random size up to the budget;
+2. **crash plan** — each faulty node independently either never crashes
+   (probability ``1 - crash_probability``) or crashes in a uniform round
+   of ``[1, horizon]``;
+3. **delivery filter** — a crashing node loses an adversary-chosen subset
+   of its final-round messages: one of ``drop_all`` / ``keep_all`` /
+   ``keep_fraction`` (uniform fraction, recorded salt) /
+   ``keep_destinations`` (uniform random destination subset).
+
+Every draw comes from the RNG handed in by the caller, so the realised
+schedule is a pure function of that stream — the engine's adversary
+stream when used through :class:`FuzzedAdversary`, which makes a fuzzed
+run reproducible from ``(parameters, seed)`` alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from ..errors import ConfigurationError
+from ..faults.adversary import Adversary, CrashOrder, RoundView
+from ..types import NodeId, Round
+from .script import CrashScript, DeliveryFilter
+
+#: Relative weight of each filter production in the grammar.
+DEFAULT_FILTER_WEIGHTS = {
+    "drop_all": 3,
+    "keep_all": 1,
+    "keep_fraction": 2,
+    "keep_destinations": 2,
+}
+
+
+@dataclass(frozen=True)
+class GrammarConfig:
+    """Tunables of the schedule grammar."""
+
+    #: Probability that a faulty node crashes at all.
+    crash_probability: float = 0.85
+    #: Weights of the four filter kinds.
+    filter_weights: Dict[str, int] = None  # type: ignore[assignment]
+    #: Use the full fault budget instead of a random subset of it.
+    saturate_budget: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.crash_probability <= 1.0:
+            raise ConfigurationError(
+                f"crash_probability must be in [0,1], got {self.crash_probability}"
+            )
+        if self.filter_weights is None:
+            object.__setattr__(self, "filter_weights", dict(DEFAULT_FILTER_WEIGHTS))
+
+
+def sample_filter(
+    rng: random.Random, n: int, config: GrammarConfig
+) -> DeliveryFilter:
+    """Draw one delivery filter from the grammar."""
+    kinds = list(config.filter_weights)
+    weights = [config.filter_weights[k] for k in kinds]
+    kind = rng.choices(kinds, weights=weights)[0]
+    if kind == "keep_fraction":
+        return DeliveryFilter(
+            kind=kind,
+            fraction=rng.random(),
+            salt=rng.getrandbits(32),
+        )
+    if kind == "keep_destinations":
+        count = rng.randint(0, n - 1)
+        return DeliveryFilter(
+            kind=kind,
+            destinations=tuple(sorted(rng.sample(range(n), count))),
+        )
+    return DeliveryFilter(kind=kind)
+
+
+def sample_script(
+    rng: random.Random,
+    n: int,
+    max_faulty: int,
+    horizon: Round,
+    config: Optional[GrammarConfig] = None,
+    label: str = "",
+) -> CrashScript:
+    """Draw one complete crash schedule from the grammar."""
+    if horizon < 1:
+        raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+    config = config or GrammarConfig()
+    budget = min(max_faulty, n)
+    count = budget if config.saturate_budget else rng.randint(0, budget)
+    faulty = sorted(rng.sample(range(n), count))
+    crashes: Dict[NodeId, Tuple[Round, DeliveryFilter]] = {}
+    for node in faulty:
+        if rng.random() >= config.crash_probability:
+            continue  # faulty but well-behaved for the whole run
+        crashes[node] = (
+            rng.randint(1, horizon),
+            sample_filter(rng, n, config),
+        )
+    return CrashScript(faulty=tuple(faulty), crashes=crashes, label=label)
+
+
+class FuzzedAdversary(Adversary):
+    """An adversary that *samples* its schedule from the grammar.
+
+    The schedule is materialised in :meth:`select_faulty` (the first time
+    the engine consults the adversary) from the engine's own adversary
+    stream, then executed verbatim; :attr:`script` exposes the realised
+    :class:`CrashScript` afterwards, ready to be saved, replayed, or
+    shrunk.
+    """
+
+    def __init__(
+        self,
+        horizon: Round,
+        config: Optional[GrammarConfig] = None,
+        label: str = "fuzz",
+    ) -> None:
+        if horizon < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+        self.horizon = horizon
+        self.config = config or GrammarConfig()
+        self.label = label
+        self.script: Optional[CrashScript] = None
+
+    def select_faulty(
+        self,
+        n: int,
+        max_faulty: int,
+        rng: random.Random,
+        inputs: Optional[Sequence[int]] = None,
+    ) -> Set[NodeId]:
+        self.script = sample_script(
+            rng,
+            n=n,
+            max_faulty=max_faulty,
+            horizon=self.horizon,
+            config=self.config,
+            label=self.label,
+        )
+        return self.script.select_faulty(n, max_faulty, rng, inputs)
+
+    def plan_round(
+        self, view: RoundView, rng: random.Random
+    ) -> Dict[NodeId, CrashOrder]:
+        assert self.script is not None, "select_faulty not called yet"
+        return self.script.plan_round(view, rng)
+
+    def done(self, view: RoundView) -> bool:
+        assert self.script is not None, "select_faulty not called yet"
+        return self.script.done(view)
+
+    def name(self) -> str:
+        return self.label

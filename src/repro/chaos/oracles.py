@@ -1,0 +1,79 @@
+"""Protocol-level safety oracles for fuzzed runs.
+
+The model validator (:func:`repro.sim.validate.validate_run`) checks the
+*machine*; these oracles check the *problem definitions* on top of it:
+
+* **leader election** (Definition 1): at most one leader among the nodes
+  alive at the end of the run — and when the unique ELECTED node crashed
+  after electing itself (footnote 3), still at most one such node;
+* **agreement** (Definition 2): among non-faulty nodes that decided, all
+  decisions are equal (agreement) and every decided value is some node's
+  input (validity).
+
+The oracles are pure *safety* conditions: a brutal schedule may prevent
+any leader/decision (that costs liveness, which the paper only promises
+w.h.p.), but no crash schedule whatsoever may produce two leaders or two
+different decisions.  Every violation string is prefixed with
+``"oracle:"`` so fuzzer reports can be classified.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.results import AgreementResult, LeaderElectionResult
+from ..types import Decision
+
+
+def leader_election_oracle(result: LeaderElectionResult) -> List[str]:
+    """Safety violations of one leader-election outcome (empty = safe)."""
+    violations: List[str] = []
+    alive_leaders = sorted(result.elected_alive)
+    if len(alive_leaders) > 1:
+        violations.append(
+            f"oracle: {len(alive_leaders)} leaders among alive nodes: "
+            f"{alive_leaders}"
+        )
+    total_elected = len(alive_leaders) + len(result.elected_crashed)
+    if len(alive_leaders) <= 1 < total_elected:
+        violations.append(
+            f"oracle: {total_elected} nodes ever reached ELECTED "
+            f"(alive {alive_leaders}, crashed {sorted(result.elected_crashed)})"
+        )
+    # A leader must believe in itself: an alive ELECTED node disagreeing
+    # with its own rank is a state-machine inconsistency.
+    for leader in alive_leaders:
+        belief = result.beliefs.get(leader)
+        if belief is not None and belief != result.ranks.get(leader):
+            violations.append(
+                f"oracle: leader {leader} believes rank {belief}, "
+                f"own rank is {result.ranks.get(leader)}"
+            )
+    return violations
+
+
+def agreement_oracle(result: AgreementResult) -> List[str]:
+    """Safety violations of one agreement outcome (empty = safe)."""
+    violations: List[str] = []
+    nonfaulty_alive = [
+        u for u in result.decisions if u not in result.faulty
+    ]
+    decided = {
+        u: result.decisions[u].bit
+        for u in nonfaulty_alive
+        if result.decisions[u] is not Decision.UNDECIDED
+    }
+    bits = set(decided.values())
+    if len(bits) > 1:
+        violations.append(
+            f"oracle: non-faulty deciders disagree: "
+            f"{sorted(decided.items())}"
+        )
+    input_bits = set(result.inputs)
+    for bit in sorted(bits):
+        if bit not in input_bits:
+            violations.append(
+                f"oracle: decided value {bit} is nobody's input "
+                f"(inputs contain {sorted(input_bits)})"
+            )
+    return violations

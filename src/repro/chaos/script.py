@@ -1,0 +1,252 @@
+"""Deterministic, replayable crash schedules.
+
+A :class:`CrashScript` is the chaos layer's exchange format: an explicit
+``{node: (round, filter)}`` map that *is* an
+:class:`~repro.faults.adversary.Adversary` — handing it to the engine
+replays exactly the recorded schedule, independent of any random stream.
+Scripts round-trip through JSON, which makes failing fuzzer schedules
+storable, shareable, and shrinkable (see :mod:`repro.chaos.shrink`).
+
+Determinism is the whole point: every :class:`DeliveryFilter` decides
+``keep(envelope)`` from the envelope's endpoints alone (the probabilistic
+``keep_fraction`` filter hashes a recorded salt with the edge instead of
+drawing from an RNG), so the same script against the same seeded network
+produces the same execution, bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..faults.adversary import Adversary, CrashOrder, RoundView
+from ..rng import derive_seed
+from ..sim.message import Envelope
+from ..types import NodeId, Round
+
+#: Filter kinds, mirroring the named :class:`CrashOrder` constructors.
+FILTER_KINDS = ("drop_all", "keep_all", "keep_fraction", "keep_destinations")
+
+#: Resolution of the deterministic keep_fraction coin.
+_FRACTION_BUCKETS = 1 << 20
+
+
+@dataclass(frozen=True)
+class DeliveryFilter:
+    """A deterministic per-envelope keep/lose decision for a crash round.
+
+    ``kind`` selects the rule; ``fraction``/``salt`` parameterise
+    ``keep_fraction`` and ``destinations`` parameterises
+    ``keep_destinations``.  Unlike :meth:`CrashOrder.keep_fraction`, the
+    fractional filter derives its coin from ``(salt, src, dst)`` — no RNG
+    state, so replays and shrinks see identical drops.
+    """
+
+    kind: str
+    fraction: float = 0.0
+    salt: int = 0
+    destinations: Tuple[NodeId, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in FILTER_KINDS:
+            raise ConfigurationError(
+                f"unknown filter kind {self.kind!r}; choose from {FILTER_KINDS}"
+            )
+        if self.kind == "keep_fraction" and not 0.0 <= self.fraction <= 1.0:
+            raise ConfigurationError(
+                f"fraction must be in [0,1], got {self.fraction}"
+            )
+
+    def keep(self, envelope: Envelope) -> bool:
+        """Whether the crashing sender's ``envelope`` is still delivered."""
+        if self.kind == "drop_all":
+            return False
+        if self.kind == "keep_all":
+            return True
+        if self.kind == "keep_destinations":
+            return envelope.dst in self.destinations
+        coin = derive_seed(self.salt, envelope.src, envelope.dst)
+        return (coin % _FRACTION_BUCKETS) < self.fraction * _FRACTION_BUCKETS
+
+    def to_order(self) -> CrashOrder:
+        """The engine-facing :class:`CrashOrder` applying this filter."""
+        return CrashOrder(keep=self.keep)
+
+    @property
+    def severity(self) -> int:
+        """How destructive the filter is (used to order shrink steps).
+
+        ``keep_all`` (0) < partial delivery (1) < ``drop_all`` (2).
+        """
+        if self.kind == "keep_all":
+            return 0
+        if self.kind == "drop_all":
+            return 2
+        return 1
+
+    # -- JSON ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (only the fields the kind uses)."""
+        data: Dict[str, object] = {"kind": self.kind}
+        if self.kind == "keep_fraction":
+            data["fraction"] = self.fraction
+            data["salt"] = self.salt
+        elif self.kind == "keep_destinations":
+            data["destinations"] = sorted(self.destinations)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DeliveryFilter":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=str(data["kind"]),
+            fraction=float(data.get("fraction", 0.0)),  # type: ignore[arg-type]
+            salt=int(data.get("salt", 0)),  # type: ignore[arg-type]
+            destinations=tuple(data.get("destinations", ())),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class CrashScript(Adversary):
+    """An explicit crash schedule, usable directly as an adversary.
+
+    ``faulty`` is the static faulty set; ``crashes`` maps a node to the
+    round it crashes in and the delivery filter applied to its final-round
+    messages.  Faulty nodes without an entry never crash (the
+    "faulty-but-well-behaved" case of Definition 1's footnote).
+
+    The script does **not** restrict ``crashes`` to ``faulty``: a
+    malformed script (crashing a non-faulty node) is deliberately
+    expressible so the engine's fault-discipline check can catch it — the
+    chaos tests use exactly that to prove the oracles have teeth.
+    """
+
+    faulty: Tuple[NodeId, ...] = ()
+    crashes: Mapping[NodeId, Tuple[Round, DeliveryFilter]] = field(
+        default_factory=dict
+    )
+    #: Optional provenance label (e.g. the fuzzer seed that generated it).
+    label: str = ""
+
+    # -- Adversary interface --------------------------------------------
+
+    def select_faulty(
+        self,
+        n: int,
+        max_faulty: int,
+        rng: random.Random,
+        inputs: Optional[Sequence[int]] = None,
+    ) -> Set[NodeId]:
+        return set(self.faulty)
+
+    def plan_round(
+        self, view: RoundView, rng: random.Random
+    ) -> Dict[NodeId, CrashOrder]:
+        orders: Dict[NodeId, CrashOrder] = {}
+        for node, (round_, filter_) in self.crashes.items():
+            if round_ == view.round and node not in view.crashed:
+                orders[node] = filter_.to_order()
+        return orders
+
+    def done(self, view: RoundView) -> bool:
+        return not any(
+            round_ >= view.round and node not in view.crashed
+            for node, (round_, _) in self.crashes.items()
+        )
+
+    def name(self) -> str:
+        return self.label or f"script/{len(self.crashes)}crashes"
+
+    # -- derived facts ---------------------------------------------------
+
+    @property
+    def last_crash_round(self) -> Round:
+        """The latest scheduled crash round (0 when nothing crashes)."""
+        return max((r for r, _ in self.crashes.values()), default=0)
+
+    def size(self) -> Tuple[int, int, int]:
+        """A lexicographic "how big is this schedule" measure.
+
+        Shrinking strictly decreases it: (number of faulty nodes, number
+        of crashes, total filter severity).
+        """
+        severity = sum(f.severity for _, f in self.crashes.values())
+        return (len(self.faulty), len(self.crashes), severity)
+
+    # -- JSON ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form; inverse of :meth:`from_dict`."""
+        return {
+            "faulty": sorted(self.faulty),
+            "crashes": {
+                str(node): {"round": round_, "filter": filter_.to_dict()}
+                for node, (round_, filter_) in sorted(self.crashes.items())
+            },
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CrashScript":
+        """Inverse of :meth:`to_dict`."""
+        crashes: Dict[NodeId, Tuple[Round, DeliveryFilter]] = {}
+        for node, entry in dict(data.get("crashes", {})).items():  # type: ignore[arg-type]
+            crashes[int(node)] = (
+                int(entry["round"]),
+                DeliveryFilter.from_dict(entry["filter"]),
+            )
+        return cls(
+            faulty=tuple(sorted(int(u) for u in data.get("faulty", ()))),  # type: ignore[union-attr]
+            crashes=crashes,
+            label=str(data.get("label", "")),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CrashScript":
+        """Parse a script previously written by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    # -- structural edits (used by the shrinker) -------------------------
+
+    def without_crash(self, node: NodeId) -> "CrashScript":
+        """Copy with ``node``'s crash removed (it stays faulty)."""
+        crashes = {u: plan for u, plan in self.crashes.items() if u != node}
+        return CrashScript(faulty=self.faulty, crashes=crashes, label=self.label)
+
+    def without_faulty(self, node: NodeId) -> "CrashScript":
+        """Copy with ``node`` removed from the faulty set and the plan."""
+        faulty = tuple(u for u in self.faulty if u != node)
+        crashes = {u: plan for u, plan in self.crashes.items() if u != node}
+        return CrashScript(faulty=faulty, crashes=crashes, label=self.label)
+
+    def with_filter(self, node: NodeId, filter_: DeliveryFilter) -> "CrashScript":
+        """Copy with ``node``'s delivery filter replaced."""
+        crashes = dict(self.crashes)
+        round_, _ = crashes[node]
+        crashes[node] = (round_, filter_)
+        return CrashScript(faulty=self.faulty, crashes=crashes, label=self.label)
+
+    def with_round(self, node: NodeId, round_: Round) -> "CrashScript":
+        """Copy with ``node``'s crash moved to ``round_``."""
+        crashes = dict(self.crashes)
+        _, filter_ = crashes[node]
+        crashes[node] = (round_, filter_)
+        return CrashScript(faulty=self.faulty, crashes=crashes, label=self.label)
+
+
+ScriptLike = Union[CrashScript, Mapping[str, object]]
+
+
+def as_script(value: ScriptLike) -> CrashScript:
+    """Coerce a script or its JSON dict form to a :class:`CrashScript`."""
+    if isinstance(value, CrashScript):
+        return value
+    return CrashScript.from_dict(value)

@@ -11,11 +11,17 @@ Commands
     One agreement run, summary printed.
 ``params --n 1024 --alpha 0.25``
     Show the derived sampling parameters and bounds for a configuration.
+``fuzz --seeds 50 [--protocol election] [--budget-seconds 30]``
+    Adversary fuzzing: random crash schedules checked against the safety
+    oracles; failures are shrunk and written as replayable scripts.
+``replay script.json [--protocol election] [--seed 0]``
+    Re-run a recorded crash script deterministically.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -30,21 +36,116 @@ def _cmd_run(args: argparse.Namespace) -> int:
         experiments = all_experiments()
     else:
         experiments = [get_experiment(args.experiment)]
-    failed = 0
-    reports = []
-    for experiment in experiments:
-        report = experiment.run(quick=args.quick)
-        reports.append(report)
-        print(report.render())
-        print()
-        failed += 0 if report.passed else 1
-    if args.json:
-        import json
+    resilient = (
+        args.resume
+        or args.journal is not None
+        or args.trial_timeout is not None
+        or args.retries > 0
+    )
+    if resilient:
+        from .experiments.harness import run_experiments_resilient
 
+        journal = args.journal or ".repro-run.journal.jsonl"
+        reports, counts = run_experiments_resilient(
+            experiments,
+            quick=args.quick,
+            journal_path=journal,
+            resume=args.resume,
+            timeout_seconds=args.trial_timeout,
+            retries=args.retries,
+        )
+        failed = 0
+        for report in reports:
+            print(report.render())
+            print()
+            failed += 0 if report.passed else 1
+        print(
+            f"experiments: {counts['attempted']} attempted,"
+            f" {counts['completed']} completed, {counts['failed']} failed"
+            f" (journal: {journal})"
+        )
+    else:
+        failed = 0
+        reports = []
+        for experiment in experiments:
+            report = experiment.run(quick=args.quick)
+            reports.append(report)
+            print(report.render())
+            print()
+            failed += 0 if report.passed else 1
+    if args.json:
         with open(args.json, "w") as handle:
             json.dump([r.to_dict() for r in reports], handle, indent=2, default=str)
         print(f"wrote {args.json}")
     return 1 if failed else 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .chaos import FuzzScenario, fuzz
+
+    if args.protocol == "both":
+        protocols = ("election", "agreement")
+    else:
+        protocols = (args.protocol,)
+    scenarios = [
+        FuzzScenario(protocol=protocol, n=args.n, alpha=args.alpha)
+        for protocol in protocols
+    ]
+    report = fuzz(
+        scenarios,
+        seeds=args.seeds,
+        master_seed=args.seed,
+        budget_seconds=args.budget_seconds,
+        shrink_failures=not args.no_shrink,
+    )
+    print(
+        f"fuzzed {report.attempted} case(s) across {len(scenarios)} scenario(s)"
+        f" in {report.elapsed_seconds:.1f}s: {len(report.failures)} failure(s)"
+    )
+    for case in report.failures:
+        print(f"  seed={case.seed} protocol={case.scenario.protocol}"
+              f" signature={'/'.join(case.signature)}")
+        for violation in case.violations:
+            print(f"    {violation}")
+    if args.out and report.failures:
+        with open(args.out, "w") as handle:
+            json.dump([case.to_dict() for case in report.failures], handle, indent=2)
+        print(f"wrote {len(report.failures)} failing case(s) to {args.out}")
+    return 1 if report.failures else 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .chaos import CrashScript, FuzzCase, FuzzScenario, run_scenario
+
+    with open(args.script) as handle:
+        data = json.load(handle)
+    if isinstance(data, list):
+        # Output of ``repro fuzz --out``: a list of failing cases.
+        cases = [FuzzCase.from_dict(entry) for entry in data]
+    elif "scenario" in data:
+        cases = [FuzzCase.from_dict(data)]
+    else:
+        # A bare CrashScript: scenario parameters come from the flags.
+        scenario = FuzzScenario(protocol=args.protocol, n=args.n, alpha=args.alpha)
+        cases = [
+            FuzzCase(
+                scenario=scenario,
+                seed=args.seed,
+                script=CrashScript.from_dict(data),
+            )
+        ]
+    exit_code = 0
+    for case in cases:
+        violations, _ = run_scenario(case.scenario, case.seed, case.script)
+        status = "CLEAN" if not violations else "VIOLATION"
+        print(
+            f"[{status}] protocol={case.scenario.protocol} seed={case.seed}"
+            f" script={case.script.label or '<unnamed>'}"
+        )
+        for violation in violations:
+            print(f"  {violation}")
+        exit_code = exit_code or (1 if violations else 0)
+    return exit_code
 
 
 def _cmd_elect(args: argparse.Namespace) -> int:
@@ -114,7 +215,74 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment")
     run.add_argument("--quick", action="store_true", help="small sizes/trials")
     run.add_argument("--json", default=None, help="also write results as JSON")
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip experiments already completed in the checkpoint journal",
+    )
+    run.add_argument(
+        "--journal",
+        default=None,
+        help="checkpoint journal path (default .repro-run.journal.jsonl when "
+        "resilient flags are used)",
+    )
+    run.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-experiment wall-clock budget",
+    )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retries per experiment with derived seeds and backoff",
+    )
     run.set_defaults(func=_cmd_run)
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz", help="fuzz random crash schedules against the safety oracles"
+    )
+    fuzz_cmd.add_argument("--n", type=int, default=64)
+    fuzz_cmd.add_argument("--alpha", type=float, default=0.5)
+    fuzz_cmd.add_argument("--seeds", type=int, default=50, help="trials per protocol")
+    fuzz_cmd.add_argument("--seed", type=int, default=0, help="master seed")
+    fuzz_cmd.add_argument(
+        "--protocol",
+        choices=("election", "agreement", "both"),
+        default="both",
+    )
+    fuzz_cmd.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="run until this time budget instead of a fixed seed count",
+    )
+    fuzz_cmd.add_argument(
+        "--out", default=None, help="write failing cases (JSON) to this path"
+    )
+    fuzz_cmd.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="keep failing schedules as sampled (skip minimisation)",
+    )
+    fuzz_cmd.set_defaults(func=_cmd_fuzz)
+
+    replay = sub.add_parser(
+        "replay", help="deterministically re-run a recorded crash script"
+    )
+    replay.add_argument("script", help="FuzzCase JSON, fuzz --out list, or bare script")
+    replay.add_argument(
+        "--protocol",
+        choices=("election", "agreement"),
+        default="election",
+        help="protocol for bare scripts (full cases carry their own scenario)",
+    )
+    replay.add_argument("--n", type=int, default=64, help="n for bare scripts")
+    replay.add_argument("--alpha", type=float, default=0.5, help="alpha for bare scripts")
+    replay.add_argument("--seed", type=int, default=0, help="seed for bare scripts")
+    replay.set_defaults(func=_cmd_replay)
 
     elect = sub.add_parser("elect", help="one leader-election run")
     elect.add_argument("--n", type=int, default=512)

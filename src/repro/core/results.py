@@ -113,8 +113,13 @@ class LeaderElectionResult:
 
     @property
     def rounds(self) -> int:
-        """Nominal round count of the run."""
+        """Last round the engine actually executed."""
         return self.metrics.rounds
+
+    @property
+    def horizon(self) -> int:
+        """Requested round count (the nominal schedule length)."""
+        return self.metrics.horizon
 
     def summary(self) -> Dict[str, object]:
         """Headline facts as a plain dict (tables/logging)."""
@@ -130,6 +135,7 @@ class LeaderElectionResult:
             "messages": self.messages,
             "bits": self.metrics.bits_sent,
             "rounds": self.rounds,
+            "horizon": self.horizon,
             "rounds_executed": self.metrics.rounds_executed,
             "crashes": self.metrics.crashes,
         }
@@ -237,8 +243,13 @@ class AgreementResult:
 
     @property
     def rounds(self) -> int:
-        """Nominal round count of the run."""
+        """Last round the engine actually executed."""
         return self.metrics.rounds
+
+    @property
+    def horizon(self) -> int:
+        """Requested round count (the nominal schedule length)."""
+        return self.metrics.horizon
 
     def summary(self) -> Dict[str, object]:
         """Headline facts as a plain dict (tables/logging)."""
@@ -252,6 +263,7 @@ class AgreementResult:
             "messages": self.messages,
             "bits": self.metrics.bits_sent,
             "rounds": self.rounds,
+            "horizon": self.horizon,
             "rounds_executed": self.metrics.rounds_executed,
             "crashes": self.metrics.crashes,
         }

@@ -29,3 +29,23 @@ class ProtocolViolation(ReproError):
 
 class BudgetExceeded(ReproError):
     """A hard message/round budget was exhausted (used by lower-bound tooling)."""
+
+
+class TrialFailed(ReproError):
+    """A harness trial raised (or kept raising after retries).
+
+    Wraps the underlying exception; :attr:`attempts` counts how many times
+    the trial was tried before giving up.
+    """
+
+    def __init__(self, message: str, attempts: int = 1) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class TrialTimeout(TrialFailed):
+    """A harness trial exceeded its wall-clock budget."""
+
+
+class OracleViolation(ReproError):
+    """A fuzzed run broke a protocol-level safety oracle (see repro.chaos)."""

@@ -1,0 +1,44 @@
+"""Fault-tolerant trial execution for the experiment layer.
+
+The paper's protocols tolerate crashing *nodes*; this subpackage makes
+the harness tolerate crashing *trials*: per-trial wall-clock timeouts,
+retry with derived seeds and capped exponential backoff, quarantine of
+persistently failing configurations, and a JSONL checkpoint journal that
+lets a killed sweep resume without re-running finished trials.
+
+Entry points: :class:`ResilientExecutor` (one guarded trial),
+:func:`repro.analysis.sweeps.resilient_sweep` (guarded grids), and the
+``repro run --resume/--trial-timeout/--retries`` CLI flags.
+"""
+
+from .executor import (
+    FAILED,
+    OK,
+    QUARANTINED,
+    RESUMED,
+    TIMEOUT,
+    Quarantine,
+    ResilientExecutor,
+    TrialOutcome,
+    default_serialize,
+)
+from .journal import Journal, open_journal
+from .retry import RetryPolicy
+from .timeout import call_with_timeout, timeouts_supported
+
+__all__ = [
+    "FAILED",
+    "OK",
+    "QUARANTINED",
+    "RESUMED",
+    "TIMEOUT",
+    "Journal",
+    "Quarantine",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "TrialOutcome",
+    "call_with_timeout",
+    "default_serialize",
+    "open_journal",
+    "timeouts_supported",
+]

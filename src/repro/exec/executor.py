@@ -1,0 +1,219 @@
+"""The resilient trial executor.
+
+``ResilientExecutor.run_trial`` wraps one harness trial — an arbitrary
+``task(seed=..., **kwargs)`` call — with every robustness layer this
+package provides:
+
+* a hard per-trial wall-clock budget (:mod:`repro.exec.timeout`);
+* retry with derived seeds and capped exponential backoff
+  (:mod:`repro.exec.retry`);
+* a quarantine list: a config key that keeps failing is skipped for the
+  rest of the campaign instead of burning its budget again and again;
+* optional journaling of every outcome for ``--resume``
+  (:mod:`repro.exec.journal`).
+
+The executor never lets a trial exception escape: every trial yields a
+:class:`TrialOutcome` with a status, and sweeps aggregate those into
+partial results (:func:`repro.analysis.sweeps.resilient_sweep`) instead
+of dying with the first bad configuration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import TrialTimeout
+from .journal import Journal
+from .retry import RetryPolicy
+from .timeout import call_with_timeout
+
+#: Trial statuses.
+OK = "ok"
+FAILED = "failed"
+TIMEOUT = "timeout"
+QUARANTINED = "quarantined"
+RESUMED = "resumed"
+
+#: Default serialisation of a trial value into the journal: result objects
+#: expose ``summary()`` (LeaderElectionResult, AgreementResult,
+#: BaselineOutcome, Metrics...); JSON-native values pass through; anything
+#: else degrades to ``repr``.
+def default_serialize(value: Any) -> Any:
+    if hasattr(value, "summary"):
+        return value.summary()
+    if isinstance(value, (bool, int, float, str, type(None))):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [default_serialize(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): default_serialize(v) for k, v in value.items()}
+    return repr(value)
+
+
+@dataclass
+class TrialOutcome:
+    """Everything observable about one executed (or skipped) trial."""
+
+    key: str
+    seed: int
+    status: str
+    attempts: int = 0
+    value: Any = None
+    error: Optional[str] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (OK, RESUMED)
+
+    def journal_record(
+        self, serialize: Callable[[Any], Any] = default_serialize
+    ) -> Dict[str, Any]:
+        """JSON-safe form for the checkpoint journal."""
+        return {
+            "key": self.key,
+            "seed": self.seed,
+            "status": self.status,
+            "attempts": self.attempts,
+            "error": self.error,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "value": serialize(self.value) if self.ok else None,
+        }
+
+
+class Quarantine:
+    """Config keys that failed persistently and are no longer attempted."""
+
+    def __init__(self, threshold: int = 3) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self._failures: Dict[str, int] = {}
+
+    def record_failure(self, key: str) -> None:
+        """Count one exhausted-retries failure against ``key``."""
+        self._failures[key] = self._failures.get(key, 0) + 1
+
+    def record_success(self, key: str) -> None:
+        """A success clears the key's strike count."""
+        self._failures.pop(key, None)
+
+    def blocks(self, key: str) -> bool:
+        """True when ``key`` has reached the quarantine threshold."""
+        return self._failures.get(key, 0) >= self.threshold
+
+    def keys(self) -> Dict[str, int]:
+        """Current strike counts (diagnostics)."""
+        return dict(self._failures)
+
+
+class ResilientExecutor:
+    """Runs trials with timeouts, retries, quarantine, and journaling."""
+
+    def __init__(
+        self,
+        timeout_seconds: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        quarantine: Optional[Quarantine] = None,
+        journal: Optional[Journal] = None,
+        serialize: Callable[[Any], Any] = default_serialize,
+    ) -> None:
+        self.timeout_seconds = timeout_seconds
+        self.retry = retry or RetryPolicy()
+        self.quarantine = quarantine or Quarantine()
+        self.journal = journal
+        self.serialize = serialize
+        #: key -> journalled record, loaded by :meth:`load_completed`.
+        self.completed: Dict[str, Dict[str, Any]] = {}
+
+    # -- resume ----------------------------------------------------------
+
+    def load_completed(self) -> int:
+        """Read the journal and index successful records by key.
+
+        Returns the number of resumable trials.  Failed/timeout records
+        are *not* indexed — a resumed sweep retries them.
+        """
+        self.completed = {}
+        if self.journal is None:
+            return 0
+        for record in self.journal.iter_records():
+            if record.get("status") in (OK, RESUMED) and "key" in record:
+                self.completed[str(record["key"])] = record
+        return len(self.completed)
+
+    # -- execution -------------------------------------------------------
+
+    def run_trial(
+        self,
+        task: Callable[..., Any],
+        key: str,
+        seed: int,
+        **kwargs: Any,
+    ) -> TrialOutcome:
+        """Execute ``task(seed=..., **kwargs)`` under the full safety net."""
+        record = self.completed.get(key)
+        if record is not None:
+            # Finished in a previous (killed) run: hand back the journalled
+            # value without re-executing anything.
+            return TrialOutcome(
+                key=key,
+                seed=int(record.get("seed", seed)),
+                status=RESUMED,
+                attempts=int(record.get("attempts", 1)),
+                value=record.get("value"),
+            )
+        if self.quarantine.blocks(key):
+            outcome = TrialOutcome(
+                key=key, seed=seed, status=QUARANTINED, attempts=0,
+                error="config quarantined after repeated failures",
+            )
+            self._journal(outcome)
+            return outcome
+
+        started = time.monotonic()
+        last_error: Optional[BaseException] = None
+        timed_out = False
+        attempts = 0
+        for attempt, attempt_seed in enumerate(self.retry.attempt_seeds(seed)):
+            if attempt > 0:
+                self.retry.sleep(self.retry.delay(attempt))
+            attempts = attempt + 1
+            try:
+                value = call_with_timeout(
+                    task, self.timeout_seconds, seed=attempt_seed, **kwargs
+                )
+            except TrialTimeout as exc:
+                last_error, timed_out = exc, True
+            except Exception as exc:  # noqa: BLE001 - the whole point
+                last_error, timed_out = exc, False
+            else:
+                self.quarantine.record_success(key)
+                outcome = TrialOutcome(
+                    key=key,
+                    seed=attempt_seed,
+                    status=OK,
+                    attempts=attempts,
+                    value=value,
+                    elapsed_seconds=time.monotonic() - started,
+                )
+                self._journal(outcome)
+                return outcome
+
+        self.quarantine.record_failure(key)
+        outcome = TrialOutcome(
+            key=key,
+            seed=seed,
+            status=TIMEOUT if timed_out else FAILED,
+            attempts=attempts,
+            error=f"{type(last_error).__name__}: {last_error}",
+            elapsed_seconds=time.monotonic() - started,
+        )
+        self._journal(outcome)
+        return outcome
+
+    def _journal(self, outcome: TrialOutcome) -> None:
+        if self.journal is not None:
+            self.journal.append(outcome.journal_record(self.serialize))

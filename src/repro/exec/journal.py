@@ -1,0 +1,98 @@
+"""Append-only JSONL checkpoint journal.
+
+One JSON object per line, flushed (and fsynced when possible) after every
+append, so a killed sweep loses at most the record being written.  The
+loader is deliberately forgiving: a truncated or garbled trailing line —
+the signature of a process killed mid-write — is skipped instead of
+poisoning the resume, and counted in :attr:`Journal.corrupt_lines`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+
+class Journal:
+    """A durable JSONL log keyed by caller-chosen record dicts."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.corrupt_lines = 0
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Write one record as a JSON line and push it to disk."""
+        line = json.dumps(record, sort_keys=True, default=str)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # A run killed mid-append leaves a torn line without a newline;
+        # terminate it first so the new record is not glued onto it (the
+        # torn fragment stays corrupt, the new record stays parseable).
+        if self.path.exists():
+            with open(self.path, "rb") as existing:
+                try:
+                    existing.seek(-1, os.SEEK_END)
+                    torn = existing.read(1) != b"\n"
+                except OSError:  # empty file
+                    torn = False
+            if torn:
+                line = "\n" + line
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            try:
+                os.fsync(handle.fileno())
+            except OSError:  # pragma: no cover - exotic filesystems
+                pass
+
+    def load(self) -> List[Dict[str, Any]]:
+        """All intact records, skipping corrupt/half-written lines."""
+        return list(self.iter_records())
+
+    def iter_records(self) -> Iterator[Dict[str, Any]]:
+        """Yield intact records in write order."""
+        self.corrupt_lines = 0
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Half-written tail of a killed run (or stray garbage):
+                    # resume from what is intact rather than failing.
+                    self.corrupt_lines += 1
+                    continue
+                if isinstance(record, dict):
+                    yield record
+                else:
+                    self.corrupt_lines += 1
+
+    def exists(self) -> bool:
+        """Whether the journal file is present on disk."""
+        return self.path.exists()
+
+    def clear(self) -> None:
+        """Delete the journal file (fresh, non-resumed runs)."""
+        if self.path.exists():
+            self.path.unlink()
+
+
+def open_journal(
+    path: Optional[Union[str, Path]], resume: bool
+) -> Optional[Journal]:
+    """Standard harness journal handling: ``None`` path means no journal.
+
+    A fresh (non-resume) run truncates any stale journal at the path so
+    leftover records from an earlier sweep cannot masquerade as progress.
+    """
+    if path is None:
+        return None
+    journal = Journal(path)
+    if not resume:
+        journal.clear()
+    return journal

@@ -1,0 +1,69 @@
+"""Retry policy with derived seeds and capped exponential backoff.
+
+A failing trial is retried with a *different but deterministic* seed:
+attempt ``k`` of base seed ``s`` runs under ``derive_seed(s, "retry", k)``,
+so a flaky failure gets fresh randomness while the whole retry ladder
+stays reproducible from the master seed.  Between attempts the policy
+sleeps ``backoff_base * backoff_factor**k`` seconds, capped at
+``backoff_cap`` (the classic capped exponential schedule — pointless for
+a local simulation's sake, essential once trials hit shared resources
+like subprocess pools or remote backends).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List
+
+from ..errors import ConfigurationError
+from ..rng import derive_seed
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, with what seeds, and with what pauses to retry."""
+
+    #: Number of *re*-tries after the first attempt (0 = fail fast).
+    retries: int = 0
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+    #: Injection point for tests; defaults to :func:`time.sleep`.
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigurationError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts including the first one."""
+        return self.retries + 1
+
+    def delay(self, attempt: int) -> float:
+        """Pause before retry ``attempt`` (1-based), capped exponential."""
+        return min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+
+    def delays(self) -> List[float]:
+        """The full backoff ladder, one entry per retry."""
+        return [self.delay(k) for k in range(1, self.retries + 1)]
+
+    def attempt_seeds(self, seed: int) -> Iterator[int]:
+        """Seeds for attempts ``0..retries``: the base seed, then derived.
+
+        The first attempt uses ``seed`` unchanged so that a trial that
+        never fails is bit-identical with and without a retry policy.
+        """
+        yield seed
+        for attempt in range(1, self.max_attempts):
+            yield derive_seed(seed, "retry", attempt)

@@ -1,0 +1,60 @@
+"""Per-trial wall-clock budgets.
+
+``call_with_timeout`` runs a callable under a hard deadline using the
+POSIX interval timer (``SIGALRM``): when the deadline fires mid-call a
+:class:`~repro.errors.TrialTimeout` is raised *inside* the call, which
+unwinds it cleanly — no threads to orphan, no state to pickle, and the
+interrupted simulation is simply garbage.
+
+Signals only reach the main thread, so when invoked from a worker thread
+(or on a platform without ``setitimer``) the call degrades gracefully to
+running without a deadline — the executor records this and the retry
+machinery still applies.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Any, Callable, Optional, TypeVar
+
+from ..errors import TrialTimeout
+
+T = TypeVar("T")
+
+
+def timeouts_supported() -> bool:
+    """True when hard deadlines can be enforced here and now."""
+    return (
+        hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def call_with_timeout(
+    fn: Callable[..., T],
+    timeout_seconds: Optional[float],
+    *args: Any,
+    **kwargs: Any,
+) -> T:
+    """Run ``fn(*args, **kwargs)``, raising :class:`TrialTimeout` on expiry.
+
+    ``timeout_seconds`` of ``None`` or ``0`` disables the deadline.  When
+    deadlines are unsupported in the calling context the function simply
+    runs uncapped (graceful degradation; see :func:`timeouts_supported`).
+    """
+    if not timeout_seconds or not timeouts_supported():
+        return fn(*args, **kwargs)
+
+    def _expired(signum: int, frame: Any) -> None:
+        raise TrialTimeout(
+            f"trial exceeded its {timeout_seconds}s wall-clock budget"
+        )
+
+    previous_handler = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout_seconds)
+    try:
+        return fn(*args, **kwargs)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous_handler)

@@ -28,7 +28,7 @@ Run them via ``python -m repro run E1 [--quick]`` or the benchmark suite
 per experiment and prints the measured table.
 """
 
-from .harness import Check, Experiment, ExperimentReport
+from .harness import Check, Experiment, ExperimentReport, run_experiments_resilient
 from .registry import all_experiments, get_experiment
 
 __all__ = [
@@ -37,4 +37,5 @@ __all__ = [
     "ExperimentReport",
     "all_experiments",
     "get_experiment",
+    "run_experiments_resilient",
 ]

@@ -3,12 +3,17 @@
 An :class:`Experiment` bundles an id, the paper artifact it reproduces,
 and a ``run(quick)`` callable returning an :class:`ExperimentReport` —
 rows (the measured table) plus shape checks (pass/fail with detail).
+
+:func:`run_experiments_resilient` executes a batch of experiments under
+the fault-tolerant executor (:mod:`repro.exec`): per-experiment timeout,
+retry, a checkpoint journal, and ``resume`` support — a killed ``repro
+run all`` picks up where it stopped instead of starting over.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.tables import format_table
 
@@ -58,6 +63,25 @@ class ExperimentReport:
             "notes": list(self.notes),
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentReport":
+        """Rebuild a report from :meth:`to_dict` output (journal resume)."""
+        return cls(
+            experiment_id=str(data["experiment_id"]),
+            title=str(data.get("title", "")),
+            paper_claim=str(data.get("paper_claim", "")),
+            rows=[dict(row) for row in data.get("rows", [])],
+            checks=[
+                Check(
+                    name=str(c["name"]),
+                    passed=bool(c["passed"]),
+                    detail=str(c.get("detail", "")),
+                )
+                for c in data.get("checks", [])
+            ],
+            notes=[str(note) for note in data.get("notes", [])],
+        )
+
     def render(self) -> str:
         """Human-readable report (table + checks + notes)."""
         parts = [
@@ -86,3 +110,79 @@ class Experiment:
     def run(self, quick: bool = False) -> ExperimentReport:
         """Execute the experiment (``quick`` shrinks sizes/trials)."""
         return self.runner(quick)
+
+
+def _failure_report(experiment: "Experiment", outcome: Any) -> ExperimentReport:
+    """Stand-in report for an experiment whose trial never completed."""
+    return ExperimentReport(
+        experiment_id=experiment.experiment_id,
+        title=experiment.title,
+        paper_claim=experiment.paper_claim,
+        checks=[
+            Check(
+                name="experiment completed",
+                passed=False,
+                detail=(
+                    f"status={outcome.status} after {outcome.attempts} attempt(s):"
+                    f" {outcome.error}"
+                ),
+            )
+        ],
+        notes=["experiment did not complete; partial campaign result"],
+    )
+
+
+def run_experiments_resilient(
+    experiments: Sequence["Experiment"],
+    quick: bool = False,
+    *,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    timeout_seconds: Optional[float] = None,
+    retries: int = 0,
+) -> Tuple[List[ExperimentReport], Dict[str, int]]:
+    """Run a batch of experiments under the resilient executor.
+
+    Each experiment is one trial (journal key = experiment id, journalled
+    value = ``report.to_dict()``).  A failing or timing-out experiment
+    degrades to a synthetic failing report instead of aborting the batch;
+    with ``resume=True`` experiments already journalled as complete are
+    reconstructed via :meth:`ExperimentReport.from_dict` without re-running.
+
+    Returns ``(reports, counts)`` with counts keyed
+    ``attempted/completed/failed``.
+    """
+    from ..exec import Journal, ResilientExecutor, RetryPolicy
+
+    executor = ResilientExecutor(
+        timeout_seconds=timeout_seconds,
+        retry=RetryPolicy(retries=retries),
+        serialize=lambda report: report.to_dict(),
+    )
+    if journal_path is not None:
+        executor.journal = Journal(journal_path)
+    if resume:
+        executor.load_completed()
+    elif executor.journal is not None:
+        executor.journal.clear()
+
+    reports: List[ExperimentReport] = []
+    counts = {"attempted": 0, "completed": 0, "failed": 0}
+    for experiment in experiments:
+        outcome = executor.run_trial(
+            lambda seed, exp=experiment: exp.run(quick=quick),
+            key=experiment.experiment_id,
+            seed=0,
+        )
+        counts["attempted"] += 1
+        if outcome.ok:
+            counts["completed"] += 1
+            value = outcome.value
+            if isinstance(value, ExperimentReport):
+                reports.append(value)
+            else:
+                reports.append(ExperimentReport.from_dict(value))
+        else:
+            counts["failed"] += 1
+            reports.append(_failure_report(experiment, outcome))
+    return reports, counts

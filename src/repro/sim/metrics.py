@@ -6,9 +6,11 @@
   lost to a crash in the sender's crash round (they were sent);
 * ``bits_sent`` — the CONGEST bit total of those messages;
 * ``messages_delivered`` — messages that actually reached their receiver;
-* ``rounds`` — number of synchronous rounds elapsed (the engine may
-  fast-forward quiescent suffixes; ``rounds`` reports the nominal count,
-  ``rounds_executed`` the simulated ones).
+* ``rounds`` — the last round the engine actually executed (the engine may
+  fast-forward quiescent suffixes, so this can be smaller than the
+  requested ``horizon``); ``rounds_executed`` counts executed rounds and
+  always equals ``rounds`` under the current engine (rounds are executed
+  contiguously from 1).
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ class Metrics:
     messages_dropped: int = 0
     bits_sent: int = 0
     rounds: int = 0
+    horizon: int = 0
     rounds_executed: int = 0
     crashes: int = 0
     per_round_messages: List[int] = field(default_factory=list)
@@ -74,6 +77,7 @@ class Metrics:
             "messages_dropped": self.messages_dropped,
             "bits_sent": self.bits_sent,
             "rounds": self.rounds,
+            "horizon": self.horizon,
             "rounds_executed": self.rounds_executed,
             "crashes": self.crashes,
         }

@@ -49,7 +49,11 @@ class RunResult:
     trace: Optional[Trace]
     faulty: Set[NodeId]
     crashed: Dict[NodeId, Round]
+    #: Last round the engine actually executed (<= ``horizon`` when the
+    #: quiescence fast-forward cut the run short).
     rounds: Round
+    #: The requested round count (the nominal schedule length).
+    horizon: Round = 0
 
     @property
     def alive(self) -> List[NodeId]:
@@ -168,12 +172,15 @@ class Network:
 
         for r in range(1, total_rounds + 1):
             self._round = r
-            if self._quiescent() and self.adversary.done(self._view([])):
+            if self._quiescent() and self.adversary.done(self._view()):
                 # Nothing can happen in any later round; fast-forward.
                 break
             self._execute_round(r)
 
-        self.metrics.rounds = total_rounds
+        # Rounds execute contiguously from 1, so the executed count is also
+        # the last executed round; the requested horizon is kept separately.
+        self.metrics.rounds = self.metrics.rounds_executed
+        self.metrics.horizon = total_rounds
         for u, protocol in enumerate(self.protocols):
             if u not in self.crashed:
                 ctx = self.contexts[u]
@@ -186,7 +193,8 @@ class Network:
             trace=self.trace,
             faulty=self.faulty,
             crashed=dict(self.crashed),
-            rounds=total_rounds,
+            rounds=self.metrics.rounds_executed,
+            horizon=total_rounds,
         )
 
     def _entry_live(self, entry: Tuple[Round, NodeId]) -> bool:
@@ -319,7 +327,14 @@ class Network:
                 # Receiver is dead; the message evaporates silently.
                 continue
             self.metrics.record_delivery()
+            delivery = Delivery(
+                sender=envelope.src,
+                message=envelope.message,
+                round_received=r + 1,
+            )
             if self.trace is not None:
+                # round_received is taken from the Delivery actually handed
+                # to the receiver, so the validator checks the real latency.
                 self.trace.record(
                     TraceEvent(
                         round=r,
@@ -327,15 +342,10 @@ class Network:
                         src=envelope.src,
                         dst=envelope.dst,
                         message_kind=envelope.message.kind,
+                        round_received=delivery.round_received,
                     )
                 )
-            self._inboxes.setdefault(envelope.dst, []).append(
-                Delivery(
-                    sender=envelope.src,
-                    message=envelope.message,
-                    round_received=r + 1,
-                )
-            )
+            self._inboxes.setdefault(envelope.dst, []).append(delivery)
 
     def _record_send(self, envelope: Envelope) -> bool:
         """Account for one wire message; False means it was budget-suppressed.
@@ -366,7 +376,7 @@ class Network:
             )
         return True
 
-    def _view(self, wire: List[Envelope]) -> RoundView:
+    def _view(self) -> RoundView:
         return self._view_with_outboxes({})
 
     def _view_with_outboxes(

@@ -19,7 +19,12 @@ class TraceEvent:
 
     ``kind`` is one of ``"send"``, ``"deliver"``, ``"drop"``, ``"crash"``.
     For message events ``src``/``dst``/``message_kind`` are set; for crash
-    events only ``src``.
+    events only ``src``.  ``round`` is always the round of the matching
+    *send* (deliveries and drops are resolved in the round their message
+    was put on the wire); for ``"deliver"`` events ``round_received``
+    additionally records the round the receiver saw the message — by the
+    model's one-round latency it must equal ``round + 1``
+    (:func:`repro.sim.validate.validate_run` enforces this).
     """
 
     round: Round
@@ -27,6 +32,7 @@ class TraceEvent:
     src: NodeId
     dst: Optional[NodeId] = None
     message_kind: Optional[str] = None
+    round_received: Optional[Round] = None
 
 
 @dataclass

@@ -14,6 +14,9 @@ Checked invariants:
 * **CONGEST rate** — at most one message per ordered edge per round;
 * **crash finality** — no node sends after its crash round, and dropped
   messages occur only in their sender's crash round;
+* **delivery latency** — every delivery/drop is resolved in the round of
+  its matching send, and a delivery reaches its receiver exactly one round
+  after the send (``round_received == round_sent + 1``);
 * **no self-messages** and all endpoints in ``[0, n)``;
 * **fault discipline** — only members of the (final) faulty set crash.
 """
@@ -89,6 +92,9 @@ def validate_run(result: RunResult) -> List[str]:
     for event in deliveries + drops:
         key = (event.round, event.src, event.dst)
         if key not in seen_edges:
+            # The trace keys deliveries/drops by their send round, so an
+            # unmatched key is also a latency violation: the outcome was
+            # resolved in a round its message was not on the wire.
             violations.append(
                 f"round {event.round}: {event.kind} without a matching send "
                 f"on {event.src} -> {event.dst}"
@@ -100,6 +106,20 @@ def validate_run(result: RunResult) -> List[str]:
                 f"both {previous} and {event.kind}"
             )
         outcome_edges[key] = event.kind
+
+    # Delivery latency: the model delivers at the start of round r + 1.
+    for event in deliveries:
+        if event.round_received is None:
+            violations.append(
+                f"round {event.round}: delivery {event.src} -> {event.dst} "
+                f"has no recorded arrival round"
+            )
+        elif event.round_received != event.round + 1:
+            violations.append(
+                f"round {event.round}: delivery {event.src} -> {event.dst} "
+                f"arrived in round {event.round_received}, expected "
+                f"{event.round + 1}"
+            )
 
     for event in drops:
         crash_round = crashes.get(event.src)

@@ -1,0 +1,82 @@
+"""Tests for the schedule generation grammar (repro.chaos.grammar)."""
+
+import random
+
+import pytest
+
+from repro.chaos import FuzzedAdversary, GrammarConfig, sample_filter, sample_script
+from repro.errors import ConfigurationError
+
+
+class TestSampleScript:
+    def test_respects_fault_budget_and_horizon(self):
+        for seed in range(20):
+            script = sample_script(
+                random.Random(seed), n=32, max_faulty=10, horizon=15
+            )
+            assert len(script.faulty) <= 10
+            assert set(script.crashes) <= set(script.faulty)
+            for round_, filter_ in script.crashes.values():
+                assert 1 <= round_ <= 15
+                assert filter_.kind in (
+                    "drop_all", "keep_all", "keep_fraction", "keep_destinations"
+                )
+
+    def test_same_stream_same_script(self):
+        a = sample_script(random.Random(7), n=32, max_faulty=10, horizon=20)
+        b = sample_script(random.Random(7), n=32, max_faulty=10, horizon=20)
+        assert a == b
+
+    def test_saturate_budget_uses_all_faults(self):
+        config = GrammarConfig(saturate_budget=True)
+        script = sample_script(
+            random.Random(3), n=32, max_faulty=10, horizon=20, config=config
+        )
+        assert len(script.faulty) == 10
+
+    def test_zero_crash_probability_never_crashes(self):
+        config = GrammarConfig(crash_probability=0.0)
+        script = sample_script(
+            random.Random(3), n=32, max_faulty=10, horizon=20, config=config
+        )
+        assert script.crashes == {}
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_script(random.Random(0), n=8, max_faulty=2, horizon=0)
+
+    def test_invalid_crash_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GrammarConfig(crash_probability=1.5)
+
+
+class TestSampleFilter:
+    def test_all_kinds_reachable(self):
+        rng = random.Random(0)
+        kinds = {
+            sample_filter(rng, n=16, config=GrammarConfig()).kind
+            for _ in range(200)
+        }
+        assert kinds == {"drop_all", "keep_all", "keep_fraction", "keep_destinations"}
+
+    def test_weights_restrict_kinds(self):
+        config = GrammarConfig(filter_weights={"drop_all": 1})
+        rng = random.Random(0)
+        assert all(
+            sample_filter(rng, n=16, config=config).kind == "drop_all"
+            for _ in range(20)
+        )
+
+
+class TestFuzzedAdversary:
+    def test_materialises_script_on_selection(self):
+        adversary = FuzzedAdversary(horizon=12, label="t")
+        assert adversary.script is None
+        faulty = adversary.select_faulty(32, 10, random.Random(5))
+        assert adversary.script is not None
+        assert set(adversary.script.faulty) == faulty
+        assert adversary.script.label == "t"
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FuzzedAdversary(horizon=0)

@@ -1,0 +1,138 @@
+"""Tests for CrashScript / DeliveryFilter (repro.chaos.script)."""
+
+import random
+
+import pytest
+
+from repro.chaos import CrashScript, DeliveryFilter, as_script
+from repro.errors import ConfigurationError
+from repro.faults.adversary import RoundView
+from repro.sim.message import Envelope, Message
+
+
+def _env(src, dst):
+    return Envelope(src=src, dst=dst, message=Message(kind="x"), round_sent=1)
+
+
+def _view(round_, crashed=(), faulty=(1, 2, 3)):
+    return RoundView(
+        round=round_,
+        n=8,
+        faulty_alive={u for u in faulty if u not in crashed},
+        crashed={u: 1 for u in crashed},
+        outboxes={},
+    )
+
+
+class TestDeliveryFilter:
+    def test_drop_all_and_keep_all(self):
+        assert not DeliveryFilter(kind="drop_all").keep(_env(0, 1))
+        assert DeliveryFilter(kind="keep_all").keep(_env(0, 1))
+
+    def test_keep_destinations(self):
+        f = DeliveryFilter(kind="keep_destinations", destinations=(2, 5))
+        assert f.keep(_env(0, 2))
+        assert f.keep(_env(0, 5))
+        assert not f.keep(_env(0, 3))
+
+    def test_keep_fraction_is_deterministic(self):
+        f = DeliveryFilter(kind="keep_fraction", fraction=0.5, salt=99)
+        decisions = [f.keep(_env(1, d)) for d in range(64)]
+        again = [f.keep(_env(1, d)) for d in range(64)]
+        assert decisions == again
+        # Extremes are exact, not probabilistic.
+        zero = DeliveryFilter(kind="keep_fraction", fraction=0.0, salt=1)
+        one = DeliveryFilter(kind="keep_fraction", fraction=1.0, salt=1)
+        assert not any(zero.keep(_env(1, d)) for d in range(32))
+        assert all(one.keep(_env(1, d)) for d in range(32))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeliveryFilter(kind="mystery")
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeliveryFilter(kind="keep_fraction", fraction=1.5)
+
+    def test_severity_ordering(self):
+        keep_all = DeliveryFilter(kind="keep_all")
+        partial = DeliveryFilter(kind="keep_fraction", fraction=0.5, salt=0)
+        drop = DeliveryFilter(kind="drop_all")
+        assert keep_all.severity < partial.severity < drop.severity
+
+    @pytest.mark.parametrize(
+        "filter_",
+        [
+            DeliveryFilter(kind="drop_all"),
+            DeliveryFilter(kind="keep_all"),
+            DeliveryFilter(kind="keep_fraction", fraction=0.25, salt=1234),
+            DeliveryFilter(kind="keep_destinations", destinations=(1, 4, 7)),
+        ],
+    )
+    def test_dict_round_trip(self, filter_):
+        assert DeliveryFilter.from_dict(filter_.to_dict()) == filter_
+
+
+class TestCrashScript:
+    def _script(self):
+        return CrashScript(
+            faulty=(1, 2, 3),
+            crashes={
+                1: (2, DeliveryFilter(kind="drop_all")),
+                2: (5, DeliveryFilter(kind="keep_fraction", fraction=0.5, salt=7)),
+            },
+            label="unit",
+        )
+
+    def test_select_faulty_is_static(self):
+        script = self._script()
+        assert script.select_faulty(8, 4, random.Random(0)) == {1, 2, 3}
+
+    def test_plan_round_fires_only_at_crash_round(self):
+        script = self._script()
+        rng = random.Random(0)
+        assert set(script.plan_round(_view(2), rng)) == {1}
+        assert set(script.plan_round(_view(5), rng)) == {2}
+        assert script.plan_round(_view(3), rng) == {}
+        # An already-crashed node is not re-ordered.
+        assert script.plan_round(_view(2, crashed={1}), rng) == {}
+
+    def test_done_after_last_crash(self):
+        script = self._script()
+        assert not script.done(_view(1))
+        assert not script.done(_view(5))
+        assert script.done(_view(6))
+        assert script.done(_view(5, crashed={1, 2}))
+
+    def test_last_crash_round_and_size(self):
+        script = self._script()
+        assert script.last_crash_round == 5
+        faulty_count, crash_count, severity = script.size()
+        assert (faulty_count, crash_count) == (3, 2)
+        assert severity == 3  # drop_all (2) + keep_fraction (1)
+
+    def test_json_round_trip(self):
+        script = self._script()
+        assert CrashScript.from_json(script.to_json()) == script
+        assert as_script(script.to_dict()) == script
+        assert as_script(script) is script
+
+    def test_json_keys_are_strings(self):
+        # JSON objects force string keys; from_dict must coerce back.
+        import json
+
+        data = json.loads(self._script().to_json())
+        assert all(isinstance(k, str) for k in data["crashes"])
+        restored = CrashScript.from_dict(data)
+        assert set(restored.crashes) == {1, 2}
+
+    def test_edit_helpers(self):
+        script = self._script()
+        assert set(script.without_crash(1).crashes) == {2}
+        assert script.without_crash(1).faulty == (1, 2, 3)
+        assert script.without_faulty(3).faulty == (1, 2)
+        moved = script.with_round(1, 9)
+        assert moved.crashes[1][0] == 9
+        widened = script.with_filter(1, DeliveryFilter(kind="keep_all"))
+        assert widened.crashes[1][1].kind == "keep_all"
+        assert widened.size() < script.size()

@@ -1,0 +1,90 @@
+"""Tests for schedule shrinking (repro.chaos.shrink).
+
+These use synthetic failure predicates (no simulator), so they pin the
+shrinker's convergence and minimality guarantees in microseconds; the
+end-to-end shrink of a real engine violation lives in test_fuzzer.py.
+"""
+
+from repro.chaos import CrashScript, DeliveryFilter, shrink_script
+from repro.chaos.shrink import DEFAULT_MAX_EVALS, ShrinkResult
+
+
+def _fat_script():
+    drop = DeliveryFilter(kind="drop_all")
+    return CrashScript(
+        faulty=(1, 2, 3, 5, 8),
+        crashes={
+            1: (2, drop),
+            2: (3, drop),
+            5: (4, drop),
+            8: (6, DeliveryFilter(kind="keep_fraction", fraction=0.3, salt=9)),
+        },
+        label="fat",
+    )
+
+
+class TestShrinkScript:
+    def test_minimises_to_the_load_bearing_crash(self):
+        # Failure depends only on node 5 crashing at all.
+        result = shrink_script(
+            _fat_script(), lambda s: 5 in s.crashes, max_round=20
+        )
+        assert result.converged
+        assert set(result.script.crashes) == {5}
+        assert result.script.faulty == (5,)
+        # The surviving crash is maximally mild: widest filter, latest round.
+        round_, filter_ = result.script.crashes[5]
+        assert filter_.kind == "keep_all"
+        assert round_ == 20
+
+    def test_preserves_failure_predicate(self):
+        still_fails = lambda s: 5 in s.crashes and s.crashes[5][0] <= 10
+        result = shrink_script(_fat_script(), still_fails, max_round=20)
+        assert result.converged
+        assert still_fails(result.script)
+        assert result.script.crashes[5][0] <= 10
+
+    def test_measure_never_increases(self):
+        result = shrink_script(
+            _fat_script(), lambda s: 5 in s.crashes, max_round=20
+        )
+        sizes = [_fat_script().size()] + result.history
+        for before, after in zip(sizes, sizes[1:]):
+            assert after <= before
+
+    def test_unshrinkable_script_is_fixpoint(self):
+        minimal = CrashScript(
+            faulty=(5,), crashes={5: (20, DeliveryFilter(kind="keep_all"))}
+        )
+        result = shrink_script(minimal, lambda s: 5 in s.crashes, max_round=20)
+        assert result.converged
+        assert result.accepted_steps == 0
+        assert result.script == minimal
+
+    def test_eval_cap_reported(self):
+        result = shrink_script(
+            _fat_script(), lambda s: 5 in s.crashes, max_round=20, max_evals=1
+        )
+        assert not result.converged
+        assert result.evaluations == 1
+
+    def test_converges_within_default_budget(self):
+        result = shrink_script(
+            _fat_script(), lambda s: 5 in s.crashes, max_round=500
+        )
+        assert result.converged
+        assert result.evaluations < DEFAULT_MAX_EVALS
+
+    def test_geometric_delay_handles_huge_horizons(self):
+        # Delaying one round at a time across a 10^4-round horizon would
+        # blow the eval cap; geometric jumps must not.
+        script = CrashScript(
+            faulty=(3,), crashes={3: (1, DeliveryFilter(kind="drop_all"))}
+        )
+        result = shrink_script(script, lambda s: 3 in s.crashes, max_round=10_000)
+        assert result.converged
+        assert result.script.crashes[3][0] == 10_000
+
+    def test_result_dataclass_defaults(self):
+        result = ShrinkResult(script=_fat_script())
+        assert result.converged and result.evaluations == 0

@@ -64,10 +64,11 @@ class TestExtraRounds:
             n=96, alpha=0.5, seed=6, adversary="none", params=params, extra_rounds=200
         )
         # The protocol is quiescent after convergence: more rounds change
-        # nothing but the nominal round count.
+        # nothing but the nominal horizon — the executed rounds are equal.
         assert extended.messages == base.messages
         assert extended.agreed_rank == base.agreed_rank
-        assert extended.rounds == base.rounds + 200
+        assert extended.horizon == base.horizon + 200
+        assert extended.rounds == base.rounds
 
 
 class TestFaultyCountOverride:

@@ -1,0 +1,36 @@
+"""Tests for the retry policy (repro.exec.retry)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import RetryPolicy
+from repro.rng import derive_seed
+
+
+class TestRetryPolicy:
+    def test_max_attempts(self):
+        assert RetryPolicy().max_attempts == 1
+        assert RetryPolicy(retries=3).max_attempts == 4
+
+    def test_backoff_ladder_is_capped_exponential(self):
+        policy = RetryPolicy(
+            retries=5, backoff_base=0.1, backoff_factor=2.0, backoff_cap=0.5
+        )
+        assert policy.delays() == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_attempt_seeds_start_with_base_seed(self):
+        policy = RetryPolicy(retries=2)
+        seeds = list(policy.attempt_seeds(1234))
+        assert seeds[0] == 1234
+        assert seeds[1] == derive_seed(1234, "retry", 1)
+        assert seeds[2] == derive_seed(1234, "retry", 2)
+        assert len(set(seeds)) == 3  # all distinct
+        assert seeds == list(policy.attempt_seeds(1234))  # deterministic
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_base=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)

@@ -1,0 +1,58 @@
+"""Tests for per-trial wall-clock budgets (repro.exec.timeout)."""
+
+import signal
+import time
+
+import pytest
+
+from repro.errors import TrialFailed, TrialTimeout
+from repro.exec import call_with_timeout, timeouts_supported
+
+needs_timeouts = pytest.mark.skipif(
+    not timeouts_supported(), reason="SIGALRM timeouts unavailable here"
+)
+
+
+class TestCallWithTimeout:
+    def test_disabled_timeout_passes_through(self):
+        assert call_with_timeout(lambda x: x + 1, None, 41) == 42
+        assert call_with_timeout(lambda x: x + 1, 0, 41) == 42
+
+    @needs_timeouts
+    def test_fast_call_completes(self):
+        assert call_with_timeout(lambda: "done", 5.0) == "done"
+
+    @needs_timeouts
+    def test_slow_call_raises_trial_timeout(self):
+        def stall():
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                pass  # busy loop: proves the interrupt lands mid-computation
+
+        started = time.monotonic()
+        with pytest.raises(TrialTimeout):
+            call_with_timeout(stall, 0.05)
+        assert time.monotonic() - started < 1.0
+
+    @needs_timeouts
+    def test_timeout_is_a_trial_failure(self):
+        with pytest.raises(TrialFailed):
+            call_with_timeout(time.sleep, 0.05, 5.0)
+
+    @needs_timeouts
+    def test_handler_and_timer_restored(self):
+        before = signal.getsignal(signal.SIGALRM)
+        call_with_timeout(lambda: None, 5.0)
+        assert signal.getsignal(signal.SIGALRM) is before
+        with pytest.raises(TrialTimeout):
+            call_with_timeout(time.sleep, 0.05, 5.0)
+        assert signal.getsignal(signal.SIGALRM) is before
+        # No pending alarm may fire after the call returned.
+        time.sleep(0.08)
+
+    @needs_timeouts
+    def test_exceptions_propagate_and_clean_up(self):
+        before = signal.getsignal(signal.SIGALRM)
+        with pytest.raises(ValueError):
+            call_with_timeout(lambda: (_ for _ in ()).throw(ValueError("x")), 5.0)
+        assert signal.getsignal(signal.SIGALRM) is before

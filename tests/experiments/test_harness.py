@@ -8,6 +8,7 @@ from repro.experiments import (
     ExperimentReport,
     all_experiments,
     get_experiment,
+    run_experiments_resilient,
 )
 
 
@@ -57,6 +58,67 @@ class TestExperimentReport:
 
         report = self._report([Check("shape", False)])
         assert json.loads(json.dumps(report.to_dict()))["passed"] is False
+
+    def test_from_dict_round_trip(self):
+        report = self._report([Check("shape", True, "ok"), Check("b", False)])
+        report.notes.append("caveat")
+        restored = ExperimentReport.from_dict(report.to_dict())
+        assert restored.experiment_id == report.experiment_id
+        assert restored.rows == report.rows
+        assert restored.checks == report.checks
+        assert restored.notes == report.notes
+        assert restored.passed == report.passed
+        assert "shape" in restored.render()
+
+
+class TestResilientRunner:
+    def _experiment(self, experiment_id="EX", fail=False, explode=False):
+        def runner(quick):
+            if explode:
+                raise RuntimeError("experiment blew up")
+            return ExperimentReport(
+                experiment_id=experiment_id,
+                title="t",
+                paper_claim="c",
+                rows=[{"quick": quick}],
+                checks=[Check("shape", not fail)],
+            )
+
+        return Experiment(
+            experiment_id=experiment_id, title="t", paper_claim="c", runner=runner
+        )
+
+    def test_batch_with_failures_yields_partial_reports(self):
+        experiments = [self._experiment("A"), self._experiment("B", explode=True)]
+        reports, counts = run_experiments_resilient(experiments, quick=True)
+        assert counts == {"attempted": 2, "completed": 1, "failed": 1}
+        good, bad = reports
+        assert good.passed and good.rows == [{"quick": True}]
+        assert not bad.passed
+        assert "experiment blew up" in bad.checks[0].detail
+
+    def test_resume_skips_completed_experiments(self, tmp_path):
+        journal = str(tmp_path / "exp.jsonl")
+        calls = []
+
+        def runner(quick):
+            calls.append(quick)
+            return ExperimentReport(
+                experiment_id="A", title="t", paper_claim="c",
+                checks=[Check("shape", True)],
+            )
+
+        experiment = Experiment(
+            experiment_id="A", title="t", paper_claim="c", runner=runner
+        )
+        run_experiments_resilient([experiment], journal_path=journal)
+        assert calls == [False]
+        reports, counts = run_experiments_resilient(
+            [experiment], journal_path=journal, resume=True
+        )
+        assert calls == [False]  # not re-run
+        assert counts["completed"] == 1
+        assert reports[0].passed and reports[0].experiment_id == "A"
 
 
 class TestRegistry:

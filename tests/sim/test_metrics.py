@@ -46,6 +46,7 @@ class TestMetrics:
             "messages_dropped",
             "bits_sent",
             "rounds",
+            "horizon",
             "rounds_executed",
             "crashes",
         } == set(summary)

@@ -249,8 +249,10 @@ class TestFastForward:
     def test_quiescent_run_skips_rounds(self):
         network = Network(8, lambda u: Chatter(u))
         result = network.run(1000)
-        assert result.metrics.rounds == 1000
+        assert result.horizon == result.metrics.horizon == 1000
         assert result.metrics.rounds_executed < 10
+        # rounds reports the actual last executed round, not the horizon.
+        assert result.rounds == result.metrics.rounds == result.metrics.rounds_executed
 
     def test_fast_forward_waits_for_adversary(self):
         # A lazy adversary crashing at round 50 keeps the engine ticking

@@ -32,8 +32,15 @@ def send(r, src, dst):
     return TraceEvent(round=r, kind="send", src=src, dst=dst, message_kind="X")
 
 
-def deliver(r, src, dst):
-    return TraceEvent(round=r, kind="deliver", src=src, dst=dst, message_kind="X")
+def deliver(r, src, dst, received=None):
+    return TraceEvent(
+        round=r,
+        kind="deliver",
+        src=src,
+        dst=dst,
+        message_kind="X",
+        round_received=r + 1 if received is None else received,
+    )
 
 
 def drop(r, src, dst):
@@ -102,6 +109,25 @@ class TestViolations:
     def test_evaporation_without_crash(self):
         events = [send(1, 0, 1)]  # never delivered, never dropped, no crash
         assert any("evaporated" in v for v in validate_run(_result(events)))
+
+    def test_late_delivery(self):
+        # Arrival two rounds after the send breaks the latency invariant.
+        events = [send(1, 0, 1), deliver(1, 0, 1, received=3)]
+        assert any("arrived in round 3" in v for v in validate_run(_result(events)))
+
+    def test_instant_delivery(self):
+        # Same-round arrival (zero latency) is just as illegal.
+        events = [send(1, 0, 1), deliver(1, 0, 1, received=1)]
+        assert any("arrived in round 1" in v for v in validate_run(_result(events)))
+
+    def test_delivery_without_arrival_round(self):
+        events = [
+            send(1, 0, 1),
+            TraceEvent(round=1, kind="deliver", src=0, dst=1, message_kind="X"),
+        ]
+        assert any(
+            "no recorded arrival round" in v for v in validate_run(_result(events))
+        )
 
 
 class TestRealRuns:

@@ -20,6 +20,27 @@ class TestParser:
         assert args.n == 512
         assert args.alpha == 0.5
 
+    def test_run_resilient_flags(self):
+        args = build_parser().parse_args(
+            ["run", "E5", "--resume", "--trial-timeout", "30", "--retries", "2"]
+        )
+        assert args.resume
+        assert args.trial_timeout == 30.0
+        assert args.retries == 2
+        plain = build_parser().parse_args(["run", "E5"])
+        assert not plain.resume and plain.retries == 0
+        assert plain.trial_timeout is None and plain.journal is None
+
+    def test_fuzz_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.seeds == 50
+        assert args.protocol == "both"
+        assert args.budget_seconds is None
+
+    def test_replay_requires_script(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay"])
+
 
 class TestCommands:
     def test_params_command(self, capsys):
@@ -55,3 +76,45 @@ class TestCommands:
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
             main(["run", "E99"])
+
+    def test_fuzz_command_clean(self, capsys):
+        code = main(["fuzz", "--seeds", "2", "--protocol", "election"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 failure(s)" in out
+
+    def test_replay_command_round_trips(self, tmp_path, capsys):
+        from repro.chaos import CrashScript, DeliveryFilter
+
+        script = CrashScript(
+            faulty=(1,), crashes={1: (2, DeliveryFilter(kind="drop_all"))}
+        )
+        path = tmp_path / "script.json"
+        path.write_text(script.to_json())
+        code = main(["replay", str(path), "--protocol", "election", "--n", "64"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CLEAN" in out
+
+    def test_replay_flags_malformed_script(self, tmp_path, capsys):
+        from repro.chaos import CrashScript, DeliveryFilter
+
+        broken = CrashScript(
+            faulty=(), crashes={50: (3, DeliveryFilter(kind="drop_all"))}
+        )
+        path = tmp_path / "broken.json"
+        path.write_text(broken.to_json())
+        code = main(["replay", str(path), "--protocol", "election", "--n", "64"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATION" in out
+
+    def test_run_with_journal_and_resume(self, tmp_path, capsys):
+        journal = str(tmp_path / "run.jsonl")
+        assert main(["run", "E5", "--quick", "--journal", journal]) == 0
+        capsys.readouterr()
+        # Second invocation resumes from the journal without re-running.
+        assert main(["run", "E5", "--quick", "--journal", journal, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "1 attempted, 1 completed, 0 failed" in out
+        assert "E5" in out and "PASS" in out

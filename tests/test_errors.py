@@ -14,9 +14,17 @@ class TestHierarchy:
             "SimulationError",
             "ProtocolViolation",
             "BudgetExceeded",
+            "TrialFailed",
+            "TrialTimeout",
+            "OracleViolation",
         ):
             exc = getattr(errors, name)
             assert issubclass(exc, errors.ReproError)
+
+    def test_trial_timeout_is_trial_failure(self):
+        # Callers handling TrialFailed also see timeouts.
+        assert issubclass(errors.TrialTimeout, errors.TrialFailed)
+        assert errors.TrialTimeout("slow", attempts=3).attempts == 3
 
     def test_catchable_as_base(self):
         with pytest.raises(errors.ReproError):
