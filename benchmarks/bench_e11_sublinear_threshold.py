@@ -4,6 +4,10 @@ Regenerates the measured table for experiment E11 (see DESIGN.md §4 and
 EXPERIMENTS.md) and asserts its shape checks.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_e11_sublinear_threshold(run_experiment):
     run_experiment("E11")

@@ -4,6 +4,10 @@ Regenerates the measured table for experiment E14 (see DESIGN.md §4 and
 EXPERIMENTS.md) and asserts its shape checks.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_e14_model_boundaries(run_experiment):
     run_experiment("E14")

@@ -4,6 +4,10 @@ Regenerates the measured table for experiment E3 (see DESIGN.md §4 and
 EXPERIMENTS.md) and asserts its shape checks.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_e3_le_rounds(run_experiment):
     run_experiment("E3")

@@ -4,6 +4,10 @@ Regenerates the measured table for experiment E9 (see DESIGN.md §4 and
 EXPERIMENTS.md) and asserts its shape checks.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_e9_table1(run_experiment):
     run_experiment("E9")

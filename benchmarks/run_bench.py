@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Tracked simulator benchmark: writes ``BENCH_sim.json``.
+
+Standalone (no pytest needed) so CI and developers produce comparable
+numbers with one command::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--jobs N] [--out F]
+
+Three sections:
+
+* ``engine`` — the raw round-loop: a 1024-node flood pushing ~12k
+  messages through the per-edge FIFO/wake-heap machinery with tracing
+  off (the no-trace fast path), reported as wall-clock and messages/sec.
+* ``single_trial`` — one full leader-election run (protocol + schedule +
+  adversary on top of the engine).
+* ``sweep`` — the same Monte-Carlo campaign at ``jobs=1`` and
+  ``jobs=N``, with the observed speedup.  The speedup is
+  hardware-honest: the file records the machine's core count, and on a
+  single-core box the parallel run is expected to be ~1x (or slightly
+  below, from pool overhead).
+
+Timings are best-of-``repeats`` (minimum wall-clock), the standard way
+to suppress scheduler noise without a benchmark framework.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict
+
+if __package__ in (None, ""):
+    # Allow running from a checkout without PYTHONPATH.
+    _src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _src not in sys.path:
+        sys.path.insert(0, _src)
+
+from repro.analysis.sweeps import sweep  # noqa: E402
+from repro.core import elect_leader  # noqa: E402
+from repro.parallel import election_trial, resolve_jobs  # noqa: E402
+from repro.sim import Message, Network, Protocol  # noqa: E402
+
+
+class Flood(Protocol):
+    """Every node fans out to 4 random peers each of the first 3 rounds.
+
+    Mirrors ``bench_sim_engine.py`` so the two benchmarks track the same
+    quantity.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    def on_round(self, ctx, inbox) -> None:
+        if ctx.round <= 3:
+            for dst in ctx.sample_nodes(4):
+                ctx.send(dst, Message("X", (ctx.round,)))
+        else:
+            ctx.idle()
+
+
+def best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Minimum wall-clock over ``repeats`` calls of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_engine(quick: bool) -> Dict[str, Any]:
+    n, horizon = (256, 8) if quick else (1024, 10)
+    repeats = 3 if quick else 5
+
+    def run() -> int:
+        return Network(n, Flood, seed=1).run(horizon).metrics.messages_sent
+
+    messages = run()  # warm-up + message count
+    seconds = best_of(run, repeats)
+    return {
+        "n": n,
+        "horizon": horizon,
+        "messages": messages,
+        "seconds": round(seconds, 6),
+        "messages_per_second": round(messages / seconds, 1),
+        "repeats": repeats,
+    }
+
+
+def bench_single_trial(quick: bool) -> Dict[str, Any]:
+    n = 128 if quick else 256
+    repeats = 2 if quick else 3
+
+    def run():
+        return elect_leader(n=n, alpha=0.5, seed=2, adversary="random")
+
+    result = run()
+    seconds = best_of(run, repeats)
+    return {
+        "n": n,
+        "alpha": 0.5,
+        "adversary": "random",
+        "messages": result.messages,
+        "seconds": round(seconds, 6),
+        "messages_per_second": round(result.messages / seconds, 1),
+        "repeats": repeats,
+    }
+
+
+def bench_sweep(quick: bool, jobs: int) -> Dict[str, Any]:
+    grid = {"n": [32, 64], "alpha": [0.75]} if quick else {"n": [64, 128], "alpha": [0.5]}
+    trials = 2 if quick else 4
+
+    def run(j: int) -> float:
+        started = time.perf_counter()
+        sweep(election_trial, grid, trials=trials, master_seed=11, jobs=j)
+        return time.perf_counter() - started
+
+    run(1)  # warm-up (also pre-imports everything the workers fork)
+    serial = run(1)
+    parallel = run(jobs)
+    return {
+        "grid": {k: list(v) for k, v in grid.items()},
+        "trials_per_point": trials,
+        "jobs": jobs,
+        "seconds_jobs1": round(serial, 6),
+        "seconds_jobsN": round(parallel, 6),
+        "speedup": round(serial / parallel, 3) if parallel > 0 else None,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument(
+        "--jobs", type=int, default=0, help="parallel sweep width (0 = cores)"
+    )
+    parser.add_argument("--out", default="BENCH_sim.json", help="output path")
+    args = parser.parse_args(argv)
+
+    jobs = resolve_jobs(args.jobs)
+    payload: Dict[str, Any] = {
+        "schema": 1,
+        "quick": args.quick,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "engine": bench_engine(args.quick),
+        "single_trial": bench_single_trial(args.quick),
+        "sweep": bench_sweep(args.quick, jobs),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    engine = payload["engine"]
+    sweep_row = payload["sweep"]
+    print(
+        f"engine: {engine['messages']} msgs in {engine['seconds']:.4f}s"
+        f" ({engine['messages_per_second']:,.0f} msg/s)"
+    )
+    print(
+        f"single trial: n={payload['single_trial']['n']}"
+        f" {payload['single_trial']['seconds']:.4f}s"
+    )
+    print(
+        f"sweep: jobs=1 {sweep_row['seconds_jobs1']:.3f}s,"
+        f" jobs={jobs} {sweep_row['seconds_jobsN']:.3f}s"
+        f" (speedup {sweep_row['speedup']}x on {os.cpu_count()} core(s))"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,13 @@ Both return plain lists of results so callers can aggregate freely.
 a :class:`~repro.exec.ResilientExecutor` (timeout, retry, quarantine,
 journal), failed trials degrade to annotated partial results instead of
 aborting the grid, and a journalled sweep can be killed and resumed.
+
+All three drivers accept ``jobs=``: ``jobs=1`` (the default) is the
+serial code path, ``jobs=N`` fans trials out over a process pool
+(:mod:`repro.parallel`), and ``jobs=0`` auto-detects the core count.
+Seed derivation is identical in every mode, and parallel results are
+reassembled in serial order, so ``jobs`` never changes the output —
+only the wall clock.
 """
 
 from __future__ import annotations
@@ -26,12 +33,26 @@ def monte_carlo(
     task: Task,
     trials: int,
     master_seed: int = 0,
+    jobs: int = 1,
     **point: Any,
 ) -> List[Any]:
-    """Run ``task(seed=..., **point)`` for ``trials`` derived seeds."""
+    """Run ``task(seed=..., **point)`` for ``trials`` derived seeds.
+
+    ``jobs`` > 1 dispatches the trials to a process pool; the returned
+    list is identical to the serial one (same derived seeds, same order).
+    """
+    from ..parallel import TrialSpec, resolve_jobs, run_trials
+
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
-    return [task(seed=seed, **point) for seed in seed_sequence(master_seed, trials)]
+    seeds = seed_sequence(master_seed, trials)
+    if resolve_jobs(jobs) == 1:
+        return [task(seed=seed, **point) for seed in seeds]
+    specs = [
+        TrialSpec(index=index, task=task, seed=seed, point=dict(point))
+        for index, seed in enumerate(seeds)
+    ]
+    return run_trials(specs, jobs=jobs)
 
 
 def sweep(
@@ -39,27 +60,52 @@ def sweep(
     grid: Mapping[str, Sequence[Any]],
     trials: int = 1,
     master_seed: int = 0,
+    jobs: int = 1,
 ) -> List[Tuple[Dict[str, Any], List[Any]]]:
     """Cross the ``grid`` and Monte-Carlo each point.
 
     Returns ``[(point_dict, [result, ...]), ...]`` in grid order.  Each
     grid point gets its own deterministic seed stream, so adding points
     does not reshuffle the others.
+
+    ``jobs`` > 1 flattens the whole grid × trials campaign into one
+    trial list and dispatches it to a process pool, so workers stay busy
+    across point boundaries; the rows come back in exact grid order.
     """
+    from ..parallel import TrialSpec, resolve_jobs, run_trials
+
     if not grid:
         raise ValueError("grid must contain at least one axis")
     names = list(grid)
-    rows: List[Tuple[Dict[str, Any], List[Any]]] = []
-    for combo_index, combo in enumerate(itertools.product(*(grid[k] for k in names))):
-        point = dict(zip(names, combo))
-        results = monte_carlo(
-            task,
-            trials,
-            master_seed=master_seed + combo_index * 1_000_003,
-            **point,
-        )
-        rows.append((point, results))
-    return rows
+    combos = list(itertools.product(*(grid[k] for k in names)))
+    if resolve_jobs(jobs) == 1:
+        rows: List[Tuple[Dict[str, Any], List[Any]]] = []
+        for combo_index, combo in enumerate(combos):
+            point = dict(zip(names, combo))
+            results = monte_carlo(
+                task,
+                trials,
+                master_seed=master_seed + combo_index * 1_000_003,
+                **point,
+            )
+            rows.append((point, results))
+        return rows
+
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    points = [dict(zip(names, combo)) for combo in combos]
+    specs: List[TrialSpec] = []
+    for combo_index, point in enumerate(points):
+        point_seed = master_seed + combo_index * 1_000_003
+        for seed in seed_sequence(point_seed, trials):
+            specs.append(
+                TrialSpec(index=len(specs), task=task, seed=seed, point=point)
+            )
+    flat = run_trials(specs, jobs=jobs)
+    return [
+        (point, flat[combo_index * trials : (combo_index + 1) * trials])
+        for combo_index, point in enumerate(points)
+    ]
 
 
 @dataclass
@@ -136,6 +182,7 @@ def resilient_sweep(
     resume: bool = False,
     timeout_seconds: Optional[float] = None,
     retries: int = 0,
+    jobs: int = 1,
 ) -> ResilientSweepResult:
     """Cross ``grid`` like :func:`sweep`, but never die on a bad trial.
 
@@ -150,8 +197,13 @@ def resilient_sweep(
     Seed derivation matches :func:`sweep` exactly, so a resumed or
     retried-free resilient sweep is trial-for-trial identical to the
     plain one.
+
+    ``jobs`` > 1 runs the timeout/retry net inside pool workers while
+    the parent keeps sole ownership of resume, quarantine, and the
+    journal file; outcomes are accounted in serial order.
     """
     from ..exec import Journal, ResilientExecutor, RetryPolicy
+    from ..parallel import TrialSpec, run_trials_resilient
 
     if not grid:
         raise ValueError("grid must contain at least one axis")
@@ -170,15 +222,31 @@ def resilient_sweep(
         executor.journal.clear()
 
     names = list(grid)
-    outcome = ResilientSweepResult()
-    for combo_index, combo in enumerate(itertools.product(*(grid[k] for k in names))):
-        point = dict(zip(names, combo))
-        sweep_point = SweepPoint(point=point)
+    points = [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(grid[k] for k in names))
+    ]
+    specs: List["TrialSpec"] = []
+    for combo_index, point in enumerate(points):
         point_seed = master_seed + combo_index * 1_000_003
         for trial, seed in enumerate(seed_sequence(point_seed, trials)):
-            trial_outcome = executor.run_trial(
-                task, key=_trial_key(combo_index, point, trial), seed=seed, **point
+            specs.append(
+                TrialSpec(
+                    index=len(specs),
+                    task=task,
+                    seed=seed,
+                    point=point,
+                    key=_trial_key(combo_index, point, trial),
+                )
             )
+    trial_outcomes = run_trials_resilient(specs, jobs=jobs, executor=executor)
+
+    outcome = ResilientSweepResult()
+    for combo_index, point in enumerate(points):
+        sweep_point = SweepPoint(point=point)
+        for trial_outcome in trial_outcomes[
+            combo_index * trials : (combo_index + 1) * trials
+        ]:
             sweep_point.attempted += 1
             if trial_outcome.ok:
                 sweep_point.completed += 1

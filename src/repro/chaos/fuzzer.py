@@ -213,6 +213,24 @@ def replay_case(case: FuzzCase) -> List[str]:
     return violations
 
 
+def _fuzz_trial(
+    seed: int = 0,
+    scenario: Optional[Mapping[str, Any]] = None,
+    config: Optional[GrammarConfig] = None,
+) -> Optional[Dict[str, Any]]:
+    """Picklable pool-worker trial: one fuzz attempt → failing-case dict.
+
+    The scenario crosses the process boundary as its ``to_dict()`` form
+    and a failing case comes back the same way, so the parent's
+    :class:`FuzzCase` (and its :class:`CrashScript`) is bit-identical to
+    what a serial run would have recorded — ``repro replay`` of a
+    parallel-found failure never depends on ``--jobs``.
+    """
+    assert scenario is not None
+    case = fuzz_one(FuzzScenario.from_dict(scenario), seed, config=config)
+    return None if case is None else case.to_dict()
+
+
 def fuzz_one(
     scenario: FuzzScenario,
     seed: int,
@@ -267,6 +285,7 @@ def fuzz(
     budget_seconds: Optional[float] = None,
     config: Optional[GrammarConfig] = None,
     shrink_failures: bool = True,
+    jobs: int = 1,
 ) -> FuzzReport:
     """Fuzz each scenario over derived seeds (or until the time budget).
 
@@ -275,13 +294,62 @@ def fuzz(
     always runs); otherwise exactly ``seeds`` trials run per scenario.
     Failures are shrunk to minimal reproducers unless
     ``shrink_failures=False``.
+
+    ``jobs`` > 1 shards the seed stream over a process pool.  Seed
+    derivation is identical to serial (so every failing case replays
+    with ``jobs=1``), failures are reported in serial trial order, and
+    shrinking always happens in the parent.  In budget mode parallel
+    trials are dispatched in waves of ``jobs`` seed indices, with the
+    budget checked between waves.
     """
     from .shrink import shrink_case
 
     if not scenarios:
         raise ConfigurationError("need at least one scenario")
+    from ..parallel import resolve_jobs
+
+    workers = resolve_jobs(jobs)
     report = FuzzReport()
     start = time.monotonic()
+
+    def shrink(case: FuzzCase) -> FuzzCase:
+        return shrink_case(case) if shrink_failures else case
+
+    if workers > 1:
+        from ..parallel import TrialSpec, run_trials
+
+        def run_wave(indices: Sequence[int]) -> None:
+            pairs = [
+                (scenario, derive_seed(master_seed, "fuzz", scenario.protocol, index))
+                for index in indices
+                for scenario in scenarios
+            ]
+            specs = [
+                TrialSpec(
+                    index=spec_index,
+                    task=_fuzz_trial,
+                    seed=trial_seed,
+                    point={"scenario": scenario.to_dict(), "config": config},
+                )
+                for spec_index, (scenario, trial_seed) in enumerate(pairs)
+            ]
+            payloads = run_trials(specs, jobs=workers)
+            for (scenario, trial_seed), payload in zip(pairs, payloads):
+                report.trials.append((scenario.protocol, trial_seed))
+                report.attempted += 1
+                if payload is not None:
+                    report.failures.append(shrink(FuzzCase.from_dict(payload)))
+
+        if budget_seconds is None:
+            run_wave(range(seeds))
+        else:
+            index = 0
+            while index == 0 or time.monotonic() - start < budget_seconds:
+                run_wave(range(index, index + workers))
+                index += workers
+        report.elapsed_seconds = time.monotonic() - start
+        return report
+
     index = 0
     while True:
         if budget_seconds is None:
@@ -295,9 +363,7 @@ def fuzz(
             report.attempted += 1
             case = fuzz_one(scenario, trial_seed, config=config)
             if case is not None:
-                if shrink_failures:
-                    case = shrink_case(case)
-                report.failures.append(case)
+                report.failures.append(shrink(case))
         index += 1
     report.elapsed_seconds = time.monotonic() - start
     return report

@@ -3,19 +3,26 @@
 Commands
 --------
 
-``run E9 [--quick]``
+``run E9 [--quick] [--jobs N]``
     Run one experiment (or ``all``) and print its measured table + checks.
+``sweep --task election --n 64,128 --alpha 0.5 --trials 5 [--jobs N]``
+    Monte-Carlo a parameter grid (optionally over a process pool) and
+    print per-point aggregates.
 ``elect --n 512 --alpha 0.5 [--adversary random] [--seed 0]``
     One leader-election run, summary printed.
 ``agree --n 512 --alpha 0.5 [--inputs mixed] [--adversary random]``
     One agreement run, summary printed.
 ``params --n 1024 --alpha 0.25``
     Show the derived sampling parameters and bounds for a configuration.
-``fuzz --seeds 50 [--protocol election] [--budget-seconds 30]``
+``fuzz --seeds 50 [--protocol election] [--budget-seconds 30] [--jobs N]``
     Adversary fuzzing: random crash schedules checked against the safety
     oracles; failures are shrunk and written as replayable scripts.
 ``replay script.json [--protocol election] [--seed 0]``
     Re-run a recorded crash script deterministically.
+
+``--jobs N`` fans trials out over N worker processes; ``--jobs 0``
+auto-detects the core count.  Results are deterministic and identical
+to ``--jobs 1`` for the same seed.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         or args.journal is not None
         or args.trial_timeout is not None
         or args.retries > 0
+        or args.jobs != 1
     )
     if resilient:
         from .experiments.harness import run_experiments_resilient
@@ -53,6 +61,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             resume=args.resume,
             timeout_seconds=args.trial_timeout,
             retries=args.retries,
+            jobs=args.jobs,
         )
         failed = 0
         for report in reports:
@@ -97,6 +106,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         master_seed=args.seed,
         budget_seconds=args.budget_seconds,
         shrink_failures=not args.no_shrink,
+        jobs=args.jobs,
     )
     print(
         f"fuzzed {report.attempted} case(s) across {len(scenarios)} scenario(s)"
@@ -146,6 +156,63 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             print(f"  {violation}")
         exit_code = exit_code or (1 if violations else 0)
     return exit_code
+
+
+def _parse_axis(text: str, cast) -> List:
+    """Parse a comma-separated grid axis (``"64,128"`` → ``[64, 128]``)."""
+    values = [cast(part.strip()) for part in text.split(",") if part.strip()]
+    if not values:
+        raise SystemExit(f"empty grid axis: {text!r}")
+    return values
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from statistics import mean
+
+    from .analysis.sweeps import collect, sweep
+    from .parallel import agreement_trial, election_trial
+
+    task = election_trial if args.task == "election" else agreement_trial
+    grid = {
+        "n": _parse_axis(args.n, int),
+        "alpha": _parse_axis(args.alpha, float),
+        "adversary": _parse_axis(args.adversary, str),
+    }
+    rows = sweep(
+        task, grid, trials=args.trials, master_seed=args.seed, jobs=args.jobs
+    )
+
+    def reduce(results: List[dict]) -> dict:
+        return {
+            "trials": len(results),
+            "success_rate": round(
+                sum(1 for r in results if r["success"]) / len(results), 4
+            ),
+            "mean_messages": round(mean(r["messages"] for r in results), 1),
+            "max_messages": max(r["messages"] for r in results),
+            "mean_rounds": round(mean(r["rounds"] for r in results), 1),
+        }
+
+    aggregated = collect(rows, reduce)
+    print(format_table(aggregated, title=f"{args.task} sweep (jobs={args.jobs})"))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(
+                {
+                    "task": args.task,
+                    "grid": grid,
+                    "trials": args.trials,
+                    "master_seed": args.seed,
+                    "points": [
+                        {"point": point, "results": results}
+                        for point, results in rows
+                    ],
+                },
+                handle,
+                indent=2,
+            )
+        print(f"wrote {args.out}")
+    return 0 if all(row["success_rate"] == 1.0 for row in aggregated) else 1
 
 
 def _cmd_elect(args: argparse.Namespace) -> int:
@@ -239,7 +306,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="retries per experiment with derived seeds and backoff",
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the batch (0 = auto-detect cores)",
+    )
     run.set_defaults(func=_cmd_run)
+
+    sweep_cmd = sub.add_parser(
+        "sweep", help="Monte-Carlo a parameter grid (optionally in parallel)"
+    )
+    sweep_cmd.add_argument(
+        "--task", choices=("election", "agreement"), default="election"
+    )
+    sweep_cmd.add_argument(
+        "--n", default="64,128", help="comma-separated n axis (e.g. 64,128,256)"
+    )
+    sweep_cmd.add_argument(
+        "--alpha", default="0.5", help="comma-separated alpha axis (e.g. 0.5,0.75)"
+    )
+    sweep_cmd.add_argument(
+        "--adversary", default="random", help="comma-separated adversary names"
+    )
+    sweep_cmd.add_argument("--trials", type=int, default=5, help="trials per point")
+    sweep_cmd.add_argument("--seed", type=int, default=0, help="master seed")
+    sweep_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = auto-detect cores; output identical to 1)",
+    )
+    sweep_cmd.add_argument(
+        "--out", default=None, help="also write full per-trial results as JSON"
+    )
+    sweep_cmd.set_defaults(func=_cmd_sweep)
 
     fuzz_cmd = sub.add_parser(
         "fuzz", help="fuzz random crash schedules against the safety oracles"
@@ -266,6 +367,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink",
         action="store_true",
         help="keep failing schedules as sampled (skip minimisation)",
+    )
+    fuzz_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes sharding the seed stream (0 = auto-detect)",
     )
     fuzz_cmd.set_defaults(func=_cmd_fuzz)
 

@@ -132,6 +132,21 @@ def _failure_report(experiment: "Experiment", outcome: Any) -> ExperimentReport:
     )
 
 
+def _experiment_task(
+    seed: int = 0, experiment_id: str = "", quick: bool = False
+) -> ExperimentReport:
+    """Picklable trial task: run one registered experiment by id.
+
+    Experiments are looked up *inside* the worker process (an
+    ``Experiment`` carries an arbitrary runner callable, which may not
+    pickle; its id always does).  ``seed`` is accepted for the executor
+    interface and ignored — experiments seed themselves internally.
+    """
+    from .registry import get_experiment
+
+    return get_experiment(experiment_id).run(quick=quick)
+
+
 def run_experiments_resilient(
     experiments: Sequence["Experiment"],
     quick: bool = False,
@@ -140,6 +155,7 @@ def run_experiments_resilient(
     resume: bool = False,
     timeout_seconds: Optional[float] = None,
     retries: int = 0,
+    jobs: int = 1,
 ) -> Tuple[List[ExperimentReport], Dict[str, int]]:
     """Run a batch of experiments under the resilient executor.
 
@@ -149,15 +165,23 @@ def run_experiments_resilient(
     with ``resume=True`` experiments already journalled as complete are
     reconstructed via :meth:`ExperimentReport.from_dict` without re-running.
 
+    ``jobs`` > 1 fans the batch out over a process pool: workers look the
+    experiments up by id from the registry, run them under the same
+    timeout/retry net, and the parent keeps sole ownership of the journal
+    and resume state.  Reports come back in the order given.
+
     Returns ``(reports, counts)`` with counts keyed
     ``attempted/completed/failed``.
     """
     from ..exec import Journal, ResilientExecutor, RetryPolicy
+    from ..parallel import TrialSpec, resolve_jobs, run_trials_resilient
 
     executor = ResilientExecutor(
         timeout_seconds=timeout_seconds,
         retry=RetryPolicy(retries=retries),
-        serialize=lambda report: report.to_dict(),
+        serialize=lambda report: report.to_dict()
+        if isinstance(report, ExperimentReport)
+        else report,
     )
     if journal_path is not None:
         executor.journal = Journal(journal_path)
@@ -166,14 +190,35 @@ def run_experiments_resilient(
     elif executor.journal is not None:
         executor.journal.clear()
 
+    # Workers must look experiments up by id (runner callables may not
+    # pickle); serially the experiment object runs directly, which also
+    # covers ad-hoc experiments that are not in the registry.
+    if resolve_jobs(jobs) > 1:
+        specs = [
+            TrialSpec(
+                index=index,
+                task=_experiment_task,
+                seed=0,
+                point={"experiment_id": experiment.experiment_id, "quick": quick},
+                key=experiment.experiment_id,
+            )
+            for index, experiment in enumerate(experiments)
+        ]
+    else:
+        specs = [
+            TrialSpec(
+                index=index,
+                task=lambda seed, exp=experiment, **_: exp.run(quick=quick),
+                seed=0,
+                key=experiment.experiment_id,
+            )
+            for index, experiment in enumerate(experiments)
+        ]
+    outcomes = run_trials_resilient(specs, jobs=jobs, executor=executor)
+
     reports: List[ExperimentReport] = []
     counts = {"attempted": 0, "completed": 0, "failed": 0}
-    for experiment in experiments:
-        outcome = executor.run_trial(
-            lambda seed, exp=experiment: exp.run(quick=quick),
-            key=experiment.experiment_id,
-            seed=0,
-        )
+    for experiment, outcome in zip(experiments, outcomes):
         counts["attempted"] += 1
         if outcome.ok:
             counts["completed"] += 1

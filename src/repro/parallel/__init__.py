@@ -1,0 +1,27 @@
+"""Process-pool trial scheduling for Monte-Carlo campaigns.
+
+Shared-nothing parallelism with a hard determinism contract: the output
+of ``jobs=N`` is exactly the output of ``jobs=1`` for the same master
+seed — same derived seed streams, results reassembled by trial index.
+"""
+
+from .pool import (
+    default_chunk_size,
+    resolve_jobs,
+    run_trials,
+    run_trials_resilient,
+)
+from .spec import TrialSpec, resolve_task, task_ref
+from .tasks import agreement_trial, election_trial
+
+__all__ = [
+    "TrialSpec",
+    "agreement_trial",
+    "default_chunk_size",
+    "election_trial",
+    "resolve_jobs",
+    "resolve_task",
+    "run_trials",
+    "run_trials_resilient",
+    "task_ref",
+]

@@ -1,0 +1,249 @@
+"""The shared-nothing process-pool trial scheduler.
+
+Trials are described by picklable :class:`~repro.parallel.spec.TrialSpec`
+objects, dispatched to a ``concurrent.futures.ProcessPoolExecutor`` in
+contiguous chunks, executed by warm, reused worker processes, and
+reassembled **by trial index** — so the output of a parallel campaign is
+exactly the output of the serial one, independent of worker timing.
+
+Determinism contract
+--------------------
+
+* Seeds are derived *before* dispatch (the caller enumerates the same
+  ``seed_sequence`` stream it would use serially).
+* Workers share nothing; each trial is a pure function of its spec.
+* Results are placed at ``spec.index``; chunking and completion order
+  are invisible in the output.
+
+Two entry points:
+
+* :func:`run_trials` — plain mode, mirroring serial ``monte_carlo``: the
+  first trial exception propagates to the caller.
+* :func:`run_trials_resilient` — every trial runs under the
+  :mod:`repro.exec` safety net *inside its worker* (per-trial SIGALRM
+  timeout + derived-seed retries), while quarantine consultation, resume
+  lookups, and JSONL journal writes stay in the parent, which serialises
+  them (one writer, no cross-process file races).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..exec import QUARANTINED, RESUMED, ResilientExecutor, RetryPolicy, TrialOutcome
+from .spec import TrialSpec, resolve_task
+
+#: Chunks per worker used when no explicit chunk size is given: small
+#: enough to balance load, large enough to amortise pickling.
+_CHUNKS_PER_WORKER = 4
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` request: ``None``/``1`` serial, ``0`` = cores."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def default_chunk_size(total: int, jobs: int) -> int:
+    """Contiguous chunk length for ``total`` trials over ``jobs`` workers."""
+    if total <= 0:
+        return 1
+    return max(1, -(-total // (jobs * _CHUNKS_PER_WORKER)))
+
+
+def _chunked(specs: Sequence[TrialSpec], size: int) -> List[List[TrialSpec]]:
+    return [list(specs[i : i + size]) for i in range(0, len(specs), size)]
+
+
+def _check_picklable(specs: Sequence[TrialSpec]) -> None:
+    """Fail fast (and helpfully) on unpicklable work instead of inside the pool."""
+    if not specs:
+        return
+    try:
+        pickle.dumps(specs[0])
+    except Exception as exc:
+        raise ConfigurationError(
+            "trial task/point is not picklable, so it cannot cross a "
+            "process boundary; pass a module-level task (or a "
+            "'module:qualname' reference) or run with jobs=1 "
+            f"(pickle error: {exc})"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution (module-level so the pool can pickle them)
+# ----------------------------------------------------------------------
+
+#: Per-worker executor cache: one ResilientExecutor per distinct
+#: (timeout, retries) config, reused across every chunk the worker runs.
+_WORKER_EXECUTORS: Dict[Tuple[Optional[float], int], ResilientExecutor] = {}
+
+
+def _run_chunk(chunk: List[TrialSpec]) -> List[Tuple[int, Any]]:
+    """Plain worker: run each spec, letting exceptions propagate."""
+    return [(spec.index, spec.run()) for spec in chunk]
+
+
+def _run_chunk_resilient(
+    chunk: List[TrialSpec],
+    timeout_seconds: Optional[float],
+    retries: int,
+) -> List[Tuple[int, TrialOutcome]]:
+    """Resilient worker: every trial under timeout/retry, never raising."""
+    config = (timeout_seconds, retries)
+    executor = _WORKER_EXECUTORS.get(config)
+    if executor is None:
+        executor = ResilientExecutor(
+            timeout_seconds=timeout_seconds,
+            retry=RetryPolicy(retries=retries),
+        )
+        _WORKER_EXECUTORS[config] = executor
+    outcomes: List[Tuple[int, TrialOutcome]] = []
+    for spec in chunk:
+        outcome = executor.run_trial(
+            resolve_task(spec.task),
+            key=spec.key or f"trial[{spec.index}]",
+            seed=spec.seed,
+            **spec.point,
+        )
+        outcomes.append((spec.index, outcome))
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Parent-side scheduling
+# ----------------------------------------------------------------------
+
+
+def run_trials(
+    specs: Sequence[TrialSpec],
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+) -> List[Any]:
+    """Run ``specs`` and return their results in index order.
+
+    With ``jobs`` resolving to 1 (or a single spec) this is a plain
+    serial loop — byte-for-byte today's behaviour.  Otherwise chunks are
+    dispatched to a process pool and results reassembled by index.  A
+    trial exception propagates, exactly as in a serial run.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(specs) <= 1:
+        return [spec.run() for spec in specs]
+    _check_picklable(specs)
+    size = chunk_size or default_chunk_size(len(specs), jobs)
+    results: List[Any] = [None] * len(specs)
+    base = min(spec.index for spec in specs) if specs else 0
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(_run_chunk, chunk) for chunk in _chunked(specs, size)]
+        for future in futures:
+            for index, value in future.result():
+                results[index - base] = value
+    return results
+
+
+def run_trials_resilient(
+    specs: Sequence[TrialSpec],
+    jobs: int = 1,
+    *,
+    executor: ResilientExecutor,
+    chunk_size: Optional[int] = None,
+) -> List[TrialOutcome]:
+    """Run ``specs`` under the resilience layer, parallelised per worker.
+
+    The caller's :class:`~repro.exec.ResilientExecutor` supplies the
+    policy (timeout, retries) and owns the parent-side state:
+
+    * **resume** — specs whose key is in ``executor.completed`` are
+      answered from the journal without dispatching;
+    * **quarantine** — consulted in the parent before dispatch and fed
+      back with each worker outcome (success clears strikes, exhausted
+      retries add one);
+    * **journal** — every outcome is appended by the parent only, so the
+      JSONL file has exactly one writer.
+
+    Timeout and retry run *inside* the worker (SIGALRM works there: each
+    worker executes trials on its own main thread).  Outcomes are
+    returned in spec order; journal append order follows chunk
+    completion, which may interleave across grid points — resume only
+    keys on record identity, so this is harmless.
+
+    With ``jobs`` resolving to 1, trials run serially through the
+    caller's executor itself — identical to the pre-parallel code path.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(specs) <= 1:
+        return [
+            executor.run_trial(
+                resolve_task(spec.task),
+                key=spec.key or f"trial[{spec.index}]",
+                seed=spec.seed,
+                **spec.point,
+            )
+            for spec in specs
+        ]
+    _check_picklable(specs)
+
+    base = min(spec.index for spec in specs)
+    outcomes: List[Optional[TrialOutcome]] = [None] * len(specs)
+    dispatchable: List[TrialSpec] = []
+    for spec in specs:
+        key = spec.key or f"trial[{spec.index}]"
+        record = executor.completed.get(key)
+        if record is not None:
+            outcomes[spec.index - base] = TrialOutcome(
+                key=key,
+                seed=int(record.get("seed", spec.seed)),
+                status=RESUMED,
+                attempts=int(record.get("attempts", 1)),
+                value=record.get("value"),
+            )
+            continue
+        if executor.quarantine.blocks(key):
+            outcome = TrialOutcome(
+                key=key,
+                seed=spec.seed,
+                status=QUARANTINED,
+                attempts=0,
+                error="config quarantined after repeated failures",
+            )
+            outcomes[spec.index - base] = outcome
+            _journal(executor, outcome)
+            continue
+        dispatchable.append(spec)
+
+    size = chunk_size or default_chunk_size(len(dispatchable), jobs)
+    timeout_seconds = executor.timeout_seconds
+    retries = executor.retry.retries
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        pending = {
+            pool.submit(_run_chunk_resilient, chunk, timeout_seconds, retries)
+            for chunk in _chunked(dispatchable, size)
+        }
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                for index, outcome in future.result():
+                    outcomes[index - base] = outcome
+                    if outcome.ok:
+                        executor.quarantine.record_success(outcome.key)
+                    else:
+                        executor.quarantine.record_failure(outcome.key)
+                    if outcome.status != RESUMED:
+                        _journal(executor, outcome)
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def _journal(executor: ResilientExecutor, outcome: TrialOutcome) -> None:
+    if executor.journal is not None:
+        executor.journal.append(outcome.journal_record(executor.serialize))

@@ -1,0 +1,29 @@
+"""Module-level, picklable Monte-Carlo trial tasks.
+
+Parallel campaigns need tasks that cross a process boundary.  These
+wrappers run the two headline experiments and return their plain-dict
+``summary()`` — picklable, JSON-serialisable, and exactly what the
+benchmark and CLI sweeps aggregate.
+
+Pass adversaries by *name* (``"random"``, ``"staggered"``, ...): names
+are picklable and resolved inside the worker, stateful adversary objects
+may not be.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+def election_trial(seed: int = 0, **kwargs: Any) -> Dict[str, Any]:
+    """One leader-election trial → its ``summary()`` dict."""
+    from ..core.runner import elect_leader
+
+    return elect_leader(seed=seed, **kwargs).summary()
+
+
+def agreement_trial(seed: int = 0, **kwargs: Any) -> Dict[str, Any]:
+    """One agreement trial → its ``summary()`` dict."""
+    from ..core.runner import agree
+
+    return agree(seed=seed, **kwargs).summary()

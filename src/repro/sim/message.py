@@ -5,12 +5,19 @@ a short string tag and ``fields`` a tuple of small integers (or ``None``
 for the paper's null value).  This is deliberately restrictive: it makes
 the CONGEST bit-size of every payload computable, so the engine can verify
 that protocols never exceed the per-edge budget.
+
+These classes sit on the engine's hottest allocation path (every send
+constructs a :class:`Message` and an :class:`Envelope`, every receive a
+:class:`Delivery`), so they are hand-written ``__slots__`` classes rather
+than dataclasses: no per-instance ``__dict__``, no ``object.__setattr__``
+per field, and the bit size of a ``(kind, fields)`` pair is memoised in a
+module-level cache so repeated identical payloads skip both validation
+and the log2 arithmetic.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..types import NodeId, Round
@@ -18,34 +25,73 @@ from ..types import NodeId, Round
 #: Field values are small ints or None (the paper's ``bot`` marker).
 Field = Optional[int]
 
+#: Memoised ``(kind, fields) -> bits`` (validated payloads only).  Bounded:
+#: a pathological campaign with millions of distinct payloads resets it
+#: rather than growing without limit.
+_BITS_CACHE: dict = {}
+_BITS_CACHE_MAX = 1 << 16
 
-@dataclass(frozen=True)
+
+def _validated_bits(kind: str, fields: Tuple[Field, ...]) -> int:
+    """Validate a payload and return its CONGEST bit size (uncached path)."""
+    if not kind:
+        raise ValueError("message kind must be non-empty")
+    bits = 8
+    for value in fields:
+        bits += 1
+        if value is None:
+            continue
+        if not isinstance(value, int):
+            raise TypeError(f"message fields must be int or None, got {value!r}")
+        bits += max(1, math.ceil(math.log2(abs(value) + 2)))
+    return bits
+
+
 class Message:
     """A protocol-level message: a tagged tuple of small integer fields."""
 
-    kind: str
-    fields: Tuple[Field, ...] = ()
+    __slots__ = ("kind", "fields", "bits")
 
-    def __post_init__(self) -> None:
-        if not self.kind:
-            raise ValueError("message kind must be non-empty")
-        for value in self.fields:
-            if value is not None and not isinstance(value, int):
-                raise TypeError(
-                    f"message fields must be int or None, got {value!r}"
-                )
+    def __init__(self, kind: str, fields: Tuple[Field, ...] = ()) -> None:
         # Bit size is consulted on every enqueue (CONGEST check) and every
-        # wire send (accounting); compute it once.
-        object.__setattr__(self, "_bits", payload_bits(self))
-
-    @property
-    def bits(self) -> int:
-        """CONGEST size of this message in bits (see :func:`payload_bits`)."""
-        return self._bits  # type: ignore[attr-defined]
+        # wire send (accounting); a cache hit also proves the payload was
+        # already validated.
+        try:
+            bits = _BITS_CACHE.get((kind, fields))
+        except TypeError:  # unhashable fields container; validate directly
+            bits = None
+            self.kind = kind
+            self.fields = fields
+            self.bits = _validated_bits(kind, fields)
+            return
+        if bits is None:
+            bits = _validated_bits(kind, fields)
+            if len(_BITS_CACHE) >= _BITS_CACHE_MAX:
+                _BITS_CACHE.clear()
+            _BITS_CACHE[(kind, fields)] = bits
+        self.kind = kind
+        self.fields = fields
+        self.bits = bits
 
     def field(self, index: int) -> Field:
         """Return field ``index`` (convenience accessor)."""
         return self.fields[index]
+
+    def __repr__(self) -> str:
+        return f"Message(kind={self.kind!r}, fields={self.fields!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Message):
+            return self.kind == other.kind and self.fields == other.fields
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.fields))
+
+    # __slots__ classes need explicit pickling support on some protocols;
+    # reconstructing through __init__ also re-validates and re-memoises.
+    def __reduce__(self):
+        return (Message, (self.kind, self.fields))
 
 
 def payload_bits(message: Message) -> int:
@@ -59,30 +105,50 @@ def payload_bits(message: Message) -> int:
     is that a rank in ``[1, n^4]`` costs ``Theta(log n)`` bits so that the
     engine's CONGEST check is meaningful.
     """
-    bits = 8
-    for value in message.fields:
-        bits += 1
-        if value is not None:
-            bits += max(1, math.ceil(math.log2(abs(value) + 2)))
-    return bits
+    return _validated_bits(message.kind, tuple(message.fields))
 
 
-@dataclass(frozen=True)
 class Envelope:
     """A message in flight on a specific ordered edge in a specific round."""
 
-    src: NodeId
-    dst: NodeId
-    message: Message
-    round_sent: Round
+    __slots__ = ("src", "dst", "message", "round_sent")
+
+    def __init__(
+        self, src: NodeId, dst: NodeId, message: Message, round_sent: Round
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.message = message
+        self.round_sent = round_sent
 
     @property
     def bits(self) -> int:
         """CONGEST size of the enclosed message."""
         return self.message.bits
 
+    def __repr__(self) -> str:
+        return (
+            f"Envelope(src={self.src!r}, dst={self.dst!r}, "
+            f"message={self.message!r}, round_sent={self.round_sent!r})"
+        )
 
-@dataclass(frozen=True)
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Envelope):
+            return (
+                self.src == other.src
+                and self.dst == other.dst
+                and self.message == other.message
+                and self.round_sent == other.round_sent
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.src, self.dst, self.message, self.round_sent))
+
+    def __reduce__(self):
+        return (Envelope, (self.src, self.dst, self.message, self.round_sent))
+
+
 class Delivery:
     """A message as seen by its receiver.
 
@@ -90,9 +156,14 @@ class Delivery:
     receiver gains, and it may be used as a send address (reply).
     """
 
-    sender: NodeId
-    message: Message
-    round_received: Round
+    __slots__ = ("sender", "message", "round_received")
+
+    def __init__(
+        self, sender: NodeId, message: Message, round_received: Round
+    ) -> None:
+        self.sender = sender
+        self.message = message
+        self.round_received = round_received
 
     @property
     def kind(self) -> str:
@@ -103,3 +174,24 @@ class Delivery:
     def fields(self) -> Tuple[Field, ...]:
         """Fields of the enclosed message."""
         return self.message.fields
+
+    def __repr__(self) -> str:
+        return (
+            f"Delivery(sender={self.sender!r}, message={self.message!r}, "
+            f"round_received={self.round_received!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Delivery):
+            return (
+                self.sender == other.sender
+                and self.message == other.message
+                and self.round_received == other.round_received
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.sender, self.message, self.round_received))
+
+    def __reduce__(self):
+        return (Delivery, (self.sender, self.message, self.round_received))

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List
 
 from ..types import NodeId
 
@@ -68,6 +68,53 @@ class Metrics:
     def max_round_messages(self) -> int:
         """Largest number of messages sent in any single round."""
         return max(self.per_round_messages, default=0)
+
+    @classmethod
+    def merge(cls, parts: Iterable["Metrics"]) -> "Metrics":
+        """Fold per-trial metrics into one campaign-level ``Metrics``.
+
+        Parallel workers return one lightweight ``Metrics`` per trial; the
+        parent folds them with this classmethod.  Semantics:
+
+        * message/bit/crash counters are summed;
+        * ``per_kind_messages`` and ``per_node_sent`` are summed key-wise;
+        * ``per_round_messages[r]`` is the sum of round ``r``'s messages
+          across all parts (ragged tails are zero-padded), so
+          ``max_round_messages`` is the busiest round of the *combined*
+          campaign;
+        * ``rounds``/``horizon``/``rounds_executed`` take the maximum (the
+          longest constituent run), since trials run concurrently rather
+          than back-to-back.
+
+        Folding is associative: ``merge([merge([a, b]), c])`` equals
+        ``merge([a, b, c])``.
+        """
+        merged = cls()
+        per_round: List[int] = []
+        for part in parts:
+            merged.messages_sent += part.messages_sent
+            merged.messages_delivered += part.messages_delivered
+            merged.messages_dropped += part.messages_dropped
+            merged.bits_sent += part.bits_sent
+            merged.crashes += part.crashes
+            merged.rounds = max(merged.rounds, part.rounds)
+            merged.horizon = max(merged.horizon, part.horizon)
+            merged.rounds_executed = max(
+                merged.rounds_executed, part.rounds_executed
+            )
+            merged.per_kind_messages.update(part.per_kind_messages)
+            for node, count in part.per_node_sent.items():
+                merged.per_node_sent[node] = (
+                    merged.per_node_sent.get(node, 0) + count
+                )
+            if len(part.per_round_messages) > len(per_round):
+                per_round.extend(
+                    [0] * (len(part.per_round_messages) - len(per_round))
+                )
+            for index, count in enumerate(part.per_round_messages):
+                per_round[index] += count
+        merged.per_round_messages = per_round
+        return merged
 
     def summary(self) -> Dict[str, int]:
         """Headline counters as a plain dict (for tables and logs)."""

@@ -133,7 +133,17 @@ class Network:
         # Per-sender FIFO queues: sender -> dst -> deque of Messages.
         self._queues: List[Dict[NodeId, Deque[Message]]] = [dict() for _ in range(n)]
         self._queued_total = 0
+        # Pending senders live in a set (membership) plus an
+        # order-preserving list consumed each round in ascending-id order.
+        # Enqueues happen in ascending node order within a round (nodes
+        # step in id order), so the list is almost always already sorted;
+        # ``_pending_dirty`` marks the rare out-of-order append and the
+        # round loop re-sorts only then, instead of ``sorted(set)`` every
+        # round.  Iteration order is identical to the former per-round
+        # ``sorted(self._pending_senders)``.
         self._pending_senders: Set[NodeId] = set()
+        self._pending_list: List[NodeId] = []
+        self._pending_dirty = False
         self._inboxes: Dict[NodeId, List[Delivery]] = {}
         self._round: Round = 0
         # Wake schedule: a min-heap of (round, node) entries with lazy
@@ -152,10 +162,19 @@ class Network:
                 f"message {message.kind!r} is {message.bits} bits; CONGEST "
                 f"budget is {self._bits_cap} bits for n={self.n}"
             )
-        queue = self._queues[src].setdefault(dst, deque())
+        queues = self._queues[src]
+        queue = queues.get(dst)
+        if queue is None:
+            queues[dst] = queue = deque()
         queue.append(message)
         self._queued_total += 1
-        self._pending_senders.add(src)
+        pending = self._pending_senders
+        if src not in pending:
+            pending.add(src)
+            order = self._pending_list
+            if order and src < order[-1]:
+                self._pending_dirty = True
+            order.append(src)
 
     # ------------------------------------------------------------------
     # Round machinery
@@ -181,10 +200,14 @@ class Network:
         # the last executed round; the requested horizon is kept separately.
         self.metrics.rounds = self.metrics.rounds_executed
         self.metrics.horizon = total_rounds
+        # on_stop sees the last round that actually executed — when the
+        # quiescence fast-forward cut the run short, that is earlier than
+        # the nominal horizon (which stays available as ``horizon``).
+        last_executed = self.metrics.rounds_executed
         for u, protocol in enumerate(self.protocols):
             if u not in self.crashed:
                 ctx = self.contexts[u]
-                ctx.round = total_rounds
+                ctx.round = last_executed
                 protocol.on_stop(ctx)
         return RunResult(
             n=self.n,
@@ -218,59 +241,121 @@ class Network:
         self.metrics.begin_round()
         inboxes = self._inboxes
         self._inboxes = {}
+        crashed = self.crashed
+        contexts = self.contexts
+        protocols = self.protocols
 
         # 1. Protocol steps for active alive nodes (scheduled wakes plus
-        # nodes with deliveries).
+        # nodes with deliveries).  Heap pops come out ordered by
+        # (round, node) and every live popped entry has round == r (rounds
+        # execute contiguously, so older entries were consumed earlier),
+        # which makes ``due`` ascending by construction — only the
+        # delivery-woken nodes outside it need sorting.
         heap = self._wake_heap
-        due: Set[NodeId] = set()
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        entry_live = self._entry_live
+        due: List[NodeId] = []
         while heap and heap[0][0] <= r:
-            entry = heapq.heappop(heap)
-            if self._entry_live(entry):
-                due.add(entry[1])
-        for u in inboxes:
-            if u not in self.crashed:
-                due.add(u)
-        for u in sorted(due):
-            ctx = self.contexts[u]
-            inbox = inboxes.get(u, [])
+            entry = heappop(heap)
+            if entry_live(entry):
+                due.append(entry[1])
+        if inboxes:
+            due_set = set(due)
+            extra = [
+                u for u in inboxes if u not in due_set and u not in crashed
+            ]
+            if extra:
+                extra.sort()
+                due = list(heapq.merge(due, extra))
+        for u in due:
+            ctx = contexts[u]
+            inbox = inboxes.get(u) or []
             ctx.round = r
             ctx._next_wake = r + 1  # stay active by default
-            for delivery in inbox:
-                ctx.learn(delivery.sender)
-            protocol = self.protocols[u]
+            if inbox:
+                known_add = ctx._known.add
+                for delivery in inbox:
+                    known_add(delivery.sender)
+            protocol = protocols[u]
             if r == 1:
                 protocol.on_start(ctx)
             protocol.on_round(ctx, inbox)
-            if ctx._next_wake != NEVER:
-                heapq.heappush(heap, (ctx._next_wake, u))
+            next_wake = ctx._next_wake
+            if next_wake != NEVER:
+                heappush(heap, (next_wake, u))
 
         # 2. Wire transmission: one queued message per ordered edge.
+        #
+        # ``_pending_list`` is consumed in ascending-id order (re-sorted
+        # only after an out-of-order enqueue) and rebuilt with the senders
+        # that still hold a backlog, so stale entries never accumulate.
+        order = self._pending_list
+        if self._pending_dirty:
+            order.sort()
+            self._pending_dirty = False
+        pending = self._pending_senders
+        all_queues = self._queues
+        record_send = self._record_send
+        track_outboxes = self.adversary.dynamic_selection
+        faulty = self.faulty
+        metrics = self.metrics
+        # Fast path: without a message budget or tracing, send accounting
+        # is batched per sender (one counter update per sender instead of
+        # one per message) and no TraceEvent is ever constructed.
+        fast_sends = self.message_budget is None and self.trace is None
+        per_kind = metrics.per_kind_messages
+        per_node = metrics.per_node_sent
+        per_round = metrics.per_round_messages
+        queued_total = self._queued_total
         wire: List[Envelope] = []
         outboxes: Dict[NodeId, List[Envelope]] = {}
-        for u in sorted(self._pending_senders):
-            if u in self.crashed:
+        still_pending: List[NodeId] = []
+        for u in order:
+            if u not in pending or u in crashed:
                 continue
-            queues = self._queues[u]
+            queues = all_queues[u]
             if not queues:
+                pending.discard(u)
                 continue
             sent: List[Envelope] = []
             emptied: List[NodeId] = []
-            for dst, queue in queues.items():
-                message = queue.popleft()
-                self._queued_total -= 1
-                if not queue:
-                    emptied.append(dst)
-                envelope = Envelope(src=u, dst=dst, message=message, round_sent=r)
-                if self._record_send(envelope):
-                    sent.append(envelope)
+            if fast_sends:
+                bits_total = 0
+                for dst, queue in queues.items():
+                    message = queue.popleft()
+                    queued_total -= 1
+                    if not queue:
+                        emptied.append(dst)
+                    sent.append(Envelope(u, dst, message, r))
+                    bits_total += message.bits
+                    per_kind[message.kind] += 1
+                count = len(sent)
+                metrics.messages_sent += count
+                metrics.bits_sent += bits_total
+                per_node[u] = per_node.get(u, 0) + count
+                per_round[-1] += count
+            else:
+                for dst, queue in queues.items():
+                    message = queue.popleft()
+                    queued_total -= 1
+                    if not queue:
+                        emptied.append(dst)
+                    envelope = Envelope(u, dst, message, r)
+                    if record_send(envelope):
+                        sent.append(envelope)
             for dst in emptied:
                 del queues[dst]
-            if not queues:
-                self._pending_senders.discard(u)
+            if queues:
+                still_pending.append(u)
+            else:
+                pending.discard(u)
             if sent:
                 wire.extend(sent)
-                if u in self.faulty or self.adversary.dynamic_selection:
+                if track_outboxes or u in faulty:
                     outboxes[u] = sent
+        self._queued_total = queued_total
+        self._pending_list = still_pending
 
         # 3. Adversary crashes.
         view = self._view_with_outboxes(outboxes)
@@ -308,44 +393,52 @@ class Network:
                 if not order.keep(envelope):
                     dropped.add((envelope.src, envelope.dst))
 
-        # 4. Delivery scheduling for round r + 1.
+        # 4. Delivery scheduling for round r + 1.  The no-trace fast path
+        # skips TraceEvent construction entirely; with tracing on, the
+        # deliver event takes ``round_received`` from the Delivery actually
+        # handed to the receiver, so the validator checks the real latency.
+        trace = self.trace
+        new_inboxes = self._inboxes
+        next_round = r + 1
+        delivered = 0
         for envelope in wire:
-            if (envelope.src, envelope.dst) in dropped:
-                self.metrics.record_drop()
-                if self.trace is not None:
-                    self.trace.record(
+            src = envelope.src
+            dst = envelope.dst
+            if dropped and (src, dst) in dropped:
+                metrics.record_drop()
+                if trace is not None:
+                    trace.record(
                         TraceEvent(
                             round=r,
                             kind="drop",
-                            src=envelope.src,
-                            dst=envelope.dst,
+                            src=src,
+                            dst=dst,
                             message_kind=envelope.message.kind,
                         )
                     )
                 continue
-            if envelope.dst in self.crashed:
+            if dst in crashed:
                 # Receiver is dead; the message evaporates silently.
                 continue
-            self.metrics.record_delivery()
-            delivery = Delivery(
-                sender=envelope.src,
-                message=envelope.message,
-                round_received=r + 1,
-            )
-            if self.trace is not None:
-                # round_received is taken from the Delivery actually handed
-                # to the receiver, so the validator checks the real latency.
-                self.trace.record(
+            delivered += 1
+            delivery = Delivery(src, envelope.message, next_round)
+            if trace is not None:
+                trace.record(
                     TraceEvent(
                         round=r,
                         kind="deliver",
-                        src=envelope.src,
-                        dst=envelope.dst,
+                        src=src,
+                        dst=dst,
                         message_kind=envelope.message.kind,
-                        round_received=delivery.round_received,
+                        round_received=next_round,
                     )
                 )
-            self._inboxes.setdefault(envelope.dst, []).append(delivery)
+            inbox = new_inboxes.get(dst)
+            if inbox is None:
+                new_inboxes[dst] = [delivery]
+            else:
+                inbox.append(delivery)
+        metrics.messages_delivered += delivered
 
     def _record_send(self, envelope: Envelope) -> bool:
         """Account for one wire message; False means it was budget-suppressed.
@@ -363,15 +456,17 @@ class Network:
                         f"in round {envelope.round_sent}"
                     )
                 return False
-        self.metrics.record_send(envelope.src, envelope.message.kind, envelope.bits)
+        message = envelope.message
+        self.metrics.record_send(envelope.src, message.kind, message.bits)
         if self.trace is not None:
+            # No-trace runs never reach this TraceEvent construction.
             self.trace.record(
                 TraceEvent(
                     round=envelope.round_sent,
                     kind="send",
                     src=envelope.src,
                     dst=envelope.dst,
-                    message_kind=envelope.message.kind,
+                    message_kind=message.kind,
                 )
             )
         return True

@@ -6,8 +6,10 @@ A protocol instance runs on exactly one node.  The engine drives it with:
 * :meth:`Protocol.on_round` in every round the node is *active* (a node is
   active until it calls :meth:`Context.idle`; an idle node is re-activated
   by an incoming message or a scheduled :meth:`Context.wake_at`);
-* :meth:`Protocol.on_stop` once, at the nominal end of the run, for nodes
-  that have not crashed.
+* :meth:`Protocol.on_stop` once, at the end of the run, for nodes that
+  have not crashed; ``ctx.round`` is then the last round that actually
+  executed (smaller than the nominal horizon when the quiescence
+  fast-forward cut the run short).
 
 All interaction with the network goes through the :class:`Context`.  Under
 KT0 the context enforces the paper's anonymity discipline: a node may only
@@ -45,7 +47,11 @@ class Protocol:
         """Called each active round with the messages delivered this round."""
 
     def on_stop(self, ctx: "Context") -> None:
-        """Called at the nominal end of the run (alive nodes only)."""
+        """Called at the end of the run (alive nodes only).
+
+        ``ctx.round`` holds the last executed round — not the nominal
+        horizon, which may be larger when the run went quiescent early.
+        """
 
 
 class Context:
@@ -133,11 +139,15 @@ class Context:
             candidates = [i for i in population if i != self.node_id]
             sampled = self.rng.sample(candidates, k)
         else:
+            randrange = self.rng.randrange
+            seen_add = seen.add
+            append = sampled.append
+            n = self.n
             while len(sampled) < k:
-                pick = self.rng.randrange(self.n)
+                pick = randrange(n)
                 if pick not in seen:
-                    seen.add(pick)
-                    sampled.append(pick)
+                    seen_add(pick)
+                    append(pick)
         self._known.update(sampled)
         return sampled
 

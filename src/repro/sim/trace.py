@@ -13,7 +13,6 @@ from typing import Iterator, List, Optional, Set, Tuple
 from ..types import NodeId, Round
 
 
-@dataclass(frozen=True)
 class TraceEvent:
     """One traced event.
 
@@ -25,14 +24,57 @@ class TraceEvent:
     additionally records the round the receiver saw the message — by the
     model's one-round latency it must equal ``round + 1``
     (:func:`repro.sim.validate.validate_run` enforces this).
+
+    A ``__slots__`` class (not a dataclass): traced runs construct one
+    event per send/delivery, so the event itself must stay cheap.
     """
 
-    round: Round
-    kind: str
-    src: NodeId
-    dst: Optional[NodeId] = None
-    message_kind: Optional[str] = None
-    round_received: Optional[Round] = None
+    __slots__ = ("round", "kind", "src", "dst", "message_kind", "round_received")
+
+    def __init__(
+        self,
+        round: Round,
+        kind: str,
+        src: NodeId,
+        dst: Optional[NodeId] = None,
+        message_kind: Optional[str] = None,
+        round_received: Optional[Round] = None,
+    ) -> None:
+        self.round = round
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.message_kind = message_kind
+        self.round_received = round_received
+
+    def _key(self) -> Tuple:
+        return (
+            self.round,
+            self.kind,
+            self.src,
+            self.dst,
+            self.message_kind,
+            self.round_received,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceEvent(round={self.round!r}, kind={self.kind!r}, "
+            f"src={self.src!r}, dst={self.dst!r}, "
+            f"message_kind={self.message_kind!r}, "
+            f"round_received={self.round_received!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TraceEvent):
+            return self._key() == other._key()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __reduce__(self):
+        return (TraceEvent, self._key())
 
 
 @dataclass

@@ -1,0 +1,95 @@
+"""Determinism parity: ``jobs=N`` output must be byte-identical to
+``jobs=1`` for the same master seed — the tentpole guarantee of the
+parallel scheduler.
+
+The tasks here are the real protocols (leader election and agreement)
+under crashing adversaries, and comparison is on the JSON serialisation
+of the full result rows, so any divergence in seed streams, ordering, or
+worker-local RNG state shows up as a byte diff.
+"""
+
+import json
+
+from repro.analysis.sweeps import monte_carlo, resilient_sweep, sweep
+from repro.chaos import default_scenarios, fuzz
+from repro.experiments.harness import run_experiments_resilient
+from repro.experiments.registry import get_experiment
+from repro.parallel import agreement_trial, election_trial
+
+
+def canonical(value) -> str:
+    return json.dumps(value, sort_keys=True)
+
+
+class TestSweepParity:
+    def test_election_sweep_with_crashes(self):
+        grid = {"n": [32, 48], "alpha": [0.75]}
+        serial = sweep(election_trial, grid, trials=2, master_seed=13, jobs=1)
+        parallel = sweep(election_trial, grid, trials=2, master_seed=13, jobs=4)
+        assert canonical(parallel) == canonical(serial)
+        # The random adversary actually crashed nodes in these runs.
+        assert any(r["crashes"] > 0 for _, results in serial for r in results)
+
+    def test_agreement_sweep_with_crashing_adversary(self):
+        grid = {"n": [32], "alpha": [0.75], "adversary": ["eager", "random"]}
+        serial = sweep(agreement_trial, grid, trials=2, master_seed=29, jobs=1)
+        parallel = sweep(agreement_trial, grid, trials=2, master_seed=29, jobs=4)
+        assert canonical(parallel) == canonical(serial)
+        assert any(r["crashes"] > 0 for _, results in serial for r in results)
+
+    def test_monte_carlo_parity(self):
+        serial = monte_carlo(
+            election_trial, 5, master_seed=3, jobs=1, n=32, alpha=0.75
+        )
+        parallel = monte_carlo(
+            election_trial, 5, master_seed=3, jobs=4, n=32, alpha=0.75
+        )
+        assert canonical(parallel) == canonical(serial)
+
+    def test_jobs_zero_autodetect_parity(self):
+        serial = monte_carlo(
+            election_trial, 2, master_seed=1, jobs=1, n=32, alpha=0.75
+        )
+        auto = monte_carlo(
+            election_trial, 2, master_seed=1, jobs=0, n=32, alpha=0.75
+        )
+        assert canonical(auto) == canonical(serial)
+
+
+class TestResilientSweepParity:
+    def test_rows_and_counts_match(self):
+        grid = {"n": [32], "alpha": [0.75]}
+        serial = resilient_sweep(
+            election_trial, grid, trials=3, master_seed=17, jobs=1
+        )
+        parallel = resilient_sweep(
+            election_trial, grid, trials=3, master_seed=17, jobs=4
+        )
+        assert canonical(parallel.rows()) == canonical(serial.rows())
+        assert parallel.counts() == serial.counts()
+        assert parallel.complete and serial.complete
+
+
+class TestFuzzParity:
+    def test_trials_and_failures_match(self):
+        scenarios = default_scenarios(n=24)
+        serial = fuzz(scenarios, seeds=3, master_seed=21, jobs=1)
+        parallel = fuzz(scenarios, seeds=3, master_seed=21, jobs=4)
+        assert parallel.trials == serial.trials
+        assert parallel.attempted == serial.attempted
+        assert canonical([c.to_dict() for c in parallel.failures]) == canonical(
+            [c.to_dict() for c in serial.failures]
+        )
+
+
+class TestHarnessParity:
+    def test_registry_experiment_parallel_report_matches_serial(self):
+        experiments = [get_experiment("E5")]
+        serial, serial_counts = run_experiments_resilient(
+            experiments, quick=True, jobs=1
+        )
+        parallel, parallel_counts = run_experiments_resilient(
+            experiments, quick=True, jobs=2
+        )
+        assert parallel_counts == serial_counts
+        assert canonical(parallel[0].to_dict()) == canonical(serial[0].to_dict())

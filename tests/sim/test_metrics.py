@@ -53,3 +53,80 @@ class TestMetrics:
 
     def test_max_round_messages_empty(self):
         assert Metrics().max_round_messages == 0
+
+
+class TestMerge:
+    def _part(self, sends, rounds_executed=0, **fields):
+        metrics = Metrics(**fields)
+        for _ in range(rounds_executed):
+            metrics.begin_round()
+        for round_index, src, kind, bits in sends:
+            metrics.per_round_messages[round_index] += 1
+            metrics.messages_sent += 1
+            metrics.bits_sent += bits
+            metrics.per_kind_messages[kind] += 1
+            metrics.per_node_sent[src] = metrics.per_node_sent.get(src, 0) + 1
+        return metrics
+
+    def test_empty_merge(self):
+        merged = Metrics.merge([])
+        assert merged.messages_sent == 0
+        assert merged.per_round_messages == []
+        assert merged.max_round_messages == 0
+
+    def test_counters_summed(self):
+        a = Metrics(
+            messages_sent=3, messages_delivered=2, messages_dropped=1,
+            bits_sent=40, crashes=1,
+        )
+        b = Metrics(
+            messages_sent=5, messages_delivered=5, messages_dropped=0,
+            bits_sent=60, crashes=2,
+        )
+        merged = Metrics.merge([a, b])
+        assert merged.messages_sent == 8
+        assert merged.messages_delivered == 7
+        assert merged.messages_dropped == 1
+        assert merged.bits_sent == 100
+        assert merged.crashes == 3
+
+    def test_rounds_take_maximum(self):
+        a = Metrics(rounds=5, horizon=10, rounds_executed=5)
+        b = Metrics(rounds=8, horizon=8, rounds_executed=8)
+        merged = Metrics.merge([a, b])
+        assert merged.rounds == 8
+        assert merged.horizon == 10
+        assert merged.rounds_executed == 8
+
+    def test_per_kind_counters_summed(self):
+        a = self._part([(0, 0, "X", 8), (0, 1, "Y", 8)], rounds_executed=1)
+        b = self._part([(0, 0, "X", 8)], rounds_executed=1)
+        merged = Metrics.merge([a, b])
+        assert merged.per_kind_messages == {"X": 2, "Y": 1}
+        assert merged.per_node_sent == {0: 2, 1: 1}
+
+    def test_per_round_series_zero_padded_elementwise_sum(self):
+        a = self._part([(0, 0, "X", 8), (1, 0, "X", 8)], rounds_executed=2)
+        b = self._part(
+            [(0, 0, "X", 8), (2, 0, "X", 8), (2, 0, "X", 8)], rounds_executed=3
+        )
+        merged = Metrics.merge([a, b])
+        assert merged.per_round_messages == [2, 1, 2]
+        # The busiest round of the *combined* campaign, not of any part.
+        assert merged.max_round_messages == 2
+
+    def test_merge_is_associative(self):
+        parts = [
+            self._part([(0, u, "X", 8)], rounds_executed=1, crashes=u)
+            for u in range(3)
+        ]
+        left = Metrics.merge([Metrics.merge(parts[:2]), parts[2]])
+        flat = Metrics.merge(parts)
+        assert left == flat
+
+    def test_merged_bits_match_summaries(self):
+        a = Metrics(bits_sent=17, messages_sent=2)
+        b = Metrics(bits_sent=5, messages_sent=1)
+        merged = Metrics.merge([a, b])
+        assert merged.summary()["bits_sent"] == 22
+        assert merged.summary()["messages_sent"] == 3

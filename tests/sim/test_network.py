@@ -264,7 +264,9 @@ class TestFastForward:
         assert result.metrics.crashes == 4
         assert 50 <= result.metrics.rounds_executed <= 60
 
-    def test_on_stop_runs_at_nominal_end(self):
+    def test_on_stop_sees_last_executed_round(self):
+        # Regression: on_stop used to see ctx.round == horizon even when
+        # the quiescence fast-forward exited much earlier.
         final_rounds = []
 
         class Stopper(Protocol):
@@ -278,8 +280,28 @@ class TestFastForward:
                 final_rounds.append(ctx.round)
 
         network = Network(4, Stopper)
-        network.run(77)
-        assert final_rounds == [77] * 4
+        result = network.run(77)
+        # Everyone idles after round 1, so round 1 is the last executed.
+        assert result.metrics.rounds_executed == 1
+        assert final_rounds == [1] * 4
+
+    def test_on_stop_round_matches_horizon_without_fast_forward(self):
+        final_rounds = []
+
+        class Buzzer(Protocol):
+            def __init__(self, u):
+                self.u = u
+
+            def on_round(self, ctx, inbox):
+                pass  # stays active every round; no fast-forward
+
+            def on_stop(self, ctx):
+                final_rounds.append(ctx.round)
+
+        network = Network(4, Buzzer)
+        result = network.run(9)
+        assert result.metrics.rounds_executed == 9
+        assert final_rounds == [9] * 4
 
 
 class TestBudget:
@@ -302,6 +324,42 @@ class TestBudget:
     def test_unknown_budget_mode_rejected(self):
         with pytest.raises(SimulationError):
             Network(4, lambda u: Chatter(u), budget_mode="bogus")
+
+
+class TestNoTraceFastPath:
+    """Tracing must be an observer: metrics are identical either way."""
+
+    def _metrics(self, collect_trace, message_budget=None):
+        network = Network(
+            16,
+            lambda u: Chatter(u, count=3),
+            seed=9,
+            adversary=EagerCrash(),
+            max_faulty=8,
+            collect_trace=collect_trace,
+            message_budget=message_budget,
+        )
+        return network.run(8).metrics
+
+    def test_metrics_identical_with_and_without_trace(self):
+        traced = self._metrics(collect_trace=True)
+        untraced = self._metrics(collect_trace=False)
+        assert untraced == traced  # dataclass equality: every counter/series
+
+    def test_trace_collected_only_when_asked(self):
+        network = Network(4, lambda u: Chatter(u), collect_trace=False)
+        assert network.run(3).trace is None
+        network = Network(4, lambda u: Chatter(u), collect_trace=True)
+        trace = network.run(3).trace
+        assert trace is not None and trace.events
+
+    def test_budgeted_run_metrics_identical_with_and_without_trace(self):
+        # A message budget forces the per-envelope slow path; it must
+        # account exactly like the batched fast path.
+        traced = self._metrics(collect_trace=True, message_budget=10_000)
+        untraced = self._metrics(collect_trace=False, message_budget=10_000)
+        unbudgeted = self._metrics(collect_trace=False)
+        assert untraced == traced == unbudgeted
 
 
 class TestDeterminism:

@@ -36,6 +36,21 @@ class TestParser:
         assert args.seeds == 50
         assert args.protocol == "both"
         assert args.budget_seconds is None
+        assert args.jobs == 1
+
+    def test_jobs_flags(self):
+        assert build_parser().parse_args(["run", "E5"]).jobs == 1
+        assert build_parser().parse_args(["run", "E5", "--jobs", "4"]).jobs == 4
+        assert build_parser().parse_args(["fuzz", "--jobs", "0"]).jobs == 0
+        assert build_parser().parse_args(["sweep", "--jobs", "2"]).jobs == 2
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.task == "election"
+        assert args.n == "64,128"
+        assert args.trials == 5
+        assert args.jobs == 1
+        assert args.out is None
 
     def test_replay_requires_script(self):
         with pytest.raises(SystemExit):
@@ -118,3 +133,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "1 attempted, 1 completed, 0 failed" in out
         assert "E5" in out and "PASS" in out
+
+    def test_sweep_command_parallel_matches_serial(self, tmp_path, capsys):
+        import json as json_module
+
+        serial_out = str(tmp_path / "serial.json")
+        parallel_out = str(tmp_path / "parallel.json")
+        base = ["sweep", "--task", "election", "--n", "32", "--alpha", "0.75",
+                "--trials", "2", "--seed", "4"]
+        assert main(base + ["--jobs", "1", "--out", serial_out]) == 0
+        assert main(base + ["--jobs", "2", "--out", parallel_out]) == 0
+        out = capsys.readouterr().out
+        assert "election sweep" in out
+        with open(serial_out) as handle:
+            serial = json_module.load(handle)
+        with open(parallel_out) as handle:
+            parallel = json_module.load(handle)
+        assert serial["points"] == parallel["points"]
+
+    def test_fuzz_command_with_jobs(self, capsys):
+        code = main(["fuzz", "--seeds", "2", "--protocol", "election",
+                     "--n", "24", "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 failure(s)" in out
