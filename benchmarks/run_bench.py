@@ -18,6 +18,12 @@ Three sections:
   hardware-honest: the file records the machine's core count, and on a
   single-core box the parallel run is expected to be ~1x (or slightly
   below, from pool overhead).
+* ``obs_overhead`` — the ``engine`` workload re-timed with (a) the
+  disabled no-op :class:`repro.obs.PhaseTimers` threaded through (the
+  default every un-profiled run takes) and (b) profiling enabled.
+  ``--check-obs-overhead`` turns the no-op ratio into a CI gate: the
+  disabled observability path must stay within 5% of the
+  uninstrumented engine.
 
 Timings are best-of-``repeats`` (minimum wall-clock), the standard way
 to suppress scheduler noise without a benchmark framework.
@@ -41,6 +47,7 @@ if __package__ in (None, ""):
 
 from repro.analysis.sweeps import sweep  # noqa: E402
 from repro.core import elect_leader  # noqa: E402
+from repro.obs import PhaseTimers  # noqa: E402
 from repro.parallel import election_trial, resolve_jobs  # noqa: E402
 from repro.sim import Message, Network, Protocol  # noqa: E402
 
@@ -92,6 +99,52 @@ def bench_engine(quick: bool) -> Dict[str, Any]:
     }
 
 
+def bench_obs_overhead(quick: bool) -> Dict[str, Any]:
+    """The engine workload against the three observability modes.
+
+    ``seconds_base`` runs the uninstrumented default (shared NULL_TIMERS),
+    ``seconds_noop`` threads an explicitly disabled PhaseTimers through the
+    same run, and ``seconds_profiled`` enables profiling.  The headline
+    number is ``noop_ratio = seconds_noop / seconds_base`` — the cost every
+    *un-profiled* run pays for the instrumentation hooks.
+    """
+    n, horizon = (256, 8) if quick else (1024, 10)
+    repeats = 3 if quick else 5
+
+    def run(timers) -> int:
+        return (
+            Network(n, Flood, seed=1, timers=timers)
+            .run(horizon)
+            .metrics.messages_sent
+        )
+
+    run(None)  # warm-up
+    seconds_base = best_of(lambda: run(None), repeats)
+    seconds_noop = best_of(lambda: run(PhaseTimers(enabled=False)), repeats)
+    seconds_profiled = best_of(lambda: run(PhaseTimers()), repeats)
+    return {
+        "n": n,
+        "horizon": horizon,
+        "repeats": repeats,
+        "seconds_base": round(seconds_base, 6),
+        "seconds_noop": round(seconds_noop, 6),
+        "seconds_profiled": round(seconds_profiled, 6),
+        "noop_ratio": round(seconds_noop / seconds_base, 4),
+        "profiled_ratio": round(seconds_profiled / seconds_base, 4),
+    }
+
+
+def check_obs_overhead(row: Dict[str, Any], max_ratio: float = 1.05) -> bool:
+    """True when the no-op observability path is within the budget.
+
+    A small absolute slack (1 ms) keeps the gate meaningful on quick/CI
+    sizes where the base time is tiny and timer jitter dominates the
+    ratio.
+    """
+    budget = row["seconds_base"] * max_ratio + 0.001
+    return row["seconds_noop"] <= budget
+
+
 def bench_single_trial(quick: bool) -> Dict[str, Any]:
     n = 128 if quick else 256
     repeats = 2 if quick else 3
@@ -141,6 +194,12 @@ def main(argv=None) -> int:
         "--jobs", type=int, default=0, help="parallel sweep width (0 = cores)"
     )
     parser.add_argument("--out", default="BENCH_sim.json", help="output path")
+    parser.add_argument(
+        "--check-obs-overhead",
+        action="store_true",
+        help="exit 1 when the disabled observability path exceeds 5% "
+        "over the uninstrumented engine",
+    )
     args = parser.parse_args(argv)
 
     jobs = resolve_jobs(args.jobs)
@@ -155,6 +214,7 @@ def main(argv=None) -> int:
         "engine": bench_engine(args.quick),
         "single_trial": bench_single_trial(args.quick),
         "sweep": bench_sweep(args.quick, jobs),
+        "obs_overhead": bench_obs_overhead(args.quick),
     }
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -175,7 +235,20 @@ def main(argv=None) -> int:
         f" jobs={jobs} {sweep_row['seconds_jobsN']:.3f}s"
         f" (speedup {sweep_row['speedup']}x on {os.cpu_count()} core(s))"
     )
+    obs = payload["obs_overhead"]
+    print(
+        f"obs overhead: noop {obs['noop_ratio']}x, profiled"
+        f" {obs['profiled_ratio']}x of base {obs['seconds_base']:.4f}s"
+    )
     print(f"wrote {args.out}")
+    if args.check_obs_overhead and not check_obs_overhead(obs):
+        print(
+            "FAIL: disabled observability path exceeds the 5% overhead "
+            f"budget (noop {obs['seconds_noop']:.6f}s vs base "
+            f"{obs['seconds_base']:.6f}s)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -15,6 +15,12 @@ serial code path, ``jobs=N`` fans trials out over a process pool
 Seed derivation is identical in every mode, and parallel results are
 reassembled in serial order, so ``jobs`` never changes the output —
 only the wall clock.
+
+They also thread the observability layer (:mod:`repro.obs`):
+``progress=True`` turns on a stderr heartbeat, ``timers=`` profiles the
+pool's dispatch/reassembly, and ``resilient_sweep(manifest=...)`` embeds
+a provenance manifest in the checkpoint journal.  None of these affect
+results.
 """
 
 from __future__ import annotations
@@ -23,6 +29,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..obs.progress import ProgressReporter, ProgressSpec, ensure_progress
+from ..obs.provenance import Manifest
+from ..obs.timing import PhaseTimers
 from ..rng import seed_sequence
 
 #: A task maps (seed, **point) to an arbitrary result object.
@@ -34,12 +43,16 @@ def monte_carlo(
     trials: int,
     master_seed: int = 0,
     jobs: int = 1,
+    progress: ProgressSpec = False,
+    timers: Optional[PhaseTimers] = None,
     **point: Any,
 ) -> List[Any]:
     """Run ``task(seed=..., **point)`` for ``trials`` derived seeds.
 
     ``jobs`` > 1 dispatches the trials to a process pool; the returned
     list is identical to the serial one (same derived seeds, same order).
+    ``progress=True`` emits a stderr heartbeat; ``timers`` profiles the
+    pool's dispatch/reassembly phases (parallel mode only).
     """
     from ..parallel import TrialSpec, resolve_jobs, run_trials
 
@@ -47,12 +60,20 @@ def monte_carlo(
         raise ValueError(f"trials must be >= 1, got {trials}")
     seeds = seed_sequence(master_seed, trials)
     if resolve_jobs(jobs) == 1:
-        return [task(seed=seed, **point) for seed in seeds]
+        owns_reporter = not isinstance(progress, ProgressReporter)
+        reporter = ensure_progress(progress, total=trials, label="monte-carlo")
+        results = []
+        for seed in seeds:
+            results.append(task(seed=seed, **point))
+            reporter.advance(completed=1, attempted=1)
+        if owns_reporter:
+            reporter.finish()
+        return results
     specs = [
         TrialSpec(index=index, task=task, seed=seed, point=dict(point))
         for index, seed in enumerate(seeds)
     ]
-    return run_trials(specs, jobs=jobs)
+    return run_trials(specs, jobs=jobs, timers=timers, progress=progress)
 
 
 def sweep(
@@ -61,6 +82,8 @@ def sweep(
     trials: int = 1,
     master_seed: int = 0,
     jobs: int = 1,
+    progress: ProgressSpec = False,
+    timers: Optional[PhaseTimers] = None,
 ) -> List[Tuple[Dict[str, Any], List[Any]]]:
     """Cross the ``grid`` and Monte-Carlo each point.
 
@@ -71,14 +94,22 @@ def sweep(
     ``jobs`` > 1 flattens the whole grid × trials campaign into one
     trial list and dispatches it to a process pool, so workers stay busy
     across point boundaries; the rows come back in exact grid order.
+    ``progress``/``timers`` as in :func:`monte_carlo`, covering the
+    whole grid with one heartbeat.
     """
     from ..parallel import TrialSpec, resolve_jobs, run_trials
 
     if not grid:
         raise ValueError("grid must contain at least one axis")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
     names = list(grid)
     combos = list(itertools.product(*(grid[k] for k in names)))
     if resolve_jobs(jobs) == 1:
+        owns_reporter = not isinstance(progress, ProgressReporter)
+        reporter = ensure_progress(
+            progress, total=len(combos) * trials, label="sweep"
+        )
         rows: List[Tuple[Dict[str, Any], List[Any]]] = []
         for combo_index, combo in enumerate(combos):
             point = dict(zip(names, combo))
@@ -86,13 +117,14 @@ def sweep(
                 task,
                 trials,
                 master_seed=master_seed + combo_index * 1_000_003,
+                progress=reporter,
                 **point,
             )
             rows.append((point, results))
+        if owns_reporter:
+            reporter.finish()
         return rows
 
-    if trials < 1:
-        raise ValueError(f"trials must be >= 1, got {trials}")
     points = [dict(zip(names, combo)) for combo in combos]
     specs: List[TrialSpec] = []
     for combo_index, point in enumerate(points):
@@ -101,7 +133,7 @@ def sweep(
             specs.append(
                 TrialSpec(index=len(specs), task=task, seed=seed, point=point)
             )
-    flat = run_trials(specs, jobs=jobs)
+    flat = run_trials(specs, jobs=jobs, timers=timers, progress=progress)
     return [
         (point, flat[combo_index * trials : (combo_index + 1) * trials])
         for combo_index, point in enumerate(points)
@@ -183,6 +215,8 @@ def resilient_sweep(
     timeout_seconds: Optional[float] = None,
     retries: int = 0,
     jobs: int = 1,
+    progress: ProgressSpec = False,
+    manifest: Optional[Manifest] = None,
 ) -> ResilientSweepResult:
     """Cross ``grid`` like :func:`sweep`, but never die on a bad trial.
 
@@ -201,6 +235,13 @@ def resilient_sweep(
     ``jobs`` > 1 runs the timeout/retry net inside pool workers while
     the parent keeps sole ownership of resume, quarantine, and the
     journal file; outcomes are accounted in serial order.
+
+    ``progress=True`` emits a stderr heartbeat (with retry/quarantine
+    counts).  ``manifest`` (a :class:`~repro.obs.Manifest`) is embedded
+    in the journal as a ``{"kind": "manifest"}`` record, so the journal
+    file alone is enough for ``repro report``; on resume the new
+    invocation's manifest is appended too, documenting every run that
+    touched the journal.
     """
     from ..exec import Journal, ResilientExecutor, RetryPolicy
     from ..parallel import TrialSpec, run_trials_resilient
@@ -220,6 +261,8 @@ def resilient_sweep(
         executor.load_completed()
     elif executor.journal is not None:
         executor.journal.clear()
+    if manifest is not None:
+        executor.write_manifest(manifest)
 
     names = list(grid)
     points = [
@@ -239,7 +282,9 @@ def resilient_sweep(
                     key=_trial_key(combo_index, point, trial),
                 )
             )
-    trial_outcomes = run_trials_resilient(specs, jobs=jobs, executor=executor)
+    trial_outcomes = run_trials_resilient(
+        specs, jobs=jobs, executor=executor, progress=progress
+    )
 
     outcome = ResilientSweepResult()
     for combo_index, point in enumerate(points):

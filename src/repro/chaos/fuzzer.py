@@ -28,6 +28,8 @@ from ..core.runner import agree, elect_leader
 from ..core.schedule import AgreementSchedule, LeaderElectionSchedule
 from ..errors import ConfigurationError, ReproError
 from ..faults.adversary import Adversary
+from ..obs.progress import ProgressSpec, ensure_progress
+from ..obs.provenance import Manifest
 from ..params import Params
 from ..rng import derive_seed
 from ..sim.network import RunResult
@@ -286,6 +288,9 @@ def fuzz(
     config: Optional[GrammarConfig] = None,
     shrink_failures: bool = True,
     jobs: int = 1,
+    progress: ProgressSpec = False,
+    journal: Optional[Any] = None,
+    manifest: Optional[Manifest] = None,
 ) -> FuzzReport:
     """Fuzz each scenario over derived seeds (or until the time budget).
 
@@ -301,22 +306,74 @@ def fuzz(
     shrinking always happens in the parent.  In budget mode parallel
     trials are dispatched in waves of ``jobs`` seed indices, with the
     budget checked between waves.
+
+    Observability: ``progress=True`` emits a stderr heartbeat;
+    ``journal`` (a path or :class:`~repro.exec.Journal`) records one
+    JSONL line per trial — key, protocol, seed, status ``ok`` /
+    ``violation``, and the failure signature — written by the parent
+    only; ``manifest`` is embedded in the journal as a
+    ``{"kind": "manifest"}`` record so ``repro report <journal>`` can
+    render the campaign's provenance.
     """
     from .shrink import shrink_case
 
     if not scenarios:
         raise ConfigurationError("need at least one scenario")
+    from ..exec.journal import Journal
     from ..parallel import resolve_jobs
 
     workers = resolve_jobs(jobs)
     report = FuzzReport()
     start = time.monotonic()
+    if journal is not None and not isinstance(journal, Journal):
+        journal = Journal(journal)
+    if journal is not None:
+        journal.clear()
+        if manifest is not None:
+            journal.append(manifest.journal_record())
+    reporter = ensure_progress(
+        progress,
+        total=None if budget_seconds is not None else seeds * len(scenarios),
+        label="fuzz",
+    )
 
     def shrink(case: FuzzCase) -> FuzzCase:
         return shrink_case(case) if shrink_failures else case
 
+    def journal_trial(
+        scenario: FuzzScenario, trial_seed: int, case: Optional[FuzzCase]
+    ) -> None:
+        if journal is None:
+            return
+        record: Dict[str, Any] = {
+            "key": f"{scenario.protocol}@{trial_seed}",
+            "protocol": scenario.protocol,
+            "seed": trial_seed,
+            "attempts": 1,
+            "status": "ok" if case is None else "violation",
+            "value": {"violations": 0} if case is None else None,
+        }
+        if case is not None:
+            record["signature"] = list(case.signature)
+            record["violations"] = len(case.violations)
+        journal.append(record)
+
+    def account(
+        scenario: FuzzScenario, trial_seed: int, case: Optional[FuzzCase]
+    ) -> None:
+        report.trials.append((scenario.protocol, trial_seed))
+        report.attempted += 1
+        if case is not None:
+            report.failures.append(case)
+        journal_trial(scenario, trial_seed, case)
+        reporter.advance(
+            completed=1, attempted=1, failed=0 if case is None else 1
+        )
+
     if workers > 1:
         from ..parallel import TrialSpec, run_trials
+
+        reporter.set_workers(workers)
 
         def run_wave(indices: Sequence[int]) -> None:
             pairs = [
@@ -335,10 +392,12 @@ def fuzz(
             ]
             payloads = run_trials(specs, jobs=workers)
             for (scenario, trial_seed), payload in zip(pairs, payloads):
-                report.trials.append((scenario.protocol, trial_seed))
-                report.attempted += 1
-                if payload is not None:
-                    report.failures.append(shrink(FuzzCase.from_dict(payload)))
+                case = (
+                    None
+                    if payload is None
+                    else shrink(FuzzCase.from_dict(payload))
+                )
+                account(scenario, trial_seed, case)
 
         if budget_seconds is None:
             run_wave(range(seeds))
@@ -348,6 +407,7 @@ def fuzz(
                 run_wave(range(index, index + workers))
                 index += workers
         report.elapsed_seconds = time.monotonic() - start
+        reporter.finish()
         return report
 
     index = 0
@@ -359,13 +419,11 @@ def fuzz(
             break
         for scenario in scenarios:
             trial_seed = derive_seed(master_seed, "fuzz", scenario.protocol, index)
-            report.trials.append((scenario.protocol, trial_seed))
-            report.attempted += 1
             case = fuzz_one(scenario, trial_seed, config=config)
-            if case is not None:
-                report.failures.append(shrink(case))
+            account(scenario, trial_seed, None if case is None else shrink(case))
         index += 1
     report.elapsed_seconds = time.monotonic() - start
+    reporter.finish()
     return report
 
 

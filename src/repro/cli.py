@@ -19,10 +19,19 @@ Commands
     oracles; failures are shrunk and written as replayable scripts.
 ``replay script.json [--protocol election] [--seed 0]``
     Re-run a recorded crash script deterministically.
+``report campaign.jsonl``
+    Render a campaign's provenance manifest, journal counts, and merged
+    metrics (without the positional argument, ``report`` keeps its
+    classic behaviour: run all experiments and write EXPERIMENTS.md).
 
 ``--jobs N`` fans trials out over N worker processes; ``--jobs 0``
 auto-detects the core count.  Results are deterministic and identical
 to ``--jobs 1`` for the same seed.
+
+Observability (see ``docs/OBSERVABILITY.md``): ``--progress`` adds a
+stderr heartbeat to ``run``/``sweep``/``fuzz``; every ``sweep`` and
+``fuzz`` campaign writes a provenance manifest (``--manifest`` overrides
+the default path); ``sweep --profile`` records per-phase engine timings.
 """
 
 from __future__ import annotations
@@ -52,8 +61,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if resilient:
         from .experiments.harness import run_experiments_resilient
+        from .obs import capture_manifest
 
         journal = args.journal or ".repro-run.journal.jsonl"
+        manifest = capture_manifest(
+            command="run",
+            master_seed=None,
+            config={
+                "experiment": args.experiment,
+                "quick": args.quick,
+                "jobs": args.jobs,
+                "retries": args.retries,
+                "trial_timeout": args.trial_timeout,
+                "resume": args.resume,
+            },
+            extra={"journal": journal},
+        )
+        manifest.write(f"{journal}.manifest.json")
         reports, counts = run_experiments_resilient(
             experiments,
             quick=args.quick,
@@ -62,6 +86,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             timeout_seconds=args.trial_timeout,
             retries=args.retries,
             jobs=args.jobs,
+            progress=args.progress,
+            manifest=manifest,
         )
         failed = 0
         for report in reports:
@@ -91,6 +117,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .chaos import FuzzScenario, fuzz
+    from .obs import capture_manifest
 
     if args.protocol == "both":
         protocols = ("election", "agreement")
@@ -100,6 +127,26 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         FuzzScenario(protocol=protocol, n=args.n, alpha=args.alpha)
         for protocol in protocols
     ]
+    manifest_path = args.manifest or (
+        f"{args.journal}.manifest.json"
+        if args.journal
+        else "repro-fuzz.manifest.json"
+    )
+    manifest = capture_manifest(
+        command="fuzz",
+        master_seed=args.seed,
+        config={
+            "protocols": list(protocols),
+            "n": args.n,
+            "alpha": args.alpha,
+            "seeds": args.seeds,
+            "budget_seconds": args.budget_seconds,
+            "shrink": not args.no_shrink,
+            "jobs": args.jobs,
+        },
+        extra={"journal": args.journal} if args.journal else None,
+    )
+    manifest.write(manifest_path)
     report = fuzz(
         scenarios,
         seeds=args.seeds,
@@ -107,6 +154,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         budget_seconds=args.budget_seconds,
         shrink_failures=not args.no_shrink,
         jobs=args.jobs,
+        progress=args.progress,
+        journal=args.journal,
+        manifest=manifest,
     )
     print(
         f"fuzzed {report.attempted} case(s) across {len(scenarios)} scenario(s)"
@@ -167,23 +217,50 @@ def _parse_axis(text: str, cast) -> List:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import functools
     from statistics import mean
 
     from .analysis.sweeps import collect, sweep
+    from .obs import capture_manifest
     from .parallel import agreement_trial, election_trial
 
     task = election_trial if args.task == "election" else agreement_trial
+    if args.profile:
+        # functools.partial of a module-level task stays picklable, so
+        # profiled trials still fan out over the pool.
+        task = functools.partial(task, profile=True)
     grid = {
         "n": _parse_axis(args.n, int),
         "alpha": _parse_axis(args.alpha, float),
         "adversary": _parse_axis(args.adversary, str),
     }
+    manifest_path = args.manifest or (
+        f"{args.out}.manifest.json" if args.out else "repro-sweep.manifest.json"
+    )
+    manifest = capture_manifest(
+        command="sweep",
+        master_seed=args.seed,
+        config={
+            "task": args.task,
+            "grid": grid,
+            "trials": args.trials,
+            "jobs": args.jobs,
+            "profile": args.profile,
+        },
+        extra={"out": args.out} if args.out else None,
+    )
+    manifest.write(manifest_path)
     rows = sweep(
-        task, grid, trials=args.trials, master_seed=args.seed, jobs=args.jobs
+        task,
+        grid,
+        trials=args.trials,
+        master_seed=args.seed,
+        jobs=args.jobs,
+        progress=args.progress,
     )
 
     def reduce(results: List[dict]) -> dict:
-        return {
+        row = {
             "trials": len(results),
             "success_rate": round(
                 sum(1 for r in results if r["success"]) / len(results), 4
@@ -192,6 +269,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "max_messages": max(r["messages"] for r in results),
             "mean_rounds": round(mean(r["rounds"] for r in results), 1),
         }
+        if args.profile:
+            totals: dict = {}
+            for r in results:
+                for phase, seconds in (r.get("phase_seconds") or {}).items():
+                    totals[phase] = totals.get(phase, 0.0) + seconds
+            row["phase_seconds"] = {
+                phase: round(seconds, 4) for phase, seconds in sorted(totals.items())
+            }
+        return row
 
     aggregated = collect(rows, reduce)
     print(format_table(aggregated, title=f"{args.task} sweep (jobs={args.jobs})"))
@@ -260,6 +346,17 @@ def _cmd_params(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.campaign is not None:
+        from .obs import load_campaign, render_campaign_report
+
+        try:
+            campaign = load_campaign(args.campaign)
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        sys.stdout.write(render_campaign_report(campaign))
+        return 0
+
     from .experiments.report import generate_report
 
     only = [e.upper() for e in args.only] if args.only else None
@@ -312,6 +409,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the batch (0 = auto-detect cores)",
     )
+    run.add_argument(
+        "--progress",
+        action="store_true",
+        help="stderr heartbeat (experiments done, throughput, retries)",
+    )
     run.set_defaults(func=_cmd_run)
 
     sweep_cmd = sub.add_parser(
@@ -339,6 +441,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_cmd.add_argument(
         "--out", default=None, help="also write full per-trial results as JSON"
+    )
+    sweep_cmd.add_argument(
+        "--progress",
+        action="store_true",
+        help="stderr heartbeat (trials done, throughput, ETA)",
+    )
+    sweep_cmd.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-phase engine timings in every trial summary",
+    )
+    sweep_cmd.add_argument(
+        "--manifest",
+        default=None,
+        help="provenance manifest path (default <out>.manifest.json or "
+        "repro-sweep.manifest.json)",
     )
     sweep_cmd.set_defaults(func=_cmd_sweep)
 
@@ -373,6 +491,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes sharding the seed stream (0 = auto-detect)",
+    )
+    fuzz_cmd.add_argument(
+        "--progress",
+        action="store_true",
+        help="stderr heartbeat (trials done, failures, throughput)",
+    )
+    fuzz_cmd.add_argument(
+        "--journal",
+        default=None,
+        help="write one JSONL record per fuzz trial (feeds 'repro report')",
+    )
+    fuzz_cmd.add_argument(
+        "--manifest",
+        default=None,
+        help="provenance manifest path (default <journal>.manifest.json or "
+        "repro-fuzz.manifest.json)",
     )
     fuzz_cmd.set_defaults(func=_cmd_fuzz)
 
@@ -412,7 +546,15 @@ def build_parser() -> argparse.ArgumentParser:
     params_cmd.set_defaults(func=_cmd_params)
 
     report = sub.add_parser(
-        "report", help="run all experiments and write EXPERIMENTS.md"
+        "report",
+        help="render a campaign (journal/manifest path) or, with no "
+        "argument, run all experiments and write EXPERIMENTS.md",
+    )
+    report.add_argument(
+        "campaign",
+        nargs="?",
+        default=None,
+        help="campaign journal (.jsonl) or manifest (.json) to render",
     )
     report.add_argument("--quick", action="store_true")
     report.add_argument("-o", "--output", default="EXPERIMENTS.md")

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Union
 from ..errors import ConfigurationError
 from ..faults.adversary import Adversary
 from ..faults.strategies import named_adversary
+from ..obs.timing import PhaseTimers
 from ..params import CongestBudget, Params
 from ..rng import derive_seed
 from ..sim.network import Network, RunResult
@@ -106,6 +107,7 @@ def elect_leader(
     collect_trace: bool = False,
     message_budget: Optional[int] = None,
     extra_rounds: int = 0,
+    timers: Optional[PhaseTimers] = None,
 ) -> LeaderElectionResult:
     """Run the Section IV-A fault-tolerant implicit leader election.
 
@@ -126,6 +128,9 @@ def elect_leader(
     extra_rounds:
         Extra rounds appended after the nominal schedule (robustness
         experiments).
+    timers:
+        Optional :class:`~repro.obs.PhaseTimers` profiling the engine's
+        round phases; totals surface as ``result.metrics.phase_seconds``.
     """
     params = params or Params(n=n, alpha=alpha)
     schedule = LeaderElectionSchedule.from_params(params)
@@ -143,6 +148,7 @@ def elect_leader(
         congest=CongestBudget(n),
         collect_trace=collect_trace,
         message_budget=message_budget,
+        timers=timers,
     )
     run = network.run(total_rounds)
     return _evaluate_leader_election(run, params, seed, adversary)
@@ -234,6 +240,7 @@ def agree(
     collect_trace: bool = False,
     message_budget: Optional[int] = None,
     extra_rounds: int = 0,
+    timers: Optional[PhaseTimers] = None,
 ) -> AgreementResult:
     """Run the Section V-A fault-tolerant implicit agreement.
 
@@ -259,6 +266,7 @@ def agree(
         congest=CongestBudget(n),
         collect_trace=collect_trace,
         message_budget=message_budget,
+        timers=timers,
     )
     run = network.run(total_rounds)
     return _evaluate_agreement(run, params, seed, adversary, input_bits)

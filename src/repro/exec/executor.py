@@ -130,11 +130,22 @@ class ResilientExecutor:
 
     # -- resume ----------------------------------------------------------
 
+    def write_manifest(self, manifest: Any) -> None:
+        """Embed a provenance manifest record in the journal (if any).
+
+        ``manifest`` is a :class:`repro.obs.Manifest`; a journal-less
+        executor ignores the call, so drivers never need to guard it.
+        """
+        if self.journal is not None:
+            self.journal.append(manifest.journal_record())
+
     def load_completed(self) -> int:
         """Read the journal and index successful records by key.
 
         Returns the number of resumable trials.  Failed/timeout records
-        are *not* indexed — a resumed sweep retries them.
+        are *not* indexed — a resumed sweep retries them.  Embedded
+        manifest records carry no ``key``/``status`` and are skipped
+        naturally.
         """
         self.completed = {}
         if self.journal is None:

@@ -72,6 +72,21 @@ class Journal:
                 else:
                     self.corrupt_lines += 1
 
+    def last_manifest(self) -> Optional[Dict[str, Any]]:
+        """The most recent embedded provenance-manifest record, if any.
+
+        Campaign drivers append a ``{"kind": "manifest", ...}`` record per
+        invocation (see :mod:`repro.obs.provenance`); the latest one
+        describes the run that wrote most recently.
+        """
+        from ..obs.provenance import is_manifest_record
+
+        found: Optional[Dict[str, Any]] = None
+        for record in self.iter_records():
+            if is_manifest_record(record):
+                found = record
+        return found
+
     def exists(self) -> bool:
         """Whether the journal file is present on disk."""
         return self.path.exists()

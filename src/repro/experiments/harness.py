@@ -156,6 +156,8 @@ def run_experiments_resilient(
     timeout_seconds: Optional[float] = None,
     retries: int = 0,
     jobs: int = 1,
+    progress: Any = False,
+    manifest: Optional[Any] = None,
 ) -> Tuple[List[ExperimentReport], Dict[str, int]]:
     """Run a batch of experiments under the resilient executor.
 
@@ -169,6 +171,10 @@ def run_experiments_resilient(
     experiments up by id from the registry, run them under the same
     timeout/retry net, and the parent keeps sole ownership of the journal
     and resume state.  Reports come back in the order given.
+
+    ``progress=True`` emits a stderr heartbeat; ``manifest`` (a
+    :class:`repro.obs.Manifest`) is embedded in the journal so the
+    campaign file is self-describing for ``repro report``.
 
     Returns ``(reports, counts)`` with counts keyed
     ``attempted/completed/failed``.
@@ -189,6 +195,8 @@ def run_experiments_resilient(
         executor.load_completed()
     elif executor.journal is not None:
         executor.journal.clear()
+    if manifest is not None:
+        executor.write_manifest(manifest)
 
     # Workers must look experiments up by id (runner callables may not
     # pickle); serially the experiment object runs directly, which also
@@ -214,7 +222,9 @@ def run_experiments_resilient(
             )
             for index, experiment in enumerate(experiments)
         ]
-    outcomes = run_trials_resilient(specs, jobs=jobs, executor=executor)
+    outcomes = run_trials_resilient(
+        specs, jobs=jobs, executor=executor, progress=progress
+    )
 
     reports: List[ExperimentReport] = []
     counts = {"attempted": 0, "completed": 0, "failed": 0}

@@ -1,0 +1,212 @@
+"""Live progress heartbeat for long campaigns.
+
+A :class:`ProgressReporter` turns per-trial events into an opt-in stderr
+heartbeat: trials completed/attempted, throughput, ETA, failure/retry/
+quarantine counts, and worker utilisation under ``jobs=N``.  It is
+deliberately boring technology — throttled plain-text lines, one per
+``interval`` seconds, safe to tee into CI logs — and the disabled
+instance costs one attribute check per event, so drivers thread it
+unconditionally.
+
+All campaign drivers accept a ``progress`` argument: ``False`` (silent,
+the default), ``True`` (heartbeat to stderr), or a ready-made reporter
+(tests inject a fake clock and an in-memory stream).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Callable, Optional, TextIO, Union
+
+#: What drivers accept: a flag or a ready-made reporter.
+ProgressSpec = Union[bool, None, "ProgressReporter"]
+
+
+def format_duration(seconds: float) -> str:
+    """``75.4`` → ``"1m15s"``; sub-minute values keep one decimal."""
+    if seconds < 0 or seconds != seconds:  # negative or NaN
+        return "?"
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(seconds + 0.5), 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m"
+    return f"{minutes}m{secs:02d}s"
+
+
+def render_progress_line(
+    label: str,
+    completed: int,
+    total: Optional[int],
+    elapsed: float,
+    attempted: Optional[int] = None,
+    failed: int = 0,
+    retries: int = 0,
+    quarantined: int = 0,
+    workers: Optional[int] = None,
+    busy: Optional[int] = None,
+) -> str:
+    """Render one heartbeat line (pure function, unit-testable).
+
+    ``attempted`` counts trial executions (> ``completed`` under retries);
+    ``total`` may be unknown (time-budgeted fuzzing), which suppresses the
+    percentage and ETA fields.
+    """
+    parts = []
+    if total:
+        percent = 100.0 * completed / total
+        parts.append(f"{completed}/{total} ({percent:.0f}%)")
+    else:
+        parts.append(f"{completed} done")
+    if attempted is not None and attempted != completed:
+        parts.append(f"attempted {attempted}")
+    if elapsed > 0 and completed > 0:
+        rate = completed / elapsed
+        parts.append(f"{rate:.1f}/s")
+        if total and completed < total:
+            parts.append(f"ETA {format_duration((total - completed) / rate)}")
+    if failed:
+        parts.append(f"failed {failed}")
+    if retries:
+        parts.append(f"retries {retries}")
+    if quarantined:
+        parts.append(f"quarantined {quarantined}")
+    if workers and workers > 1:
+        shown_busy = workers if busy is None else min(busy, workers)
+        parts.append(f"workers {shown_busy}/{workers}")
+    parts.append(f"elapsed {format_duration(elapsed)}")
+    return f"[{label}] " + " | ".join(parts)
+
+
+class ProgressReporter:
+    """Throttled stderr heartbeat fed by campaign drivers.
+
+    Counters are cumulative; drivers call :meth:`advance` with deltas as
+    outcomes arrive and :meth:`finish` once at the end (the final line is
+    always emitted, throttle or not).  A disabled reporter ignores every
+    call, so callers never branch.
+    """
+
+    def __init__(
+        self,
+        total: Optional[int] = None,
+        label: str = "trials",
+        stream: Optional[TextIO] = None,
+        interval: float = 1.0,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self.stream = stream
+        self.interval = interval
+        self.enabled = enabled
+        self.clock = clock
+        self.completed = 0
+        self.attempted = 0
+        self.failed = 0
+        self.retries = 0
+        self.quarantined = 0
+        self.workers: Optional[int] = None
+        self.busy: Optional[int] = None
+        self.started = clock() if enabled else 0.0
+        self._last_emit = float("-inf")
+        self.lines_emitted = 0
+
+    # -- driver API ------------------------------------------------------
+
+    def set_workers(self, workers: int, busy: Optional[int] = None) -> None:
+        """Record pool width (and optionally how many workers are busy)."""
+        if not self.enabled:
+            return
+        self.workers = workers
+        self.busy = busy
+
+    def advance(
+        self,
+        completed: int = 0,
+        attempted: int = 0,
+        failed: int = 0,
+        retries: int = 0,
+        quarantined: int = 0,
+        busy: Optional[int] = None,
+    ) -> None:
+        """Bump counters by deltas and emit a heartbeat if one is due."""
+        if not self.enabled:
+            return
+        self.completed += completed
+        self.attempted += attempted
+        self.failed += failed
+        self.retries += retries
+        self.quarantined += quarantined
+        if busy is not None:
+            self.busy = busy
+        self.maybe_emit()
+
+    def maybe_emit(self) -> None:
+        """Emit a line when at least ``interval`` passed since the last."""
+        if not self.enabled:
+            return
+        now = self.clock()
+        if now - self._last_emit >= self.interval:
+            self._emit(now)
+
+    def finish(self) -> None:
+        """Emit the final line unconditionally."""
+        if not self.enabled:
+            return
+        self._emit(self.clock())
+
+    # -- internals -------------------------------------------------------
+
+    def render(self) -> str:
+        """The current heartbeat line (without emitting it)."""
+        return render_progress_line(
+            label=self.label,
+            completed=self.completed,
+            total=self.total,
+            elapsed=max(0.0, self.clock() - self.started),
+            attempted=self.attempted or None,
+            failed=self.failed,
+            retries=self.retries,
+            quarantined=self.quarantined,
+            workers=self.workers,
+            busy=self.busy,
+        )
+
+    def _emit(self, now: float) -> None:
+        self._last_emit = now
+        stream = self.stream if self.stream is not None else sys.stderr
+        stream.write(self.render() + "\n")
+        try:
+            stream.flush()
+        except (OSError, ValueError):  # pragma: no cover - closed stream
+            pass
+        self.lines_emitted += 1
+
+
+#: Shared disabled reporter (never mutates, safe to share).
+NULL_PROGRESS = ProgressReporter(enabled=False)
+
+
+def ensure_progress(
+    progress: ProgressSpec,
+    total: Optional[int] = None,
+    label: str = "trials",
+    **kwargs: Any,
+) -> ProgressReporter:
+    """Normalise a driver's ``progress`` argument into a reporter.
+
+    ``True`` builds a stderr heartbeat, ``False``/``None`` the shared
+    disabled reporter; an existing reporter passes through (its ``total``
+    is filled in when the caller knows it and the reporter does not).
+    """
+    if isinstance(progress, ProgressReporter):
+        if progress.total is None and total is not None:
+            progress.total = total
+        return progress
+    if progress:
+        return ProgressReporter(total=total, label=label, **kwargs)
+    return NULL_PROGRESS

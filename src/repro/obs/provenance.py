@@ -1,0 +1,194 @@
+"""Provenance manifests: the reproducibility envelope of a campaign.
+
+A :class:`Manifest` records everything needed to re-run (or audit) a
+Monte-Carlo campaign after the fact: the command and its argv, the master
+seed and grid, the git revision the code was at, package/python versions,
+and machine facts.  Campaign drivers write it *alongside* their results
+(``<results>.manifest.json``) and, when a checkpoint journal is in play,
+also embed it as a ``{"kind": "manifest", ...}`` record so a bare journal
+file is self-describing (``repro report journal.jsonl``).
+
+Capture is best-effort by design: a missing ``git`` binary or a non-repo
+checkout degrades to ``{"sha": None, ...}`` instead of failing the
+campaign — provenance must never be the reason an experiment dies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+#: Journal records carrying a manifest are tagged with this ``kind``.
+MANIFEST_RECORD_KIND = "manifest"
+
+#: Manifest schema version (bump on incompatible layout changes).
+MANIFEST_SCHEMA = 1
+
+
+def _git_info(cwd: Optional[str] = None) -> Dict[str, Any]:
+    """Best-effort git revision facts (``sha``/``branch``/``dirty``)."""
+    info: Dict[str, Any] = {"sha": None, "branch": None, "dirty": None}
+
+    def run(*argv: str) -> Optional[str]:
+        try:
+            completed = subprocess.run(
+                ["git", *argv],
+                cwd=cwd,
+                capture_output=True,
+                text=True,
+                timeout=5,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        if completed.returncode != 0:
+            return None
+        return completed.stdout.strip()
+
+    sha = run("rev-parse", "HEAD")
+    if sha is None:
+        return info
+    info["sha"] = sha
+    info["branch"] = run("rev-parse", "--abbrev-ref", "HEAD")
+    status = run("status", "--porcelain")
+    info["dirty"] = bool(status) if status is not None else None
+    return info
+
+
+def _machine_info() -> Dict[str, Any]:
+    return {
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "hostname": platform.node(),
+    }
+
+
+def _python_info() -> Dict[str, Any]:
+    return {
+        "version": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
+
+
+def _package_info() -> Dict[str, Any]:
+    try:
+        from .. import __version__
+    except Exception:  # pragma: no cover - broken partial install
+        __version__ = None
+    return {"name": "repro", "version": __version__}
+
+
+@dataclass
+class Manifest:
+    """The full reproducibility envelope of one campaign."""
+
+    #: Which driver produced the campaign (``sweep``, ``fuzz``, ``run``...).
+    command: str
+    #: The process argv, verbatim.
+    argv: List[str] = field(default_factory=list)
+    #: Master seed of the campaign (``None`` when not seed-driven).
+    master_seed: Optional[int] = None
+    #: Grid / configuration of the campaign, JSON-shaped.
+    config: Dict[str, Any] = field(default_factory=dict)
+    #: ISO-8601 UTC creation timestamp.
+    created_at: str = ""
+    git: Dict[str, Any] = field(default_factory=dict)
+    package: Dict[str, Any] = field(default_factory=dict)
+    python: Dict[str, Any] = field(default_factory=dict)
+    machine: Dict[str, Any] = field(default_factory=dict)
+    #: Free-form extras (e.g. the journal path the campaign writes).
+    extra: Dict[str, Any] = field(default_factory=dict)
+    schema: int = MANIFEST_SCHEMA
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "command": self.command,
+            "argv": list(self.argv),
+            "master_seed": self.master_seed,
+            "config": dict(self.config),
+            "created_at": self.created_at,
+            "git": dict(self.git),
+            "package": dict(self.package),
+            "python": dict(self.python),
+            "machine": dict(self.machine),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Manifest":
+        seed = data.get("master_seed")
+        return cls(
+            command=str(data.get("command", "")),
+            argv=[str(a) for a in data.get("argv", [])],
+            master_seed=None if seed is None else int(seed),
+            config=dict(data.get("config", {})),
+            created_at=str(data.get("created_at", "")),
+            git=dict(data.get("git", {})),
+            package=dict(data.get("package", {})),
+            python=dict(data.get("python", {})),
+            machine=dict(data.get("machine", {})),
+            extra=dict(data.get("extra", {})),
+            schema=int(data.get("schema", MANIFEST_SCHEMA)),
+        )
+
+    def journal_record(self) -> Dict[str, Any]:
+        """The journal-embeddable form (tagged, no ``status``/``key``, so
+        the resilient executor's resume loader never mistakes it for a
+        trial record)."""
+        record = self.to_dict()
+        record["kind"] = MANIFEST_RECORD_KIND
+        return record
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the manifest as pretty JSON; returns the path written."""
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        return path
+
+
+def is_manifest_record(record: Mapping[str, Any]) -> bool:
+    """True when a journal record is an embedded manifest."""
+    return record.get("kind") == MANIFEST_RECORD_KIND
+
+
+def capture_manifest(
+    command: str,
+    master_seed: Optional[int] = None,
+    config: Optional[Mapping[str, Any]] = None,
+    argv: Optional[List[str]] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Manifest:
+    """Capture the current process's reproducibility envelope.
+
+    ``argv`` defaults to ``sys.argv``; pass an explicit list when
+    capturing on behalf of a library caller.
+    """
+    return Manifest(
+        command=command,
+        argv=list(sys.argv if argv is None else argv),
+        master_seed=master_seed,
+        config=dict(config or {}),
+        created_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        git=_git_info(),
+        package=_package_info(),
+        python=_python_info(),
+        machine=_machine_info(),
+        extra=dict(extra or {}),
+    )
+
+
+def load_manifest(path: Union[str, Path]) -> Manifest:
+    """Read a manifest previously written with :meth:`Manifest.write`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return Manifest.from_dict(json.load(handle))

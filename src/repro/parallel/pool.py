@@ -35,6 +35,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..exec import QUARANTINED, RESUMED, ResilientExecutor, RetryPolicy, TrialOutcome
+from ..obs.progress import ProgressReporter, ProgressSpec, ensure_progress
+from ..obs.timing import (
+    NULL_TIMERS,
+    PHASE_POOL_DISPATCH,
+    PHASE_POOL_REASSEMBLY,
+    PhaseTimers,
+)
 from .spec import TrialSpec, resolve_task
 
 #: Chunks per worker used when no explicit chunk size is given: small
@@ -129,6 +136,9 @@ def run_trials(
     specs: Sequence[TrialSpec],
     jobs: int = 1,
     chunk_size: Optional[int] = None,
+    *,
+    timers: Optional[PhaseTimers] = None,
+    progress: ProgressSpec = False,
 ) -> List[Any]:
     """Run ``specs`` and return their results in index order.
 
@@ -136,19 +146,49 @@ def run_trials(
     serial loop — byte-for-byte today's behaviour.  Otherwise chunks are
     dispatched to a process pool and results reassembled by index.  A
     trial exception propagates, exactly as in a serial run.
+
+    ``timers`` (a :class:`~repro.obs.PhaseTimers`) profiles the parent's
+    two pool phases — chunk dispatch and result reassembly; ``progress``
+    turns on a stderr heartbeat (see :mod:`repro.obs.progress`).
+    Neither affects results.
     """
     jobs = resolve_jobs(jobs)
+    timers = timers if timers is not None else NULL_TIMERS
+    # A caller-supplied reporter is shared across layers: the caller
+    # owns its lifetime, so only a locally-built one gets finish() here.
+    owns_reporter = not isinstance(progress, ProgressReporter)
+    reporter = ensure_progress(progress, total=len(specs), label="trials")
     if jobs == 1 or len(specs) <= 1:
-        return [spec.run() for spec in specs]
+        results = []
+        for spec in specs:
+            results.append(spec.run())
+            reporter.advance(completed=1, attempted=1)
+        if owns_reporter:
+            reporter.finish()
+        return results
     _check_picklable(specs)
+    reporter.set_workers(jobs)
     size = chunk_size or default_chunk_size(len(specs), jobs)
     results: List[Any] = [None] * len(specs)
     base = min(spec.index for spec in specs) if specs else 0
+    chunks = _chunked(specs, size)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(_run_chunk, chunk) for chunk in _chunked(specs, size)]
+        with timers.timed(PHASE_POOL_DISPATCH):
+            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+        remaining = len(chunks)
         for future in futures:
-            for index, value in future.result():
-                results[index - base] = value
+            chunk_results = future.result()
+            remaining -= 1
+            with timers.timed(PHASE_POOL_REASSEMBLY):
+                for index, value in chunk_results:
+                    results[index - base] = value
+            reporter.advance(
+                completed=len(chunk_results),
+                attempted=len(chunk_results),
+                busy=min(jobs, remaining),
+            )
+    if owns_reporter:
+        reporter.finish()
     return results
 
 
@@ -158,6 +198,7 @@ def run_trials_resilient(
     *,
     executor: ResilientExecutor,
     chunk_size: Optional[int] = None,
+    progress: ProgressSpec = False,
 ) -> List[TrialOutcome]:
     """Run ``specs`` under the resilience layer, parallelised per worker.
 
@@ -180,19 +221,30 @@ def run_trials_resilient(
 
     With ``jobs`` resolving to 1, trials run serially through the
     caller's executor itself — identical to the pre-parallel code path.
+
+    ``progress`` turns on a stderr heartbeat: trials completed/attempted,
+    throughput/ETA, retry and quarantine counts, and how many workers
+    still hold work.
     """
     jobs = resolve_jobs(jobs)
+    owns_reporter = not isinstance(progress, ProgressReporter)
+    reporter = ensure_progress(progress, total=len(specs), label="trials")
     if jobs == 1 or len(specs) <= 1:
-        return [
-            executor.run_trial(
+        outcomes_serial: List[TrialOutcome] = []
+        for spec in specs:
+            outcome = executor.run_trial(
                 resolve_task(spec.task),
                 key=spec.key or f"trial[{spec.index}]",
                 seed=spec.seed,
                 **spec.point,
             )
-            for spec in specs
-        ]
+            outcomes_serial.append(outcome)
+            _advance_for(reporter, outcome)
+        if owns_reporter:
+            reporter.finish()
+        return outcomes_serial
     _check_picklable(specs)
+    reporter.set_workers(jobs)
 
     base = min(spec.index for spec in specs)
     outcomes: List[Optional[TrialOutcome]] = [None] * len(specs)
@@ -201,13 +253,15 @@ def run_trials_resilient(
         key = spec.key or f"trial[{spec.index}]"
         record = executor.completed.get(key)
         if record is not None:
-            outcomes[spec.index - base] = TrialOutcome(
+            resumed = TrialOutcome(
                 key=key,
                 seed=int(record.get("seed", spec.seed)),
                 status=RESUMED,
                 attempts=int(record.get("attempts", 1)),
                 value=record.get("value"),
             )
+            outcomes[spec.index - base] = resumed
+            _advance_for(reporter, resumed)
             continue
         if executor.quarantine.blocks(key):
             outcome = TrialOutcome(
@@ -219,6 +273,7 @@ def run_trials_resilient(
             )
             outcomes[spec.index - base] = outcome
             _journal(executor, outcome)
+            _advance_for(reporter, outcome)
             continue
         dispatchable.append(spec)
 
@@ -241,7 +296,28 @@ def run_trials_resilient(
                         executor.quarantine.record_failure(outcome.key)
                     if outcome.status != RESUMED:
                         _journal(executor, outcome)
+                    _advance_for(
+                        reporter, outcome, busy=min(jobs, len(pending))
+                    )
+    if owns_reporter:
+        reporter.finish()
     return [outcome for outcome in outcomes if outcome is not None]
+
+
+def _advance_for(
+    reporter: ProgressReporter,
+    outcome: TrialOutcome,
+    busy: Optional[int] = None,
+) -> None:
+    """Translate one trial outcome into progress-counter deltas."""
+    reporter.advance(
+        completed=1 if outcome.ok else 0,
+        attempted=max(1, outcome.attempts),
+        failed=0 if outcome.ok else 1,
+        retries=max(0, outcome.attempts - 1),
+        quarantined=1 if outcome.status == QUARANTINED else 0,
+        busy=busy,
+    )
 
 
 def _journal(executor: ResilientExecutor, outcome: TrialOutcome) -> None:

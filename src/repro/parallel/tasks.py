@@ -8,6 +8,11 @@ benchmark and CLI sweeps aggregate.
 Pass adversaries by *name* (``"random"``, ``"staggered"``, ...): names
 are picklable and resolved inside the worker, stateful adversary objects
 may not be.
+
+With ``profile=True`` each trial runs under a fresh
+:class:`~repro.obs.PhaseTimers` and its summary gains a
+``phase_seconds`` dict — timings ride back through the pool (and into
+journals) as plain data.
 """
 
 from __future__ import annotations
@@ -15,15 +20,37 @@ from __future__ import annotations
 from typing import Any, Dict
 
 
-def election_trial(seed: int = 0, **kwargs: Any) -> Dict[str, Any]:
+def election_trial(
+    seed: int = 0, profile: bool = False, **kwargs: Any
+) -> Dict[str, Any]:
     """One leader-election trial → its ``summary()`` dict."""
     from ..core.runner import elect_leader
 
-    return elect_leader(seed=seed, **kwargs).summary()
+    timers = _make_timers(profile)
+    result = elect_leader(seed=seed, timers=timers, **kwargs)
+    return _with_phases(result.summary(), result.metrics)
 
 
-def agreement_trial(seed: int = 0, **kwargs: Any) -> Dict[str, Any]:
+def agreement_trial(
+    seed: int = 0, profile: bool = False, **kwargs: Any
+) -> Dict[str, Any]:
     """One agreement trial → its ``summary()`` dict."""
     from ..core.runner import agree
 
-    return agree(seed=seed, **kwargs).summary()
+    timers = _make_timers(profile)
+    result = agree(seed=seed, timers=timers, **kwargs)
+    return _with_phases(result.summary(), result.metrics)
+
+
+def _make_timers(profile: bool):
+    if not profile:
+        return None
+    from ..obs.timing import PhaseTimers
+
+    return PhaseTimers()
+
+
+def _with_phases(summary: Dict[str, Any], metrics: Any) -> Dict[str, Any]:
+    if metrics.phase_seconds:
+        summary["phase_seconds"] = dict(metrics.phase_seconds)
+    return summary

@@ -6,11 +6,28 @@
   lost to a crash in the sender's crash round (they were sent);
 * ``bits_sent`` — the CONGEST bit total of those messages;
 * ``messages_delivered`` — messages that actually reached their receiver;
+* ``messages_dropped`` — messages lost by the adversary's keep-filter in
+  their sender's crash round;
+* ``messages_expired`` — messages whose receiver had already crashed by
+  delivery time (they were sent, but nobody was there to receive them);
 * ``rounds`` — the last round the engine actually executed (the engine may
   fast-forward quiescent suffixes, so this can be smaller than the
   requested ``horizon``); ``rounds_executed`` counts executed rounds and
   always equals ``rounds`` under the current engine (rounds are executed
   contiguously from 1).
+
+Every run satisfies the exact **conservation identity**
+
+    ``messages_sent == messages_delivered + messages_dropped +
+    messages_expired``
+
+and the per-round attribution invariant
+
+    ``sum(per_round_messages) == messages_sent``
+
+both enforced on traced runs by :func:`repro.sim.validate.validate_run`.
+When a run was profiled (:class:`repro.obs.PhaseTimers`),
+``phase_seconds`` holds the accumulated wall-clock per engine phase.
 """
 
 from __future__ import annotations
@@ -29,6 +46,7 @@ class Metrics:
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
+    messages_expired: int = 0
     bits_sent: int = 0
     rounds: int = 0
     horizon: int = 0
@@ -37,15 +55,29 @@ class Metrics:
     per_round_messages: List[int] = field(default_factory=list)
     per_kind_messages: "Counter[str]" = field(default_factory=Counter)
     per_node_sent: Dict[NodeId, int] = field(default_factory=dict)
+    #: phase -> accumulated wall-clock seconds (empty unless the run was
+    #: profiled with :class:`repro.obs.PhaseTimers`).
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def record_send(self, src: NodeId, kind: str, bits: int) -> None:
-        """Record one message placed on a wire."""
+        """Record one message placed on a wire.
+
+        Raises ``ValueError`` when no round is open: a send recorded
+        before the first :meth:`begin_round` would silently lose its
+        per-round attribution and break the invariant
+        ``sum(per_round_messages) == messages_sent``.
+        """
+        if not self.per_round_messages:
+            raise ValueError(
+                "record_send() before begin_round(): open a round first so "
+                "the send keeps its per-round attribution "
+                "(sum(per_round_messages) must equal messages_sent)"
+            )
         self.messages_sent += 1
         self.bits_sent += bits
         self.per_kind_messages[kind] += 1
         self.per_node_sent[src] = self.per_node_sent.get(src, 0) + 1
-        if self.per_round_messages:
-            self.per_round_messages[-1] += 1
+        self.per_round_messages[-1] += 1
 
     def record_delivery(self) -> None:
         """Record one message reaching its receiver."""
@@ -54,6 +86,10 @@ class Metrics:
     def record_drop(self) -> None:
         """Record one message lost to the sender's crash."""
         self.messages_dropped += 1
+
+    def record_expiry(self) -> None:
+        """Record one message whose receiver was already dead."""
+        self.messages_expired += 1
 
     def record_crash(self) -> None:
         """Record one node crashing."""
@@ -77,7 +113,8 @@ class Metrics:
         parent folds them with this classmethod.  Semantics:
 
         * message/bit/crash counters are summed;
-        * ``per_kind_messages`` and ``per_node_sent`` are summed key-wise;
+        * ``per_kind_messages``, ``per_node_sent``, and ``phase_seconds``
+          are summed key-wise;
         * ``per_round_messages[r]`` is the sum of round ``r``'s messages
           across all parts (ragged tails are zero-padded), so
           ``max_round_messages`` is the busiest round of the *combined*
@@ -95,6 +132,7 @@ class Metrics:
             merged.messages_sent += part.messages_sent
             merged.messages_delivered += part.messages_delivered
             merged.messages_dropped += part.messages_dropped
+            merged.messages_expired += part.messages_expired
             merged.bits_sent += part.bits_sent
             merged.crashes += part.crashes
             merged.rounds = max(merged.rounds, part.rounds)
@@ -107,6 +145,10 @@ class Metrics:
                 merged.per_node_sent[node] = (
                     merged.per_node_sent.get(node, 0) + count
                 )
+            for phase, seconds in part.phase_seconds.items():
+                merged.phase_seconds[phase] = (
+                    merged.phase_seconds.get(phase, 0.0) + seconds
+                )
             if len(part.per_round_messages) > len(per_round):
                 per_round.extend(
                     [0] * (len(part.per_round_messages) - len(per_round))
@@ -116,15 +158,23 @@ class Metrics:
         merged.per_round_messages = per_round
         return merged
 
-    def summary(self) -> Dict[str, int]:
-        """Headline counters as a plain dict (for tables and logs)."""
-        return {
+    def summary(self) -> Dict[str, object]:
+        """Headline counters as a plain dict (for tables and logs).
+
+        ``phase_seconds`` appears only for profiled runs, so unprofiled
+        tables keep their compact shape.
+        """
+        summary: Dict[str, object] = {
             "messages_sent": self.messages_sent,
             "messages_delivered": self.messages_delivered,
             "messages_dropped": self.messages_dropped,
+            "messages_expired": self.messages_expired,
             "bits_sent": self.bits_sent,
             "rounds": self.rounds,
             "horizon": self.horizon,
             "rounds_executed": self.rounds_executed,
             "crashes": self.crashes,
         }
+        if self.phase_seconds:
+            summary["phase_seconds"] = dict(self.phase_seconds)
+        return summary

@@ -21,12 +21,21 @@ from __future__ import annotations
 
 import heapq
 import random
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import BudgetExceeded, CongestViolation, SimulationError
 from ..faults.adversary import Adversary, RoundView
+from ..obs.timing import (
+    NULL_TIMERS,
+    PHASE_CRASH,
+    PHASE_DELIVER,
+    PHASE_STEP,
+    PHASE_TRANSMIT,
+    PhaseTimers,
+)
 from ..params import CongestBudget
 from ..rng import RngFactory
 from ..types import Knowledge, NodeId, Round
@@ -69,6 +78,11 @@ class RunResult:
         """The protocol instance that ran on ``node``."""
         return self.protocols[node]
 
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        """Wall-clock per engine phase (empty unless profiled)."""
+        return self.metrics.phase_seconds
+
 
 class Network:
     """A complete synchronous network of ``n`` nodes under crash faults."""
@@ -88,6 +102,7 @@ class Network:
         collect_trace: bool = False,
         message_budget: Optional[int] = None,
         budget_mode: str = "suppress",
+        timers: Optional[PhaseTimers] = None,
     ) -> None:
         if n < 2:
             raise SimulationError(f"need at least 2 nodes, got {n}")
@@ -100,6 +115,9 @@ class Network:
         self._bits_cap = self.congest.bits_per_message
         self.metrics = Metrics()
         self.trace: Optional[Trace] = Trace() if collect_trace else None
+        # Phase profiling is opt-in; the shared disabled instance keeps
+        # the round loop's checks to one boolean per phase.
+        self._timers = timers if timers is not None else NULL_TIMERS
         if budget_mode not in ("suppress", "raise"):
             raise SimulationError(f"unknown budget_mode {budget_mode!r}")
         self.message_budget = message_budget
@@ -112,9 +130,11 @@ class Network:
             for u in range(n)
         ]
         if knowledge is Knowledge.KT1:
-            # Nodes know all their neighbours' handles up-front.
+            # Nodes know all their neighbours' handles up-front — their
+            # *other* n - 1 ports, consistent with KT0/``all_ports()``
+            # semantics where ``_known`` never contains the node itself.
             for ctx in self.contexts:
-                ctx._known.update(range(n))
+                ctx._known.update(u for u in range(n) if u != ctx.node_id)
         self.protocols: List[Protocol] = [protocol_factory(u) for u in range(n)]
 
         adversary_rng = self._rngs.adversary_stream()
@@ -209,6 +229,11 @@ class Network:
                 ctx = self.contexts[u]
                 ctx.round = last_executed
                 protocol.on_stop(ctx)
+        if self._timers.enabled:
+            for phase, seconds in self._timers.as_dict().items():
+                self.metrics.phase_seconds[phase] = (
+                    self.metrics.phase_seconds.get(phase, 0.0) + seconds
+                )
         return RunResult(
             n=self.n,
             protocols=self.protocols,
@@ -244,6 +269,13 @@ class Network:
         crashed = self.crashed
         contexts = self.contexts
         protocols = self.protocols
+        # Profiling: one boolean gate per phase boundary when disabled
+        # (the no-op path), five perf_counter reads per round when on.
+        timers = self._timers
+        profiling = timers.enabled
+        if profiling:
+            _perf = time.perf_counter
+            _mark = _perf()
 
         # 1. Protocol steps for active alive nodes (scheduled wakes plus
         # nodes with deliveries).  Heap pops come out ordered by
@@ -284,6 +316,10 @@ class Network:
             next_wake = ctx._next_wake
             if next_wake != NEVER:
                 heappush(heap, (next_wake, u))
+        if profiling:
+            _now = _perf()
+            timers.add(PHASE_STEP, _now - _mark)
+            _mark = _now
 
         # 2. Wire transmission: one queued message per ordered edge.
         #
@@ -356,6 +392,10 @@ class Network:
                     outboxes[u] = sent
         self._queued_total = queued_total
         self._pending_list = still_pending
+        if profiling:
+            _now = _perf()
+            timers.add(PHASE_TRANSMIT, _now - _mark)
+            _mark = _now
 
         # 3. Adversary crashes.
         view = self._view_with_outboxes(outboxes)
@@ -392,6 +432,10 @@ class Network:
             for envelope in outboxes.get(victim, []):
                 if not order.keep(envelope):
                     dropped.add((envelope.src, envelope.dst))
+        if profiling:
+            _now = _perf()
+            timers.add(PHASE_CRASH, _now - _mark)
+            _mark = _now
 
         # 4. Delivery scheduling for round r + 1.  The no-trace fast path
         # skips TraceEvent construction entirely; with tracing on, the
@@ -401,6 +445,7 @@ class Network:
         new_inboxes = self._inboxes
         next_round = r + 1
         delivered = 0
+        expired = 0
         for envelope in wire:
             src = envelope.src
             dst = envelope.dst
@@ -418,7 +463,20 @@ class Network:
                     )
                 continue
             if dst in crashed:
-                # Receiver is dead; the message evaporates silently.
+                # Receiver is dead: the message expires.  It still counts
+                # as sent (the paper's measure), so conservation demands
+                # it be accounted: sent == delivered + dropped + expired.
+                expired += 1
+                if trace is not None:
+                    trace.record(
+                        TraceEvent(
+                            round=r,
+                            kind="expire",
+                            src=src,
+                            dst=dst,
+                            message_kind=envelope.message.kind,
+                        )
+                    )
                 continue
             delivered += 1
             delivery = Delivery(src, envelope.message, next_round)
@@ -439,6 +497,9 @@ class Network:
             else:
                 inbox.append(delivery)
         metrics.messages_delivered += delivered
+        metrics.messages_expired += expired
+        if profiling:
+            timers.add(PHASE_DELIVER, _perf() - _mark)
 
     def _record_send(self, envelope: Envelope) -> bool:
         """Account for one wire message; False means it was budget-suppressed.

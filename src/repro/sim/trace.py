@@ -16,13 +16,16 @@ from ..types import NodeId, Round
 class TraceEvent:
     """One traced event.
 
-    ``kind`` is one of ``"send"``, ``"deliver"``, ``"drop"``, ``"crash"``.
-    For message events ``src``/``dst``/``message_kind`` are set; for crash
-    events only ``src``.  ``round`` is always the round of the matching
-    *send* (deliveries and drops are resolved in the round their message
-    was put on the wire); for ``"deliver"`` events ``round_received``
-    additionally records the round the receiver saw the message — by the
-    model's one-round latency it must equal ``round + 1``
+    ``kind`` is one of ``"send"``, ``"deliver"``, ``"drop"``, ``"expire"``,
+    ``"crash"``.  ``"drop"`` marks a message lost by the adversary's
+    keep-filter in its sender's crash round; ``"expire"`` marks a message
+    whose receiver had already crashed by delivery time.  For message
+    events ``src``/``dst``/``message_kind`` are set; for crash events only
+    ``src``.  ``round`` is always the round of the matching *send*
+    (deliveries, drops, and expiries are resolved in the round their
+    message was put on the wire); for ``"deliver"`` events
+    ``round_received`` additionally records the round the receiver saw the
+    message — by the model's one-round latency it must equal ``round + 1``
     (:func:`repro.sim.validate.validate_run` enforces this).
 
     A ``__slots__`` class (not a dataclass): traced runs construct one
@@ -98,6 +101,14 @@ class Trace:
     def deliveries(self) -> Iterator[TraceEvent]:
         """All delivery events, in order."""
         return (e for e in self.events if e.kind == "deliver")
+
+    def drops(self) -> Iterator[TraceEvent]:
+        """All drop events (lost in the sender's crash round), in order."""
+        return (e for e in self.events if e.kind == "drop")
+
+    def expiries(self) -> Iterator[TraceEvent]:
+        """All expire events (receiver already dead), in order."""
+        return (e for e in self.events if e.kind == "expire")
 
     def crashes(self) -> Iterator[TraceEvent]:
         """All crash events, in order."""

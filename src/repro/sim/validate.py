@@ -9,11 +9,14 @@ cheap model-conformance check.
 
 Checked invariants:
 
-* **conservation** — every send is delivered, dropped, or evaporated
-  (receiver already dead); the trace and the metrics agree on the counts;
+* **conservation** — the exact identity ``sent == delivered + dropped +
+  expired`` holds on the trace, the metrics agree with the trace on every
+  one of the four counts, and ``sum(per_round_messages)`` equals
+  ``messages_sent`` (no send escapes per-round attribution);
 * **CONGEST rate** — at most one message per ordered edge per round;
-* **crash finality** — no node sends after its crash round, and dropped
-  messages occur only in their sender's crash round;
+* **crash finality** — no node sends after its crash round, dropped
+  messages occur only in their sender's crash round, and expired messages
+  only go to receivers already crashed by delivery time;
 * **delivery latency** — every delivery/drop is resolved in the round of
   its matching send, and a delivery reaches its receiver exactly one round
   after the send (``round_received == round_sent + 1``);
@@ -39,28 +42,47 @@ def validate_run(result: RunResult) -> List[str]:
     sends = list(trace.sends())
     deliveries = list(trace.deliveries())
     drops = [e for e in trace.events if e.kind == "drop"]
+    expires = [e for e in trace.events if e.kind == "expire"]
     crashes = {e.src: e.round for e in trace.crashes()}
 
-    # Conservation, trace-internal and against the metrics.
-    if len(sends) != result.metrics.messages_sent:
+    # Conservation: the exact identity on the trace, and the metrics
+    # agreeing with the trace on every count.
+    metrics = result.metrics
+    if len(sends) != metrics.messages_sent:
         violations.append(
             f"trace has {len(sends)} sends, metrics counted "
-            f"{result.metrics.messages_sent}"
+            f"{metrics.messages_sent}"
         )
-    if len(deliveries) != result.metrics.messages_delivered:
+    if len(deliveries) != metrics.messages_delivered:
         violations.append(
             f"trace has {len(deliveries)} deliveries, metrics counted "
-            f"{result.metrics.messages_delivered}"
+            f"{metrics.messages_delivered}"
         )
-    evaporated = len(sends) - len(deliveries) - len(drops)
-    if evaporated < 0:
+    if len(drops) != metrics.messages_dropped:
         violations.append(
-            f"more deliveries+drops ({len(deliveries)}+{len(drops)}) than "
-            f"sends ({len(sends)})"
+            f"trace has {len(drops)} drops, metrics counted "
+            f"{metrics.messages_dropped}"
         )
-    if evaporated > 0 and not crashes:
+    if len(expires) != metrics.messages_expired:
         violations.append(
-            f"{evaporated} messages evaporated but nothing ever crashed"
+            f"trace has {len(expires)} expiries, metrics counted "
+            f"{metrics.messages_expired}"
+        )
+    if len(sends) != len(deliveries) + len(drops) + len(expires):
+        violations.append(
+            f"conservation broken: {len(sends)} sends != "
+            f"{len(deliveries)} deliveries + {len(drops)} drops + "
+            f"{len(expires)} expiries"
+        )
+    if expires and not crashes:
+        violations.append(
+            f"{len(expires)} messages expired but nothing ever crashed"
+        )
+    per_round_total = sum(metrics.per_round_messages)
+    if per_round_total != metrics.messages_sent:
+        violations.append(
+            f"per-round attribution broken: per_round_messages sums to "
+            f"{per_round_total}, messages_sent is {metrics.messages_sent}"
         )
 
     # Per-event laws.
@@ -89,7 +111,7 @@ def validate_run(result: RunResult) -> List[str]:
                 f"(crashed round {crash_round}) sent a message"
             )
 
-    for event in deliveries + drops:
+    for event in deliveries + drops + expires:
         key = (event.round, event.src, event.dst)
         if key not in seen_edges:
             # The trace keys deliveries/drops by their send round, so an
@@ -127,6 +149,16 @@ def validate_run(result: RunResult) -> List[str]:
             violations.append(
                 f"round {event.round}: drop from {event.src} outside its "
                 f"crash round ({crash_round})"
+            )
+
+    # An expiry is legal only when the receiver had crashed by the end of
+    # the send round (delivery happens at the start of round + 1).
+    for event in expires:
+        crash_round = crashes.get(event.dst)
+        if crash_round is None or crash_round > event.round:
+            violations.append(
+                f"round {event.round}: message {event.src} -> {event.dst} "
+                f"expired but the receiver crashed in round {crash_round}"
             )
 
     # Fault discipline.

@@ -1,0 +1,152 @@
+"""Tests for the live progress reporter (repro.obs.progress)."""
+
+import io
+
+from repro.obs import (
+    NULL_PROGRESS,
+    ProgressReporter,
+    ensure_progress,
+    format_duration,
+    render_progress_line,
+)
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+class TestFormatDuration:
+    def test_sub_minute(self):
+        assert format_duration(7.25) == "7.2s"
+
+    def test_minutes(self):
+        assert format_duration(75.4) == "1m15s"
+
+    def test_hours(self):
+        assert format_duration(3725) == "1h02m"
+
+    def test_garbage(self):
+        assert format_duration(-1) == "?"
+        assert format_duration(float("nan")) == "?"
+
+
+class TestRenderProgressLine:
+    def test_basic_line_with_total(self):
+        line = render_progress_line("sweep", completed=5, total=10, elapsed=2.0)
+        assert line.startswith("[sweep] ")
+        assert "5/10 (50%)" in line
+        assert "2.5/s" in line
+        assert "ETA 2.0s" in line
+        assert "elapsed 2.0s" in line
+
+    def test_unknown_total_suppresses_percent_and_eta(self):
+        line = render_progress_line("fuzz", completed=3, total=None, elapsed=1.0)
+        assert "3 done" in line
+        assert "%" not in line
+        assert "ETA" not in line
+
+    def test_retry_and_quarantine_counts(self):
+        line = render_progress_line(
+            "run",
+            completed=4,
+            total=8,
+            elapsed=1.0,
+            attempted=6,
+            failed=1,
+            retries=2,
+            quarantined=1,
+        )
+        assert "attempted 6" in line
+        assert "failed 1" in line
+        assert "retries 2" in line
+        assert "quarantined 1" in line
+
+    def test_attempted_equal_to_completed_is_hidden(self):
+        line = render_progress_line(
+            "sweep", completed=4, total=8, elapsed=1.0, attempted=4
+        )
+        assert "attempted" not in line
+
+    def test_worker_utilisation(self):
+        line = render_progress_line(
+            "sweep", completed=1, total=4, elapsed=1.0, workers=4, busy=3
+        )
+        assert "workers 3/4" in line
+
+    def test_single_worker_is_hidden(self):
+        line = render_progress_line(
+            "sweep", completed=1, total=4, elapsed=1.0, workers=1
+        )
+        assert "workers" not in line
+
+
+class TestProgressReporter:
+    def _reporter(self, **kwargs):
+        clock = FakeClock()
+        stream = io.StringIO()
+        kwargs.setdefault("total", 10)
+        kwargs.setdefault("label", "t")
+        reporter = ProgressReporter(stream=stream, clock=clock, **kwargs)
+        return reporter, clock, stream
+
+    def test_emits_throttled_heartbeats(self):
+        reporter, clock, stream = self._reporter(interval=1.0)
+        reporter.advance(completed=1, attempted=1)  # t=0: first line
+        reporter.advance(completed=1, attempted=1)  # still t=0: throttled
+        clock.tick(1.5)
+        reporter.advance(completed=1, attempted=1)  # due again
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert reporter.lines_emitted == 2
+        assert "3/10" in lines[-1]
+
+    def test_finish_always_emits(self):
+        reporter, clock, stream = self._reporter(interval=100.0)
+        reporter.advance(completed=10, attempted=10)
+        reporter.finish()
+        lines = stream.getvalue().splitlines()
+        assert "10/10 (100%)" in lines[-1]
+
+    def test_disabled_reporter_is_silent(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=5, stream=stream, enabled=False)
+        reporter.advance(completed=5, attempted=5)
+        reporter.set_workers(4)
+        reporter.finish()
+        assert stream.getvalue() == ""
+        assert reporter.completed == 0
+
+    def test_set_workers_shows_utilisation(self):
+        reporter, clock, stream = self._reporter()
+        reporter.set_workers(4, busy=2)
+        reporter.advance(completed=1, attempted=1)
+        assert "workers 2/4" in stream.getvalue()
+
+
+class TestEnsureProgress:
+    def test_false_and_none_give_null(self):
+        assert ensure_progress(False) is NULL_PROGRESS
+        assert ensure_progress(None) is NULL_PROGRESS
+
+    def test_true_builds_enabled_reporter(self):
+        reporter = ensure_progress(True, total=7, label="x", stream=io.StringIO())
+        assert reporter.enabled
+        assert reporter.total == 7
+        assert reporter.label == "x"
+
+    def test_existing_reporter_passes_through(self):
+        mine = ProgressReporter(total=None, stream=io.StringIO())
+        out = ensure_progress(mine, total=12)
+        assert out is mine
+        assert out.total == 12  # filled in when unknown
+
+    def test_existing_total_not_clobbered(self):
+        mine = ProgressReporter(total=3, stream=io.StringIO())
+        assert ensure_progress(mine, total=99).total == 3

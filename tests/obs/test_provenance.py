@@ -1,0 +1,69 @@
+"""Tests for provenance manifests (repro.obs.provenance)."""
+
+import json
+
+from repro.obs import (
+    MANIFEST_RECORD_KIND,
+    Manifest,
+    capture_manifest,
+    is_manifest_record,
+    load_manifest,
+)
+
+
+class TestCaptureManifest:
+    def test_captures_environment(self):
+        manifest = capture_manifest(
+            "sweep",
+            master_seed=42,
+            config={"grid": {"n": [32, 64]}, "trials": 5},
+            argv=["repro", "sweep", "--trials", "5"],
+        )
+        assert manifest.command == "sweep"
+        assert manifest.master_seed == 42
+        assert manifest.config["trials"] == 5
+        assert manifest.argv == ["repro", "sweep", "--trials", "5"]
+        assert manifest.package["name"] == "repro"
+        assert manifest.package["version"]
+        assert manifest.python["version"]
+        assert manifest.machine["platform"]
+        assert manifest.created_at  # ISO timestamp
+
+    def test_extra_is_carried(self):
+        manifest = capture_manifest("fuzz", master_seed=0, extra={"journal": "f.jsonl"})
+        assert manifest.extra["journal"] == "f.jsonl"
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        manifest = capture_manifest("run", master_seed=7, config={"quick": True})
+        clone = Manifest.from_dict(manifest.to_dict())
+        assert clone == manifest
+
+    def test_json_serializable(self):
+        manifest = capture_manifest("sweep", master_seed=1)
+        # Must survive json round-trip (written to .manifest.json files).
+        rebuilt = Manifest.from_dict(json.loads(json.dumps(manifest.to_dict())))
+        assert rebuilt == manifest
+
+    def test_write_and_load(self, tmp_path):
+        path = tmp_path / "campaign.manifest.json"
+        manifest = capture_manifest("fuzz", master_seed=3, config={"n": 32})
+        manifest.write(path)
+        loaded = load_manifest(path)
+        assert loaded == manifest
+
+
+class TestJournalRecord:
+    def test_journal_record_kind_and_no_key(self):
+        record = capture_manifest("sweep", master_seed=0).journal_record()
+        assert record["kind"] == MANIFEST_RECORD_KIND
+        # No "key"/"status": load_completed must skip manifest records.
+        assert "key" not in record
+        assert "status" not in record
+        assert is_manifest_record(record)
+
+    def test_is_manifest_record_rejects_trials(self):
+        assert not is_manifest_record({"key": "elect@3", "status": "ok"})
+        assert not is_manifest_record({})
+        assert not is_manifest_record({"kind": "trial"})

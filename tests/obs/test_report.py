@@ -1,0 +1,134 @@
+"""Tests for campaign reports (repro.obs.report)."""
+
+import pytest
+
+from repro.exec import Journal
+from repro.obs import (
+    Campaign,
+    capture_manifest,
+    journal_counts,
+    load_campaign,
+    merge_journal_metrics,
+    render_campaign_report,
+)
+
+
+def _trial(key, status="ok", value=None, attempts=1):
+    return {"key": key, "status": status, "attempts": attempts, "value": value}
+
+
+def _write_campaign(tmp_path, embed_manifest=True, sibling_manifest=False):
+    """A two-trial journal, with the manifest embedded and/or as sibling."""
+    journal_path = tmp_path / "campaign.jsonl"
+    manifest = capture_manifest(
+        "fuzz",
+        master_seed=5,
+        config={"n": 32},
+        argv=["repro", "fuzz", "--n", "32"],
+        extra={"journal": str(journal_path)},
+    )
+    journal = Journal(journal_path)
+    if embed_manifest:
+        journal.append(manifest.journal_record())
+    journal.append(
+        _trial("a@1", value={"messages": 10, "success": True, "phase_seconds": {"step": 0.5}})
+    )
+    journal.append(
+        _trial(
+            "a@2",
+            value={"messages": 30, "success": False, "phase_seconds": {"step": 1.5}},
+            attempts=3,
+        )
+    )
+    journal.append(_trial("a@3", status="failed", attempts=2))
+    if sibling_manifest:
+        manifest.write(journal_path.with_name(journal_path.name + ".manifest.json"))
+    return journal_path, manifest
+
+
+class TestLoadCampaign:
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_campaign(tmp_path / "absent.jsonl")
+
+    def test_journal_with_embedded_manifest(self, tmp_path):
+        journal_path, manifest = _write_campaign(tmp_path)
+        campaign = load_campaign(journal_path)
+        assert campaign.manifest == manifest
+        assert campaign.journal_path == journal_path
+        assert len(campaign.trial_records) == 3  # manifest record excluded
+
+    def test_journal_with_sibling_manifest(self, tmp_path):
+        journal_path, manifest = _write_campaign(
+            tmp_path, embed_manifest=False, sibling_manifest=True
+        )
+        campaign = load_campaign(journal_path)
+        assert campaign.manifest == manifest
+        assert len(campaign.trial_records) == 3
+
+    def test_manifest_path_finds_journal(self, tmp_path):
+        journal_path, manifest = _write_campaign(
+            tmp_path, embed_manifest=False, sibling_manifest=True
+        )
+        manifest_path = journal_path.with_name(journal_path.name + ".manifest.json")
+        campaign = load_campaign(manifest_path)
+        assert campaign.manifest == manifest
+        assert campaign.journal_path == journal_path
+        assert len(campaign.trial_records) == 3
+
+    def test_journal_without_manifest_still_loads(self, tmp_path):
+        journal_path, _ = _write_campaign(tmp_path, embed_manifest=False)
+        campaign = load_campaign(journal_path)
+        assert campaign.manifest is None
+        assert len(campaign.trial_records) == 3
+
+
+class TestMergeJournalMetrics:
+    def test_numeric_boolean_and_phases(self, tmp_path):
+        journal_path, _ = _write_campaign(tmp_path)
+        campaign = load_campaign(journal_path)
+        merged = merge_journal_metrics(campaign.trial_records)
+        assert merged["trials_with_values"] == 2
+        assert merged["messages"] == {"total": 40.0, "mean": 20.0, "max": 30.0}
+        assert merged["success"] == {"rate": 0.5, "count": 2}
+        assert merged["phase_seconds"] == {"step": 2.0}
+
+    def test_empty_records(self):
+        assert merge_journal_metrics([]) == {"trials_with_values": 0}
+
+    def test_non_mapping_values_skipped(self):
+        merged = merge_journal_metrics(
+            [_trial("a@1", value=[1, 2]), _trial("a@2", value={"rounds": 4})]
+        )
+        assert merged["trials_with_values"] == 1
+        assert merged["rounds"]["total"] == 4.0
+
+
+class TestJournalCounts:
+    def test_status_histogram_and_retries(self, tmp_path):
+        journal_path, _ = _write_campaign(tmp_path)
+        campaign = load_campaign(journal_path)
+        counts = journal_counts(campaign.records)
+        assert counts["ok"] == 2
+        assert counts["failed"] == 1
+        # attempts 3 and 2 → 2 + 1 retries beyond the first.
+        assert counts["retries"] == 3
+
+
+class TestRenderCampaignReport:
+    def test_all_sections_present(self, tmp_path):
+        journal_path, _ = _write_campaign(tmp_path)
+        report = render_campaign_report(load_campaign(journal_path))
+        assert "campaign report — fuzz" in report
+        assert "provenance" in report
+        assert "master seed: 5" in report
+        assert "journal" in report
+        assert "trials journalled: 3" in report
+        assert "merged metrics" in report
+        assert "phase timings" in report
+
+    def test_bare_campaign_renders_placeholders(self):
+        report = render_campaign_report(Campaign())
+        assert "<no manifest found>" in report
+        assert "<no journal found>" in report
+        assert "<no trial values to merge>" in report

@@ -3,7 +3,9 @@
 Random 'scatter' protocols send random fan-outs under random crash
 adversaries; whatever happens, the engine's conservation laws must hold:
 
-* every wire message is delivered, dropped, or evaporated (dead receiver);
+* exact message conservation: every wire message is delivered, dropped,
+  or expired (sent to a dead receiver) — no silent losses, on both the
+  traced and the no-trace fast path;
 * the CONGEST invariant: per round, at most one message per ordered edge;
 * seeds fully determine the run.
 """
@@ -12,7 +14,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.faults.strategies import EagerCrash, RandomCrash, StaggeredCrash
-from repro.sim import Message, Network, Protocol
+from repro.sim import Message, Network, Protocol, validate_run
 
 
 class Scatter(Protocol):
@@ -34,14 +36,14 @@ class Scatter(Protocol):
             ctx.idle()
 
 
-def _run(seed, n, fanout, chatty_rounds, adversary):
+def _run(seed, n, fanout, chatty_rounds, adversary, collect_trace=True):
     network = Network(
         n,
         lambda u: Scatter(u, fanout, chatty_rounds),
         seed=seed,
         adversary=adversary,
         max_faulty=n // 2,
-        collect_trace=True,
+        collect_trace=collect_trace,
     )
     return network.run(chatty_rounds + 10)
 
@@ -66,16 +68,43 @@ class TestConservation:
     def test_every_sent_message_is_accounted(self, seed, n, fanout, make_adversary):
         result = _run(seed, n, fanout, 4, make_adversary())
         metrics = result.metrics
-        evaporated = (
-            metrics.messages_sent
-            - metrics.messages_delivered
-            - metrics.messages_dropped
+        # Exact conservation: no silent losses.
+        assert metrics.messages_sent == (
+            metrics.messages_delivered
+            + metrics.messages_dropped
+            + metrics.messages_expired
         )
-        assert evaporated >= 0  # only dead receivers eat messages
-        assert metrics.messages_delivered >= 0
-        # Evaporation requires crashes.
+        # Every send lands in exactly one round bucket.
+        assert sum(metrics.per_round_messages) == metrics.messages_sent
+        # Expiry requires crashes.
         if not result.crashed:
-            assert evaporated == 0
+            assert metrics.messages_expired == 0
+        # The trace-level validator agrees event-by-event.
+        assert validate_run(result) == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=4, max_value=32),
+        fanout=st.integers(min_value=1, max_value=3),
+        make_adversary=adversaries,
+    )
+    def test_conservation_holds_on_the_no_trace_fast_path(
+        self, seed, n, fanout, make_adversary
+    ):
+        """The fast path (no trace, batched sends) must reach the same
+        exact identity — and the same numbers — as the traced path."""
+        traced = _run(seed, n, fanout, 4, make_adversary())
+        fast = _run(seed, n, fanout, 4, make_adversary(), collect_trace=False)
+        assert fast.trace is None
+        metrics = fast.metrics
+        assert metrics.messages_sent == (
+            metrics.messages_delivered
+            + metrics.messages_dropped
+            + metrics.messages_expired
+        )
+        assert sum(metrics.per_round_messages) == metrics.messages_sent
+        assert metrics.summary() == traced.metrics.summary()
 
     @settings(max_examples=25, deadline=None)
     @given(

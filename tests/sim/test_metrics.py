@@ -1,5 +1,7 @@
 """Unit tests for metric accounting (repro.sim.metrics)."""
 
+import pytest
+
 from repro.sim.metrics import Metrics
 
 
@@ -25,13 +27,26 @@ class TestMetrics:
         assert metrics.per_round_messages == [1, 2]
         assert metrics.max_round_messages == 2
 
-    def test_delivery_and_drop_counters(self):
+    def test_delivery_drop_and_expiry_counters(self):
         metrics = Metrics()
         metrics.record_delivery()
         metrics.record_drop()
         metrics.record_drop()
+        metrics.record_expiry()
         assert metrics.messages_delivered == 1
         assert metrics.messages_dropped == 2
+        assert metrics.messages_expired == 1
+
+    def test_record_send_before_begin_round_raises(self):
+        """Every send must land in a round bucket, so the per-round series
+        always sums to messages_sent (the attribution identity the
+        validator enforces)."""
+        metrics = Metrics()
+        with pytest.raises(ValueError, match="begin_round"):
+            metrics.record_send(0, "X", 8)
+        # Nothing was half-counted by the failed call.
+        assert metrics.messages_sent == 0
+        assert metrics.bits_sent == 0
 
     def test_crash_counter(self):
         metrics = Metrics()
@@ -44,12 +59,21 @@ class TestMetrics:
             "messages_sent",
             "messages_delivered",
             "messages_dropped",
+            "messages_expired",
             "bits_sent",
             "rounds",
             "horizon",
             "rounds_executed",
             "crashes",
         } == set(summary)
+
+    def test_summary_includes_phase_seconds_when_profiled(self):
+        metrics = Metrics()
+        metrics.phase_seconds["step"] = 0.5
+        summary = metrics.summary()
+        assert summary["phase_seconds"] == {"step": 0.5}
+        # Unprofiled runs keep the summary shape unchanged.
+        assert "phase_seconds" not in Metrics().summary()
 
     def test_max_round_messages_empty(self):
         assert Metrics().max_round_messages == 0
@@ -76,19 +100,34 @@ class TestMerge:
 
     def test_counters_summed(self):
         a = Metrics(
-            messages_sent=3, messages_delivered=2, messages_dropped=1,
-            bits_sent=40, crashes=1,
+            messages_sent=3, messages_delivered=1, messages_dropped=1,
+            messages_expired=1, bits_sent=40, crashes=1,
         )
         b = Metrics(
-            messages_sent=5, messages_delivered=5, messages_dropped=0,
-            bits_sent=60, crashes=2,
+            messages_sent=5, messages_delivered=3, messages_dropped=0,
+            messages_expired=2, bits_sent=60, crashes=2,
         )
         merged = Metrics.merge([a, b])
         assert merged.messages_sent == 8
-        assert merged.messages_delivered == 7
+        assert merged.messages_delivered == 4
         assert merged.messages_dropped == 1
+        assert merged.messages_expired == 3
         assert merged.bits_sent == 100
         assert merged.crashes == 3
+
+    def test_phase_seconds_summed_keywise(self):
+        a = Metrics()
+        a.phase_seconds.update({"step": 0.5, "deliver": 1.0})
+        b = Metrics()
+        b.phase_seconds.update({"step": 0.25, "transmit": 2.0})
+        merged = Metrics.merge([a, b])
+        assert merged.phase_seconds == {
+            "step": 0.75,
+            "deliver": 1.0,
+            "transmit": 2.0,
+        }
+        # Parts without timings merge cleanly with parts that have them.
+        assert Metrics.merge([a, Metrics()]).phase_seconds == a.phase_seconds
 
     def test_rounds_take_maximum(self):
         a = Metrics(rounds=5, horizon=10, rounds_executed=5)

@@ -223,9 +223,16 @@ class TestCrashSemantics:
             4, LateSender, adversary=EagerCrash(), max_faulty=1
         )
         result = network.run(5)
-        # Node 0 may or may not be the faulty one under the random pick;
-        # force determinism by checking totals only.
-        assert result.metrics.messages_delivered + result.metrics.messages_dropped <= 1
+        # Node 0 may or may not be the faulty one under the random pick,
+        # but conservation holds exactly either way: the one message is
+        # delivered, dropped, or expired (sent to the dead node).
+        metrics = result.metrics
+        assert metrics.messages_sent == 1
+        assert (
+            metrics.messages_delivered
+            + metrics.messages_dropped
+            + metrics.messages_expired
+        ) == 1
 
     def test_crashed_node_does_not_get_on_stop(self):
         stopped = []
@@ -243,6 +250,123 @@ class TestCrashSemantics:
         network = Network(4, Stopper, adversary=EagerCrash(), max_faulty=2)
         result = network.run(3)
         assert set(stopped) == set(range(4)) - set(result.crashed)
+
+
+class _CrashZeroEarly(Adversary):
+    """Crashes node 0 (drop_all) in round 1; nothing else."""
+
+    def select_faulty(self, n, max_faulty, rng, inputs=None):
+        return {0}
+
+    def plan_round(self, view, rng):
+        if view.round == 1:
+            return {0: CrashOrder.drop_all()}
+        return {}
+
+
+class _SendToZeroLate(Protocol):
+    """Node 1 sends to (long-dead) node 0 in round 3."""
+
+    def __init__(self, u):
+        self.u = u
+
+    def on_round(self, ctx, inbox):
+        if self.u == 1 and ctx.round == 3:
+            ctx.learn(0)
+            ctx.send(0, Message("X"))
+        # The sender stays active until round 3 so the quiescence
+        # fast-forward cannot skip past the send.
+        if self.u != 1 or ctx.round >= 3:
+            ctx.idle()
+
+
+class TestExpiredAccounting:
+    """Messages sent to already-crashed receivers are *expired*, not lost:
+    ``sent == delivered + dropped + expired`` holds exactly."""
+
+    def _run(self, collect_trace):
+        network = Network(
+            4,
+            _SendToZeroLate,
+            adversary=_CrashZeroEarly(),
+            max_faulty=1,
+            collect_trace=collect_trace,
+        )
+        return network.run(5)
+
+    def test_expired_counted_on_traced_path(self):
+        result = self._run(collect_trace=True)
+        metrics = result.metrics
+        assert metrics.messages_sent == 1
+        assert metrics.messages_delivered == 0
+        assert metrics.messages_dropped == 0
+        assert metrics.messages_expired == 1
+        expiries = list(result.trace.expiries())
+        assert len(expiries) == 1
+        assert (expiries[0].src, expiries[0].dst) == (1, 0)
+
+    def test_expired_counted_on_fast_path(self):
+        result = self._run(collect_trace=False)
+        assert result.trace is None
+        assert result.metrics.messages_expired == 1
+        assert result.metrics.messages_delivered == 0
+        assert result.metrics.messages_dropped == 0
+
+    def test_traced_run_passes_validator(self):
+        from repro.sim import validate_run
+
+        assert validate_run(self._run(collect_trace=True)) == []
+
+
+class TestKnowledgeInit:
+    def test_kt1_known_set_excludes_self(self):
+        # Regression: KT1 init used to seed each node's ``_known`` with
+        # all n ids including its own, inconsistent with KT0/all_ports()
+        # semantics (a node has n - 1 ports, none to itself).
+        network = Network(5, lambda u: Chatter(u), knowledge=Knowledge.KT1)
+        for ctx in network.contexts:
+            assert ctx.node_id not in ctx._known
+            assert ctx._known == set(range(5)) - {ctx.node_id}
+
+    def test_kt0_starts_empty(self):
+        network = Network(5, lambda u: Chatter(u), knowledge=Knowledge.KT0)
+        for ctx in network.contexts:
+            assert ctx._known == set()
+
+
+class TestPhaseTimers:
+    def test_profiled_run_collects_all_engine_phases(self):
+        from repro.obs import ENGINE_PHASES, PhaseTimers
+
+        timers = PhaseTimers()
+        network = Network(8, lambda u: Chatter(u, count=3), timers=timers)
+        result = network.run(6)
+        assert set(result.metrics.phase_seconds) == set(ENGINE_PHASES)
+        assert all(v >= 0.0 for v in result.metrics.phase_seconds.values())
+        assert result.phase_seconds == result.metrics.phase_seconds
+
+    def test_unprofiled_run_records_no_phases(self):
+        network = Network(8, lambda u: Chatter(u, count=3))
+        result = network.run(6)
+        assert result.metrics.phase_seconds == {}
+
+    def test_profiling_does_not_change_metrics(self):
+        from repro.obs import PhaseTimers
+
+        def metrics(timers):
+            network = Network(
+                16,
+                lambda u: Chatter(u, count=3),
+                seed=9,
+                adversary=EagerCrash(),
+                max_faulty=8,
+                timers=timers,
+            )
+            summary = network.run(8).metrics.summary()
+            summary.pop("phase_seconds", None)
+            return summary
+
+        assert metrics(None) == metrics(PhaseTimers())
 
 
 class TestFastForward:

@@ -17,6 +17,13 @@ def _result(events, n=8, faulty=frozenset(), crashed=None, metrics=None):
         metrics.messages_sent = sum(1 for e in events if e.kind == "send")
         metrics.messages_delivered = sum(1 for e in events if e.kind == "deliver")
         metrics.messages_dropped = sum(1 for e in events if e.kind == "drop")
+        metrics.messages_expired = sum(1 for e in events if e.kind == "expire")
+        # Synthetic per-round attribution: one bucket per round seen.
+        last_round = max((e.round for e in events), default=0)
+        metrics.per_round_messages = [
+            sum(1 for e in events if e.kind == "send" and e.round == r)
+            for r in range(1, last_round + 1)
+        ]
     return RunResult(
         n=n,
         protocols=[],
@@ -47,6 +54,10 @@ def drop(r, src, dst):
     return TraceEvent(round=r, kind="drop", src=src, dst=dst, message_kind="X")
 
 
+def expire(r, src, dst):
+    return TraceEvent(round=r, kind="expire", src=src, dst=dst, message_kind="X")
+
+
 def crash(r, node):
     return TraceEvent(round=r, kind="crash", src=node)
 
@@ -62,6 +73,19 @@ class TestCleanTraces:
     def test_crash_with_drop_is_clean(self):
         events = [send(1, 0, 1), drop(1, 0, 1), crash(1, 0)]
         result = _result(events, faulty={0}, crashed={0: 1})
+        assert validate_run(result) == []
+
+    def test_expire_to_dead_receiver_is_clean(self):
+        # Node 1 crashes in round 1; a round-2 message to it expires.
+        events = [crash(1, 1), send(2, 0, 1), expire(2, 0, 1)]
+        result = _result(events, faulty={1}, crashed={1: 1})
+        assert validate_run(result) == []
+
+    def test_expire_in_receivers_crash_round_is_clean(self):
+        # Sender and receiver race in the same round: the message was on
+        # the wire when the receiver crashed, so it expires legally.
+        events = [send(1, 0, 1), crash(1, 1), expire(1, 0, 1)]
+        result = _result(events, faulty={1}, crashed={1: 1})
         assert validate_run(result) == []
 
     def test_untraced_run_rejected(self):
@@ -106,9 +130,46 @@ class TestViolations:
         result = _result([send(1, 0, 1), deliver(1, 0, 1)], metrics=metrics)
         assert any("metrics counted" in v for v in validate_run(result))
 
-    def test_evaporation_without_crash(self):
-        events = [send(1, 0, 1)]  # never delivered, never dropped, no crash
-        assert any("evaporated" in v for v in validate_run(_result(events)))
+    def test_unaccounted_send_breaks_conservation(self):
+        events = [send(1, 0, 1)]  # never delivered, dropped, or expired
+        assert any(
+            "conservation broken" in v for v in validate_run(_result(events))
+        )
+
+    def test_expire_without_crash(self):
+        events = [send(1, 0, 1), expire(1, 0, 1)]
+        assert any(
+            "expired but nothing ever crashed" in v
+            for v in validate_run(_result(events))
+        )
+
+    def test_expire_before_receiver_crashed(self):
+        # Receiver crashes only in round 5; a round-2 expiry is bogus.
+        events = [send(2, 0, 1), expire(2, 0, 1), crash(5, 1)]
+        result = _result(events, faulty={1}, crashed={1: 5})
+        assert any(
+            "the receiver crashed in round 5" in v for v in validate_run(result)
+        )
+
+    def test_expired_metrics_mismatch(self):
+        metrics = Metrics()
+        metrics.messages_sent = 1
+        metrics.messages_expired = 7
+        metrics.per_round_messages = [1]
+        events = [crash(1, 1), send(1, 0, 1), expire(1, 0, 1)]
+        result = _result(events, faulty={1}, crashed={1: 1}, metrics=metrics)
+        assert any("metrics counted 7" in v for v in validate_run(result))
+
+    def test_per_round_attribution_mismatch(self):
+        metrics = Metrics()
+        metrics.messages_sent = 1
+        metrics.messages_delivered = 1
+        metrics.per_round_messages = []  # the send lost its round bucket
+        events = [send(1, 0, 1), deliver(1, 0, 1)]
+        result = _result(events, metrics=metrics)
+        assert any(
+            "per-round attribution broken" in v for v in validate_run(result)
+        )
 
     def test_late_delivery(self):
         # Arrival two rounds after the send breaks the latency invariant.

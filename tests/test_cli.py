@@ -56,6 +56,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["replay"])
 
+    def test_observability_flags(self):
+        sweep = build_parser().parse_args(
+            ["sweep", "--progress", "--profile", "--manifest", "m.json"]
+        )
+        assert sweep.progress and sweep.profile
+        assert sweep.manifest == "m.json"
+        fuzz = build_parser().parse_args(
+            ["fuzz", "--progress", "--journal", "f.jsonl"]
+        )
+        assert fuzz.progress and fuzz.journal == "f.jsonl"
+        assert build_parser().parse_args(["run", "E5", "--progress"]).progress
+        report = build_parser().parse_args(["report", "f.jsonl"])
+        assert report.campaign == "f.jsonl"
+        assert build_parser().parse_args(["report"]).campaign is None
+
 
 class TestCommands:
     def test_params_command(self, capsys):
@@ -157,3 +172,77 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "0 failure(s)" in out
+
+
+class TestObservability:
+    """Provenance manifests, progress, and the report campaign mode."""
+
+    def test_sweep_always_writes_manifest(self, tmp_path, capsys):
+        import json as json_module
+
+        out = str(tmp_path / "sweep.json")
+        code = main(
+            ["sweep", "--task", "election", "--n", "24", "--alpha", "0.75",
+             "--trials", "1", "--out", out]
+        )
+        capsys.readouterr()
+        assert code == 0
+        manifest_path = tmp_path / "sweep.json.manifest.json"
+        assert manifest_path.exists()
+        with open(manifest_path) as handle:
+            manifest = json_module.load(handle)
+        assert manifest["command"] == "sweep"
+        assert manifest["config"]["trials"] == 1
+
+    def test_sweep_manifest_path_override(self, tmp_path, capsys):
+        manifest = str(tmp_path / "custom.json")
+        code = main(
+            ["sweep", "--task", "election", "--n", "24", "--trials", "1",
+             "--manifest", manifest]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert (tmp_path / "custom.json").exists()
+
+    def test_fuzz_writes_manifest_and_journal(self, tmp_path, capsys):
+        journal = str(tmp_path / "fuzz.jsonl")
+        code = main(
+            ["fuzz", "--seeds", "2", "--protocol", "election", "--n", "24",
+             "--journal", journal]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert (tmp_path / "fuzz.jsonl").exists()
+        assert (tmp_path / "fuzz.jsonl.manifest.json").exists()
+
+    def test_report_renders_fuzz_campaign(self, tmp_path, capsys):
+        journal = str(tmp_path / "fuzz.jsonl")
+        assert main(
+            ["fuzz", "--seeds", "2", "--protocol", "election", "--n", "24",
+             "--journal", journal]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", journal]) == 0
+        out = capsys.readouterr().out
+        assert "campaign report — fuzz" in out
+        assert "provenance" in out
+        assert "journal" in out
+        assert "merged metrics" in out
+        assert "trials journalled: 2" in out
+
+    def test_report_missing_campaign_fails(self, tmp_path, capsys):
+        code = main(["report", str(tmp_path / "absent.jsonl")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no campaign artifact" in captured.err
+
+    def test_progress_heartbeat_on_stderr(self, tmp_path, capsys):
+        out = str(tmp_path / "sweep.json")
+        code = main(
+            ["sweep", "--task", "election", "--n", "24", "--trials", "2",
+             "--progress", "--out", out]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "[sweep]" in captured.err
+        assert "elapsed" in captured.err
