@@ -23,6 +23,10 @@ Commands
     Render a campaign's provenance manifest, journal counts, and merged
     metrics (without the positional argument, ``report`` keeps its
     classic behaviour: run all experiments and write EXPERIMENTS.md).
+``lint [paths ...] [--format text|json]``
+    Run the project's AST-based determinism & invariant linter
+    (``docs/LINT.md``) over ``paths`` (default ``src``).  Exit 0 when
+    clean, 1 on findings, 2 on configuration errors.
 
 ``--jobs N`` fans trials out over N worker processes; ``--jobs 0``
 auto-detects the core count.  Results are deterministic and identical
@@ -367,6 +371,46 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if "**FAIL**" not in markdown else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .lint import (
+        LintConfig,
+        LintConfigError,
+        find_config,
+        lint_paths,
+        load_config,
+    )
+
+    try:
+        if args.config is not None:
+            config_path = Path(args.config)
+            if not config_path.is_file():
+                raise LintConfigError(f"no such config file: {config_path}")
+        else:
+            start = Path(args.paths[0]) if args.paths else Path.cwd()
+            config_path = find_config(start) or find_config(Path.cwd())
+        if config_path is not None:
+            config = load_config(config_path)
+        else:
+            # No .reprolint.toml anywhere above: lint with the built-in
+            # defaults (rules needing project scope simply stay quiet).
+            config = LintConfig(root=Path.cwd())
+        paths = [Path(p) for p in args.paths] or [Path("src")]
+        report = lint_paths(paths, config)
+    except LintConfigError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.output is not None:
+        with open(args.output, "w") as handle:
+            handle.write(report.render_json() + "\n")
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -562,6 +606,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--only", nargs="*", default=None, help="experiment ids to include"
     )
     report.set_defaults(func=_cmd_report)
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST-based determinism & invariant linter (docs/LINT.md)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout",
+    )
+    lint.add_argument(
+        "--config",
+        default=None,
+        help="path to .reprolint.toml (default: nearest one above the "
+        "first lint path)",
+    )
+    lint.add_argument(
+        "--output",
+        default=None,
+        help="also write the JSON report to this path (for CI artifacts)",
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -224,7 +224,8 @@ class AgreementResult:
 
         Vacuously true while nothing is decided.
         """
-        return all(bit in set(self.inputs) for bit in set(self.decided_bits))
+        inputs = set(self.inputs)
+        return all(bit in inputs for bit in self.decided_bits)
 
     @property
     def success(self) -> bool:

@@ -216,6 +216,8 @@ def run_experiments_resilient(
         specs = [
             TrialSpec(
                 index=index,
+                # repro: lint-ignore[PAR001] serial path only (jobs==1 above):
+                # this lambda never crosses a process boundary
                 task=lambda seed, exp=experiment, **_: exp.run(quick=quick),
                 seed=0,
                 key=experiment.experiment_id,

@@ -164,7 +164,7 @@ class ByzantineOutcome:
         honest_inputs = {
             bit for u, bit in enumerate(self.inputs) if u not in self.byzantine
         }
-        return all(bit in honest_inputs for bit in set(self.honest_bits))
+        return all(bit in honest_inputs for bit in self.honest_bits)
 
     # -- election verdicts ------------------------------------------------
 

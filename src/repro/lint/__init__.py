@@ -1,0 +1,59 @@
+"""``repro.lint`` — the project's AST-based determinism & invariant linter.
+
+A zero-dependency static-analysis pass enforcing the source-level
+discipline the reproduction's guarantees rest on: seeded RNG streams
+only (DET001), no hash-order iteration (DET002), picklable task
+references (PAR001), ``Metrics``/``merge``/validator counter agreement
+(ACC001), ``__slots__`` on engine hot paths (PERF001), and a clean
+stdout (IO001).  See ``docs/LINT.md`` for the full rule catalogue and
+``.reprolint.toml`` for project scoping.
+
+Use it from the CLI (``repro lint src/ --format json``) or as a
+library::
+
+    from pathlib import Path
+    from repro.lint import find_config, lint_paths, load_config
+
+    config = load_config(find_config(Path.cwd()))
+    report = lint_paths([Path("src")], config)
+    assert report.clean, report.render_text()
+"""
+
+from .config import (
+    CONFIG_FILENAME,
+    LintConfig,
+    LintConfigError,
+    RuleConfig,
+    config_from_dict,
+    find_config,
+    load_config,
+    path_matches,
+)
+from .engine import (
+    Finding,
+    LintReport,
+    ParsedFile,
+    build_rules,
+    collect_files,
+    lint_paths,
+)
+from .pragmas import PRAGMA_RULE, Suppressions
+
+__all__ = [
+    "CONFIG_FILENAME",
+    "Finding",
+    "LintConfig",
+    "LintConfigError",
+    "LintReport",
+    "ParsedFile",
+    "PRAGMA_RULE",
+    "RuleConfig",
+    "Suppressions",
+    "build_rules",
+    "collect_files",
+    "config_from_dict",
+    "find_config",
+    "lint_paths",
+    "load_config",
+    "path_matches",
+]

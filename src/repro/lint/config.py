@@ -1,0 +1,290 @@
+"""Lint configuration: ``.reprolint.toml`` loading and scoping.
+
+The linter is configured by one repo-root ``.reprolint.toml``.  The
+``[lint]`` table names the project layout (source roots, files never
+linted, and the *deterministic packages* — the scope of the DET rules);
+``[lint.rules.<ID>]`` tables scope or disable individual rules and carry
+rule-specific options (hot modules for PERF001, the metrics/validate
+files for ACC001, ...); ``[lint.baseline]`` grandfathers known findings
+by ``"RULE:path-prefix"`` entries so a rule can be introduced without a
+flag-day fix of every legacy hit.
+
+Python 3.11+ parses the file with :mod:`tomllib`; older interpreters
+fall back to a deliberately small built-in parser covering the subset
+this file uses (tables, strings, booleans, integers, and string arrays)
+— the repo supports 3.9 and takes no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..errors import ConfigurationError
+
+#: Conventional config file name, looked up from the lint root upwards.
+CONFIG_FILENAME = ".reprolint.toml"
+
+
+class LintConfigError(ConfigurationError):
+    """Raised for unreadable or malformed lint configuration."""
+
+
+# ----------------------------------------------------------------------
+# TOML loading (tomllib when available, minimal fallback otherwise)
+# ----------------------------------------------------------------------
+
+
+def _parse_toml_value(text: str, where: str) -> Any:
+    text = text.strip()
+    if text in ("true", "false"):
+        return text == "true"
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return text[1:-1]
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        return [
+            _parse_toml_value(part.strip(), where)
+            for part in _split_toml_array(inner)
+        ]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise LintConfigError(f"{where}: cannot parse TOML value {text!r}")
+
+
+def _split_toml_array(inner: str) -> List[str]:
+    """Split a flattened array body on commas outside string quotes."""
+    parts: List[str] = []
+    current: List[str] = []
+    in_string = False
+    for char in inner:
+        if char == '"':
+            in_string = not in_string
+            current.append(char)
+        elif char == "," and not in_string:
+            part = "".join(current).strip()
+            if part:
+                parts.append(part)
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _strip_toml_comment(line: str) -> str:
+    out: List[str] = []
+    in_string = False
+    for char in line:
+        if char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            break
+        out.append(char)
+    return "".join(out)
+
+
+def _parse_toml_fallback(text: str, where: str) -> Dict[str, Any]:
+    """Parse the TOML subset ``.reprolint.toml`` uses (pre-3.11 fallback)."""
+    data: Dict[str, Any] = {}
+    table = data
+    # Join multi-line arrays first so every logical line is `key = value`
+    # or a `[table]` header.
+    logical: List[str] = []
+    buffer = ""
+    depth = 0
+    for raw in text.splitlines():
+        line = _strip_toml_comment(raw).strip()
+        if not line:
+            continue
+        buffer = f"{buffer} {line}".strip() if buffer else line
+        depth += line.count("[") - line.count("]")
+        if depth <= 0:
+            logical.append(buffer)
+            buffer = ""
+            depth = 0
+    if buffer:
+        logical.append(buffer)
+    for line in logical:
+        if line.startswith("[") and line.endswith("]"):
+            table = data
+            for part in line[1:-1].strip().split("."):
+                part = part.strip()
+                if not part:
+                    raise LintConfigError(f"{where}: empty table name in {line!r}")
+                table = table.setdefault(part, {})
+                if not isinstance(table, dict):
+                    raise LintConfigError(
+                        f"{where}: table {line!r} collides with a value"
+                    )
+            continue
+        if "=" not in line:
+            raise LintConfigError(f"{where}: cannot parse line {line!r}")
+        key, _, value = line.partition("=")
+        table[key.strip()] = _parse_toml_value(value, where)
+    return data
+
+
+def _load_toml(path: Path) -> Dict[str, Any]:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintConfigError(f"cannot read {path}: {exc}") from exc
+    try:
+        import tomllib
+    except ImportError:
+        return _parse_toml_fallback(text, str(path))
+    try:
+        return tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise LintConfigError(f"{path}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# The configuration model
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RuleConfig:
+    """Per-rule scoping and free-form options."""
+
+    enabled: bool = True
+    include: List[str] = field(default_factory=list)
+    exclude: List[str] = field(default_factory=list)
+    options: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class LintConfig:
+    """Everything the engine needs to know about the project."""
+
+    #: Directory all configured paths are relative to.
+    root: Path = field(default_factory=Path.cwd)
+    #: Where importable code lives (resolving ``"module:qualname"`` refs).
+    source_roots: List[str] = field(default_factory=lambda: ["src"])
+    #: Path prefixes never linted.
+    exclude: List[str] = field(default_factory=list)
+    #: The deterministic packages — default scope of the DET rules.
+    deterministic: List[str] = field(default_factory=list)
+    #: Grandfathered findings, as ``"RULE:path-prefix"`` entries.
+    baseline: List[str] = field(default_factory=list)
+    rules: Dict[str, RuleConfig] = field(default_factory=dict)
+
+    # -- scoping helpers ------------------------------------------------
+
+    def rule(self, rule_id: str) -> RuleConfig:
+        """The rule's configuration (a default one when not configured)."""
+        return self.rules.get(rule_id) or RuleConfig()
+
+    def rule_scope(
+        self, rule_id: str, relpath: str, default_include: Optional[List[str]]
+    ) -> bool:
+        """Is ``relpath`` in scope for ``rule_id``?
+
+        ``default_include`` is the rule's own default scope (``None`` =
+        everything linted); an explicit ``include`` in the config
+        replaces it, ``exclude`` always wins.
+        """
+        rule = self.rule(rule_id)
+        if not rule.enabled:
+            return False
+        if any(path_matches(relpath, prefix) for prefix in rule.exclude):
+            return False
+        include = rule.include or default_include
+        if include is None:
+            return True
+        return any(path_matches(relpath, prefix) for prefix in include)
+
+    def baselined(self, rule_id: str, relpath: str) -> bool:
+        """Is this finding grandfathered by a baseline entry?"""
+        for entry in self.baseline:
+            entry_rule, _, prefix = entry.partition(":")
+            if entry_rule == rule_id and path_matches(relpath, prefix):
+                return True
+        return False
+
+
+def path_matches(relpath: str, prefix: str) -> bool:
+    """Segment-wise prefix match on posix-style relative paths."""
+    relpath = relpath.replace("\\", "/").strip("/")
+    prefix = prefix.replace("\\", "/").strip("/")
+    if not prefix or prefix == ".":
+        return True
+    return relpath == prefix or relpath.startswith(prefix + "/")
+
+
+def _string_list(value: Any, where: str) -> List[str]:
+    if value is None:
+        return []
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise LintConfigError(f"{where}: expected a list of strings, got {value!r}")
+    return list(value)
+
+
+def config_from_dict(data: Dict[str, Any], root: Path) -> LintConfig:
+    """Build a :class:`LintConfig` from parsed TOML data."""
+    lint = data.get("lint", {})
+    if not isinstance(lint, dict):
+        raise LintConfigError("[lint] must be a table")
+    config = LintConfig(
+        root=root,
+        source_roots=_string_list(lint.get("source_roots"), "lint.source_roots")
+        or ["src"],
+        exclude=_string_list(lint.get("exclude"), "lint.exclude"),
+        deterministic=_string_list(lint.get("deterministic"), "lint.deterministic"),
+    )
+    baseline = lint.get("baseline", {})
+    if baseline:
+        if not isinstance(baseline, dict):
+            raise LintConfigError("[lint.baseline] must be a table")
+        config.baseline = _string_list(
+            baseline.get("entries"), "lint.baseline.entries"
+        )
+    rules = lint.get("rules", {})
+    if rules and not isinstance(rules, dict):
+        raise LintConfigError("[lint.rules] must be a table")
+    for rule_id, table in rules.items():
+        if not isinstance(table, dict):
+            raise LintConfigError(f"[lint.rules.{rule_id}] must be a table")
+        options = {
+            key: value
+            for key, value in table.items()
+            if key not in ("enabled", "include", "exclude")
+        }
+        config.rules[rule_id] = RuleConfig(
+            enabled=bool(table.get("enabled", True)),
+            include=_string_list(table.get("include"), f"{rule_id}.include"),
+            exclude=_string_list(table.get("exclude"), f"{rule_id}.exclude"),
+            options=options,
+        )
+    return config
+
+
+def load_config(path: Path) -> LintConfig:
+    """Load a ``.reprolint.toml``; paths are relative to its directory."""
+    return config_from_dict(_load_toml(path), root=path.parent.resolve())
+
+
+def find_config(start: Path) -> Optional[Path]:
+    """Find the nearest ``.reprolint.toml`` at or above ``start``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in [current, *current.parents]:
+        candidate = directory / CONFIG_FILENAME
+        if candidate.is_file():
+            return candidate
+    return None

@@ -1,0 +1,284 @@
+"""The lint engine: file collection, rule dispatch, reports.
+
+Rules come in two shapes:
+
+* **file rules** visit one module's AST at a time (DET001/DET002,
+  PAR001's in-file checks, PERF001, IO001);
+* **project rules** correlate several files (ACC001's ``Metrics`` ↔
+  ``merge`` ↔ validator drift check, PAR001's registry check) and run
+  once per lint invocation.
+
+Findings flow through pragma suppression (:mod:`repro.lint.pragmas`)
+and the configured baseline before being reported.  Output is stable:
+files are walked in sorted order and findings sorted by (path, line,
+col, rule), so two runs over the same tree are byte-identical — the
+linter holds itself to the determinism bar it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .config import LintConfig, LintConfigError, path_matches
+from .pragmas import PRAGMA_RULE, Suppressions
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: Rule id used for files that do not parse.
+PARSE_RULE = "PARSE"
+
+#: Schema version of the JSON report.
+JSON_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, pointing at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = SEVERITY_ERROR
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}"
+        )
+
+
+@dataclass
+class ParsedFile:
+    """One collected source file, parsed once and shared by every rule."""
+
+    relpath: str
+    abspath: Path
+    source: str
+    tree: Optional[ast.Module]
+    suppressions: Suppressions
+
+
+class FileRule:
+    """Base class of per-file rules."""
+
+    rule_id: str = ""
+    #: Default scope: ``None`` = every linted file, ``"deterministic"`` =
+    #: the configured deterministic packages, or an options key holding a
+    #: path list (e.g. PERF001's ``hot_modules``).
+    default_scope: Optional[str] = None
+
+    def applies(self, relpath: str, config: LintConfig) -> bool:
+        default_include: Optional[List[str]]
+        if self.default_scope is None:
+            default_include = None
+        elif self.default_scope == "deterministic":
+            default_include = config.deterministic
+        else:
+            scope = config.rule(self.rule_id).options.get(self.default_scope, [])
+            default_include = [str(item) for item in scope]
+        return config.rule_scope(self.rule_id, relpath, default_include)
+
+    def check(self, file: ParsedFile, config: LintConfig) -> List[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule:
+    """Base class of cross-file rules."""
+
+    rule_id: str = ""
+
+    def check_project(
+        self, files: Dict[str, ParsedFile], config: LintConfig
+    ) -> List[Finding]:
+        raise NotImplementedError
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    root: Path
+    files: List[str] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": JSON_VERSION,
+            "root": str(self.root),
+            "files_checked": len(self.files),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "summary": {
+                "total": len(self.findings),
+                "by_rule": self.by_rule(),
+            },
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        if self.findings:
+            per_rule = ", ".join(
+                f"{rule}={count}" for rule, count in self.by_rule().items()
+            )
+            lines.append(
+                f"{len(self.findings)} finding(s) in "
+                f"{len(self.files)} file(s) ({per_rule})"
+            )
+        else:
+            lines.append(f"clean: {len(self.files)} file(s), 0 findings")
+        return "\n".join(lines)
+
+
+def _iter_python_files(path: Path) -> Iterable[Path]:
+    if path.is_file():
+        yield path
+        return
+    for candidate in sorted(path.rglob("*.py")):
+        if "__pycache__" in candidate.parts:
+            continue
+        yield candidate
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def collect_files(
+    paths: Sequence[Path], config: LintConfig
+) -> Dict[str, ParsedFile]:
+    """Collect, read, and parse the lint targets (sorted, deduplicated)."""
+    root = config.root.resolve()
+    files: Dict[str, ParsedFile] = {}
+    for target in paths:
+        target = Path(target)
+        if not target.is_absolute():
+            target = root / target
+        if not target.exists():
+            # A typo'd path must not silently gate nothing (exit 0 with
+            # zero files would look green in CI).
+            raise LintConfigError(f"no such lint target: {target}")
+        for path in _iter_python_files(target):
+            relpath = _relpath(path, root)
+            if relpath in files:
+                continue
+            if any(path_matches(relpath, prefix) for prefix in config.exclude):
+                continue
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree: Optional[ast.Module] = ast.parse(source, filename=str(path))
+            except SyntaxError:
+                tree = None
+            files[relpath] = ParsedFile(
+                relpath=relpath,
+                abspath=path.resolve(),
+                source=source,
+                tree=tree,
+                suppressions=Suppressions.from_source(source),
+            )
+    return dict(sorted(files.items()))
+
+
+def build_rules() -> List[object]:
+    """Fresh rule instances (rules may cache parsed modules per run)."""
+    from .rules_accounting import MergeDriftRule
+    from .rules_determinism import AmbientNondeterminismRule, SetIterationRule
+    from .rules_parallel import TaskRefRule
+    from .rules_style import BarePrintRule, SlotsRule
+
+    return [
+        AmbientNondeterminismRule(),
+        SetIterationRule(),
+        TaskRefRule(),
+        MergeDriftRule(),
+        SlotsRule(),
+        BarePrintRule(),
+    ]
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    config: LintConfig,
+    rules: Optional[Sequence[object]] = None,
+) -> LintReport:
+    """Lint ``paths`` (files or directories) under ``config``."""
+    files = collect_files(paths, config)
+    rules = list(rules) if rules is not None else build_rules()
+    report = LintReport(root=config.root, files=list(files))
+
+    raw: List[Finding] = []
+    for file in files.values():
+        if file.tree is None:
+            raw.append(
+                Finding(
+                    rule=PARSE_RULE,
+                    path=file.relpath,
+                    line=1,
+                    col=1,
+                    message="file does not parse as Python",
+                )
+            )
+            continue
+        for bad in file.suppressions.bad:
+            raw.append(
+                Finding(
+                    rule=PRAGMA_RULE,
+                    path=file.relpath,
+                    line=bad.line,
+                    col=bad.col,
+                    message=bad.message,
+                )
+            )
+        for rule in rules:
+            if isinstance(rule, FileRule) and rule.applies(file.relpath, config):
+                raw.extend(rule.check(file, config))
+    for rule in rules:
+        if isinstance(rule, ProjectRule) and config.rule(rule.rule_id).enabled:
+            raw.extend(rule.check_project(files, config))
+
+    for finding in raw:
+        file = files.get(finding.path)
+        if file is not None and file.suppressions.suppressed(
+            finding.rule, finding.line
+        ):
+            continue
+        if config.baselined(finding.rule, finding.path):
+            continue
+        report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

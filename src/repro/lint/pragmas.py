@@ -1,0 +1,140 @@
+"""Inline suppression pragmas.
+
+A finding is suppressed by a comment of the form::
+
+    x = something_flagged()  # repro: lint-ignore[DET001] why this is fine
+
+    # repro: lint-ignore[DET002] why the next line is fine
+    for item in legacy_set_iteration():
+
+    # repro: lint-ignore-file[IO001] this whole module prints on purpose
+
+Rules are a comma-separated list of ids.  The free text after the
+bracket is the **justification** and is mandatory: a pragma without one
+does not suppress anything and is itself reported (rule ``LINT001``), so
+every exception in the tree carries its reason next to the code.
+
+A same-line pragma covers its own line; a pragma on a comment-only line
+covers the next code line below it (the justification may run over
+several comment lines);
+``lint-ignore-file`` covers the whole file.  Pragmas are read from real
+comment tokens (via :mod:`tokenize`), so a pragma-shaped string literal
+never suppresses anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+PRAGMA_RULE = "LINT001"
+
+_PRAGMA_RE = re.compile(
+    r"repro:\s*lint-ignore(?P<filelevel>-file)?"
+    r"\[(?P<rules>[A-Za-z0-9_*,\s]+)\]"
+    r"\s*(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class BadPragma:
+    """A malformed pragma (currently: one with no justification)."""
+
+    line: int
+    col: int
+    message: str
+
+
+@dataclass
+class Suppressions:
+    """The parsed pragmas of one file."""
+
+    #: line number -> rule ids suppressed on that line ("*" = all).
+    lines: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rule ids suppressed for the whole file.
+    file_rules: Set[str] = field(default_factory=set)
+    #: malformed pragmas, reported as ``LINT001`` findings.
+    bad: List[BadPragma] = field(default_factory=list)
+    #: (line, rule) pairs that suppressed at least one finding.
+    used: Set[Tuple[int, str]] = field(default_factory=set)
+
+    @classmethod
+    def from_source(cls, source: str) -> "Suppressions":
+        """Extract pragmas from the comment tokens of ``source``."""
+        suppressions = cls()
+        comment_only: Set[int] = set()
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            return suppressions
+        last_line = max((token.end[0] for token in tokens), default=0)
+        code_lines: Set[int] = set()
+        for token in tokens:
+            if token.type in (
+                tokenize.COMMENT,
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+            ):
+                continue
+            for line in range(token.start[0], token.end[0] + 1):
+                code_lines.add(line)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if match is None:
+                continue
+            line = token.start[0]
+            rules = {
+                rule.strip()
+                for rule in match.group("rules").split(",")
+                if rule.strip()
+            }
+            reason = match.group("reason").strip()
+            if not reason:
+                suppressions.bad.append(
+                    BadPragma(
+                        line=line,
+                        col=token.start[1] + 1,
+                        message=(
+                            "suppression pragma has no justification; write "
+                            "'# repro: lint-ignore[RULE] <why this is fine>' "
+                            "(an unjustified pragma suppresses nothing)"
+                        ),
+                    )
+                )
+                continue
+            if match.group("filelevel"):
+                suppressions.file_rules |= rules
+                continue
+            if line not in code_lines:
+                comment_only.add(line)
+            suppressions.lines.setdefault(line, set()).update(rules)
+        # A pragma on a comment-only line covers the next *code* line (the
+        # justification may continue over further comment lines).
+        for line in comment_only:
+            rules = suppressions.lines.get(line, set())
+            target = line + 1
+            while target not in code_lines and target <= last_line:
+                target += 1
+            suppressions.lines.setdefault(target, set()).update(rules)
+        return suppressions
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """Does a pragma cover a ``rule_id`` finding on ``line``?"""
+        if rule_id == PRAGMA_RULE:
+            return False  # the pragma rule cannot be pragma'd away
+        if rule_id in self.file_rules or "*" in self.file_rules:
+            self.used.add((0, rule_id))
+            return True
+        rules = self.lines.get(line)
+        if rules and (rule_id in rules or "*" in rules):
+            self.used.add((line, rule_id))
+            return True
+        return False

@@ -1,0 +1,189 @@
+"""ACC001: counter drift between ``Metrics``, ``Metrics.merge``, and the
+trace validator.
+
+The conservation identity ``sent == delivered + dropped + expired``
+(docs/MODEL.md) is only as good as the bookkeeping around it: a counter
+added to ``Metrics`` but forgotten in :meth:`Metrics.merge` silently
+vanishes from every parallel campaign, and a message counter the
+validator never looks at is a counter nothing cross-checks.  This rule
+keeps the three in sync *statically*:
+
+* every field declared on the configured metrics class must be read or
+  written somewhere in its ``merge`` method;
+* every ``messages_*`` counter (plus the per-round attribution list)
+  must appear in the configured validator module.
+
+Configured via ``[lint.rules.ACC001]``: ``metrics`` (file),
+``metrics_class``, ``merge_method``, ``validate`` (file), and
+``message_prefix``.  Each half runs only when its file is part of the
+lint target set, so ``repro lint src/repro/sim/metrics.py`` (e.g. from
+a pre-commit hook) checks exactly what changed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from .config import LintConfig
+from .engine import Finding, ParsedFile, ProjectRule
+
+
+def _class_def(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _declared_fields(class_def: ast.ClassDef) -> Dict[str, int]:
+    """Field name -> declaration line, from class-body (Ann)Assigns."""
+    fields: Dict[str, int] = {}
+    for node in class_def.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if not node.target.id.startswith("_"):
+                fields[node.target.id] = node.lineno
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                    fields[target.id] = node.lineno
+    return fields
+
+
+def _referenced_names(node: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute):
+            names.add(child.attr)
+        elif isinstance(child, ast.Name):
+            names.add(child.id)
+        elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+            names.add(child.value)
+    return names
+
+
+class MergeDriftRule(ProjectRule):
+    """ACC001 — see the module docstring."""
+
+    rule_id = "ACC001"
+
+    def check_project(
+        self, files: Dict[str, ParsedFile], config: LintConfig
+    ) -> List[Finding]:
+        options = config.rule(self.rule_id).options
+        metrics_path = str(options.get("metrics", ""))
+        class_name = str(options.get("metrics_class", "Metrics"))
+        merge_name = str(options.get("merge_method", "merge"))
+        validate_path = str(options.get("validate", ""))
+        prefix = str(options.get("message_prefix", "messages_"))
+
+        findings: List[Finding] = []
+        metrics_file = files.get(metrics_path)
+        fields: Dict[str, int] = {}
+        class_line = 1
+
+        # Parse the metrics class even when only the validator is being
+        # linted (the validator half needs the field list).
+        metrics_tree: Optional[ast.Module] = None
+        if metrics_file is not None:
+            metrics_tree = metrics_file.tree
+        elif metrics_path and validate_path in files:
+            abspath = config.root / metrics_path
+            try:
+                metrics_tree = ast.parse(
+                    abspath.read_text(encoding="utf-8"), filename=str(abspath)
+                )
+            except (OSError, SyntaxError):
+                metrics_tree = None
+
+        if metrics_tree is not None:
+            class_def = _class_def(metrics_tree, class_name)
+            if class_def is None:
+                if metrics_file is not None:
+                    findings.append(
+                        Finding(
+                            rule=self.rule_id,
+                            path=metrics_path,
+                            line=1,
+                            col=1,
+                            message=(
+                                f"configured metrics class {class_name!r} "
+                                f"not found in {metrics_path}"
+                            ),
+                        )
+                    )
+                return findings
+            fields = _declared_fields(class_def)
+            class_line = class_def.lineno
+
+        # Half 1: every declared field must appear in merge().
+        if metrics_file is not None and metrics_tree is not None and fields:
+            class_def = _class_def(metrics_tree, class_name)
+            assert class_def is not None
+            merge_def = next(
+                (
+                    node
+                    for node in class_def.body
+                    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name == merge_name
+                ),
+                None,
+            )
+            if merge_def is None:
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=metrics_path,
+                        line=class_line,
+                        col=1,
+                        message=(
+                            f"{class_name} declares counters but has no "
+                            f"{merge_name}() method to fold them "
+                            "campaign-wide"
+                        ),
+                    )
+                )
+            else:
+                merged = _referenced_names(merge_def)
+                for name, line in sorted(fields.items()):
+                    if name not in merged:
+                        findings.append(
+                            Finding(
+                                rule=self.rule_id,
+                                path=metrics_path,
+                                line=line,
+                                col=1,
+                                message=(
+                                    f"counter {class_name}.{name} is never "
+                                    f"touched by {class_name}.{merge_name}()"
+                                    "; parallel campaigns would silently "
+                                    "drop it when folding per-trial metrics"
+                                ),
+                            )
+                        )
+
+        # Half 2: message counters must be cross-checked by the validator.
+        validate_file = files.get(validate_path)
+        if validate_file is not None and validate_file.tree is not None and fields:
+            checked = _referenced_names(validate_file.tree)
+            watched = [
+                name
+                for name in sorted(fields)
+                if name.startswith(prefix) or name == "per_round_messages"
+            ]
+            for name in watched:
+                if name not in checked:
+                    findings.append(
+                        Finding(
+                            rule=self.rule_id,
+                            path=validate_path,
+                            line=1,
+                            col=1,
+                            message=(
+                                f"message counter {class_name}.{name} is "
+                                f"never referenced in {validate_path}; the "
+                                "conservation identity no longer covers it"
+                            ),
+                        )
+                    )
+        return findings

@@ -1,0 +1,224 @@
+"""Determinism rules: DET001 (ambient randomness) and DET002 (set order).
+
+The reproduction's headline guarantees — byte-identical ``jobs=N`` vs
+``jobs=1`` campaigns, replayable CrashScripts, seed-stable message
+counts — all assume that code inside the *deterministic packages* draws
+randomness only from explicitly seeded :class:`random.Random` streams
+(``repro.rng``) and never iterates containers in hash order.  These two
+rules catch the source patterns that silently break that assumption.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from .config import LintConfig
+from .engine import FileRule, Finding, ParsedFile
+
+#: Ambient-source modules and the attributes DET001 bans on them.
+#: ``None`` bans every attribute of the module.
+_BANNED_ATTRS: Dict[str, Optional[Set[str]]] = {
+    "random": None,  # special-cased: seeded random.Random(...) is allowed
+    "time": {"time", "time_ns"},
+    "os": {"urandom", "getrandom"},
+    "uuid": {"uuid1", "uuid4"},
+    "secrets": None,
+}
+
+#: ``from <module> import <name>`` pairs DET001 bans outright.
+_BANNED_FROM_IMPORTS: Dict[str, Optional[Set[str]]] = {
+    "random": None,  # except Random, filtered below
+    "time": {"time", "time_ns"},
+    "os": {"urandom", "getrandom"},
+    "uuid": {"uuid1", "uuid4"},
+    "secrets": None,
+}
+
+
+def _module_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the ambient modules they import."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in _BANNED_ATTRS:
+                    aliases[alias.asname or alias.name] = alias.name
+    return aliases
+
+
+class AmbientNondeterminismRule(FileRule):
+    """DET001: unseeded/ambient nondeterminism in deterministic packages.
+
+    Flags, inside the configured deterministic packages:
+
+    * any call through the global ``random`` module (``random.random()``,
+      ``random.shuffle(...)``, ...) — draws must come from an explicit
+      ``rng: random.Random`` parameter or a ``repro.rng`` stream;
+    * ``random.Random()`` constructed with *no* seed (OS entropy);
+    * wall-clock and entropy reads that leak into behaviour:
+      ``time.time()``/``time.time_ns()``, ``os.urandom()``,
+      ``uuid.uuid1()``/``uuid.uuid4()``, and anything in ``secrets``;
+    * ``from random import <fn>`` style imports of the same names.
+    """
+
+    rule_id = "DET001"
+    default_scope = "deterministic"
+
+    def check(self, file: ParsedFile, config: LintConfig) -> List[Finding]:
+        assert file.tree is not None
+        findings: List[Finding] = []
+        aliases = _module_aliases(file.tree)
+
+        def flag(node: ast.AST, message: str) -> None:
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=file.relpath,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    message=message,
+                )
+            )
+
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                banned = _BANNED_FROM_IMPORTS.get(node.module or "")
+                if node.module not in _BANNED_FROM_IMPORTS:
+                    continue
+                for alias in node.names:
+                    if node.module == "random" and alias.name == "Random":
+                        continue  # the class itself is fine (must be seeded)
+                    if banned is not None and alias.name not in banned:
+                        continue
+                    flag(
+                        node,
+                        f"'from {node.module} import {alias.name}' pulls an "
+                        "ambient nondeterminism source into a deterministic "
+                        "package; draw from a seeded repro.rng stream or an "
+                        "explicit rng parameter instead",
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+            ):
+                continue
+            module = aliases.get(func.value.id)
+            if module is None:
+                continue
+            attr = func.attr
+            if module == "random":
+                if attr == "Random":
+                    if not node.args and not node.keywords:
+                        flag(
+                            node,
+                            "random.Random() with no seed draws OS entropy; "
+                            "seed it (e.g. via repro.rng.derive_seed) so the "
+                            "run is reproducible",
+                        )
+                    continue
+                flag(
+                    node,
+                    f"random.{attr}() uses the shared module-level RNG; "
+                    "deterministic code must draw from an explicit "
+                    "rng: random.Random parameter or a repro.rng stream",
+                )
+                continue
+            banned = _BANNED_ATTRS[module]
+            if banned is None or attr in banned:
+                flag(
+                    node,
+                    f"{module}.{attr}() is an ambient nondeterminism source "
+                    "(wall clock / OS entropy); deterministic code must not "
+                    "depend on it",
+                )
+        return findings
+
+
+#: Wrappers DET002 looks through: iterating ``enumerate(set(...))`` is
+#: still iterating the set.  ``sorted`` is deliberately absent — it is
+#: the fix.
+_TRANSPARENT_WRAPPERS = {"enumerate", "reversed", "list", "tuple", "iter"}
+
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _is_bare_set_expr(node: ast.AST) -> bool:
+    """Is ``node`` statically recognisable as producing a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return _is_bare_set_expr(node.left) or _is_bare_set_expr(node.right)
+    return False
+
+
+def _set_expr_in_iter(node: ast.AST) -> Optional[ast.AST]:
+    """The bare set expression iterated by ``node``, if any."""
+    if _is_bare_set_expr(node):
+        return node
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _TRANSPARENT_WRAPPERS
+        and node.args
+    ):
+        return _set_expr_in_iter(node.args[0])
+    return None
+
+
+class SetIterationRule(FileRule):
+    """DET002: iteration over a bare set expression without ``sorted``.
+
+    ``for x in set(...)`` (and comprehensions doing the same) iterate in
+    hash order, which varies across interpreters and ``PYTHONHASHSEED``
+    values; inside the deterministic packages every such loop must go
+    through ``sorted(...)`` — or avoid materialising the set at all.
+    Only *statically visible* set expressions are flagged (literals,
+    ``set()``/``frozenset()`` calls, set comprehensions, and unions/
+    intersections/differences of those); iterating a variable that
+    happens to hold a set is out of this rule's reach.
+    """
+
+    rule_id = "DET002"
+    default_scope = "deterministic"
+
+    def check(self, file: ParsedFile, config: LintConfig) -> List[Finding]:
+        assert file.tree is not None
+        findings: List[Finding] = []
+
+        def flag(node: ast.AST) -> None:
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=file.relpath,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    message=(
+                        "iteration over a bare set expression is hash-order "
+                        "dependent; wrap it in sorted(...) (or iterate the "
+                        "underlying sequence) to keep runs reproducible"
+                    ),
+                )
+            )
+
+        for node in ast.walk(file.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _set_expr_in_iter(node.iter) is not None:
+                    flag(node.iter)
+            elif isinstance(
+                node, (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp)
+            ):
+                for generator in node.generators:
+                    if _set_expr_in_iter(generator.iter) is not None:
+                        flag(generator.iter)
+        return findings

@@ -1,0 +1,325 @@
+"""PAR001: task references must survive a process boundary.
+
+The parallel scheduler ships trials to workers as picklable
+:class:`~repro.parallel.spec.TrialSpec` objects whose task is either a
+module-level callable or a ``"module:qualname"`` string resolved inside
+the worker.  A lambda, closure, or dangling string reference works
+serially and explodes only under ``--jobs N`` — exactly the kind of
+latent break this rule catches at lint time.
+
+Checks:
+
+* **in-file** — a ``task=`` argument bound to a ``lambda`` (pickling
+  will fail in any parallel campaign), and every string literal shaped
+  like ``"repro...:name"`` must resolve, *statically*, to a top-level
+  ``def`` in the named module under the configured source roots;
+* **project** — the experiment registry's ``_ALL`` list only contains
+  names actually imported from modules that define them at top level,
+  and every public task in the configured task modules accepts the
+  scheduler's ``seed=`` keyword.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from .config import LintConfig
+from .engine import FileRule, Finding, ParsedFile, ProjectRule
+
+_REF_RE = re.compile(
+    r"^(?P<module>[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)"
+    r":(?P<qualname>[A-Za-z_][A-Za-z0-9_.]*)$"
+)
+
+
+def _finding(rule_id: str, file_relpath: str, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        rule=rule_id,
+        path=file_relpath,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        message=message,
+    )
+
+
+class _ModuleIndex:
+    """Per-run cache of parsed module files keyed by resolved path."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[Path, Optional[ast.Module]] = {}
+
+    def parse(self, path: Path) -> Optional[ast.Module]:
+        path = path.resolve()
+        if path not in self._cache:
+            try:
+                source = path.read_text(encoding="utf-8")
+                self._cache[path] = ast.parse(source, filename=str(path))
+            except (OSError, SyntaxError):
+                self._cache[path] = None
+        return self._cache[path]
+
+    def module_file(self, module: str, config: LintConfig) -> Optional[Path]:
+        """Locate ``module`` under the configured source roots."""
+        parts = module.split(".")
+        for root in config.source_roots:
+            base = config.root / root
+            as_module = base.joinpath(*parts).with_suffix(".py")
+            if as_module.is_file():
+                return as_module
+            as_package = base.joinpath(*parts) / "__init__.py"
+            if as_package.is_file():
+                return as_package
+        return None
+
+    def top_level_names(self, tree: ast.Module) -> Set[str]:
+        names: Set[str] = set()
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    names.add(node.target.id)
+        return names
+
+    def top_level_functions(self, tree: ast.Module) -> Set[str]:
+        return {
+            node.name
+            for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+
+class TaskRefRule(FileRule, ProjectRule):
+    """PAR001 — both the per-file and the cross-file checks."""
+
+    rule_id = "PAR001"
+    default_scope = None  # every linted file (string refs can hide anywhere)
+
+    def __init__(self) -> None:
+        self._index = _ModuleIndex()
+
+    # ------------------------------------------------------------------
+    # Per-file: lambda tasks and string reference resolution
+    # ------------------------------------------------------------------
+
+    def check(self, file: ParsedFile, config: LintConfig) -> List[Finding]:
+        assert file.tree is not None
+        options = config.rule(self.rule_id).options
+        prefixes = [str(p) for p in options.get("ref_prefixes", ["repro"])]
+        findings: List[Finding] = []
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg == "task" and isinstance(
+                        keyword.value, ast.Lambda
+                    ):
+                        findings.append(
+                            _finding(
+                                self.rule_id,
+                                file.relpath,
+                                keyword.value,
+                                "lambda passed as task= cannot cross a "
+                                "process boundary (not picklable); use a "
+                                "module-level function or a "
+                                "'module:qualname' reference",
+                            )
+                        )
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                match = _REF_RE.match(node.value)
+                if match is None:
+                    continue
+                module = match.group("module")
+                if not any(
+                    module == prefix or module.startswith(prefix + ".")
+                    for prefix in prefixes
+                ):
+                    continue
+                problem = self._check_ref(
+                    module, match.group("qualname"), config
+                )
+                if problem is not None:
+                    findings.append(
+                        _finding(
+                            self.rule_id,
+                            file.relpath,
+                            node,
+                            f"task reference {node.value!r} {problem}",
+                        )
+                    )
+        return findings
+
+    def _check_ref(
+        self, module: str, qualname: str, config: LintConfig
+    ) -> Optional[str]:
+        """Why the reference is broken, or ``None`` when it resolves."""
+        path = self._index.module_file(module, config)
+        if path is None:
+            return (
+                f"names module {module!r}, which does not exist under the "
+                f"configured source roots {config.source_roots}"
+            )
+        tree = self._index.parse(path)
+        if tree is None:
+            return f"names module {module!r}, which does not parse"
+        if "." in qualname:
+            return (
+                "does not name a top-level function (nested or method "
+                "qualnames cannot be resolved by pool workers)"
+            )
+        if qualname not in self._index.top_level_functions(tree):
+            return (
+                f"does not resolve: {module!r} has no top-level function "
+                f"{qualname!r}"
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Project: registry entries and task-module signatures
+    # ------------------------------------------------------------------
+
+    def check_project(
+        self, files: Dict[str, ParsedFile], config: LintConfig
+    ) -> List[Finding]:
+        options = config.rule(self.rule_id).options
+        findings: List[Finding] = []
+        for registry in options.get("registries", []):
+            file = files.get(str(registry))
+            if file is not None and file.tree is not None:
+                findings.extend(self._check_registry(file, config, options))
+        for task_module in options.get("task_modules", []):
+            file = files.get(str(task_module))
+            if file is not None and file.tree is not None:
+                findings.extend(self._check_task_module(file))
+        return findings
+
+    def _check_registry(
+        self, file: ParsedFile, config: LintConfig, options: Dict[str, object]
+    ) -> List[Finding]:
+        """Every name in the registry list must be imported from a module
+        that really defines it at top level."""
+        assert file.tree is not None
+        list_name = str(options.get("registry_list_name", "_ALL"))
+        findings: List[Finding] = []
+        imported: Dict[str, Tuple[ast.ImportFrom, Optional[Path]]] = {}
+        for node in file.tree.body:
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            source = self._import_source(node, file, config)
+            for alias in node.names:
+                imported[alias.asname or alias.name] = (node, source)
+        local = self._index.top_level_names(file.tree)
+        for node in file.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == list_name
+                for t in node.targets
+            ):
+                continue
+            if not isinstance(node.value, (ast.List, ast.Tuple)):
+                continue
+            for element in node.value.elts:
+                if not isinstance(element, ast.Name):
+                    findings.append(
+                        _finding(
+                            self.rule_id,
+                            file.relpath,
+                            element,
+                            f"registry list {list_name} entries must be "
+                            "plain imported names",
+                        )
+                    )
+                    continue
+                name = element.id
+                if name in imported:
+                    import_node, source = imported[name]
+                    if source is None:
+                        continue  # unresolvable module: out of our tree
+                    tree = self._index.parse(source)
+                    if tree is None:
+                        continue
+                    # The imported name may itself be an alias.
+                    original = next(
+                        (
+                            alias.name
+                            for alias in import_node.names
+                            if (alias.asname or alias.name) == name
+                        ),
+                        name,
+                    )
+                    if original not in self._index.top_level_names(tree):
+                        findings.append(
+                            _finding(
+                                self.rule_id,
+                                file.relpath,
+                                element,
+                                f"registry entry {name!r} is imported from "
+                                f"{source.name!r}, which does not define it "
+                                "at top level",
+                            )
+                        )
+                elif name not in local:
+                    findings.append(
+                        _finding(
+                            self.rule_id,
+                            file.relpath,
+                            element,
+                            f"registry entry {name!r} is neither imported "
+                            "nor defined in this module",
+                        )
+                    )
+        return findings
+
+    def _import_source(
+        self, node: ast.ImportFrom, file: ParsedFile, config: LintConfig
+    ) -> Optional[Path]:
+        """The file an ``from ... import`` pulls from, when locatable."""
+        if node.level > 0:
+            base = file.abspath.parent
+            for _ in range(node.level - 1):
+                base = base.parent
+            if node.module:
+                candidate = base.joinpath(*node.module.split(".")).with_suffix(
+                    ".py"
+                )
+                if candidate.is_file():
+                    return candidate
+                package = base.joinpath(*node.module.split(".")) / "__init__.py"
+                if package.is_file():
+                    return package
+            return None
+        if node.module:
+            return self._index.module_file(node.module, config)
+        return None
+
+    def _check_task_module(self, file: ParsedFile) -> List[Finding]:
+        """Public top-level tasks must accept the scheduler's ``seed=``."""
+        assert file.tree is not None
+        findings: List[Finding] = []
+        for node in file.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            args = node.args
+            names = {a.arg for a in args.args + args.kwonlyargs}
+            if "seed" in names or args.kwarg is not None:
+                continue
+            findings.append(
+                _finding(
+                    self.rule_id,
+                    file.relpath,
+                    node,
+                    f"task {node.name}() does not accept the scheduler's "
+                    "seed= keyword (tasks are called as task(seed=..., "
+                    "**point))",
+                )
+            )
+        return findings

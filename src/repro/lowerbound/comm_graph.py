@@ -90,7 +90,9 @@ class CommunicationGraph:
             roots = [u for u in component if indegree.get(u, 0) == 0]
             if len(roots) != 1:
                 return False
-            if any(indegree.get(u, 0) > 1 for u in component - set(roots)):
+            if any(
+                indegree.get(u, 0) > 1 for u in component if u not in roots
+            ):
                 return False
         return True
 

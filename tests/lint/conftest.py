@@ -1,0 +1,26 @@
+"""Shared helpers for the lint test-suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths, load_config
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def fixture_config() -> LintConfig:
+    """The fixture tree's own ``.reprolint.toml``."""
+    return load_config(FIXTURES / ".reprolint.toml")
+
+
+@pytest.fixture
+def lint_fixture(fixture_config):
+    """Lint one fixture file (or subtree) under the fixture config."""
+
+    def _lint(relpath: str):
+        return lint_paths([FIXTURES / relpath], fixture_config)
+
+    return _lint

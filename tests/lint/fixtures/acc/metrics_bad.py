@@ -1,0 +1,13 @@
+"""ACC001 positive fixture: merge silently drops a counter."""
+
+
+class Metrics:
+    messages_sent: int = 0
+    messages_expired: int = 0  # ACC001: never folded by merge()
+
+    @classmethod
+    def merge(cls, parts):
+        merged = cls()
+        for part in parts:
+            merged.messages_sent += part.messages_sent
+        return merged

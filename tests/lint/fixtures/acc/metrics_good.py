@@ -1,0 +1,16 @@
+"""ACC001 negative fixture: merge covers every declared counter."""
+
+
+class Metrics:
+    messages_sent: int = 0
+    messages_expired: int = 0
+    crashes: int = 0
+
+    @classmethod
+    def merge(cls, parts):
+        merged = cls()
+        for part in parts:
+            merged.messages_sent += part.messages_sent
+            merged.messages_expired += part.messages_expired
+            merged.crashes += part.crashes
+        return merged

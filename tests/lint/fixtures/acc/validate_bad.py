@@ -1,0 +1,6 @@
+"""ACC001 positive fixture: a message counter escapes validation."""
+
+
+def validate(metrics):
+    # messages_expired is never referenced here -> ACC001
+    return metrics.messages_sent >= 0

@@ -1,0 +1,5 @@
+"""ACC001 negative fixture: the validator sees every message counter."""
+
+
+def validate(metrics):
+    return metrics.messages_sent == metrics.messages_expired

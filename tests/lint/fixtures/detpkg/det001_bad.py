@@ -1,0 +1,13 @@
+"""DET001 positive fixture: every ambient nondeterminism source."""
+
+import os
+import random
+import time
+import uuid
+from random import randint  # DET001: banned from-import
+
+SEED = random.random()  # DET001: module-level RNG
+RNG = random.Random()  # DET001: unseeded Random
+NOW = time.time()  # DET001: wall clock
+TOKEN = os.urandom(8)  # DET001: OS entropy
+RUN_ID = uuid.uuid4()  # DET001: entropy-backed uuid

@@ -1,0 +1,15 @@
+"""DET001 negative fixture: disciplined randomness only."""
+
+import random
+import time
+from random import Random  # allowed: the class itself (must be seeded)
+
+
+def draw(rng: random.Random) -> float:
+    """Draws flow from an explicit rng parameter."""
+    return rng.random()
+
+
+SEEDED = random.Random(1234)  # seeded: reproducible
+ALSO_SEEDED = Random(5678)
+MONO = time.monotonic()  # monotonic timers are not behavioural entropy

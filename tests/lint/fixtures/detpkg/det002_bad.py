@@ -1,0 +1,11 @@
+"""DET002 positive fixture: hash-order iteration."""
+
+
+def f(items, other):
+    for x in set(items):  # DET002: bare set() iteration
+        del x
+    literal = [x for x in {1, 2, 3}]  # DET002: set literal comprehension
+    union = [x for x in set(items) | set(other)]  # DET002: set union
+    for i, x in enumerate(frozenset(items)):  # DET002: through enumerate
+        del i, x
+    return literal, union

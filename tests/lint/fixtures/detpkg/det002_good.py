@@ -1,0 +1,12 @@
+"""DET002 negative fixture: ordered or order-free set use."""
+
+
+def f(items):
+    for x in sorted(set(items)):  # sorted: deterministic
+        del x
+    allowed = {1, 2, 3}
+    flags = [x in allowed for x in items]  # membership, not iteration
+    ordered = {"a": 1, "b": 2}
+    for key in ordered:  # dict iteration is insertion-ordered
+        del key
+    return flags

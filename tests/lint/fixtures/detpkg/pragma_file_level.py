@@ -1,0 +1,8 @@
+# repro: lint-ignore-file[DET001] fixture: wall-clock use is pervasive and
+# deliberate in this module
+"""Pragma fixture: file-level suppression."""
+
+import time
+
+FIRST = time.time()
+SECOND = time.time()

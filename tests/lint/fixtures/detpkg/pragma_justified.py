@@ -1,0 +1,9 @@
+"""Pragma fixture: justified suppressions (same-line and line-above)."""
+
+import time
+
+NOW = time.time()  # repro: lint-ignore[DET001] fixture: same-line pragma
+
+# repro: lint-ignore[DET001] fixture: pragma on the comment line above,
+# with the justification running onto a second comment line
+LATER = time.time()

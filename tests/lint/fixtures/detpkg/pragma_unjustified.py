@@ -1,0 +1,5 @@
+"""Pragma fixture: a pragma with no justification suppresses nothing."""
+
+import time
+
+NOW = time.time()  # repro: lint-ignore[DET001]

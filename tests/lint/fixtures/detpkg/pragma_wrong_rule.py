@@ -1,0 +1,5 @@
+"""Pragma fixture: a pragma only suppresses the rules it names."""
+
+import time
+
+NOW = time.time()  # repro: lint-ignore[IO001] names the wrong rule

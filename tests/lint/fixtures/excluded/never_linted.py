@@ -1,0 +1,6 @@
+"""Excluded via [lint] exclude: nothing here is ever reported."""
+
+import random
+
+AMBIENT = random.random()
+print("stdout")

@@ -1,0 +1,11 @@
+"""Target module for PAR001 string-reference fixtures."""
+
+
+def good_task(seed=0, **point):
+    """A resolvable module-level task."""
+    return seed, point
+
+
+class Outer:
+    def inner(self, seed=0):
+        return seed

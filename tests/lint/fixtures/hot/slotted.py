@@ -1,0 +1,19 @@
+"""PERF001 negative fixture: slots, dataclasses, exceptions."""
+
+from dataclasses import dataclass
+
+
+class Packed:
+    __slots__ = ("x",)
+
+    def __init__(self):
+        self.x = 1
+
+
+@dataclass
+class PerRunContainer:  # dataclasses are exempt (3.9: no slots=True)
+    x: int = 0
+
+
+class HotPathError(Exception):  # exception types are exempt
+    pass

@@ -1,0 +1,6 @@
+"""PERF001 positive fixture: a hot-path class without __slots__."""
+
+
+class Hot:  # PERF001: per-instance __dict__ on a hot path
+    def __init__(self):
+        self.x = 1

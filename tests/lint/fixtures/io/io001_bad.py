@@ -1,0 +1,8 @@
+"""IO001 positive fixture: engine code writing to stdout."""
+
+import sys
+
+
+def run():
+    print("progress: 50%")  # IO001: bare print
+    print("progress: 100%", file=sys.stdout)  # IO001: explicit stdout

@@ -1,0 +1,5 @@
+"""IO001 scoping fixture: excluded via [lint.rules.IO001] exclude."""
+
+
+def run():
+    print("this file is a CLI entry point in the fixture config")

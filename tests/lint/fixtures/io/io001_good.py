@@ -1,0 +1,8 @@
+"""IO001 negative fixture: diagnostics routed off stdout."""
+
+import sys
+
+
+def run(handle):
+    print("progress: 50%", file=sys.stderr)
+    print("row", file=handle)  # explicit destination chosen by the caller

@@ -1,0 +1,8 @@
+"""DET rules apply only inside the configured deterministic packages."""
+
+import random
+
+AMBIENT = random.random()  # not flagged: otherpkg is out of scope
+
+for item in set([3, 1, 2]):  # not flagged either
+    del item

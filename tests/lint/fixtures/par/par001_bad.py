@@ -1,0 +1,10 @@
+"""PAR001 positive fixture: unpicklable/unresolvable task refs."""
+
+
+def launch(run):
+    run(task=lambda seed: seed)  # PAR001: lambda task
+
+
+MISSING_REF = "fixmod:missing_task"  # PAR001: no such function
+NESTED_REF = "fixmod:Outer.inner"  # PAR001: not top-level
+NO_MODULE_REF = "fixmod.nowhere:task"  # PAR001: no such module

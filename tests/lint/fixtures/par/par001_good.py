@@ -1,0 +1,9 @@
+"""PAR001 negative fixture: resolvable refs and real callables."""
+
+GOOD_REF = "fixmod:good_task"  # resolves to a top-level def
+UNRELATED = "urn:uuid"  # not under a configured ref prefix: ignored
+PROSE = "module:qualname"  # docstring-style example: ignored
+
+
+def launch(run, task_fn):
+    run(task=task_fn)  # a named callable is fine

@@ -1,0 +1,17 @@
+"""PAR001 task-module fixture: tasks must accept ``seed=``."""
+
+
+def no_seed_task(value):  # PAR001: scheduler calls task(seed=..., **point)
+    return value
+
+
+def seeded_task(seed=0, **point):
+    return seed, point
+
+
+def kwargs_task(**kwargs):  # fine: absorbs seed via **kwargs
+    return kwargs
+
+
+def _private_helper(value):  # fine: not a public task
+    return value

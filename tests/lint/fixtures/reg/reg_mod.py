@@ -1,0 +1,4 @@
+"""Source module for the registry fixtures."""
+
+E_GOOD = object()
+E_ALIASED = object()

@@ -1,0 +1,5 @@
+"""PAR001 registry fixture: entries that do not resolve."""
+
+from .reg_mod import E_MISSING  # reg_mod does not define this
+
+_ALL = [E_MISSING, E_UNDEFINED]  # noqa: F821 - deliberately dangling

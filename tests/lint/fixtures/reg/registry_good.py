@@ -1,0 +1,8 @@
+"""PAR001 registry fixture: every entry imported and defined."""
+
+from .reg_mod import E_GOOD
+from .reg_mod import E_ALIASED as E_LOCAL
+
+E_INLINE = object()
+
+_ALL = [E_GOOD, E_LOCAL, E_INLINE]

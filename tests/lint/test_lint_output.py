@@ -1,0 +1,101 @@
+"""JSON report schema and the ``repro lint`` CLI surface."""
+
+import json
+
+from repro.cli import main
+
+from .conftest import FIXTURES
+
+CONFIG = str(FIXTURES / ".reprolint.toml")
+
+
+def _lint_cli(*argv):
+    return main(["lint", *argv])
+
+
+# ----------------------------------------------------------------------
+# JSON schema
+# ----------------------------------------------------------------------
+
+
+def test_json_schema(lint_fixture):
+    report = lint_fixture("detpkg/det001_bad.py")
+    data = json.loads(report.render_json())
+    assert set(data) == {"version", "root", "files_checked", "findings", "summary"}
+    assert data["version"] == 1
+    assert data["files_checked"] == 1
+    assert set(data["summary"]) == {"total", "by_rule"}
+    assert data["summary"]["total"] == len(data["findings"]) == 6
+    assert data["summary"]["by_rule"] == {"DET001": 6}
+    for finding in data["findings"]:
+        assert set(finding) == {"rule", "severity", "path", "line", "col", "message"}
+        assert finding["severity"] == "error"
+        assert isinstance(finding["line"], int) and finding["line"] >= 1
+        assert isinstance(finding["col"], int) and finding["col"] >= 1
+
+
+def test_json_output_is_stable(lint_fixture):
+    first = lint_fixture("detpkg/det001_bad.py").render_json()
+    second = lint_fixture("detpkg/det001_bad.py").render_json()
+    assert first == second
+
+
+def test_text_rendering(lint_fixture):
+    clean = lint_fixture("detpkg/det001_good.py").render_text()
+    assert "clean" in clean and "0 findings" in clean
+    dirty = lint_fixture("detpkg/det001_bad.py").render_text()
+    assert "DET001 error:" in dirty
+    assert "6 finding(s)" in dirty
+    assert "DET001=6" in dirty
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes and output
+# ----------------------------------------------------------------------
+
+
+def test_cli_clean_exits_zero(capsys):
+    target = str(FIXTURES / "detpkg" / "det001_good.py")
+    assert _lint_cli(target, "--config", CONFIG) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_findings_exit_one(capsys):
+    target = str(FIXTURES / "detpkg" / "det001_bad.py")
+    assert _lint_cli(target, "--config", CONFIG) == 1
+    assert "DET001" in capsys.readouterr().out
+
+
+def test_cli_config_error_exits_two(capsys, tmp_path):
+    target = str(FIXTURES / "detpkg" / "det001_good.py")
+    assert _lint_cli(target, "--config", str(tmp_path / "missing.toml")) == 2
+    assert "repro lint:" in capsys.readouterr().err
+
+    broken = tmp_path / ".reprolint.toml"
+    broken.write_text("[lint]\ndeterministic = 7\n", encoding="utf-8")
+    assert _lint_cli(target, "--config", str(broken)) == 2
+
+
+def test_cli_missing_target_exits_two(capsys):
+    # A typo'd path must not silently pass (exit 0 / zero files).
+    missing = str(FIXTURES / "detpkg" / "does_not_exist.py")
+    assert _lint_cli(missing, "--config", CONFIG) == 2
+    assert "no such lint target" in capsys.readouterr().err
+
+
+def test_cli_json_format(capsys):
+    target = str(FIXTURES / "detpkg" / "det001_bad.py")
+    assert _lint_cli(target, "--config", CONFIG, "--format", "json") == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["summary"]["by_rule"] == {"DET001": 6}
+
+
+def test_cli_output_file(capsys, tmp_path):
+    out = tmp_path / "lint-report.json"
+    target = str(FIXTURES / "detpkg" / "det001_bad.py")
+    # --output writes the JSON report even in text format mode.
+    assert _lint_cli(target, "--config", CONFIG, "--output", str(out)) == 1
+    capsys.readouterr()
+    data = json.loads(out.read_text(encoding="utf-8"))
+    assert data["version"] == 1
+    assert data["summary"]["total"] == 6

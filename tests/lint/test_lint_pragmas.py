@@ -1,0 +1,60 @@
+"""Suppression pragma behaviour: justification required, scoping exact."""
+
+from repro.lint import Suppressions
+
+
+def test_justified_pragmas_suppress(lint_fixture):
+    # Same-line and comment-line-above pragmas, both with justifications.
+    assert lint_fixture("detpkg/pragma_justified.py").clean
+
+
+def test_unjustified_pragma_suppresses_nothing(lint_fixture):
+    report = lint_fixture("detpkg/pragma_unjustified.py")
+    rules = sorted(finding.rule for finding in report.findings)
+    # The DET001 finding survives AND the bad pragma is itself reported.
+    assert rules == ["DET001", "LINT001"]
+    lint001 = next(f for f in report.findings if f.rule == "LINT001")
+    assert "justification" in lint001.message
+
+
+def test_pragma_only_names_its_rules(lint_fixture):
+    report = lint_fixture("detpkg/pragma_wrong_rule.py")
+    assert [f.rule for f in report.findings] == ["DET001"]
+
+
+def test_file_level_pragma(lint_fixture):
+    assert lint_fixture("detpkg/pragma_file_level.py").clean
+
+
+def test_pragma_in_string_literal_is_inert():
+    source = 'PRAGMA = "# repro: lint-ignore[DET001] not a real comment"\n'
+    suppressions = Suppressions.from_source(source)
+    assert not suppressions.lines
+    assert not suppressions.file_rules
+    assert not suppressions.bad
+
+
+def test_multiline_comment_pragma_reaches_next_code_line():
+    source = (
+        "import time\n"
+        "# repro: lint-ignore[DET001] reason line one\n"
+        "# continuing the reason on line two\n"
+        "NOW = time.time()\n"
+    )
+    suppressions = Suppressions.from_source(source)
+    assert suppressions.suppressed("DET001", 4)
+    assert not suppressions.suppressed("DET001", 1)
+
+
+def test_pragma_may_name_several_rules():
+    source = "x = 1  # repro: lint-ignore[DET001, IO001] two rules, one reason\n"
+    suppressions = Suppressions.from_source(source)
+    assert suppressions.suppressed("DET001", 1)
+    assert suppressions.suppressed("IO001", 1)
+    assert not suppressions.suppressed("PERF001", 1)
+
+
+def test_lint001_cannot_be_pragmad_away():
+    source = "x = 1  # repro: lint-ignore[LINT001] self-referential\n"
+    suppressions = Suppressions.from_source(source)
+    assert not suppressions.suppressed("LINT001", 1)

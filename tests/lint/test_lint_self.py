@@ -1,0 +1,30 @@
+"""The tree must pass its own linter — and the CI canary must fail it."""
+
+import shutil
+
+from repro.lint import lint_paths, load_config
+
+from .conftest import REPO_ROOT
+
+
+def test_repo_src_is_lint_clean():
+    """``repro lint src/`` is clean in-tree (every pragma justified)."""
+    config = load_config(REPO_ROOT / ".reprolint.toml")
+    report = lint_paths([REPO_ROOT / "src"], config)
+    assert report.files, "expected src/ to contain lintable files"
+    assert report.clean, "\n" + report.render_text()
+
+
+def test_injected_nondeterminism_fails_lint(tmp_path):
+    """The CI canary: ambient randomness in sim/ must flip lint to red."""
+    shutil.copy(REPO_ROOT / ".reprolint.toml", tmp_path / ".reprolint.toml")
+    sim = tmp_path / "src" / "repro" / "sim"
+    sim.mkdir(parents=True)
+    node = sim / "node.py"
+    node.write_text("import random\n\nJITTER = random.random()\n", encoding="utf-8")
+
+    config = load_config(tmp_path / ".reprolint.toml")
+    report = lint_paths([tmp_path / "src"], config)
+    assert report.exit_code == 1
+    assert [f.rule for f in report.findings] == ["DET001"]
+    assert report.findings[0].path == "src/repro/sim/node.py"
