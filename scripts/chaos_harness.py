@@ -1,0 +1,320 @@
+#!/usr/bin/env python3
+"""Chaos harness for the supervision layer (docs/RESILIENCE.md).
+
+Proves, end to end and against the real CLI, that a supervised campaign
+survives the failure modes it advertises:
+
+* **Scenario A — worker murder.**  Run ``repro sweep --jobs 2`` and
+  ``kill -9`` at least two of its pool workers mid-sweep.  The campaign
+  must finish on its own, its ``--out`` aggregates must be
+  byte-identical (canonical JSON) to an untouched ``--jobs 1`` reference
+  run, and ``repro report`` must show the pool rebuilds.
+* **Scenario B — parent murder + resume.**  Run a second campaign,
+  SIGTERM the *parent* mid-sweep (expect exit 130), then rerun with
+  ``--resume``.  The resumed aggregates must again be byte-identical to
+  the serial reference.
+* **Journal audit.**  ``repro journal fsck`` must report every journal
+  clean; the combined fsck reports are written to ``--fsck-out`` for CI
+  artifact upload.
+
+Exits 0 when every check passes, 1 otherwise.  Linux-only (worker
+discovery walks /proc).
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def log(message):
+    print(f"[chaos-harness] {message}", file=sys.stderr, flush=True)
+
+
+def repro_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    env["PYTHONHASHSEED"] = "0"
+    return env
+
+
+def sweep_argv(args, journal, out, jobs, resume=False):
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "sweep",
+        "--task",
+        "election",
+        "--n",
+        args.n,
+        "--alpha",
+        "0.5",
+        "--trials",
+        str(args.trials),
+        "--seed",
+        str(args.seed),
+        "--jobs",
+        str(jobs),
+        "--journal",
+        str(journal),
+        "--out",
+        str(out),
+    ]
+    if resume:
+        argv.append("--resume")
+    return argv
+
+
+def canonical_out(path):
+    """The --out payload in canonical bytes (key order normalised)."""
+    with open(path) as handle:
+        return json.dumps(json.load(handle), sort_keys=True).encode()
+
+
+def worker_pids(parent_pid):
+    """Pool-worker children of ``parent_pid`` (resource tracker excluded)."""
+    children_path = Path(f"/proc/{parent_pid}/task/{parent_pid}/children")
+    try:
+        pids = [int(p) for p in children_path.read_text().split()]
+    except (OSError, ValueError):
+        return []
+    workers = []
+    for pid in pids:
+        try:
+            cmdline = Path(f"/proc/{pid}/cmdline").read_bytes()
+        except OSError:
+            continue
+        if b"resource_tracker" not in cmdline and b"semaphore_tracker" not in cmdline:
+            workers.append(pid)
+    return workers
+
+
+def journal_lines(path):
+    try:
+        return Path(path).read_bytes().count(b"\n")
+    except OSError:
+        return 0
+
+
+def run_reference(args, workdir):
+    out = workdir / "reference.json"
+    log(f"reference run (jobs=1): {args.n} x {args.trials} trials")
+    result = subprocess.run(
+        sweep_argv(args, workdir / "reference.jsonl", out, jobs=1),
+        env=repro_env(),
+        stdout=subprocess.DEVNULL,
+        cwd=ROOT,
+    )
+    log(f"reference run finished with exit code {result.returncode}")
+    return out, result.returncode
+
+
+def scenario_worker_murder(args, workdir, reference):
+    """Scenario A: kill -9 pool workers; campaign must still finish."""
+    journal = workdir / "workers.jsonl"
+    out = workdir / "workers.json"
+    proc = subprocess.Popen(
+        sweep_argv(args, journal, out, jobs=2),
+        env=repro_env(),
+        stdout=subprocess.DEVNULL,
+        cwd=ROOT,
+    )
+    killed = []
+    deadline = time.monotonic() + args.scenario_timeout
+    while proc.poll() is None and time.monotonic() < deadline:
+        if len(killed) >= args.kills:
+            time.sleep(0.2)
+            continue
+        # Let the campaign make some progress between murders.
+        if journal_lines(journal) < 2 + len(killed) * 2:
+            time.sleep(0.1)
+            continue
+        for pid in worker_pids(proc.pid):
+            if pid not in killed:
+                os.kill(pid, signal.SIGKILL)
+                killed.append(pid)
+                log(f"killed worker {pid} (kill {len(killed)}/{args.kills})")
+                break
+        time.sleep(0.3)
+    try:
+        returncode = proc.wait(timeout=args.scenario_timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        return fail("scenario A: supervised sweep never finished")
+
+    ok = True
+    if len(killed) < args.kills:
+        ok = fail(
+            f"scenario A: only {len(killed)}/{args.kills} workers killed "
+            "— campaign too short, raise --trials"
+        )
+    reference_out, reference_rc = reference
+    if returncode != reference_rc:
+        ok = fail(
+            f"scenario A: exit code {returncode} != reference {reference_rc}"
+        )
+    elif canonical_out(out) != canonical_out(reference_out):
+        ok = fail("scenario A: aggregates differ from the serial reference")
+    else:
+        log("scenario A: aggregates byte-identical to the serial reference")
+
+    report = subprocess.run(
+        [sys.executable, "-m", "repro", "report", str(journal)],
+        env=repro_env(),
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    if "pool rebuilds" not in report.stdout:
+        ok = fail("scenario A: `repro report` shows no supervision section")
+    else:
+        supervision = [
+            line.strip()
+            for line in report.stdout.splitlines()
+            if "rebuild" in line or "redispatched" in line or "deaths" in line
+        ]
+        log("scenario A report: " + "; ".join(supervision))
+    return ok, journal
+
+
+def scenario_parent_murder(args, workdir, reference):
+    """Scenario B: SIGTERM the parent, then --resume to completion."""
+    journal = workdir / "parent.jsonl"
+    out = workdir / "parent.json"
+    proc = subprocess.Popen(
+        sweep_argv(args, journal, out, jobs=2),
+        env=repro_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=ROOT,
+    )
+    deadline = time.monotonic() + args.scenario_timeout
+    while proc.poll() is None and time.monotonic() < deadline:
+        if journal_lines(journal) >= 3:
+            break
+        time.sleep(0.05)
+    interrupted = proc.poll() is None
+    if interrupted:
+        proc.send_signal(signal.SIGTERM)
+        log(f"sent SIGTERM to parent {proc.pid}")
+    _, stderr = proc.communicate(timeout=args.scenario_timeout)
+
+    ok = True
+    if interrupted:
+        if proc.returncode != 130:
+            ok = fail(
+                f"scenario B: interrupted parent exited {proc.returncode},"
+                " expected 130"
+            )
+        if "--resume" not in stderr:
+            ok = fail("scenario B: interrupt message does not advertise --resume")
+        log("parent exited 130; resuming the campaign")
+        resumed = subprocess.run(
+            sweep_argv(args, journal, out, jobs=2, resume=True),
+            env=repro_env(),
+            stdout=subprocess.DEVNULL,
+            cwd=ROOT,
+            timeout=args.scenario_timeout,
+        )
+        returncode = resumed.returncode
+    else:
+        ok = fail("scenario B: campaign finished before SIGTERM — raise --trials")
+        returncode = proc.returncode
+
+    reference_out, reference_rc = reference
+    if returncode != reference_rc:
+        ok = fail(
+            f"scenario B: exit code {returncode} != reference {reference_rc}"
+        )
+    elif canonical_out(out) != canonical_out(reference_out):
+        ok = fail("scenario B: resumed aggregates differ from the reference")
+    else:
+        log("scenario B: resumed aggregates byte-identical to the reference")
+    return ok, journal
+
+
+def fsck_all(journals, fsck_out):
+    reports = []
+    ok = True
+    for journal in journals:
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "journal",
+                "fsck",
+                str(journal),
+                "--format",
+                "json",
+            ],
+            env=repro_env(),
+            capture_output=True,
+            text=True,
+            cwd=ROOT,
+        )
+        try:
+            report = json.loads(result.stdout)
+        except json.JSONDecodeError:
+            ok = fail(f"fsck produced no JSON for {journal}: {result.stderr}")
+            continue
+        reports.append(report)
+        if not report.get("clean"):
+            ok = fail(f"fsck: {journal} is not clean: {report}")
+        else:
+            log(
+                f"fsck clean: {Path(journal).name}"
+                f" ({report['verified']} verified records)"
+            )
+    Path(fsck_out).write_text(json.dumps(reports, indent=2, sort_keys=True))
+    log(f"wrote fsck reports to {fsck_out}")
+    return ok
+
+
+def fail(message):
+    log(f"FAIL: {message}")
+    return False
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", default="96,128", help="sweep n axis")
+    parser.add_argument("--trials", type=int, default=10, help="trials per point")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--kills", type=int, default=2, help="workers to kill -9")
+    parser.add_argument("--workdir", default="chaos-harness-work")
+    parser.add_argument("--fsck-out", default="chaos-fsck.json")
+    parser.add_argument("--scenario-timeout", type=float, default=600.0)
+    args = parser.parse_args()
+
+    if not sys.platform.startswith("linux"):
+        log("SKIP: worker discovery requires /proc (Linux)")
+        return 0
+
+    workdir = Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    reference = run_reference(args, workdir)
+    ok_a, journal_a = scenario_worker_murder(args, workdir, reference)
+    ok_b, journal_b = scenario_parent_murder(args, workdir, reference)
+    ok_fsck = fsck_all(
+        [workdir / "reference.jsonl", journal_a, journal_b], args.fsck_out
+    )
+
+    if ok_a and ok_b and ok_fsck:
+        log("all scenarios passed")
+        return 0
+    log("chaos harness FAILED")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

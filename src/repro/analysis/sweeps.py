@@ -166,6 +166,9 @@ class ResilientSweepResult:
     points: List[SweepPoint] = field(default_factory=list)
     #: Outcomes of trials that did not produce a result.
     failures: List[Any] = field(default_factory=list)
+    #: :class:`~repro.parallel.supervisor.SupervisorStats` of the parallel
+    #: run (``None`` for serial sweeps or when nothing was supervised).
+    supervisor: Optional[Any] = None
 
     @property
     def attempted(self) -> int:
@@ -189,12 +192,26 @@ class ResilientSweepResult:
         return [(p.point, p.results) for p in self.points]
 
     def counts(self) -> Dict[str, int]:
-        """Headline accounting for tables and logs."""
-        return {
+        """Headline accounting for tables and logs.
+
+        When the parallel supervisor had to intervene (pool rebuilds,
+        worker deaths, redispatches), its counters ride along so campaign
+        summaries show *how* the numbers were reached.
+        """
+        counts = {
             "attempted": self.attempted,
             "completed": self.completed,
             "failed": self.failed,
         }
+        if self.supervisor is not None and self.supervisor.eventful:
+            counts.update(
+                {
+                    key: value
+                    for key, value in self.supervisor.as_dict().items()
+                    if isinstance(value, int) and value
+                }
+            )
+        return counts
 
 
 def _trial_key(combo_index: int, point: Mapping[str, Any], trial: int) -> str:
@@ -217,6 +234,7 @@ def resilient_sweep(
     jobs: int = 1,
     progress: ProgressSpec = False,
     manifest: Optional[Manifest] = None,
+    shutdown: Optional[Any] = None,
 ) -> ResilientSweepResult:
     """Cross ``grid`` like :func:`sweep`, but never die on a bad trial.
 
@@ -242,6 +260,15 @@ def resilient_sweep(
     file alone is enough for ``repro report``; on resume the new
     invocation's manifest is appended too, documenting every run that
     touched the journal.
+
+    ``shutdown`` (a :class:`~repro.parallel.GracefulShutdown`) lets
+    SIGINT/SIGTERM stop the campaign at the next trial boundary:
+    :class:`~repro.errors.CampaignInterrupted` propagates with the
+    journal flushed, so the same invocation with ``resume=True``
+    continues from exactly where it stopped.  The parallel path runs
+    under a :class:`~repro.parallel.PoolSupervisor` (worker kills, hung
+    pools, and missed deadlines rebuild the pool and redispatch in-flight
+    chunks); its counters land on the result's ``supervisor`` field.
     """
     from ..exec import Journal, ResilientExecutor, RetryPolicy
     from ..parallel import TrialSpec, run_trials_resilient
@@ -283,10 +310,10 @@ def resilient_sweep(
                 )
             )
     trial_outcomes = run_trials_resilient(
-        specs, jobs=jobs, executor=executor, progress=progress
+        specs, jobs=jobs, executor=executor, progress=progress, shutdown=shutdown
     )
 
-    outcome = ResilientSweepResult()
+    outcome = ResilientSweepResult(supervisor=executor.last_supervisor_stats)
     for combo_index, point in enumerate(points):
         sweep_point = SweepPoint(point=point)
         for trial_outcome in trial_outcomes[

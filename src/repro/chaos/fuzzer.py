@@ -26,7 +26,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.runner import agree, elect_leader
 from ..core.schedule import AgreementSchedule, LeaderElectionSchedule
-from ..errors import ConfigurationError, ReproError
+from ..errors import ConfigurationError, ReproError, TrialFailed
 from ..faults.adversary import Adversary
 from ..obs.progress import ProgressSpec, ensure_progress
 from ..obs.provenance import Manifest
@@ -390,7 +390,15 @@ def fuzz(
                 )
                 for spec_index, (scenario, trial_seed) in enumerate(pairs)
             ]
-            payloads = run_trials(specs, jobs=workers)
+            try:
+                payloads = run_trials(specs, jobs=workers)
+            except TrialFailed:
+                # Pool-level failure (a worker died, or a trial raised
+                # outside the oracle net): redo the wave serially so the
+                # campaign keeps its seed-for-seed accounting instead of
+                # dying mid-fuzz.  A deterministic trial error reproduces
+                # here with full context, exactly as under jobs=1.
+                payloads = [spec.run() for spec in specs]
             for (scenario, trial_seed), payload in zip(pairs, payloads):
                 case = (
                     None

@@ -20,9 +20,14 @@ Commands
 ``replay script.json [--protocol election] [--seed 0]``
     Re-run a recorded crash script deterministically.
 ``report campaign.jsonl``
-    Render a campaign's provenance manifest, journal counts, and merged
-    metrics (without the positional argument, ``report`` keeps its
-    classic behaviour: run all experiments and write EXPERIMENTS.md).
+    Render a campaign's provenance manifest, journal counts, supervision
+    events, and merged metrics (without the positional argument,
+    ``report`` keeps its classic behaviour: run all experiments and
+    write EXPERIMENTS.md).
+``journal fsck campaign.jsonl [--repair]``
+    Verify a checkpoint journal's per-record checksums and sequence
+    numbers; ``--repair`` quarantines corrupt lines into a ``.corrupt``
+    sidecar and rewrites the journal atomically.
 ``lint [paths ...] [--format text|json]``
     Run the project's AST-based determinism & invariant linter
     (``docs/LINT.md``) over ``paths`` (default ``src``).  Exit 0 when
@@ -30,7 +35,11 @@ Commands
 
 ``--jobs N`` fans trials out over N worker processes; ``--jobs 0``
 auto-detects the core count.  Results are deterministic and identical
-to ``--jobs 1`` for the same seed.
+to ``--jobs 1`` for the same seed.  Parallel resilient campaigns run
+supervised (see ``docs/RESILIENCE.md``): killed workers and hung pools
+are rebuilt and their chunks redispatched, and Ctrl-C / SIGTERM stops at
+a trial boundary with a resumable journal (exit code 130; rerun with
+``--resume``).
 
 Observability (see ``docs/OBSERVABILITY.md``): ``--progress`` adds a
 stderr heartbeat to ``run``/``sweep``/``fuzz``; every ``sweep`` and
@@ -82,17 +91,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             extra={"journal": journal},
         )
         manifest.write(f"{journal}.manifest.json")
-        reports, counts = run_experiments_resilient(
-            experiments,
-            quick=args.quick,
-            journal_path=journal,
-            resume=args.resume,
-            timeout_seconds=args.trial_timeout,
-            retries=args.retries,
-            jobs=args.jobs,
-            progress=args.progress,
-            manifest=manifest,
-        )
+        from .parallel import GracefulShutdown
+
+        with GracefulShutdown() as shutdown:
+            reports, counts = run_experiments_resilient(
+                experiments,
+                quick=args.quick,
+                journal_path=journal,
+                resume=args.resume,
+                timeout_seconds=args.trial_timeout,
+                retries=args.retries,
+                jobs=args.jobs,
+                progress=args.progress,
+                manifest=manifest,
+                shutdown=shutdown,
+            )
         failed = 0
         for report in reports:
             print(report.render())
@@ -103,6 +116,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f" {counts['completed']} completed, {counts['failed']} failed"
             f" (journal: {journal})"
         )
+        _print_supervision(counts)
     else:
         failed = 0
         reports = []
@@ -117,6 +131,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
             json.dump([r.to_dict() for r in reports], handle, indent=2, default=str)
         print(f"wrote {args.json}")
     return 1 if failed else 0
+
+
+def _print_supervision(counts: dict) -> None:
+    """Print supervisor counters when the pool had to be rescued."""
+    extra = {
+        key: value
+        for key, value in counts.items()
+        if key not in ("attempted", "completed", "failed")
+    }
+    if extra:
+        print(
+            "supervision: "
+            + ", ".join(f"{key}={value}" for key, value in sorted(extra.items()))
+        )
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -238,9 +266,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "alpha": _parse_axis(args.alpha, float),
         "adversary": _parse_axis(args.adversary, str),
     }
+    resilient = (
+        args.resume
+        or args.journal is not None
+        or args.trial_timeout is not None
+        or args.retries > 0
+    )
+    journal = (
+        (args.journal or ".repro-sweep.journal.jsonl") if resilient else None
+    )
     manifest_path = args.manifest or (
         f"{args.out}.manifest.json" if args.out else "repro-sweep.manifest.json"
     )
+    extra = {}
+    if args.out:
+        extra["out"] = args.out
+    if journal:
+        extra["journal"] = journal
     manifest = capture_manifest(
         command="sweep",
         master_seed=args.seed,
@@ -250,20 +292,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "trials": args.trials,
             "jobs": args.jobs,
             "profile": args.profile,
+            "retries": args.retries,
+            "trial_timeout": args.trial_timeout,
+            "resume": args.resume,
         },
-        extra={"out": args.out} if args.out else None,
+        extra=extra or None,
     )
     manifest.write(manifest_path)
-    rows = sweep(
-        task,
-        grid,
-        trials=args.trials,
-        master_seed=args.seed,
-        jobs=args.jobs,
-        progress=args.progress,
-    )
+    sweep_counts = None
+    if resilient:
+        from .analysis.sweeps import resilient_sweep
+        from .parallel import GracefulShutdown
+
+        with GracefulShutdown() as shutdown:
+            result = resilient_sweep(
+                task,
+                grid,
+                trials=args.trials,
+                master_seed=args.seed,
+                journal_path=journal,
+                resume=args.resume,
+                timeout_seconds=args.trial_timeout,
+                retries=args.retries,
+                jobs=args.jobs,
+                progress=args.progress,
+                manifest=manifest,
+                shutdown=shutdown,
+            )
+        rows = result.rows()
+        sweep_counts = result.counts()
+    else:
+        rows = sweep(
+            task,
+            grid,
+            trials=args.trials,
+            master_seed=args.seed,
+            jobs=args.jobs,
+            progress=args.progress,
+        )
 
     def reduce(results: List[dict]) -> dict:
+        if not results:
+            # Every trial of this point failed (resilient mode keeps the
+            # row with its accounting instead of crashing the reduce).
+            return {
+                "trials": 0,
+                "success_rate": 0.0,
+                "mean_messages": 0,
+                "max_messages": 0,
+                "mean_rounds": 0,
+            }
         row = {
             "trials": len(results),
             "success_rate": round(
@@ -285,6 +363,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     aggregated = collect(rows, reduce)
     print(format_table(aggregated, title=f"{args.task} sweep (jobs={args.jobs})"))
+    if sweep_counts is not None:
+        print(
+            f"trials: {sweep_counts['attempted']} attempted,"
+            f" {sweep_counts['completed']} completed,"
+            f" {sweep_counts['failed']} failed (journal: {journal})"
+        )
+        _print_supervision(sweep_counts)
     if args.out:
         with open(args.out, "w") as handle:
             json.dump(
@@ -369,6 +454,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
         handle.write(markdown)
     print(f"wrote {args.output}")
     return 0 if "**FAIL**" not in markdown else 1
+
+
+def _cmd_journal_fsck(args: argparse.Namespace) -> int:
+    from .exec import fsck_journal
+
+    try:
+        report = fsck_journal(args.path, repair=args.repair)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.output is not None:
+        with open(args.output, "w") as handle:
+            handle.write(json.dumps(report.as_dict(), indent=2) + "\n")
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    # After a repair the journal is clean by construction (corrupt lines
+    # are quarantined into the sidecar); without one, findings exit 1.
+    return 0 if report.clean or args.repair else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -502,6 +607,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="provenance manifest path (default <out>.manifest.json or "
         "repro-sweep.manifest.json)",
     )
+    sweep_cmd.add_argument(
+        "--journal",
+        default=None,
+        help="checkpoint journal path; enables the resilient, supervised "
+        "sweep (default .repro-sweep.journal.jsonl when resilient flags "
+        "are used)",
+    )
+    sweep_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip trials already completed in the checkpoint journal "
+        "(continue an interrupted sweep)",
+    )
+    sweep_cmd.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-trial wall-clock budget (also arms hung-pool deadlines)",
+    )
+    sweep_cmd.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retries per trial with derived seeds and backoff",
+    )
     sweep_cmd.set_defaults(func=_cmd_sweep)
 
     fuzz_cmd = sub.add_parser(
@@ -607,6 +738,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.set_defaults(func=_cmd_report)
 
+    journal_cmd = sub.add_parser(
+        "journal", help="checkpoint-journal maintenance (docs/RESILIENCE.md)"
+    )
+    journal_sub = journal_cmd.add_subparsers(dest="journal_command", required=True)
+    fsck = journal_sub.add_parser(
+        "fsck",
+        help="verify per-record checksums/sequence numbers, optionally "
+        "quarantine corrupt lines",
+    )
+    fsck.add_argument("path", help="journal (.jsonl) to check")
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="move corrupt lines to <journal>.corrupt and rewrite the "
+        "journal atomically",
+    )
+    fsck.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout",
+    )
+    fsck.add_argument(
+        "--output",
+        default=None,
+        help="also write the JSON report to this path (for CI artifacts)",
+    )
+    fsck.set_defaults(func=_cmd_journal_fsck)
+
     lint = sub.add_parser(
         "lint",
         help="AST-based determinism & invariant linter (docs/LINT.md)",
@@ -640,9 +800,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
+    from .errors import CampaignInterrupted
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CampaignInterrupted as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        # Conventional "terminated by signal" exit status; scripts (and
+        # the chaos harness) key resumability off it.
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

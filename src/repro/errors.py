@@ -35,12 +35,26 @@ class TrialFailed(ReproError):
     """A harness trial raised (or kept raising after retries).
 
     Wraps the underlying exception; :attr:`attempts` counts how many times
-    the trial was tried before giving up.
+    the trial was tried before giving up.  When the failure crossed a
+    process boundary the wrapper also carries *where* it happened:
+    :attr:`trial_index` (position in the campaign), :attr:`spec` (the
+    :class:`~repro.parallel.spec.TrialSpec`, when known), and
+    :attr:`worker_pid` (the pool worker that ran it).
     """
 
-    def __init__(self, message: str, attempts: int = 1) -> None:
+    def __init__(
+        self,
+        message: str,
+        attempts: int = 1,
+        trial_index: "int | None" = None,
+        spec: "object | None" = None,
+        worker_pid: "int | None" = None,
+    ) -> None:
         super().__init__(message)
         self.attempts = attempts
+        self.trial_index = trial_index
+        self.spec = spec
+        self.worker_pid = worker_pid
 
 
 class TrialTimeout(TrialFailed):
@@ -49,3 +63,17 @@ class TrialTimeout(TrialFailed):
 
 class OracleViolation(ReproError):
     """A fuzzed run broke a protocol-level safety oracle (see repro.chaos)."""
+
+
+class CampaignInterrupted(ReproError):
+    """The parent caught SIGINT/SIGTERM and stopped at a trial boundary.
+
+    The checkpoint journal (when one was configured) is flushed and
+    consistent, so the campaign resumes with ``--resume`` from exactly
+    the trials that had not completed.  :attr:`signum` is the signal that
+    triggered the shutdown (``None`` for programmatic requests).
+    """
+
+    def __init__(self, message: str, signum: "int | None" = None) -> None:
+        super().__init__(message)
+        self.signum = signum

@@ -22,12 +22,13 @@ from .executor import (
     TrialOutcome,
     default_serialize,
 )
-from .journal import Journal, open_journal
+from .journal import FsckReport, Journal, fsck_journal, open_journal
 from .retry import RetryPolicy
 from .timeout import call_with_timeout, timeouts_supported
 
 __all__ = [
     "FAILED",
+    "FsckReport",
     "OK",
     "QUARANTINED",
     "RESUMED",
@@ -39,6 +40,7 @@ __all__ = [
     "TrialOutcome",
     "call_with_timeout",
     "default_serialize",
+    "fsck_journal",
     "open_journal",
     "timeouts_supported",
 ]

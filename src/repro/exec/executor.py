@@ -127,6 +127,9 @@ class ResilientExecutor:
         self.serialize = serialize
         #: key -> journalled record, loaded by :meth:`load_completed`.
         self.completed: Dict[str, Dict[str, Any]] = {}
+        #: Stats of the last supervised parallel run (see
+        #: :mod:`repro.parallel.supervisor`); ``None`` until one happened.
+        self.last_supervisor_stats: Optional[Any] = None
 
     # -- resume ----------------------------------------------------------
 

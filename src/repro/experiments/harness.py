@@ -158,6 +158,7 @@ def run_experiments_resilient(
     jobs: int = 1,
     progress: Any = False,
     manifest: Optional[Any] = None,
+    shutdown: Optional[Any] = None,
 ) -> Tuple[List[ExperimentReport], Dict[str, int]]:
     """Run a batch of experiments under the resilient executor.
 
@@ -174,10 +175,15 @@ def run_experiments_resilient(
 
     ``progress=True`` emits a stderr heartbeat; ``manifest`` (a
     :class:`repro.obs.Manifest`) is embedded in the journal so the
-    campaign file is self-describing for ``repro report``.
+    campaign file is self-describing for ``repro report``.  ``shutdown``
+    (a :class:`~repro.parallel.GracefulShutdown`) stops the batch at the
+    next experiment boundary on SIGINT/SIGTERM, leaving a resumable
+    journal.
 
     Returns ``(reports, counts)`` with counts keyed
-    ``attempted/completed/failed``.
+    ``attempted/completed/failed`` — plus the parallel supervisor's
+    counters (``pool_rebuilds``, ``worker_deaths``, ...) whenever it had
+    to intervene.
     """
     from ..exec import Journal, ResilientExecutor, RetryPolicy
     from ..parallel import TrialSpec, resolve_jobs, run_trials_resilient
@@ -225,7 +231,7 @@ def run_experiments_resilient(
             for index, experiment in enumerate(experiments)
         ]
     outcomes = run_trials_resilient(
-        specs, jobs=jobs, executor=executor, progress=progress
+        specs, jobs=jobs, executor=executor, progress=progress, shutdown=shutdown
     )
 
     reports: List[ExperimentReport] = []
@@ -242,4 +248,13 @@ def run_experiments_resilient(
         else:
             counts["failed"] += 1
             reports.append(_failure_report(experiment, outcome))
+    stats = executor.last_supervisor_stats
+    if stats is not None and stats.eventful:
+        counts.update(
+            {
+                key: value
+                for key, value in stats.as_dict().items()
+                if isinstance(value, int) and value
+            }
+        )
     return reports, counts

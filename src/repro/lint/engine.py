@@ -218,6 +218,7 @@ def build_rules() -> List[object]:
     """Fresh rule instances (rules may cache parsed modules per run)."""
     from .rules_accounting import MergeDriftRule
     from .rules_determinism import AmbientNondeterminismRule, SetIterationRule
+    from .rules_exceptions import SwallowedExceptionRule
     from .rules_parallel import TaskRefRule
     from .rules_style import BarePrintRule, SlotsRule
 
@@ -228,6 +229,7 @@ def build_rules() -> List[object]:
         MergeDriftRule(),
         SlotsRule(),
         BarePrintRule(),
+        SwallowedExceptionRule(),
     ]
 
 

@@ -1,0 +1,111 @@
+"""EXC001: supervision code must not swallow exceptions it cannot see.
+
+The execution and supervision layers (:mod:`repro.exec`,
+:mod:`repro.parallel`) exist to *account* for failure: every trial ends
+as a journalled outcome, every pool incident as a supervisor counter.  A
+``bare except:`` or ``except BaseException:`` handler in those modules
+that neither re-raises nor journals what it caught silently eats the one
+signal the whole resilience story depends on — including
+``KeyboardInterrupt`` and the :class:`~repro.errors.CampaignInterrupted`
+shutdown path, which such a handler would cancel.
+
+``except Exception`` is deliberately allowed: that is the resilience
+net's normal catch (it leaves ``BaseException`` — interrupts, exits —
+flowing).  What EXC001 flags is the broader catch *without* an escape
+hatch:
+
+* a ``raise`` anywhere in the handler body (bare re-raise or a wrapped
+  exception) satisfies the rule;
+* so does a call whose dotted name mentions ``journal`` (the handler
+  converted the exception into a durable record).
+
+Scope defaults to the ``guarded_modules`` option of the rule's config
+(``src/repro/exec`` and ``src/repro/parallel`` in this repo).  Genuinely
+intentional swallows — there should be almost none — carry a
+``# repro: lint-ignore[EXC001] why`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .config import LintConfig
+from .engine import FileRule, Finding, ParsedFile
+
+#: Exception names whose handlers are as broad as a bare ``except:``.
+_BROAD_NAMES = ("BaseException",)
+
+
+def _broad_catch(handler: ast.ExceptHandler) -> bool:
+    """True for ``except:`` and ``except BaseException`` (incl. tuples)."""
+    node = handler.type
+    if node is None:
+        return True
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in _BROAD_NAMES:
+            return True
+        if (
+            isinstance(candidate, ast.Attribute)
+            and candidate.attr in _BROAD_NAMES
+        ):
+            return True
+    return False
+
+
+def _dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted name of a call target (``self.journal.append``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _handler_escapes(handler: ast.ExceptHandler) -> bool:
+    """Does the handler re-raise or journal what it caught?"""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            if "journal" in _dotted_name(node.func).lower():
+                return True
+    return False
+
+
+class SwallowedExceptionRule(FileRule):
+    """EXC001 — broad catches in supervision code must escape somewhere."""
+
+    rule_id = "EXC001"
+    default_scope = "guarded_modules"
+
+    def check(self, file: ParsedFile, config: LintConfig) -> List[Finding]:
+        assert file.tree is not None
+        findings: List[Finding] = []
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _broad_catch(node):
+                continue
+            if _handler_escapes(node):
+                continue
+            caught = "bare except:" if node.type is None else "except BaseException"
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=file.relpath,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=(
+                        f"{caught} swallows the exception without "
+                        "re-raising or journaling it; supervision code "
+                        "must keep BaseException (interrupts, shutdown) "
+                        "flowing or record what it caught "
+                        "(docs/RESILIENCE.md)"
+                    ),
+                )
+            )
+        return findings

@@ -34,9 +34,11 @@ from .provenance import (
 )
 from .report import (
     Campaign,
+    is_structural_record,
     journal_counts,
     load_campaign,
     merge_journal_metrics,
+    merge_supervisor_stats,
     render_campaign_report,
 )
 from .timing import (
@@ -70,10 +72,12 @@ __all__ = [
     "ensure_progress",
     "format_duration",
     "is_manifest_record",
+    "is_structural_record",
     "journal_counts",
     "load_campaign",
     "load_manifest",
     "merge_journal_metrics",
+    "merge_supervisor_stats",
     "render_campaign_report",
     "render_progress_line",
 ]

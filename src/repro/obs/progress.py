@@ -47,6 +47,7 @@ def render_progress_line(
     quarantined: int = 0,
     workers: Optional[int] = None,
     busy: Optional[int] = None,
+    restarts: int = 0,
 ) -> str:
     """Render one heartbeat line (pure function, unit-testable).
 
@@ -73,6 +74,8 @@ def render_progress_line(
         parts.append(f"retries {retries}")
     if quarantined:
         parts.append(f"quarantined {quarantined}")
+    if restarts:
+        parts.append(f"pool-restarts {restarts}")
     if workers and workers > 1:
         shown_busy = workers if busy is None else min(busy, workers)
         parts.append(f"workers {shown_busy}/{workers}")
@@ -109,6 +112,7 @@ class ProgressReporter:
         self.failed = 0
         self.retries = 0
         self.quarantined = 0
+        self.restarts = 0
         self.workers: Optional[int] = None
         self.busy: Optional[int] = None
         self.started = clock() if enabled else 0.0
@@ -132,6 +136,7 @@ class ProgressReporter:
         retries: int = 0,
         quarantined: int = 0,
         busy: Optional[int] = None,
+        restarts: int = 0,
     ) -> None:
         """Bump counters by deltas and emit a heartbeat if one is due."""
         if not self.enabled:
@@ -141,6 +146,7 @@ class ProgressReporter:
         self.failed += failed
         self.retries += retries
         self.quarantined += quarantined
+        self.restarts += restarts
         if busy is not None:
             self.busy = busy
         self.maybe_emit()
@@ -174,6 +180,7 @@ class ProgressReporter:
             quarantined=self.quarantined,
             workers=self.workers,
             busy=self.busy,
+            restarts=self.restarts,
         )
 
     def _emit(self, now: float) -> None:

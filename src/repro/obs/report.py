@@ -28,6 +28,18 @@ from .provenance import Manifest, is_manifest_record, load_manifest
 _OK_STATUSES = ("ok", "resumed")
 
 
+def is_structural_record(record: Mapping[str, Any]) -> bool:
+    """True for embedded non-trial records (manifest, supervisor stats).
+
+    Structural records carry a ``kind`` tag instead of a trial
+    ``key``/``status``; they describe the campaign, not a trial.
+    """
+    try:
+        return "kind" in record
+    except TypeError:  # pragma: no cover - non-mapping defensive guard
+        return False
+
+
 @dataclass
 class Campaign:
     """Everything :func:`render_campaign_report` needs, already loaded."""
@@ -37,11 +49,20 @@ class Campaign:
     manifest_path: Optional[Path] = None
     journal_path: Optional[Path] = None
     corrupt_lines: int = 0
+    #: v1 records (journalled before per-record checksums) loaded as-is.
+    unverified_records: int = 0
 
     @property
     def trial_records(self) -> List[Dict[str, Any]]:
-        """Journal records describing trials (manifest records excluded)."""
-        return [r for r in self.records if not is_manifest_record(r)]
+        """Journal records describing trials (structural records excluded)."""
+        return [r for r in self.records if not is_structural_record(r)]
+
+    @property
+    def supervisor_records(self) -> List[Dict[str, Any]]:
+        """Embedded ``{"kind": "supervisor"}`` stats records, in order."""
+        from ..parallel.supervisor import is_supervisor_record
+
+        return [r for r in self.records if is_supervisor_record(r)]
 
 
 def load_campaign(path: Union[str, Path]) -> Campaign:
@@ -62,6 +83,7 @@ def load_campaign(path: Union[str, Path]) -> Campaign:
         journal = Journal(journal_path)
         campaign.records = journal.load()
         campaign.corrupt_lines = journal.corrupt_lines
+        campaign.unverified_records = journal.unverified_records
         campaign.journal_path = journal_path
         if campaign.manifest is None:
             for record in campaign.records:
@@ -161,7 +183,7 @@ def journal_counts(records: List[Mapping[str, Any]]) -> Dict[str, int]:
     counts: Dict[str, int] = {}
     retries = 0
     for record in records:
-        if is_manifest_record(record):
+        if is_structural_record(record):
             continue
         status = str(record.get("status", "unknown"))
         counts[status] = counts.get(status, 0) + 1
@@ -170,6 +192,39 @@ def journal_counts(records: List[Mapping[str, Any]]) -> Dict[str, int]:
             retries += attempts - 1
     counts["retries"] = retries
     return counts
+
+
+#: Supervisor counters rendered by the report, in display order.
+_SUPERVISOR_COUNTERS = (
+    "pool_rebuilds",
+    "worker_deaths",
+    "hung_chunks",
+    "redispatched_chunks",
+    "redispatched_trials",
+    "abandoned_trials",
+)
+
+
+def merge_supervisor_stats(
+    records: List[Mapping[str, Any]],
+) -> Dict[str, Any]:
+    """Fold embedded supervisor records into campaign totals.
+
+    A resumed campaign appends one stats record per run; the report sums
+    the counters and ORs the ``interrupted`` flags.
+    """
+    totals: Dict[str, Any] = {name: 0 for name in _SUPERVISOR_COUNTERS}
+    totals["interrupted"] = False
+    totals["runs"] = len(records)
+    for record in records:
+        for name in _SUPERVISOR_COUNTERS:
+            value = record.get(name)
+            if isinstance(value, (int, float)):
+                totals[name] += int(value)
+        totals["interrupted"] = totals["interrupted"] or bool(
+            record.get("interrupted")
+        )
+    return totals
 
 
 # ----------------------------------------------------------------------
@@ -203,7 +258,9 @@ def _render_manifest(manifest: Manifest) -> List[str]:
     return lines
 
 
-def _render_counts(counts: Mapping[str, int], corrupt: int) -> List[str]:
+def _render_counts(
+    counts: Mapping[str, int], corrupt: int, unverified: int = 0
+) -> List[str]:
     retries = counts.get("retries", 0)
     statuses = {k: v for k, v in counts.items() if k != "retries"}
     total = sum(statuses.values())
@@ -213,6 +270,30 @@ def _render_counts(counts: Mapping[str, int], corrupt: int) -> List[str]:
     lines.append(f"  retries (attempts beyond the first): {retries}")
     if corrupt:
         lines.append(f"  corrupt journal lines skipped: {corrupt}")
+    if unverified:
+        lines.append(
+            f"  unverified records (pre-checksum v1 format): {unverified}"
+        )
+    return lines
+
+
+def _render_supervision(totals: Mapping[str, Any]) -> List[str]:
+    labels = {
+        "pool_rebuilds": "pool rebuilds",
+        "worker_deaths": "worker deaths (non-zero exit)",
+        "hung_chunks": "hung chunks (missed deadline)",
+        "redispatched_chunks": "chunks redispatched",
+        "redispatched_trials": "trials redispatched",
+        "abandoned_trials": "trials abandoned (recorded failed)",
+    }
+    lines = []
+    runs = totals.get("runs", 0)
+    if runs > 1:
+        lines.append(f"  supervised runs merged: {runs}")
+    for name in _SUPERVISOR_COUNTERS:
+        lines.append(f"  {labels[name]}: {totals.get(name, 0)}")
+    if totals.get("interrupted"):
+        lines.append("  interrupted: yes (SIGINT/SIGTERM; resumable)")
     return lines
 
 
@@ -259,10 +340,24 @@ def render_campaign_report(campaign: Campaign) -> str:
     if campaign.journal_path is not None:
         lines.append(f"  path: {campaign.journal_path}")
     if trial_records or campaign.journal_path is not None:
-        lines.extend(_render_counts(journal_counts(campaign.records), campaign.corrupt_lines))
+        lines.extend(
+            _render_counts(
+                journal_counts(campaign.records),
+                campaign.corrupt_lines,
+                campaign.unverified_records,
+            )
+        )
     else:
         lines.append("  <no journal found>")
     lines.append("")
+
+    supervisor_records = campaign.supervisor_records
+    if supervisor_records:
+        lines.append("supervision")
+        lines.extend(
+            _render_supervision(merge_supervisor_stats(supervisor_records))
+        )
+        lines.append("")
 
     lines.append("merged metrics")
     if trial_records:

@@ -12,13 +12,25 @@ from .pool import (
     run_trials_resilient,
 )
 from .spec import TrialSpec, resolve_task, task_ref
+from .supervisor import (
+    GracefulShutdown,
+    PoolSupervisor,
+    SupervisorStats,
+    chunk_deadline_seconds,
+    is_supervisor_record,
+)
 from .tasks import agreement_trial, election_trial
 
 __all__ = [
+    "GracefulShutdown",
+    "PoolSupervisor",
+    "SupervisorStats",
     "TrialSpec",
     "agreement_trial",
+    "chunk_deadline_seconds",
     "default_chunk_size",
     "election_trial",
+    "is_supervisor_record",
     "resolve_jobs",
     "resolve_task",
     "run_trials",

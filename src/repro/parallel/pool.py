@@ -30,11 +30,20 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ConfigurationError
-from ..exec import QUARANTINED, RESUMED, ResilientExecutor, RetryPolicy, TrialOutcome
+from concurrent.futures.process import BrokenProcessPool
+
+from ..errors import CampaignInterrupted, ConfigurationError, TrialFailed
+from ..exec import (
+    FAILED,
+    QUARANTINED,
+    RESUMED,
+    ResilientExecutor,
+    RetryPolicy,
+    TrialOutcome,
+)
 from ..obs.progress import ProgressReporter, ProgressSpec, ensure_progress
 from ..obs.timing import (
     NULL_TIMERS,
@@ -43,6 +52,12 @@ from ..obs.timing import (
     PhaseTimers,
 )
 from .spec import TrialSpec, resolve_task
+from .supervisor import (
+    GracefulShutdown,
+    PoolSupervisor,
+    SupervisorStats,
+    chunk_deadline_seconds,
+)
 
 #: Chunks per worker used when no explicit chunk size is given: small
 #: enough to balance load, large enough to amortise pickling.
@@ -96,9 +111,46 @@ def _check_picklable(specs: Sequence[TrialSpec]) -> None:
 _WORKER_EXECUTORS: Dict[Tuple[Optional[float], int], ResilientExecutor] = {}
 
 
+class _WorkerTrialError(Exception):
+    """Worker-side envelope for a plain-mode trial exception.
+
+    Raised inside the worker, pickled across the process boundary, and
+    unwrapped by the parent into a :class:`~repro.errors.TrialFailed`
+    that says *which* trial failed *where*.  All constructor arguments go
+    through ``super().__init__`` so the exception survives pickling.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        key: str,
+        worker_pid: int,
+        error_type: str,
+        error_message: str,
+    ) -> None:
+        super().__init__(index, key, worker_pid, error_type, error_message)
+        self.index = index
+        self.key = key
+        self.worker_pid = worker_pid
+        self.error_type = error_type
+        self.error_message = error_message
+
+
 def _run_chunk(chunk: List[TrialSpec]) -> List[Tuple[int, Any]]:
-    """Plain worker: run each spec, letting exceptions propagate."""
-    return [(spec.index, spec.run()) for spec in chunk]
+    """Plain worker: run each spec; wrap the first exception with context."""
+    results: List[Tuple[int, Any]] = []
+    for spec in chunk:
+        try:
+            results.append((spec.index, spec.run()))
+        except Exception as exc:
+            raise _WorkerTrialError(
+                spec.index,
+                spec.key or f"trial[{spec.index}]",
+                os.getpid(),
+                type(exc).__name__,
+                str(exc),
+            ) from exc
+    return results
 
 
 def _run_chunk_resilient(
@@ -143,9 +195,13 @@ def run_trials(
     """Run ``specs`` and return their results in index order.
 
     With ``jobs`` resolving to 1 (or a single spec) this is a plain
-    serial loop — byte-for-byte today's behaviour.  Otherwise chunks are
-    dispatched to a process pool and results reassembled by index.  A
-    trial exception propagates, exactly as in a serial run.
+    serial loop — byte-for-byte today's behaviour, trial exceptions
+    propagating raw.  Otherwise chunks are dispatched to a process pool
+    and results reassembled by index; the first trial exception is
+    re-raised as a :class:`~repro.errors.TrialFailed` carrying the trial
+    index, its spec, and the worker pid (the raw exception stays
+    reachable via ``__cause__``), after the executor is shut down cleanly
+    with all sibling chunks cancelled.
 
     ``timers`` (a :class:`~repro.obs.PhaseTimers`) profiles the parent's
     two pool phases — chunk dispatch and result reassembly; ``progress``
@@ -172,24 +228,53 @@ def run_trials(
     results: List[Any] = [None] * len(specs)
     base = min(spec.index for spec in specs) if specs else 0
     chunks = _chunked(specs, size)
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    try:
         with timers.timed(PHASE_POOL_DISPATCH):
             futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
         remaining = len(chunks)
-        for future in futures:
-            chunk_results = future.result()
-            remaining -= 1
-            with timers.timed(PHASE_POOL_REASSEMBLY):
-                for index, value in chunk_results:
-                    results[index - base] = value
-            reporter.advance(
-                completed=len(chunk_results),
-                attempted=len(chunk_results),
-                busy=min(jobs, remaining),
-            )
+        try:
+            for future in futures:
+                chunk_results = future.result()
+                remaining -= 1
+                with timers.timed(PHASE_POOL_REASSEMBLY):
+                    for index, value in chunk_results:
+                        results[index - base] = value
+                reporter.advance(
+                    completed=len(chunk_results),
+                    attempted=len(chunk_results),
+                    busy=min(jobs, remaining),
+                )
+        except _WorkerTrialError as exc:
+            _shutdown_fast(pool, futures)
+            spec = next((s for s in specs if s.index == exc.index), None)
+            raise TrialFailed(
+                f"trial {exc.key} failed in worker {exc.worker_pid}: "
+                f"{exc.error_type}: {exc.error_message}",
+                trial_index=exc.index,
+                spec=spec,
+                worker_pid=exc.worker_pid,
+            ) from exc
+        except BrokenProcessPool as exc:
+            _shutdown_fast(pool, futures)
+            raise TrialFailed(
+                "a worker process died mid-campaign (kill -9 / OOM?); "
+                "plain mode cannot recover — rerun under the resilient "
+                "scheduler (run_trials_resilient, or sweep with "
+                "--retries/--journal) to get supervised redispatch"
+            ) from exc
+    finally:
+        pool.shutdown(wait=True)
     if owns_reporter:
         reporter.finish()
     return results
+
+
+def _shutdown_fast(pool: ProcessPoolExecutor, futures: Sequence[Any]) -> None:
+    """Cancel sibling chunks and stop the pool without waiting on them."""
+    for future in futures:
+        future.cancel()
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_trials_resilient(
@@ -199,6 +284,8 @@ def run_trials_resilient(
     executor: ResilientExecutor,
     chunk_size: Optional[int] = None,
     progress: ProgressSpec = False,
+    shutdown: Optional[GracefulShutdown] = None,
+    max_dispatches: int = 3,
 ) -> List[TrialOutcome]:
     """Run ``specs`` under the resilience layer, parallelised per worker.
 
@@ -219,12 +306,30 @@ def run_trials_resilient(
     completion, which may interleave across grid points — resume only
     keys on record identity, so this is harmless.
 
+    The parallel path runs under a :class:`PoolSupervisor`: a worker
+    killed with ``kill -9``, a hung pool, or a missed chunk deadline
+    rebuilds the pool and re-dispatches only the in-flight chunks (at
+    most ``max_dispatches`` times; a single trial that keeps breaking its
+    worker is recorded as ``failed`` and counted against the quarantine
+    instead of retrying forever).  Re-delivered results are ignored via
+    the reassembly slots, so every trial lands exactly once.  Supervisor
+    counters end up on ``executor.last_supervisor_stats`` and — when
+    anything eventful happened — as a ``{"kind": "supervisor"}`` journal
+    record.
+
+    ``shutdown`` (a :class:`GracefulShutdown`) stops the campaign at the
+    next trial boundary on SIGINT/SIGTERM: the journal is already flushed
+    per-outcome, workers are reaped, and
+    :class:`~repro.errors.CampaignInterrupted` propagates so the caller
+    can advertise ``--resume``.
+
     With ``jobs`` resolving to 1, trials run serially through the
-    caller's executor itself — identical to the pre-parallel code path.
+    caller's executor itself — identical to the pre-parallel code path
+    (plus the same shutdown boundary checks).
 
     ``progress`` turns on a stderr heartbeat: trials completed/attempted,
-    throughput/ETA, retry and quarantine counts, and how many workers
-    still hold work.
+    throughput/ETA, retry/quarantine counts, pool restarts, and how many
+    workers still hold work.
     """
     jobs = resolve_jobs(jobs)
     owns_reporter = not isinstance(progress, ProgressReporter)
@@ -232,6 +337,7 @@ def run_trials_resilient(
     if jobs == 1 or len(specs) <= 1:
         outcomes_serial: List[TrialOutcome] = []
         for spec in specs:
+            _check_shutdown(shutdown, len(specs) - len(outcomes_serial))
             outcome = executor.run_trial(
                 resolve_task(spec.task),
                 key=spec.key or f"trial[{spec.index}]",
@@ -280,28 +386,75 @@ def run_trials_resilient(
     size = chunk_size or default_chunk_size(len(dispatchable), jobs)
     timeout_seconds = executor.timeout_seconds
     retries = executor.retry.retries
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        pending = {
-            pool.submit(_run_chunk_resilient, chunk, timeout_seconds, retries)
-            for chunk in _chunked(dispatchable, size)
-        }
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                for index, outcome in future.result():
-                    outcomes[index - base] = outcome
-                    if outcome.ok:
-                        executor.quarantine.record_success(outcome.key)
-                    else:
-                        executor.quarantine.record_failure(outcome.key)
-                    if outcome.status != RESUMED:
-                        _journal(executor, outcome)
-                    _advance_for(
-                        reporter, outcome, busy=min(jobs, len(pending))
-                    )
+
+    def on_result(index: int, outcome: TrialOutcome) -> None:
+        slot = index - base
+        if outcomes[slot] is not None:
+            # Exactly-once guard: a redispatched chunk (hung worker that
+            # was merely slow) may deliver the same trial twice.
+            return
+        outcomes[slot] = outcome
+        if outcome.ok:
+            executor.quarantine.record_success(outcome.key)
+        else:
+            executor.quarantine.record_failure(outcome.key)
+        if outcome.status != RESUMED:
+            _journal(executor, outcome)
+        _advance_for(reporter, outcome)
+
+    def on_abandon(spec: TrialSpec, reason: str) -> None:
+        slot = spec.index - base
+        if outcomes[slot] is not None:
+            return
+        key = spec.key or f"trial[{spec.index}]"
+        outcome = TrialOutcome(
+            key=key, seed=spec.seed, status=FAILED, attempts=0, error=reason
+        )
+        outcomes[slot] = outcome
+        executor.quarantine.record_failure(key)
+        _journal(executor, outcome)
+        _advance_for(reporter, outcome)
+
+    stats = SupervisorStats()
+    executor.last_supervisor_stats = stats
+    supervisor = PoolSupervisor(
+        jobs,
+        _run_chunk_resilient,
+        (timeout_seconds, retries),
+        deadline_seconds=chunk_deadline_seconds(
+            timeout_seconds,
+            executor.retry.max_attempts,
+            sum(executor.retry.delays()),
+        ),
+        max_dispatches=max_dispatches,
+        stats=stats,
+        shutdown=shutdown,
+        reporter=reporter,
+    )
+    try:
+        supervisor.run(_chunked(dispatchable, size), on_result, on_abandon)
+    finally:
+        # Interrupted or not, make the supervision events durable: the
+        # stats record rides in the journal next to the trial outcomes.
+        if stats.eventful and executor.journal is not None:
+            executor.journal.append(stats.journal_record())
     if owns_reporter:
         reporter.finish()
     return [outcome for outcome in outcomes if outcome is not None]
+
+
+def _check_shutdown(
+    shutdown: Optional[GracefulShutdown], pending: int
+) -> None:
+    """Serial-path twin of the supervisor's trial-boundary stop."""
+    if shutdown is None or not shutdown.requested:
+        return
+    raise CampaignInterrupted(
+        f"campaign interrupted by {shutdown.describe()}; "
+        f"{pending} trial(s) not completed — journal is flushed, "
+        "rerun with --resume to continue from this boundary",
+        signum=shutdown.signum,
+    )
 
 
 def _advance_for(

@@ -1,0 +1,34 @@
+"""EXC001 positives: broad catches that swallow the exception."""
+
+
+def bare_swallow():
+    try:
+        risky()
+    except:  # noqa: E722 - the point of the fixture
+        pass
+
+
+def base_exception_swallow():
+    try:
+        risky()
+    except BaseException:
+        cleanup()
+
+
+def tuple_swallow():
+    try:
+        risky()
+    except (ValueError, BaseException) as exc:
+        log(exc)
+
+
+def risky():
+    raise ValueError("boom")
+
+
+def cleanup():
+    pass
+
+
+def log(exc):
+    pass

@@ -1,0 +1,58 @@
+"""EXC001 negatives: broad catches that re-raise or journal, and the
+``except Exception`` resilience net the rule deliberately allows."""
+
+
+def reraises():
+    try:
+        risky()
+    except BaseException:
+        cleanup()
+        raise
+
+
+def wraps_and_raises():
+    try:
+        risky()
+    except:  # noqa: E722
+        raise RuntimeError("wrapped")
+
+
+def journals_the_catch(journal):
+    try:
+        risky()
+    except BaseException as exc:
+        journal.append({"status": "failed", "error": str(exc)})
+
+
+def journal_helper_call(outcome):
+    try:
+        risky()
+    except:  # noqa: E722
+        journal_outcome(outcome)
+
+
+def exception_net_is_fine():
+    # The resilience layer's normal catch: BaseException still flows.
+    try:
+        risky()
+    except Exception:
+        pass
+
+
+def narrow_catch_is_fine():
+    try:
+        risky()
+    except ValueError:
+        pass
+
+
+def risky():
+    raise ValueError("boom")
+
+
+def cleanup():
+    pass
+
+
+def journal_outcome(outcome):
+    pass

@@ -1,0 +1,8 @@
+"""Identical swallow outside the guarded modules: out of EXC001's scope."""
+
+
+def swallow_everything():
+    try:
+        raise ValueError("boom")
+    except BaseException:
+        pass

@@ -175,3 +175,26 @@ def test_io001_negative(lint_fixture):
 
 def test_io001_exclude(lint_fixture):
     assert lint_fixture("io/io001_excluded.py").clean
+
+
+# ----------------------------------------------------------------------
+# EXC001 — swallowed exceptions in supervision code
+# ----------------------------------------------------------------------
+
+
+def test_exc001_positive(lint_fixture):
+    report = lint_fixture("exc/exc001_bad.py")
+    assert rules_of(report) == ["EXC001"] * 3
+    messages = " ".join(f.message for f in report.findings)
+    assert "bare except:" in messages
+    assert "except BaseException" in messages
+    assert "re-raising or journaling" in messages
+
+
+def test_exc001_negative(lint_fixture):
+    assert lint_fixture("exc/exc001_good.py").clean
+
+
+def test_exc001_out_of_scope(lint_fixture):
+    # The same swallow outside the guarded modules is not flagged.
+    assert lint_fixture("otherpkg/exc001_outside_scope.py").clean

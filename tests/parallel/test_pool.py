@@ -5,7 +5,7 @@ import pickle
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TrialFailed
 from repro.exec import (
     FAILED,
     OK,
@@ -135,13 +135,20 @@ class TestRunTrials:
         results = run_trials(self._specs(8), jobs=2, chunk_size=3)
         assert [r["x"] for r in results] == list(range(8))
 
-    def test_exception_propagates(self):
+    def test_exception_propagates_as_trial_failed(self):
         specs = [
             TrialSpec(index=index, task=fail_on_odd_seed, seed=index)
             for index in range(6)
         ]
-        with pytest.raises(ValueError):
+        with pytest.raises(TrialFailed) as excinfo:
             run_trials(specs, jobs=2)
+        failure = excinfo.value
+        assert failure.trial_index is not None
+        assert failure.trial_index % 2 == 1
+        assert failure.worker_pid is not None and failure.worker_pid > 0
+        assert failure.spec is not None
+        assert failure.spec.index == failure.trial_index
+        assert "ValueError" in str(failure)
 
     def test_unpicklable_task_raises_helpfully(self):
         specs = [
