@@ -19,6 +19,9 @@ measure them side by side:
   (O(n^2) messages, f+1 rounds, tolerates any f < n).
 * :mod:`~repro.baselines.rotating_coordinator` — deterministic rotating-
   coordinator consensus ([35]/[37]-style: O(f) rounds, O(n f) messages).
+* :mod:`~repro.baselines.ben_or` — Ben-Or randomized binary consensus,
+  the repo's first protocol designed for the bounded-delay delivery model
+  (its timetable stretches by ``1 + Δ``; safety never depends on Δ).
 
 The crash-fault baselines are re-implementations *in spirit*: they keep
 each cited protocol's message-flow skeleton and asymptotic columns
@@ -29,6 +32,12 @@ of their own.  Each module documents its simplifications.
 
 from .augustine_agreement import AugustineAgreementProtocol, augustine_agree
 from .base import BaselineOutcome
+from .ben_or import (
+    BenOrDecideForger,
+    BenOrProtocol,
+    ben_or_consensus,
+    ben_or_horizon,
+)
 from .chlebus_kowalski import GossipConsensusProtocol, gossip_consensus
 from .flooding import FloodingConsensusProtocol, flooding_consensus
 from .gilbert_kowalski import CommitteeAgreementProtocol, committee_agreement
@@ -41,12 +50,16 @@ from .rotating_coordinator import (
 __all__ = [
     "AugustineAgreementProtocol",
     "BaselineOutcome",
+    "BenOrDecideForger",
+    "BenOrProtocol",
     "CommitteeAgreementProtocol",
     "FloodingConsensusProtocol",
     "GossipConsensusProtocol",
     "KuttenLeaderElectionProtocol",
     "RotatingCoordinatorProtocol",
     "augustine_agree",
+    "ben_or_consensus",
+    "ben_or_horizon",
     "committee_agreement",
     "flooding_consensus",
     "gossip_consensus",

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
 from ..sim.metrics import Metrics
+from ..sim.trace import Trace
 
 
 @dataclass
@@ -30,6 +31,10 @@ class BaselineOutcome:
     inputs: Optional[Sequence[int]] = None
     #: Whether the run met its protocol's correctness condition.
     success: bool = False
+    #: Event trace when the run was collected with ``collect_trace=True``.
+    trace: Optional[Trace] = None
+    #: Delivery-delay bound of the run (0 = fully synchronous delivery).
+    max_delay: int = 0
 
     @property
     def messages(self) -> int:

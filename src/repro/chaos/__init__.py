@@ -1,4 +1,4 @@
-"""Adversary fuzzing: random crash schedules, safety oracles, shrinking.
+"""Adversary fuzzing: random fault schedules, safety oracles, shrinking.
 
 The paper's theorems hold *for every* adaptive crash schedule; this
 subpackage searches that space empirically.  A :class:`FuzzedAdversary`
@@ -7,13 +7,22 @@ the model validator plus protocol safety oracles, and failing schedules
 are recorded as deterministic, replayable :class:`CrashScript` objects
 and shrunk to minimal reproducers.
 
+An *extended* :class:`GrammarConfig` fuzzes beyond the paper's model:
+per-node Byzantine misbehaviour plans and bounded-delay delivery
+schedules ride on the same scripts (wire-format version 2).  Oracle
+violations that the sampled faults excuse are journalled *findings*
+rather than campaign failures — the crash-safe properties (model
+validator, engine contracts, crash-only oracles) must always hold.
+
 See ``docs/CHAOS.md`` for the grammar, the oracle list, and the replay
-workflow (``repro fuzz`` / ``repro replay``).
+workflow (``repro fuzz`` / ``repro replay``); ``docs/FAULTS.md`` for the
+fault hierarchy.
 """
 
 from .fuzzer import (
     FAST_CONSTANTS,
     PROTOCOLS,
+    SCENARIO_MODES,
     FuzzCase,
     FuzzReport,
     FuzzScenario,
@@ -25,13 +34,28 @@ from .fuzzer import (
     run_scenario,
 )
 from .grammar import FuzzedAdversary, GrammarConfig, sample_filter, sample_script
-from .oracles import agreement_oracle, leader_election_oracle
-from .script import CrashScript, DeliveryFilter, as_script
+from .oracles import (
+    FRAGILE_PREFIXES,
+    agreement_oracle,
+    downgrade_fragile,
+    leader_election_oracle,
+)
+from .script import (
+    SCRIPT_VERSION,
+    SUPPORTED_SCRIPT_VERSIONS,
+    CrashScript,
+    DeliveryFilter,
+    as_script,
+)
 from .shrink import ShrinkResult, shrink_case, shrink_script
 
 __all__ = [
     "FAST_CONSTANTS",
+    "FRAGILE_PREFIXES",
     "PROTOCOLS",
+    "SCENARIO_MODES",
+    "SCRIPT_VERSION",
+    "SUPPORTED_SCRIPT_VERSIONS",
     "CrashScript",
     "DeliveryFilter",
     "FuzzCase",
@@ -44,6 +68,7 @@ __all__ = [
     "as_script",
     "classify",
     "default_scenarios",
+    "downgrade_fragile",
     "fuzz",
     "fuzz_one",
     "leader_election_oracle",

@@ -15,31 +15,63 @@ treating any engine exception as a violation as well.  A failing trial is
 packaged as a :class:`FuzzCase` — scenario parameters plus the realised
 :class:`CrashScript` — shrunk to a minimal reproducer, and returned for
 storage/replay (``repro fuzz`` / ``repro replay``).
+
+With an *extended* :class:`GrammarConfig` (Byzantine modes and/or a delay
+bound) each trial instead samples its script eagerly — the lying nodes
+need swapped protocol instances and the delay bound configures the
+network, both of which must exist before the run starts.  Oracle
+violations of runs whose guarantees the sampled faults void (Byzantine
+nodes; delays under synchronous-only protocols) are *findings*: shrunk
+and journalled like failures, but they do not fail the campaign (see
+:func:`repro.chaos.oracles.downgrade_fragile`).
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..core.runner import agree, elect_leader
+from ..baselines.ben_or import ben_or_consensus, ben_or_horizon
+from ..core.results import AgreementResult
+from ..core.runner import agree, elect_leader, make_inputs
 from ..core.schedule import AgreementSchedule, LeaderElectionSchedule
 from ..errors import ConfigurationError, ReproError, TrialFailed
 from ..faults.adversary import Adversary
+from ..faults.byzantine import AGREEMENT_MODES, ELECTION_MODES
 from ..obs.progress import ProgressSpec, ensure_progress
 from ..obs.provenance import Manifest
 from ..params import Params
 from ..rng import derive_seed
 from ..sim.network import RunResult
 from ..sim.validate import validate_run
-from ..types import Round
-from .grammar import FuzzedAdversary, GrammarConfig
-from .oracles import agreement_oracle, leader_election_oracle
+from ..types import Decision, Round
+from .grammar import FuzzedAdversary, GrammarConfig, sample_script
+from .oracles import (
+    FRAGILE_PREFIXES,
+    agreement_oracle,
+    downgrade_fragile,
+    leader_election_oracle,
+)
 from .script import CrashScript, as_script
 
-PROTOCOLS = ("election", "agreement")
+PROTOCOLS = ("election", "agreement", "ben_or")
+
+#: Byzantine modes that make sense per protocol family; the extended
+#: grammar's mode pool is intersected with this, so an agreement trial
+#: never draws a rank forger.  Ben-Or shares the agreement modes: its
+#: ``zero_forger`` forges decide certificates instead of input claims.
+SCENARIO_MODES: Dict[str, Tuple[str, ...]] = {
+    "election": ELECTION_MODES,
+    "agreement": AGREEMENT_MODES,
+    "ben_or": AGREEMENT_MODES,
+}
+
+#: Protocols designed for bounded-delay delivery: their oracles stay hard
+#: under a delay schedule (everything else is "async"-fragile there).
+DELAY_TOLERANT: Tuple[str, ...] = ("ben_or",)
 
 #: Reduced sampling constants for high-throughput fuzzing (validated by
 #: the test-suite's fast fixtures: same code paths, ~10x fewer messages).
@@ -71,6 +103,11 @@ class FuzzScenario:
         params = self.params()
         if self.protocol == "election":
             schedule = LeaderElectionSchedule.from_params(params)
+        elif self.protocol == "ben_or":
+            # Crash rounds are sampled against the synchronous timetable;
+            # a delayed run stretches past it, which only means the latest
+            # sampled crashes land while it is still running.
+            return ben_or_horizon() + self.extra_rounds
         else:
             schedule = AgreementSchedule.from_params(params)
         return schedule.last_round + self.extra_rounds
@@ -116,9 +153,18 @@ class FuzzCase:
         """Coarse failure classes, for shrink-preservation checks."""
         return classify(self.violations)
 
+    @property
+    def is_finding(self) -> bool:
+        """True when every violation is fault-fragile (journalled, not a
+        campaign failure): the sampled faults void the broken guarantee."""
+        signature = self.signature
+        return bool(signature) and all(
+            cls in FRAGILE_PREFIXES for cls in signature
+        )
+
     def to_dict(self) -> Dict[str, Any]:
         return {
-            "version": 1,
+            "version": 2,
             "scenario": self.scenario.to_dict(),
             "seed": self.seed,
             "script": self.script.to_dict(),
@@ -146,13 +192,16 @@ def classify(violations: Sequence[str]) -> Tuple[str, ...]:
     """Sorted failure classes of a violation list.
 
     ``"oracle"`` for problem-definition breaks, ``"engine"`` for engine
-    exceptions, ``"model"`` for validator findings — shrinking preserves
-    this set, so a minimised script still fails *the same way*.
+    exceptions, ``"byzantine"``/``"async"`` for fault-fragile findings
+    (oracle breaks excused by the sampled fault model), ``"model"`` for
+    validator findings — shrinking preserves this set, so a minimised
+    script still fails *the same way*.
     """
+    known = ("oracle", "engine") + FRAGILE_PREFIXES
     classes = set()
     for violation in violations:
         prefix = violation.split(":", 1)[0].strip()
-        classes.add(prefix if prefix in ("oracle", "engine") else "model")
+        classes.add(prefix if prefix in known else "model")
     return tuple(sorted(classes))
 
 
@@ -164,8 +213,29 @@ def run_scenario(
     Engine exceptions become ``"engine: ..."`` violations (the run has no
     result then); otherwise violations combine the model validator and
     the protocol oracle.
+
+    A version-2 :class:`CrashScript` carries its own Byzantine plan and
+    delivery schedule: both are handed to the runner (which swaps the
+    lying nodes' protocols and configures the network), and oracle
+    violations the sampled faults excuse are downgraded to journalled
+    findings — consistently here, so replay and shrink classify a case
+    exactly as the original fuzz trial did.
     """
     params = scenario.params()
+    byzantine = None
+    delivery = None
+    fragile_prefix: Optional[str] = None
+    if isinstance(adversary, CrashScript):
+        if adversary.byzantine.modes:
+            byzantine = adversary.byzantine
+            fragile_prefix = "byzantine"
+        if not adversary.delivery.is_synchronous:
+            delivery = adversary.delivery
+            if (
+                fragile_prefix is None
+                and scenario.protocol not in DELAY_TOLERANT
+            ):
+                fragile_prefix = "async"
     try:
         if scenario.protocol == "election":
             result = elect_leader(
@@ -176,6 +246,12 @@ def run_scenario(
                 params=params,
                 collect_trace=True,
                 extra_rounds=scenario.extra_rounds,
+                delivery=delivery,
+                byzantine=byzantine,
+            )
+        elif scenario.protocol == "ben_or":
+            result = _run_ben_or(
+                scenario, seed, adversary, delivery, byzantine, params
             )
         else:
             result = agree(
@@ -187,6 +263,8 @@ def run_scenario(
                 params=params,
                 collect_trace=True,
                 extra_rounds=scenario.extra_rounds,
+                delivery=delivery,
+                byzantine=byzantine,
             )
     except ReproError as exc:
         return [f"engine: {type(exc).__name__}: {exc}"], None
@@ -200,13 +278,73 @@ def run_scenario(
         crashed=result.crashed,
         rounds=result.rounds,
         horizon=result.horizon,
+        max_delay=result.max_delay,
     )
     violations = [f"model: {v}" for v in validate_run(run)]
     if scenario.protocol == "election":
-        violations.extend(leader_election_oracle(result))
+        oracle_violations = leader_election_oracle(result)
     else:
-        violations.extend(agreement_oracle(result))
+        oracle_violations = agreement_oracle(result)
+    if fragile_prefix is not None:
+        oracle_violations = downgrade_fragile(
+            oracle_violations, prefix=fragile_prefix
+        )
+    violations.extend(oracle_violations)
     return violations, result
+
+
+def _run_ben_or(
+    scenario: FuzzScenario,
+    seed: int,
+    adversary: Adversary,
+    delivery,
+    byzantine,
+    params: Params,
+) -> AgreementResult:
+    """Run Ben-Or and adapt its outcome to an :class:`AgreementResult`.
+
+    The adapter lets the ordinary agreement oracle and the model validator
+    judge Ben-Or runs: decisions become :class:`~repro.types.Decision`
+    values (alive nodes without one are ``UNDECIDED``, a liveness matter
+    the safety oracle ignores).
+    """
+    input_bits = make_inputs(scenario.n, scenario.inputs, seed)
+    outcome = ben_or_consensus(
+        n=scenario.n,
+        inputs=input_bits,
+        seed=seed,
+        adversary=adversary,
+        faulty_count=params.max_faulty,
+        delivery=delivery,
+        byzantine=byzantine,
+        collect_trace=True,
+    )
+    if isinstance(adversary, CrashScript):
+        adversary_name = adversary.name()
+    else:
+        adversary_name = getattr(
+            adversary, "label", type(adversary).__name__
+        )
+    decisions = {
+        u: Decision.of(outcome.decisions[u])
+        if u in outcome.decisions
+        else Decision.UNDECIDED
+        for u in range(scenario.n)
+        if u not in outcome.crashed
+    }
+    return AgreementResult(
+        n=outcome.n,
+        alpha=scenario.alpha,
+        seed=seed,
+        adversary=str(adversary_name),
+        inputs=input_bits,
+        faulty=outcome.faulty,
+        crashed=outcome.crashed,
+        metrics=outcome.metrics,
+        trace=outcome.trace,
+        max_delay=outcome.max_delay,
+        decisions=decisions,
+    )
 
 
 def replay_case(case: FuzzCase) -> List[str]:
@@ -238,7 +376,41 @@ def fuzz_one(
     seed: int,
     config: Optional[GrammarConfig] = None,
 ) -> Optional[FuzzCase]:
-    """One fuzz trial; a :class:`FuzzCase` when it failed, else ``None``."""
+    """One fuzz trial; a :class:`FuzzCase` when it failed, else ``None``.
+
+    Crash-only grammars sample lazily from the engine's adversary stream
+    (:class:`FuzzedAdversary`); extended grammars sample the script
+    eagerly from a seed-derived stream, because Byzantine protocol swaps
+    and the delay bound must be fixed before the network exists.  Either
+    way the realised script is a pure function of ``(scenario, seed,
+    config)``.
+    """
+    if config is not None and config.extended:
+        family = SCENARIO_MODES.get(scenario.protocol, ())
+        effective = replace(
+            config,
+            byzantine_modes=tuple(
+                mode for mode in config.byzantine_modes if mode in family
+            ),
+        )
+        rng = random.Random(derive_seed(seed, "chaos", "script"))
+        script = sample_script(
+            rng,
+            n=scenario.n,
+            max_faulty=scenario.params().max_faulty,
+            horizon=scenario.horizon(),
+            config=effective,
+            label=f"fuzz@{seed}",
+        )
+        violations, _ = run_scenario(scenario, seed, script)
+        if not violations:
+            return None
+        return FuzzCase(
+            scenario=scenario,
+            seed=seed,
+            script=script,
+            violations=violations,
+        )
     adversary = FuzzedAdversary(
         horizon=scenario.horizon(),
         config=config,
@@ -262,19 +434,25 @@ class FuzzReport:
 
     attempted: int = 0
     failures: List[FuzzCase] = field(default_factory=list)
+    #: Fault-fragile cases (``byzantine:``/``async:`` only): shrunk and
+    #: journalled like failures, but they do not fail the campaign — they
+    #: are the measured result of fuzzing beyond the crash model.
+    findings: List[FuzzCase] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     #: (scenario protocol, seed) pairs attempted, for reproducibility.
     trials: List[Tuple[str, int]] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
-        """True when no trial produced a violation."""
+        """True when no trial produced a *hard* violation (crash-safe
+        oracles, model validator, engine contracts all held)."""
         return not self.failures
 
     def summary(self) -> Dict[str, Any]:
         return {
             "attempted": self.attempted,
             "failures": len(self.failures),
+            "findings": len(self.findings),
             "clean": self.clean,
             "elapsed_seconds": round(self.elapsed_seconds, 3),
         }
@@ -345,17 +523,24 @@ def fuzz(
     ) -> None:
         if journal is None:
             return
+        if case is None:
+            status = "ok"
+        elif case.is_finding:
+            status = "finding"
+        else:
+            status = "violation"
         record: Dict[str, Any] = {
             "key": f"{scenario.protocol}@{trial_seed}",
             "protocol": scenario.protocol,
             "seed": trial_seed,
             "attempts": 1,
-            "status": "ok" if case is None else "violation",
+            "status": status,
             "value": {"violations": 0} if case is None else None,
         }
         if case is not None:
             record["signature"] = list(case.signature)
             record["violations"] = len(case.violations)
+            record["script"] = case.script.to_dict()
         journal.append(record)
 
     def account(
@@ -364,10 +549,15 @@ def fuzz(
         report.trials.append((scenario.protocol, trial_seed))
         report.attempted += 1
         if case is not None:
-            report.failures.append(case)
+            if case.is_finding:
+                report.findings.append(case)
+            else:
+                report.failures.append(case)
         journal_trial(scenario, trial_seed, case)
         reporter.advance(
-            completed=1, attempted=1, failed=0 if case is None else 1
+            completed=1,
+            attempted=1,
+            failed=0 if case is None or case.is_finding else 1,
         )
 
     if workers > 1:
@@ -438,11 +628,14 @@ def fuzz(
 def default_scenarios(
     n: int = 64,
     alpha: float = 0.5,
-    protocols: Sequence[str] = PROTOCOLS,
+    protocols: Sequence[str] = ("election", "agreement"),
     fast_constants: bool = True,
     inputs: Union[str, Tuple[int, ...]] = "mixed",
 ) -> List[FuzzScenario]:
-    """The standard scenario pair (leader election + agreement)."""
+    """The standard scenario pair (leader election + agreement).
+
+    ``ben_or`` is opt-in (pass it in ``protocols``): it is a baseline,
+    not one of the paper's protocols."""
     return [
         FuzzScenario(
             protocol=protocol,

@@ -1,7 +1,8 @@
 """The fuzzer's generation grammar.
 
-A fuzzed schedule is drawn in three layers, mirroring the paper's
-adversary definition (Section II):
+A fuzzed schedule is drawn in up to five layers; the first three mirror
+the paper's adversary definition (Section II), the last two widen the
+fault surface beyond it:
 
 1. **static selection** — a faulty set of random size up to the budget;
 2. **crash plan** — each faulty node independently either never crashes
@@ -10,12 +11,26 @@ adversary definition (Section II):
 3. **delivery filter** — a crashing node loses an adversary-chosen subset
    of its final-round messages: one of ``drop_all`` / ``keep_all`` /
    ``keep_fraction`` (uniform fraction, recorded salt) /
-   ``keep_destinations`` (uniform random destination subset).
+   ``keep_destinations`` (uniform random destination subset);
+4. **Byzantine plan** — when :attr:`GrammarConfig.byzantine_modes` is
+   non-empty, further nodes (within the same fault budget, disjoint from
+   the crash-faulty set) are assigned misbehaviour modes;
+5. **delivery delay** — when :attr:`GrammarConfig.max_delay` > 0, the
+   whole run may get a uniform per-message delay bound (partial
+   synchrony, recorded salt).
+
+Layers 4 and 5 draw nothing when disabled, so the default configuration
+consumes exactly the historical random stream — legacy ``(seed, config)``
+pairs regenerate bit-identical schedules.
 
 Every draw comes from the RNG handed in by the caller, so the realised
 schedule is a pure function of that stream — the engine's adversary
 stream when used through :class:`FuzzedAdversary`, which makes a fuzzed
-run reproducible from ``(parameters, seed)`` alone.
+run reproducible from ``(parameters, seed)`` alone.  The extended layers
+need the schedule *before* the network exists (Byzantine nodes run
+different protocol instances; the delay bound configures the network), so
+they are only available through eager :func:`sample_script` calls — see
+:func:`repro.chaos.fuzzer.fuzz_one`.
 """
 
 from __future__ import annotations
@@ -26,6 +41,8 @@ from typing import Dict, Optional, Sequence, Set, Tuple
 
 from ..errors import ConfigurationError
 from ..faults.adversary import Adversary, CrashOrder, RoundView
+from ..faults.byzantine import BYZANTINE_MODES, ByzantinePlan
+from ..sim.delivery import SYNCHRONOUS, DeliverySchedule, UniformDelay
 from ..types import NodeId, Round
 from .script import CrashScript, DeliveryFilter
 
@@ -48,6 +65,17 @@ class GrammarConfig:
     filter_weights: Dict[str, int] = None  # type: ignore[assignment]
     #: Use the full fault budget instead of a random subset of it.
     saturate_budget: bool = False
+    #: Misbehaviour modes the grammar may assign (empty = crash-only).
+    byzantine_modes: Tuple[str, ...] = ()
+    #: Probability that a schedule includes Byzantine nodes at all
+    #: (given modes are configured and budget remains).
+    byzantine_probability: float = 0.5
+    #: Cap on Byzantine nodes per schedule (the fault budget also caps).
+    max_byzantine: int = 3
+    #: Upper bound on the sampled per-message delay (0 = synchronous only).
+    max_delay: int = 0
+    #: Probability that a schedule is delayed at all (given max_delay > 0).
+    delay_probability: float = 0.5
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.crash_probability <= 1.0:
@@ -56,6 +84,35 @@ class GrammarConfig:
             )
         if self.filter_weights is None:
             object.__setattr__(self, "filter_weights", dict(DEFAULT_FILTER_WEIGHTS))
+        for mode in self.byzantine_modes:
+            if mode not in BYZANTINE_MODES:
+                raise ConfigurationError(
+                    f"unknown byzantine mode {mode!r}; "
+                    f"choose from {BYZANTINE_MODES}"
+                )
+        if not 0.0 <= self.byzantine_probability <= 1.0:
+            raise ConfigurationError(
+                f"byzantine_probability must be in [0,1], "
+                f"got {self.byzantine_probability}"
+            )
+        if self.max_byzantine < 0:
+            raise ConfigurationError(
+                f"max_byzantine must be >= 0, got {self.max_byzantine}"
+            )
+        if self.max_delay < 0:
+            raise ConfigurationError(
+                f"max_delay must be >= 0, got {self.max_delay}"
+            )
+        if not 0.0 <= self.delay_probability <= 1.0:
+            raise ConfigurationError(
+                f"delay_probability must be in [0,1], "
+                f"got {self.delay_probability}"
+            )
+
+    @property
+    def extended(self) -> bool:
+        """True when layers 4/5 are active (needs eager sampling)."""
+        return bool(self.byzantine_modes) or self.max_delay > 0
 
 
 def sample_filter(
@@ -80,6 +137,43 @@ def sample_filter(
     return DeliveryFilter(kind=kind)
 
 
+def _sample_byzantine(
+    rng: random.Random,
+    n: int,
+    faulty: Sequence[NodeId],
+    budget: int,
+    config: GrammarConfig,
+) -> ByzantinePlan:
+    """Draw the Byzantine layer (empty plan when disabled or no room)."""
+    if not config.byzantine_modes or config.max_byzantine <= 0:
+        return ByzantinePlan()
+    taken = set(faulty)
+    headroom = min(budget - len(taken), config.max_byzantine, n - len(taken))
+    if headroom <= 0 or rng.random() >= config.byzantine_probability:
+        return ByzantinePlan()
+    count = rng.randint(1, headroom)
+    pool = [u for u in range(n) if u not in taken]
+    chosen = sorted(rng.sample(pool, count))
+    modes = {u: rng.choice(config.byzantine_modes) for u in chosen}
+    return ByzantinePlan(
+        modes=modes,
+        omission_fraction=rng.uniform(0.25, 1.0),
+        salt=rng.getrandbits(32),
+    )
+
+
+def _sample_delivery(
+    rng: random.Random, config: GrammarConfig
+) -> DeliverySchedule:
+    """Draw the delay layer (synchronous when disabled or not chosen)."""
+    if config.max_delay <= 0 or rng.random() >= config.delay_probability:
+        return SYNCHRONOUS
+    return UniformDelay(
+        max_delay=rng.randint(1, config.max_delay),
+        salt=rng.getrandbits(32),
+    )
+
+
 def sample_script(
     rng: random.Random,
     n: int,
@@ -88,7 +182,7 @@ def sample_script(
     config: Optional[GrammarConfig] = None,
     label: str = "",
 ) -> CrashScript:
-    """Draw one complete crash schedule from the grammar."""
+    """Draw one complete fault schedule from the grammar."""
     if horizon < 1:
         raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
     config = config or GrammarConfig()
@@ -103,7 +197,15 @@ def sample_script(
             rng.randint(1, horizon),
             sample_filter(rng, n, config),
         )
-    return CrashScript(faulty=tuple(faulty), crashes=crashes, label=label)
+    byzantine = _sample_byzantine(rng, n, faulty, budget, config)
+    delivery = _sample_delivery(rng, config)
+    return CrashScript(
+        faulty=tuple(faulty),
+        crashes=crashes,
+        label=label,
+        byzantine=byzantine,
+        delivery=delivery,
+    )
 
 
 class FuzzedAdversary(Adversary):
@@ -114,6 +216,13 @@ class FuzzedAdversary(Adversary):
     stream, then executed verbatim; :attr:`script` exposes the realised
     :class:`CrashScript` afterwards, ready to be saved, replayed, or
     shrunk.
+
+    Only the crash layers are available here: by the time the engine
+    consults the adversary the protocol instances and the delivery
+    schedule are already fixed, so a config with Byzantine modes or
+    delays is rejected — sample those scripts eagerly with
+    :func:`sample_script` (as :func:`repro.chaos.fuzzer.fuzz_one` does)
+    and hand :meth:`CrashScript.adversary` to the engine.
     """
 
     def __init__(
@@ -126,6 +235,12 @@ class FuzzedAdversary(Adversary):
             raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
         self.horizon = horizon
         self.config = config or GrammarConfig()
+        if self.config.extended:
+            raise ConfigurationError(
+                "FuzzedAdversary materialises its schedule lazily, after "
+                "the network exists; Byzantine/delay grammar layers must "
+                "be sampled eagerly with sample_script instead"
+            )
         self.label = label
         self.script: Optional[CrashScript] = None
 

@@ -1,29 +1,47 @@
-"""Deterministic, replayable crash schedules.
+"""Deterministic, replayable fault schedules.
 
 A :class:`CrashScript` is the chaos layer's exchange format: an explicit
-``{node: (round, filter)}`` map that *is* an
+``{node: (round, filter)}`` crash map that *is* an
 :class:`~repro.faults.adversary.Adversary` — handing it to the engine
 replays exactly the recorded schedule, independent of any random stream.
 Scripts round-trip through JSON, which makes failing fuzzer schedules
 storable, shareable, and shrinkable (see :mod:`repro.chaos.shrink`).
 
+Version 2 of the wire format widens the script beyond crashes to the full
+fault surface of the simulator:
+
+* ``byzantine`` — a :class:`~repro.faults.byzantine.ByzantinePlan`
+  assigning per-node misbehaviour modes (forging, equivocation, selective
+  omission);
+* ``delivery`` — a :class:`~repro.sim.delivery.DeliverySchedule` bounding
+  per-message delay (partial synchrony).
+
+Both default to "absent" (crash-only, synchronous), so every version-1
+script loads unchanged.  Loading validates the schema and raises
+:class:`~repro.errors.ScriptError` naming the offending entry — a
+hand-edited or future-version script fails with context, never with a
+bare ``KeyError``.
+
 Determinism is the whole point: every :class:`DeliveryFilter` decides
 ``keep(envelope)`` from the envelope's endpoints alone (the probabilistic
 ``keep_fraction`` filter hashes a recorded salt with the edge instead of
-drawing from an RNG), so the same script against the same seeded network
-produces the same execution, bit for bit.
+drawing from an RNG), delivery delays hash a recorded salt with the
+message coordinates, and omission coins do the same — so the same script
+against the same seeded network produces the same execution, bit for bit.
 """
 
 from __future__ import annotations
 
 import json
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping, Optional, Sequence, Set, Tuple, Union
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ScriptError
 from ..faults.adversary import Adversary, CrashOrder, RoundView
+from ..faults.byzantine import ByzantineAdversary, ByzantinePlan
 from ..rng import derive_seed
+from ..sim.delivery import SYNCHRONOUS, DeliverySchedule, schedule_from_dict
 from ..sim.message import Envelope
 from ..types import NodeId, Round
 
@@ -32,6 +50,12 @@ FILTER_KINDS = ("drop_all", "keep_all", "keep_fraction", "keep_destinations")
 
 #: Resolution of the deterministic keep_fraction coin.
 _FRACTION_BUCKETS = 1 << 20
+
+#: Wire-format version written by :meth:`CrashScript.to_dict`.
+SCRIPT_VERSION = 2
+
+#: Versions :meth:`CrashScript.from_dict` accepts (v1 = crash-only).
+SUPPORTED_SCRIPT_VERSIONS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -100,24 +124,53 @@ class DeliveryFilter:
         return data
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "DeliveryFilter":
-        """Inverse of :meth:`to_dict`."""
-        return cls(
-            kind=str(data["kind"]),
-            fraction=float(data.get("fraction", 0.0)),  # type: ignore[arg-type]
-            salt=int(data.get("salt", 0)),  # type: ignore[arg-type]
-            destinations=tuple(data.get("destinations", ())),  # type: ignore[arg-type]
-        )
+    def from_dict(
+        cls, data: Mapping[str, object], where: str = "filter"
+    ) -> "DeliveryFilter":
+        """Inverse of :meth:`to_dict`.
+
+        Raises :class:`ScriptError` naming ``where`` (the script entry
+        being parsed) when the object is malformed.
+        """
+        if not isinstance(data, Mapping):
+            raise ScriptError(
+                f"{where}: expected a filter object, got {type(data).__name__}"
+            )
+        if "kind" not in data:
+            raise ScriptError(f"{where}: missing required key 'kind'")
+        kind = str(data["kind"])
+        if kind not in FILTER_KINDS:
+            raise ScriptError(
+                f"{where}: unknown filter kind {kind!r}; "
+                f"choose from {FILTER_KINDS}"
+            )
+        try:
+            return cls(
+                kind=kind,
+                fraction=float(data.get("fraction", 0.0)),  # type: ignore[arg-type]
+                salt=int(data.get("salt", 0)),  # type: ignore[arg-type]
+                destinations=tuple(
+                    int(d) for d in data.get("destinations", ())  # type: ignore[union-attr]
+                ),
+            )
+        except (ConfigurationError, TypeError, ValueError) as exc:
+            raise ScriptError(f"{where}: {exc}") from exc
 
 
 @dataclass(frozen=True)
 class CrashScript(Adversary):
-    """An explicit crash schedule, usable directly as an adversary.
+    """An explicit fault schedule, usable directly as an adversary.
 
-    ``faulty`` is the static faulty set; ``crashes`` maps a node to the
-    round it crashes in and the delivery filter applied to its final-round
-    messages.  Faulty nodes without an entry never crash (the
+    ``faulty`` is the static *crash*-faulty set; ``crashes`` maps a node
+    to the round it crashes in and the delivery filter applied to its
+    final-round messages.  Faulty nodes without an entry never crash (the
     "faulty-but-well-behaved" case of Definition 1's footnote).
+
+    ``byzantine`` assigns misbehaviour modes to further nodes (disjoint
+    from ``faulty`` in grammar-sampled scripts; they are charged to the
+    same fault budget by :meth:`adversary`), and ``delivery`` bounds
+    per-message delay.  Both default to "absent", which is exactly the
+    version-1 crash-only script.
 
     The script does **not** restrict ``crashes`` to ``faulty``: a
     malformed script (crashing a non-faulty node) is deliberately
@@ -131,6 +184,10 @@ class CrashScript(Adversary):
     )
     #: Optional provenance label (e.g. the fuzzer seed that generated it).
     label: str = ""
+    #: Per-node misbehaviour plan (empty = crash faults only).
+    byzantine: ByzantinePlan = field(default_factory=ByzantinePlan)
+    #: Message-delay bound (synchronous = the classic model).
+    delivery: DeliverySchedule = SYNCHRONOUS
 
     # -- Adversary interface --------------------------------------------
 
@@ -159,7 +216,28 @@ class CrashScript(Adversary):
         )
 
     def name(self) -> str:
-        return self.label or f"script/{len(self.crashes)}crashes"
+        if self.label:
+            return self.label
+        parts = [f"script/{len(self.crashes)}crashes"]
+        if self.byzantine.modes:
+            parts.append(f"{len(self.byzantine)}byz")
+        if not self.delivery.is_synchronous:
+            parts.append(f"delay{self.delivery.max_delay}")
+        return "+".join(parts)
+
+    def adversary(self) -> Adversary:
+        """The engine-facing adversary for this script.
+
+        Crash-only scripts are their own adversary; a script with a
+        Byzantine plan is wrapped in a
+        :class:`~repro.faults.byzantine.ByzantineAdversary` so the lying
+        nodes are charged against the fault budget.  (The delivery
+        schedule is not an adversary concern — pass
+        :attr:`delivery` to the network/runner separately.)
+        """
+        if self.byzantine.modes:
+            return ByzantineAdversary(self.byzantine, self)
+        return self
 
     # -- derived facts ---------------------------------------------------
 
@@ -168,20 +246,44 @@ class CrashScript(Adversary):
         """The latest scheduled crash round (0 when nothing crashes)."""
         return max((r for r, _ in self.crashes.values()), default=0)
 
+    @property
+    def max_delay(self) -> int:
+        """Delay bound of the script's delivery schedule (0 = sync)."""
+        return self.delivery.max_delay
+
     def size(self) -> Tuple[int, int, int]:
         """A lexicographic "how big is this schedule" measure.
 
-        Shrinking strictly decreases it: (number of faulty nodes, number
-        of crashes, total filter severity).
+        Shrinking strictly decreases it: (faulty nodes incl. Byzantine,
+        crashes + Byzantine assignments, filter severity + Byzantine mode
+        severity + delay bound).  For a version-1 crash-only script the
+        components equal the historical (faulty, crashes, severity).
         """
         severity = sum(f.severity for _, f in self.crashes.values())
-        return (len(self.faulty), len(self.crashes), severity)
+        # Omission (1) is milder than an actively lying mode (2), so a
+        # mode downgrade strictly shrinks the measure.
+        byz_severity = sum(
+            1 if mode == "omission" else 2
+            for mode in self.byzantine.modes.values()
+        )
+        byz = len(self.byzantine)
+        return (
+            len(self.faulty) + byz,
+            len(self.crashes) + byz,
+            severity + byz_severity + self.delivery.max_delay,
+        )
 
     # -- JSON ------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-safe form; inverse of :meth:`from_dict`."""
-        return {
+        """JSON-safe form; inverse of :meth:`from_dict`.
+
+        The ``byzantine``/``delivery`` sections are emitted only when
+        non-trivial, so crash-only scripts keep their compact v1 shape
+        (plus the explicit ``version`` stamp).
+        """
+        data: Dict[str, object] = {
+            "version": SCRIPT_VERSION,
             "faulty": sorted(self.faulty),
             "crashes": {
                 str(node): {"round": round_, "filter": filter_.to_dict()}
@@ -189,20 +291,94 @@ class CrashScript(Adversary):
             },
             "label": self.label,
         }
+        if self.byzantine.modes:
+            data["byzantine"] = self.byzantine.to_dict()
+        if not self.delivery.is_synchronous:
+            data["delivery"] = self.delivery.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "CrashScript":
-        """Inverse of :meth:`to_dict`."""
-        crashes: Dict[NodeId, Tuple[Round, DeliveryFilter]] = {}
-        for node, entry in dict(data.get("crashes", {})).items():  # type: ignore[arg-type]
-            crashes[int(node)] = (
-                int(entry["round"]),
-                DeliveryFilter.from_dict(entry["filter"]),
+        """Inverse of :meth:`to_dict`, with schema validation.
+
+        Raises :class:`ScriptError` naming the offending entry for any
+        malformed or unsupported input.
+        """
+        if not isinstance(data, Mapping):
+            raise ScriptError(
+                f"script: expected an object, got {type(data).__name__}"
             )
+        version = data.get("version", 1)
+        if version not in SUPPORTED_SCRIPT_VERSIONS:
+            raise ScriptError(
+                f"script: unsupported version {version!r}; this build "
+                f"reads versions {SUPPORTED_SCRIPT_VERSIONS}"
+            )
+        raw_crashes = data.get("crashes", {})
+        if not isinstance(raw_crashes, Mapping):
+            raise ScriptError(
+                "script: 'crashes' must be an object mapping node id to "
+                "{'round': ..., 'filter': ...}, got "
+                f"{type(raw_crashes).__name__}"
+            )
+        crashes: Dict[NodeId, Tuple[Round, DeliveryFilter]] = {}
+        for node, entry in raw_crashes.items():
+            where = f"crashes[{node!r}]"
+            try:
+                node_id = int(node)
+            except (TypeError, ValueError):
+                raise ScriptError(
+                    f"{where}: node id must be an integer"
+                ) from None
+            if not isinstance(entry, Mapping):
+                raise ScriptError(
+                    f"{where}: expected an object with 'round' and "
+                    f"'filter', got {type(entry).__name__}"
+                )
+            for key in ("round", "filter"):
+                if key not in entry:
+                    raise ScriptError(f"{where}: missing required key {key!r}")
+            try:
+                round_ = int(entry["round"])  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise ScriptError(
+                    f"{where}: 'round' must be an integer, "
+                    f"got {entry['round']!r}"
+                ) from None
+            crashes[node_id] = (
+                round_,
+                DeliveryFilter.from_dict(
+                    entry["filter"], where=f"{where}.filter"
+                ),
+            )
+        try:
+            faulty = tuple(sorted(int(u) for u in data.get("faulty", ())))  # type: ignore[union-attr]
+        except (TypeError, ValueError) as exc:
+            raise ScriptError(
+                f"script: 'faulty' must be a list of node ids ({exc})"
+            ) from exc
+        raw_plan = data.get("byzantine")
+        if raw_plan is None:
+            byzantine = ByzantinePlan()
+        else:
+            try:
+                byzantine = ByzantinePlan.from_dict(raw_plan)  # type: ignore[arg-type]
+            except (ConfigurationError, TypeError, ValueError, AttributeError) as exc:
+                raise ScriptError(
+                    f"script: invalid 'byzantine' section: {exc}"
+                ) from exc
+        try:
+            delivery = schedule_from_dict(data.get("delivery"))  # type: ignore[arg-type]
+        except (ConfigurationError, TypeError, ValueError, AttributeError) as exc:
+            raise ScriptError(
+                f"script: invalid 'delivery' section: {exc}"
+            ) from exc
         return cls(
-            faulty=tuple(sorted(int(u) for u in data.get("faulty", ()))),  # type: ignore[union-attr]
+            faulty=faulty,
             crashes=crashes,
             label=str(data.get("label", "")),
+            byzantine=byzantine,
+            delivery=delivery,
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -212,34 +388,52 @@ class CrashScript(Adversary):
     @classmethod
     def from_json(cls, text: str) -> "CrashScript":
         """Parse a script previously written by :meth:`to_json`."""
-        return cls.from_dict(json.loads(text))
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScriptError(f"script: not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
 
     # -- structural edits (used by the shrinker) -------------------------
+    # All edits go through dataclasses.replace, so every field — including
+    # ones added in later versions — survives every edit.
 
     def without_crash(self, node: NodeId) -> "CrashScript":
         """Copy with ``node``'s crash removed (it stays faulty)."""
         crashes = {u: plan for u, plan in self.crashes.items() if u != node}
-        return CrashScript(faulty=self.faulty, crashes=crashes, label=self.label)
+        return replace(self, crashes=crashes)
 
     def without_faulty(self, node: NodeId) -> "CrashScript":
         """Copy with ``node`` removed from the faulty set and the plan."""
         faulty = tuple(u for u in self.faulty if u != node)
         crashes = {u: plan for u, plan in self.crashes.items() if u != node}
-        return CrashScript(faulty=faulty, crashes=crashes, label=self.label)
+        return replace(self, faulty=faulty, crashes=crashes)
 
     def with_filter(self, node: NodeId, filter_: DeliveryFilter) -> "CrashScript":
         """Copy with ``node``'s delivery filter replaced."""
         crashes = dict(self.crashes)
         round_, _ = crashes[node]
         crashes[node] = (round_, filter_)
-        return CrashScript(faulty=self.faulty, crashes=crashes, label=self.label)
+        return replace(self, crashes=crashes)
 
     def with_round(self, node: NodeId, round_: Round) -> "CrashScript":
         """Copy with ``node``'s crash moved to ``round_``."""
         crashes = dict(self.crashes)
         _, filter_ = crashes[node]
         crashes[node] = (round_, filter_)
-        return CrashScript(faulty=self.faulty, crashes=crashes, label=self.label)
+        return replace(self, crashes=crashes)
+
+    def without_byzantine(self, node: NodeId) -> "CrashScript":
+        """Copy with ``node`` honest again (dropped from the plan)."""
+        return replace(self, byzantine=self.byzantine.without_node(node))
+
+    def with_byzantine_mode(self, node: NodeId, mode: str) -> "CrashScript":
+        """Copy with ``node``'s misbehaviour mode reassigned."""
+        return replace(self, byzantine=self.byzantine.with_mode(node, mode))
+
+    def with_delivery(self, delivery: DeliverySchedule) -> "CrashScript":
+        """Copy with the delivery schedule replaced."""
+        return replace(self, delivery=delivery)
 
 
 ScriptLike = Union[CrashScript, Mapping[str, object]]

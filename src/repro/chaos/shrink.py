@@ -7,17 +7,23 @@ order of aggressiveness:
 
 1. **drop a crash** — the node stays faulty but never crashes;
 2. **drop a faulty node** that has no crash scheduled;
-3. **widen delivery** — replace a ``drop_all``/partial filter with
+3. **drop a Byzantine node** — it rejoins the honest majority;
+4. **remove or halve the delay bound** — a smaller Δ is a strictly
+   weaker scheduler (Δ=0 is the classic synchronous model);
+5. **widen delivery** — replace a ``drop_all``/partial filter with
    ``keep_all`` (a crash that loses nothing is the mildest crash);
-4. **delay the crash** towards the horizon (geometric jumps, largest
+6. **downgrade a Byzantine mode to omission** — a node that merely goes
+   quiet is milder than one that forges or equivocates;
+7. **delay the crash** towards the horizon (geometric jumps, largest
    first) — later crashes give the protocol strictly more fault-free
    rounds.
 
-Each accepted edit strictly decreases the lexicographic measure
-``(faulty count, crash count, filter severity, earliness)``, so the
-greedy fixpoint loop converges; a hard evaluation cap bounds worst-case
-work.  Every candidate is *re-executed* (never pattern-matched), so the
-minimised script is guaranteed to reproduce.
+Each accepted edit strictly decreases the lexicographic measure of
+:meth:`CrashScript.size` (faulty+Byzantine count, crash+mode count,
+severity+delay) or delays a crash, so the greedy fixpoint loop
+converges; a hard evaluation cap bounds worst-case work.  Every
+candidate is *re-executed* (never pattern-matched), so the minimised
+script is guaranteed to reproduce.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Tuple
 
+from ..sim.delivery import SYNCHRONOUS, UniformDelay
 from ..types import Round
 from .fuzzer import FuzzCase, classify, replay_case
 from .script import CrashScript, DeliveryFilter
@@ -61,10 +68,24 @@ def _candidates(
     for node in sorted(script.faulty):
         if node not in crashing:
             yield script.without_faulty(node)
+    for node in sorted(script.byzantine.modes):
+        yield script.without_byzantine(node)
+    if not script.delivery.is_synchronous:
+        yield script.with_delivery(SYNCHRONOUS)
+        salt = getattr(script.delivery, "salt", 0)
+        delay = script.delivery.max_delay // 2
+        while delay >= 1:
+            yield script.with_delivery(
+                UniformDelay(max_delay=delay, salt=salt)
+            )
+            delay //= 2
     for node in sorted(script.crashes):
         _, filter_ = script.crashes[node]
         if filter_.severity > 0:
             yield script.with_filter(node, keep_all)
+    for node, mode in sorted(script.byzantine.modes.items()):
+        if mode != "omission":
+            yield script.with_byzantine_mode(node, "omission")
     for node in sorted(script.crashes):
         round_, _ = script.crashes[node]
         # Geometric delays (largest jump first): delaying one round at a

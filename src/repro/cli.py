@@ -7,7 +7,8 @@ Commands
     Run one experiment (or ``all``) and print its measured table + checks.
 ``sweep --task election --n 64,128 --alpha 0.5 --trials 5 [--jobs N]``
     Monte-Carlo a parameter grid (optionally over a process pool) and
-    print per-point aggregates.
+    print per-point aggregates.  ``--task ben_or`` sweeps the
+    delay-tolerant Ben-Or baseline (``--max-delay`` sets Δ).
 ``elect --n 512 --alpha 0.5 [--adversary random] [--seed 0]``
     One leader-election run, summary printed.
 ``agree --n 512 --alpha 0.5 [--inputs mixed] [--adversary random]``
@@ -17,6 +18,10 @@ Commands
 ``fuzz --seeds 50 [--protocol election] [--budget-seconds 30] [--jobs N]``
     Adversary fuzzing: random crash schedules checked against the safety
     oracles; failures are shrunk and written as replayable scripts.
+    ``--byzantine MODES`` and ``--max-delay Δ`` enable the extended
+    grammar (per-node Byzantine plans, bounded-delay delivery); oracle
+    violations the sampled faults excuse are journalled as *findings*
+    rather than campaign failures (``docs/FAULTS.md``).
 ``replay script.json [--protocol election] [--seed 0]``
     Re-run a recorded crash script deterministically.
 ``report campaign.jsonl``
@@ -153,12 +158,35 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
     if args.protocol == "both":
         protocols = ("election", "agreement")
+    elif args.protocol == "all":
+        protocols = ("election", "agreement", "ben_or")
     else:
         protocols = (args.protocol,)
     scenarios = [
         FuzzScenario(protocol=protocol, n=args.n, alpha=args.alpha)
         for protocol in protocols
     ]
+    byzantine_modes: tuple = ()
+    if args.byzantine:
+        from .faults.byzantine import BYZANTINE_MODES
+
+        if args.byzantine == "all":
+            byzantine_modes = BYZANTINE_MODES
+        else:
+            byzantine_modes = tuple(
+                part.strip()
+                for part in args.byzantine.split(",")
+                if part.strip()
+            )
+    config = None
+    if byzantine_modes or args.max_delay:
+        from .chaos import GrammarConfig
+
+        # Extended grammar: Byzantine plans and/or delay schedules ride on
+        # the sampled scripts (modes are intersected per protocol family).
+        config = GrammarConfig(
+            byzantine_modes=byzantine_modes, max_delay=args.max_delay
+        )
     manifest_path = args.manifest or (
         f"{args.journal}.manifest.json"
         if args.journal
@@ -175,6 +203,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             "budget_seconds": args.budget_seconds,
             "shrink": not args.no_shrink,
             "jobs": args.jobs,
+            "max_delay": args.max_delay,
+            "byzantine": list(byzantine_modes),
         },
         extra={"journal": args.journal} if args.journal else None,
     )
@@ -184,6 +214,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         seeds=args.seeds,
         master_seed=args.seed,
         budget_seconds=args.budget_seconds,
+        config=config,
         shrink_failures=not args.no_shrink,
         jobs=args.jobs,
         progress=args.progress,
@@ -192,17 +223,27 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     )
     print(
         f"fuzzed {report.attempted} case(s) across {len(scenarios)} scenario(s)"
-        f" in {report.elapsed_seconds:.1f}s: {len(report.failures)} failure(s)"
+        f" in {report.elapsed_seconds:.1f}s: {len(report.failures)} failure(s),"
+        f" {len(report.findings)} fragile finding(s)"
     )
     for case in report.failures:
         print(f"  seed={case.seed} protocol={case.scenario.protocol}"
               f" signature={'/'.join(case.signature)}")
         for violation in case.violations:
             print(f"    {violation}")
-    if args.out and report.failures:
+    for case in report.findings:
+        print(f"  [finding] seed={case.seed}"
+              f" protocol={case.scenario.protocol}"
+              f" signature={'/'.join(case.signature)}"
+              f" script={case.script.name()}")
+    recorded = report.failures + report.findings
+    if args.out and recorded:
         with open(args.out, "w") as handle:
-            json.dump([case.to_dict() for case in report.failures], handle, indent=2)
-        print(f"wrote {len(report.failures)} failing case(s) to {args.out}")
+            json.dump([case.to_dict() for case in recorded], handle, indent=2)
+        print(
+            f"wrote {len(report.failures)} failing and "
+            f"{len(report.findings)} finding case(s) to {args.out}"
+        )
     return 1 if report.failures else 0
 
 
@@ -254,9 +295,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     from .analysis.sweeps import collect, sweep
     from .obs import capture_manifest
-    from .parallel import agreement_trial, election_trial
+    from .parallel import agreement_trial, ben_or_trial, election_trial
 
-    task = election_trial if args.task == "election" else agreement_trial
+    task = {
+        "election": election_trial,
+        "agreement": agreement_trial,
+        "ben_or": ben_or_trial,
+    }[args.task]
+    if args.max_delay:
+        if args.task != "ben_or":
+            raise SystemExit(
+                "--max-delay requires --task ben_or (the delay-tolerant "
+                "protocol); election/agreement assume synchronous delivery"
+            )
+        task = functools.partial(task, max_delay=args.max_delay)
     if args.profile:
         # functools.partial of a module-level task stays picklable, so
         # profiled trials still fan out over the pool.
@@ -289,6 +341,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         config={
             "task": args.task,
             "grid": grid,
+            "max_delay": args.max_delay,
             "trials": args.trials,
             "jobs": args.jobs,
             "profile": args.profile,
@@ -569,7 +622,9 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="Monte-Carlo a parameter grid (optionally in parallel)"
     )
     sweep_cmd.add_argument(
-        "--task", choices=("election", "agreement"), default="election"
+        "--task",
+        choices=("election", "agreement", "ben_or"),
+        default="election",
     )
     sweep_cmd.add_argument(
         "--n", default="64,128", help="comma-separated n axis (e.g. 64,128,256)"
@@ -581,6 +636,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--adversary", default="random", help="comma-separated adversary names"
     )
     sweep_cmd.add_argument("--trials", type=int, default=5, help="trials per point")
+    sweep_cmd.add_argument(
+        "--max-delay",
+        type=int,
+        default=0,
+        help="delivery-delay bound Δ (ben_or task only; 0 = synchronous)",
+    )
     sweep_cmd.add_argument("--seed", type=int, default=0, help="master seed")
     sweep_cmd.add_argument(
         "--jobs",
@@ -644,8 +705,23 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_cmd.add_argument("--seed", type=int, default=0, help="master seed")
     fuzz_cmd.add_argument(
         "--protocol",
-        choices=("election", "agreement", "both"),
+        choices=("election", "agreement", "ben_or", "both", "all"),
         default="both",
+        help="protocol(s) to fuzz ('both' = the paper pair, 'all' adds "
+        "the delay-tolerant ben_or baseline)",
+    )
+    fuzz_cmd.add_argument(
+        "--max-delay",
+        type=int,
+        default=0,
+        help="extended grammar: sample delivery-delay schedules up to Δ",
+    )
+    fuzz_cmd.add_argument(
+        "--byzantine",
+        default=None,
+        metavar="MODES",
+        help="extended grammar: comma-separated Byzantine modes to sample "
+        "(or 'all'); violations they excuse are journalled findings",
     )
     fuzz_cmd.add_argument(
         "--budget-seconds",
@@ -691,7 +767,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("script", help="FuzzCase JSON, fuzz --out list, or bare script")
     replay.add_argument(
         "--protocol",
-        choices=("election", "agreement"),
+        choices=("election", "agreement", "ben_or"),
         default="election",
         help="protocol for bare scripts (full cases carry their own scenario)",
     )

@@ -30,6 +30,8 @@ class LeaderElectionResult:
     crashed: Dict[int, int]
     metrics: Metrics
     trace: Optional[Trace]
+    #: Delivery-delay bound of the run (0 = fully synchronous delivery).
+    max_delay: int = 0
 
     #: Alive nodes in the ELECTED state at the end of the run.
     elected_alive: List[int] = field(default_factory=list)
@@ -187,6 +189,8 @@ class AgreementResult:
     crashed: Dict[int, int]
     metrics: Metrics
     trace: Optional[Trace]
+    #: Delivery-delay bound of the run (0 = fully synchronous delivery).
+    max_delay: int = 0
 
     #: node -> Decision, for every alive node.
     decisions: Dict[int, Decision] = field(default_factory=dict)

@@ -12,7 +12,7 @@ True
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 from ..errors import ConfigurationError
 from ..faults.adversary import Adversary
@@ -20,7 +20,12 @@ from ..faults.strategies import named_adversary
 from ..obs.timing import PhaseTimers
 from ..params import CongestBudget, Params
 from ..rng import derive_seed
+from ..sim.delivery import DeliverySchedule
 from ..sim.network import Network, RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - lazy import (faults.byzantine
+    # depends on this package; see repro.faults.__init__)
+    from ..faults.byzantine import ByzantinePlan
 from ..types import NodeState
 from .agreement import AgreementProtocol
 from .explicit import ExplicitAgreementProtocol, ExplicitLeaderElectionProtocol
@@ -108,6 +113,8 @@ def elect_leader(
     message_budget: Optional[int] = None,
     extra_rounds: int = 0,
     timers: Optional[PhaseTimers] = None,
+    delivery: Optional[DeliverySchedule] = None,
+    byzantine: Optional["ByzantinePlan"] = None,
 ) -> LeaderElectionResult:
     """Run the Section IV-A fault-tolerant implicit leader election.
 
@@ -131,6 +138,13 @@ def elect_leader(
     timers:
         Optional :class:`~repro.obs.PhaseTimers` profiling the engine's
         round phases; totals surface as ``result.metrics.phase_seconds``.
+    delivery:
+        Optional :class:`~repro.sim.DeliverySchedule` (bounded-delay
+        partial synchrony); default is the synchronous model.
+    byzantine:
+        Optional :class:`~repro.faults.byzantine.ByzantinePlan` turning
+        designated nodes into attackers/omitters; the plan's nodes join
+        the faulty set and charge ``faulty_count``.
     """
     params = params or Params(n=n, alpha=alpha)
     schedule = LeaderElectionSchedule.from_params(params)
@@ -138,10 +152,22 @@ def elect_leader(
     adversary = _resolve_adversary(adversary, total_rounds)
     if faulty_count is None:
         faulty_count = params.max_faulty
+    factory = lambda u: LeaderElectionProtocol(u, params, schedule)  # noqa: E731
+    if byzantine is not None and byzantine.modes:
+        from ..faults.byzantine import (
+            ByzantineAdversary,
+            election_attackers,
+            plan_factory,
+        )
+
+        adversary = ByzantineAdversary(byzantine, adversary)
+        factory = plan_factory(
+            byzantine, factory, election_attackers(params, schedule)
+        )
 
     network = Network(
         n,
-        lambda u: LeaderElectionProtocol(u, params, schedule),
+        factory,
         seed=seed,
         adversary=adversary,
         max_faulty=faulty_count,
@@ -149,6 +175,7 @@ def elect_leader(
         collect_trace=collect_trace,
         message_budget=message_budget,
         timers=timers,
+        delivery=delivery,
     )
     run = network.run(total_rounds)
     return _evaluate_leader_election(run, params, seed, adversary)
@@ -166,6 +193,7 @@ def _evaluate_leader_election(
         crashed=run.crashed,
         metrics=run.metrics,
         trace=run.trace,
+        max_delay=run.max_delay,
     )
     for u in range(run.n):
         protocol: LeaderElectionProtocol = run.protocol(u)  # type: ignore[assignment]
@@ -241,6 +269,8 @@ def agree(
     message_budget: Optional[int] = None,
     extra_rounds: int = 0,
     timers: Optional[PhaseTimers] = None,
+    delivery: Optional[DeliverySchedule] = None,
+    byzantine: Optional["ByzantinePlan"] = None,
 ) -> AgreementResult:
     """Run the Section V-A fault-tolerant implicit agreement.
 
@@ -255,10 +285,24 @@ def agree(
     if faulty_count is None:
         faulty_count = params.max_faulty
     input_bits = make_inputs(n, inputs, seed)
+    factory = lambda u: AgreementProtocol(  # noqa: E731
+        u, params, schedule, input_bits[u]
+    )
+    if byzantine is not None and byzantine.modes:
+        from ..faults.byzantine import (
+            ByzantineAdversary,
+            agreement_attackers,
+            plan_factory,
+        )
+
+        adversary = ByzantineAdversary(byzantine, adversary)
+        factory = plan_factory(
+            byzantine, factory, agreement_attackers(params, schedule, input_bits)
+        )
 
     network = Network(
         n,
-        lambda u: AgreementProtocol(u, params, schedule, input_bits[u]),
+        factory,
         seed=seed,
         adversary=adversary,
         max_faulty=faulty_count,
@@ -267,6 +311,7 @@ def agree(
         collect_trace=collect_trace,
         message_budget=message_budget,
         timers=timers,
+        delivery=delivery,
     )
     run = network.run(total_rounds)
     return _evaluate_agreement(run, params, seed, adversary, input_bits)
@@ -370,6 +415,7 @@ def _evaluate_agreement(
         crashed=run.crashed,
         metrics=run.metrics,
         trace=run.trace,
+        max_delay=run.max_delay,
     )
     for u in range(run.n):
         protocol: AgreementProtocol = run.protocol(u)  # type: ignore[assignment]

@@ -65,6 +65,15 @@ class OracleViolation(ReproError):
     """A fuzzed run broke a protocol-level safety oracle (see repro.chaos)."""
 
 
+class ScriptError(ReproError):
+    """A chaos script (CrashScript JSON) is malformed or unsupported.
+
+    Raised by the loaders with a message naming the offending entry, so a
+    hand-edited or future-version script fails with context instead of a
+    bare ``KeyError``.
+    """
+
+
 class CampaignInterrupted(ReproError):
     """The parent caught SIGINT/SIGTERM and stopped at a trial boundary.
 

@@ -1,4 +1,4 @@
-"""The experiment registry (ids E1-E16, DESIGN.md section 4)."""
+"""The experiment registry (ids E1-E17, DESIGN.md section 4)."""
 
 from __future__ import annotations
 
@@ -12,12 +12,14 @@ from .e_leader import E1, E2, E3, E4
 from .e_lemmas import E5
 from .e_lowerbound import E10
 from .e_parity import E12
+from .e_partial_synchrony import E17
 from .e_table1 import E9
 from .e_thresholds import E11
 from .harness import Experiment
 
 _ALL: List[Experiment] = [
     E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16,
+    E17,
 ]
 _BY_ID: Dict[str, Experiment] = {e.experiment_id: e for e in _ALL}
 

@@ -19,6 +19,12 @@ These attackers only do things any KT0 node could do (send well-formed
 CONGEST messages through sampled ports); no engine rules are bent.  The
 measured collapse is the content of experiment E15 and motivates why
 sub-linear *Byzantine* agreement is open.
+
+The attacker protocol classes were promoted to
+:mod:`repro.faults.byzantine` (first-class fault model, per-node plans,
+budget-charged composition with crash adversaries); they are re-exported
+here so existing imports keep working.  This module keeps the E15
+measurement runners.
 """
 
 from __future__ import annotations
@@ -26,101 +32,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
-from ..core.agreement import MSG_VALUE, AgreementProtocol
-from ..core.leader_election import (
-    MSG_CONFIRM,
-    MSG_PROPOSE,
-    MSG_RANK,
-    LeaderElectionProtocol,
-)
+from ..core.agreement import AgreementProtocol
+from ..core.leader_election import LeaderElectionProtocol
 from ..core.runner import make_inputs
 from ..core.schedule import AgreementSchedule, LeaderElectionSchedule
+from ..faults.byzantine import (  # noqa: F401  (re-exported compatibility names)
+    Equivocator,
+    RankForger,
+    SelectiveOmission,
+    ZeroForger,
+)
 from ..params import CongestBudget, Params
 from ..rng import RngFactory
-from ..sim.message import Message
 from ..sim.metrics import Metrics
 from ..sim.network import Network
 from ..types import Decision, NodeState
 
 #: Attack names accepted by the runners.
 BYZANTINE_ATTACKS = ("zero_forger", "rank_forger", "equivocator")
-
-
-class ZeroForger(AgreementProtocol):
-    """Byzantine agreement candidate: forges a 0 despite holding a 1."""
-
-    def on_start(self, ctx) -> None:
-        self.is_candidate = True  # always joins the committee
-        self._referees = ctx.sample_nodes(self.params.referee_count)
-        # Lie: register a 0 regardless of the real input bit.
-        forged = Message(MSG_VALUE, (0,))
-        for referee in self._referees:
-            ctx.send(referee, forged)
-        self._sent_zero = True
-        ctx.idle()
-
-
-class RankForger(LeaderElectionProtocol):
-    """Byzantine election candidate: claims rank 1 (the guaranteed
-    minimum, hence the guaranteed winner)."""
-
-    def _draw_rank(self, ctx) -> int:
-        return 1  # the smallest admissible rank always wins
-
-    def on_start(self, ctx) -> None:
-        super().on_start(ctx)
-        if not self.is_candidate:
-            # A Byzantine node always volunteers.
-            self.is_candidate = True
-            self._rank_list = {self.rank}
-            self._referees = ctx.sample_nodes(self.params.referee_count)
-            announce = Message(MSG_RANK, (self.rank,))
-            for referee in self._referees:
-                ctx.send(referee, announce)
-            ctx.wake_at(self.schedule.iteration_start)
-
-
-class Equivocator(LeaderElectionProtocol):
-    """Byzantine election candidate: tells each half of its referees a
-    different rank, then supports both, splitting the committee's view."""
-
-    def on_start(self, ctx) -> None:
-        super().on_start(ctx)
-        self.is_candidate = True
-        if not self._referees:
-            self._referees = ctx.sample_nodes(self.params.referee_count)
-        self._low_rank = 2
-        self._high_rank = self.params.rank_space - 1
-        half = len(self._referees) // 2
-        for referee in self._referees[:half]:
-            ctx.send(referee, Message(MSG_RANK, (self._low_rank,)))
-        for referee in self._referees[half:]:
-            ctx.send(referee, Message(MSG_RANK, (self._high_rank,)))
-        ctx.wake_at(self.schedule.iteration_start)
-
-    def on_round(self, ctx, inbox) -> None:
-        # Keep referees confused: claim both identities as own proposals.
-        half = len(self._referees) // 2
-        if ctx.round >= self.schedule.iteration_start and ctx.round % 4 == 0:
-            for referee in self._referees[:half]:
-                ctx.send(referee, Message(MSG_PROPOSE, (self._low_rank, self._low_rank)))
-            for referee in self._referees[half:]:
-                ctx.send(
-                    referee,
-                    Message(MSG_CONFIRM, (self._high_rank, self._high_rank)),
-                )
-        # Still act as a referee for others (delegating the passive logic).
-        proposals = [
-            d.fields for d in inbox if d.kind in (MSG_PROPOSE, MSG_CONFIRM)
-        ]
-        registrations = [
-            (d.sender, d.fields[0]) for d in inbox if d.kind == MSG_RANK
-        ]
-        if registrations:
-            self._referee_register(ctx, registrations)
-        if proposals:
-            self._referee_aggregate(ctx, proposals)
-        ctx.wake_at(ctx.round + 4)
 
 
 @dataclass

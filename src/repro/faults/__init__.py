@@ -9,7 +9,17 @@ The theorems hold against every such adversary, so the test-suite and the
 benchmarks run each protocol against a portfolio of strategies, including
 the natural worst cases suggested by the proofs (crash the current minimum
 proposer mid-broadcast, deliver to half the referees, ...).
+
+Beyond crashes, :mod:`repro.faults.byzantine` provides the stronger rungs
+of the fault hierarchy — selective omission and actively lying (Byzantine)
+nodes — assignable per node through a
+:class:`~repro.faults.byzantine.ByzantinePlan` and composable with any
+crash strategy via :class:`~repro.faults.byzantine.ByzantineAdversary`.
+Its names are re-exported here lazily (it depends on the protocol layer,
+which depends on this package — eager import would cycle).
 """
+
+from typing import TYPE_CHECKING
 
 from .adversary import Adversary, CrashOrder, RoundView
 from .strategies import (
@@ -26,6 +36,47 @@ from .strategies import (
     standard_portfolio,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - static-analysis view of the lazy names
+    from .byzantine import (  # noqa: F401
+        AGREEMENT_MODES,
+        BYZANTINE_MODES,
+        ELECTION_MODES,
+        ByzantineAdversary,
+        ByzantinePlan,
+        Equivocator,
+        RankForger,
+        SelectiveOmission,
+        ZeroForger,
+        agreement_attackers,
+        election_attackers,
+        plan_factory,
+    )
+
+#: Names resolved lazily from :mod:`repro.faults.byzantine` (PEP 562).
+_BYZANTINE_EXPORTS = (
+    "AGREEMENT_MODES",
+    "BYZANTINE_MODES",
+    "ELECTION_MODES",
+    "ByzantineAdversary",
+    "ByzantinePlan",
+    "Equivocator",
+    "RankForger",
+    "SelectiveOmission",
+    "ZeroForger",
+    "agreement_attackers",
+    "election_attackers",
+    "plan_factory",
+)
+
+
+def __getattr__(name: str):
+    if name in _BYZANTINE_EXPORTS:
+        from . import byzantine
+
+        return getattr(byzantine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "AdaptiveMinProposerCrash",
     "Adversary",
@@ -41,4 +92,5 @@ __all__ = [
     "StaggeredCrash",
     "named_adversary",
     "standard_portfolio",
+    *_BYZANTINE_EXPORTS,
 ]

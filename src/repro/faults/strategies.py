@@ -20,6 +20,13 @@ reason about:
   rank/value, mid-broadcast, delivering to half its referees.  This is the
   natural worst case for the Section IV-A algorithm (kill the would-be
   leader every iteration).
+
+Every strategy here issues *crashes* only.  To additionally assign some
+nodes omission or Byzantine behaviour, wrap any of these in
+:class:`repro.faults.byzantine.ByzantineAdversary` with a per-node
+:class:`~repro.faults.byzantine.ByzantinePlan` — the wrapped strategy
+keeps planning crashes for the non-Byzantine remainder of the fault
+budget.
 """
 
 from __future__ import annotations

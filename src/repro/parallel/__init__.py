@@ -19,7 +19,7 @@ from .supervisor import (
     chunk_deadline_seconds,
     is_supervisor_record,
 )
-from .tasks import agreement_trial, election_trial
+from .tasks import agreement_trial, ben_or_trial, election_trial
 
 __all__ = [
     "GracefulShutdown",
@@ -27,6 +27,7 @@ __all__ = [
     "SupervisorStats",
     "TrialSpec",
     "agreement_trial",
+    "ben_or_trial",
     "chunk_deadline_seconds",
     "default_chunk_size",
     "election_trial",

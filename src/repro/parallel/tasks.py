@@ -1,7 +1,7 @@
 """Module-level, picklable Monte-Carlo trial tasks.
 
 Parallel campaigns need tasks that cross a process boundary.  These
-wrappers run the two headline experiments and return their plain-dict
+wrappers run the headline protocols and return their plain-dict
 ``summary()`` — picklable, JSON-serialisable, and exactly what the
 benchmark and CLI sweeps aggregate.
 
@@ -40,6 +40,48 @@ def agreement_trial(
     timers = _make_timers(profile)
     result = agree(seed=seed, timers=timers, **kwargs)
     return _with_phases(result.summary(), result.metrics)
+
+
+def ben_or_trial(
+    seed: int = 0,
+    profile: bool = False,
+    n: int = 64,
+    alpha: float = 0.5,
+    adversary: str = "random",
+    inputs: str = "mixed",
+    max_delay: int = 0,
+    **kwargs: Any,
+) -> Dict[str, Any]:
+    """One Ben-Or consensus trial → its ``summary()`` dict.
+
+    ``alpha`` maps to the crash budget the other tasks use
+    (``Params.max_faulty``), capped at Ben-Or's ``< n/2`` resilience;
+    ``max_delay`` > 0 runs the trial under bounded-delay delivery.
+    """
+    from ..baselines.ben_or import ben_or_consensus, ben_or_horizon
+    from ..core.runner import make_inputs
+    from ..faults import named_adversary
+    from ..params import Params
+    from ..sim.delivery import UniformDelay
+
+    timers = _make_timers(profile)
+    budget = min(Params(n=n, alpha=alpha).max_faulty, (n - 1) // 2)
+    delivery = UniformDelay(max_delay, salt=seed) if max_delay else None
+    outcome = ben_or_consensus(
+        n=n,
+        inputs=make_inputs(n, inputs, seed),
+        seed=seed,
+        adversary=named_adversary(adversary, ben_or_horizon(max_delay)),
+        faulty_count=budget,
+        delivery=delivery,
+        timers=timers,
+        **kwargs,
+    )
+    summary = outcome.summary()
+    summary["alpha"] = alpha
+    summary["adversary"] = adversary
+    summary["max_delay"] = max_delay
+    return _with_phases(summary, outcome.metrics)
 
 
 def _make_timers(profile: bool):

@@ -9,12 +9,26 @@ This subpackage implements the machine of Section II of the paper:
   round, enforced by per-edge FIFO queues and payload bit-sizing;
 * crash faults: a static adversary picks the faulty set up-front and
   adaptively chooses crash rounds; in a node's crash round an arbitrary
-  adversary-chosen subset of its outgoing messages is lost.
+  adversary-chosen subset of its outgoing messages is lost;
+* optionally, bounded-delay partial synchrony: a
+  :class:`~repro.sim.delivery.DeliverySchedule` lets the adversary hold
+  any message in flight up to Δ extra rounds (Δ=0 — the default — is the
+  synchronous model above, byte-identical to the classic engine).
 
 Public surface: :class:`Network`, :class:`Protocol`, :class:`Context`,
-:class:`Message`, :class:`Metrics`, :class:`Trace`.
+:class:`Message`, :class:`Metrics`, :class:`Trace`,
+:class:`DeliverySchedule`.
 """
 
+from .delivery import (
+    SCHEDULE_KINDS,
+    SYNCHRONOUS,
+    DeliverySchedule,
+    SynchronousDelivery,
+    TargetedDelay,
+    UniformDelay,
+    schedule_from_dict,
+)
 from .message import Delivery, Envelope, Message, payload_bits
 from .metrics import Metrics
 from .network import Network, RunResult
@@ -26,6 +40,7 @@ from .validate import validate_run
 __all__ = [
     "Context",
     "Delivery",
+    "DeliverySchedule",
     "Envelope",
     "Message",
     "Metrics",
@@ -33,11 +48,17 @@ __all__ = [
     "Protocol",
     "RoundSummary",
     "RunResult",
+    "SCHEDULE_KINDS",
+    "SYNCHRONOUS",
+    "SynchronousDelivery",
+    "TargetedDelay",
     "Trace",
     "TraceEvent",
+    "UniformDelay",
     "busiest_round",
     "payload_bits",
     "replay",
+    "schedule_from_dict",
     "timeline_table",
     "validate_run",
 ]

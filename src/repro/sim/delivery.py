@@ -1,0 +1,183 @@
+"""Adversarial delivery schedules: bounded-delay partial synchrony.
+
+The paper's model is strictly synchronous: a message transmitted in round
+``r`` is delivered at the start of round ``r + 1``.  A
+:class:`DeliverySchedule` relaxes that to *bounded-delay partial
+synchrony*: the adversary may hold any wire message in flight for up to
+``max_delay`` extra rounds (``Δ``), so a message sent in round ``r``
+arrives in some round of ``[r + 1, r + 1 + Δ]``.  ``Δ = 0`` **is** the
+synchronous model — the engine bypasses the schedule entirely then, so
+the default path stays byte-identical to the classic engine (the
+elect512/seed2 canary guards this).
+
+Schedules must be *deterministic and replayable*: like the chaos layer's
+:class:`~repro.chaos.script.DeliveryFilter`, they never draw from an RNG
+at delivery time.  The randomized-looking :class:`UniformDelay` hashes a
+recorded salt with the message's edge and send round
+(:func:`repro.rng.derive_seed`), so the same schedule against the same
+seeded network produces the same execution, bit for bit — and a fuzzed
+delay schedule can be stored, replayed, and shrunk.
+
+Concrete schedules:
+
+* :class:`SynchronousDelivery` — ``Δ = 0``, the classic engine;
+* :class:`UniformDelay` — each message independently delayed by a
+  salted-hash-uniform number of rounds in ``[0, Δ]``;
+* :class:`TargetedDelay` — the adversary lags the links *into* chosen
+  victim nodes by a fixed per-victim amount (asymmetric partitions),
+  everything else synchronous.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..errors import ConfigurationError
+from ..rng import derive_seed
+from ..types import NodeId
+from .message import Envelope
+
+#: Resolution of the deterministic uniform-delay coin.
+_DELAY_BUCKETS = 1 << 20
+
+#: Schedule kinds accepted by :func:`schedule_from_dict`.
+SCHEDULE_KINDS = ("synchronous", "uniform", "targeted")
+
+
+class DeliverySchedule:
+    """Decides, per wire message, how many extra rounds it spends in flight.
+
+    ``delay(envelope)`` returns the number of rounds *beyond* the model's
+    baseline one-round latency, in ``[0, max_delay]``.  The engine never
+    calls it when :attr:`is_synchronous` is true, which is what keeps the
+    ``Δ = 0`` path byte-identical to the classic synchronous engine.
+    """
+
+    __slots__ = ()
+
+    #: The bound ``Δ``: no message is delayed more than this many extra rounds.
+    max_delay: int = 0
+
+    @property
+    def is_synchronous(self) -> bool:
+        """True when every message takes exactly one round (``Δ = 0``)."""
+        return self.max_delay == 0
+
+    def delay(self, envelope: Envelope) -> int:
+        """Extra in-flight rounds for ``envelope`` (``0 <= d <= max_delay``)."""
+        return 0
+
+    def name(self) -> str:
+        """Short human-readable name (used in tables and scripts)."""
+        return type(self).__name__
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form; inverse of :func:`schedule_from_dict`."""
+        return {"kind": "synchronous"}
+
+
+class SynchronousDelivery(DeliverySchedule):
+    """The classic model: every message arrives after exactly one round."""
+
+    __slots__ = ()
+
+    def name(self) -> str:
+        return "sync"
+
+
+#: Shared default instance (stateless, safe to share across networks).
+SYNCHRONOUS = SynchronousDelivery()
+
+
+class UniformDelay(DeliverySchedule):
+    """Salted-hash-uniform delay in ``[0, max_delay]`` per message.
+
+    The coin is ``derive_seed(salt, src, dst, round_sent)``, so repeats of
+    the same edge in different rounds draw fresh delays while replays see
+    identical ones.
+    """
+
+    __slots__ = ("max_delay", "salt")
+
+    def __init__(self, max_delay: int, salt: int = 0) -> None:
+        if max_delay < 0:
+            raise ConfigurationError(
+                f"max_delay must be >= 0, got {max_delay}"
+            )
+        self.max_delay = max_delay
+        self.salt = salt
+
+    def delay(self, envelope: Envelope) -> int:
+        if self.max_delay == 0:
+            return 0
+        coin = derive_seed(
+            self.salt, envelope.src, envelope.dst, envelope.round_sent
+        )
+        return (coin % _DELAY_BUCKETS) % (self.max_delay + 1)
+
+    def name(self) -> str:
+        return f"uniform-delay@{self.max_delay}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": "uniform", "max_delay": self.max_delay, "salt": self.salt}
+
+
+class TargetedDelay(DeliverySchedule):
+    """Fixed extra delay on every link *into* each targeted node.
+
+    Models an adversary lagging a victim's incoming links (the classic
+    "slow node" partial-synchrony attack); untargeted receivers stay
+    synchronous.
+    """
+
+    __slots__ = ("max_delay", "targets")
+
+    def __init__(self, targets: Mapping[NodeId, int]) -> None:
+        for node, extra in targets.items():
+            if extra < 0:
+                raise ConfigurationError(
+                    f"target delay must be >= 0, got {extra} for node {node}"
+                )
+        self.targets = dict(targets)
+        self.max_delay = max(self.targets.values(), default=0)
+
+    def delay(self, envelope: Envelope) -> int:
+        return self.targets.get(envelope.dst, 0)
+
+    def name(self) -> str:
+        return f"targeted-delay@{self.max_delay}x{len(self.targets)}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "targeted",
+            "targets": {
+                str(node): extra for node, extra in sorted(self.targets.items())
+            },
+        }
+
+
+def schedule_from_dict(
+    data: Optional[Mapping[str, object]],
+) -> DeliverySchedule:
+    """Rebuild a schedule from its :meth:`~DeliverySchedule.to_dict` form.
+
+    ``None`` (a script without a delay section) means synchronous.
+    """
+    if data is None:
+        return SYNCHRONOUS
+    kind = data.get("kind")
+    if kind == "synchronous":
+        return SYNCHRONOUS
+    if kind == "uniform":
+        return UniformDelay(
+            max_delay=int(data.get("max_delay", 0)),  # type: ignore[arg-type]
+            salt=int(data.get("salt", 0)),  # type: ignore[arg-type]
+        )
+    if kind == "targeted":
+        targets = data.get("targets", {})
+        return TargetedDelay(
+            {int(node): int(extra) for node, extra in dict(targets).items()}  # type: ignore[arg-type]
+        )
+    raise ConfigurationError(
+        f"unknown delivery-schedule kind {kind!r}; choose from {SCHEDULE_KINDS}"
+    )

@@ -154,6 +154,11 @@ class Delivery:
 
     ``sender`` is the arrival port: under KT0 it is the only handle the
     receiver gains, and it may be used as a send address (reply).
+    ``round_received`` is the round the receiver actually saw the message:
+    ``round_sent + 1`` in the synchronous model, anywhere in
+    ``[round_sent + 1, round_sent + 1 + Δ]`` under a Δ-bounded
+    :class:`~repro.sim.delivery.DeliverySchedule` — protocols that care
+    about age must read it rather than assume one-round latency.
     """
 
     __slots__ = ("sender", "message", "round_received")

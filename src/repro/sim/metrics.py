@@ -55,6 +55,11 @@ class Metrics:
     per_round_messages: List[int] = field(default_factory=list)
     per_kind_messages: "Counter[str]" = field(default_factory=Counter)
     per_node_sent: Dict[NodeId, int] = field(default_factory=dict)
+    #: Histogram ``latency -> count`` over delivered messages, where
+    #: latency is ``round_received - round_sent``.  Synchronous runs put
+    #: everything in bucket 1; a Δ-bounded schedule spreads deliveries over
+    #: ``[1, 1 + Δ]``.  Dropped/expired messages have no latency.
+    delivery_latency: "Counter[int]" = field(default_factory=Counter)
     #: phase -> accumulated wall-clock seconds (empty unless the run was
     #: profiled with :class:`repro.obs.PhaseTimers`).
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -105,6 +110,12 @@ class Metrics:
         """Largest number of messages sent in any single round."""
         return max(self.per_round_messages, default=0)
 
+    @property
+    def max_delivery_latency(self) -> int:
+        """Worst observed delivery latency in rounds (0 when nothing
+        was delivered)."""
+        return max(self.delivery_latency, default=0)
+
     @classmethod
     def merge(cls, parts: Iterable["Metrics"]) -> "Metrics":
         """Fold per-trial metrics into one campaign-level ``Metrics``.
@@ -141,6 +152,7 @@ class Metrics:
                 merged.rounds_executed, part.rounds_executed
             )
             merged.per_kind_messages.update(part.per_kind_messages)
+            merged.delivery_latency.update(part.delivery_latency)
             for node, count in part.per_node_sent.items():
                 merged.per_node_sent[node] = (
                     merged.per_node_sent.get(node, 0) + count
@@ -177,4 +189,11 @@ class Metrics:
         }
         if self.phase_seconds:
             summary["phase_seconds"] = dict(self.phase_seconds)
+        # Only interesting under partial synchrony: a purely synchronous
+        # histogram ({1: delivered}) is implied by messages_delivered, and
+        # omitting it keeps legacy table shapes unchanged.
+        if any(latency != 1 for latency in self.delivery_latency):
+            summary["delivery_latency"] = dict(
+                sorted(self.delivery_latency.items())
+            )
         return summary

@@ -39,6 +39,7 @@ from ..obs.timing import (
 from ..params import CongestBudget
 from ..rng import RngFactory
 from ..types import Knowledge, NodeId, Round
+from .delivery import SYNCHRONOUS, DeliverySchedule
 from .message import Delivery, Envelope, Message
 from .metrics import Metrics
 from .node import NEVER, Context, Protocol
@@ -63,6 +64,8 @@ class RunResult:
     rounds: Round
     #: The requested round count (the nominal schedule length).
     horizon: Round = 0
+    #: Delay bound Δ of the run's delivery schedule (0 = synchronous).
+    max_delay: int = 0
 
     @property
     def alive(self) -> List[NodeId]:
@@ -103,6 +106,7 @@ class Network:
         message_budget: Optional[int] = None,
         budget_mode: str = "suppress",
         timers: Optional[PhaseTimers] = None,
+        delivery: Optional[DeliverySchedule] = None,
     ) -> None:
         if n < 2:
             raise SimulationError(f"need at least 2 nodes, got {n}")
@@ -123,6 +127,15 @@ class Network:
         self.message_budget = message_budget
         self.budget_mode = budget_mode
         self.budget_exhausted = False
+        # Bounded-delay partial synchrony.  Δ=0 (the default) never touches
+        # the schedule inside the round loop — ``_sync`` gates every new
+        # branch, keeping the classic path byte-identical.
+        self.delivery = delivery if delivery is not None else SYNCHRONOUS
+        self._sync = self.delivery.is_synchronous
+        # In-flight delayed messages: arrival round -> envelopes, plus a
+        # running total so quiescence checks cost one int comparison.
+        self._in_flight: Dict[Round, List[Envelope]] = {}
+        self._in_flight_total = 0
 
         enforce_kt0 = knowledge is Knowledge.KT0
         self.contexts: List[Context] = [
@@ -216,6 +229,14 @@ class Network:
                 break
             self._execute_round(r)
 
+        # Messages whose scheduled arrival lies past the horizon are still
+        # in flight when the run ends.  They were sent, so the conservation
+        # identity demands an accounted fate: they expire undelivered.
+        # (A quiescence break never reaches here with in-flight messages —
+        # a run is only quiescent when the delay queue is empty.)
+        if self._in_flight_total:
+            self._expire_in_flight()
+
         # Rounds execute contiguously from 1, so the executed count is also
         # the last executed round; the requested horizon is kept separately.
         self.metrics.rounds = self.metrics.rounds_executed
@@ -243,6 +264,7 @@ class Network:
             crashed=dict(self.crashed),
             rounds=self.metrics.rounds_executed,
             horizon=total_rounds,
+            max_delay=self.delivery.max_delay,
         )
 
     def _entry_live(self, entry: Tuple[Round, NodeId]) -> bool:
@@ -254,8 +276,13 @@ class Network:
         return ctx._next_wake != NEVER and ctx._next_wake == round_
 
     def _quiescent(self) -> bool:
-        """True when no future activity is possible without a new message."""
-        if self._queued_total or self._inboxes:
+        """True when no future activity is possible without a new message.
+
+        Delayed messages still in flight count as future activity: a run is
+        only quiescent when the delay queue is empty, otherwise the
+        fast-forward would skip their arrival rounds.
+        """
+        if self._queued_total or self._inboxes or self._in_flight_total:
             return False
         heap = self._wake_heap
         while heap and not self._entry_live(heap[0]):
@@ -264,6 +291,15 @@ class Network:
 
     def _execute_round(self, r: Round) -> None:
         self.metrics.begin_round()
+        # Delayed messages scheduled to arrive this round join the inbox
+        # map *before* the swap, after the synchronous (one-round) traffic
+        # already deposited by round r - 1's delivery phase — so a delayed
+        # arrival also wakes an idle receiver, exactly like a regular one.
+        if self._in_flight_total:
+            arrivals = self._in_flight.pop(r, None)
+            if arrivals:
+                self._in_flight_total -= len(arrivals)
+                self._absorb_arrivals(arrivals, r)
         inboxes = self._inboxes
         self._inboxes = {}
         crashed = self.crashed
@@ -290,12 +326,27 @@ class Network:
         due: List[NodeId] = []
         while heap and heap[0][0] <= r:
             entry = heappop(heap)
-            if entry_live(entry):
+            if entry_live(entry) and (not due or due[-1] != entry[1]):
+                # The duplicate guard matters for protocols that are woken
+                # by deliveries mid-wait and re-arm the same wake_at
+                # boundary: each such invocation pushes another (round,
+                # node) entry, and all of them are live when the boundary
+                # arrives.  Without the guard the node would step several
+                # times in one round, re-reading the same inbox.  Ordered
+                # pops put duplicates adjacently, so checking the tail of
+                # ``due`` is enough.
                 due.append(entry[1])
         if inboxes:
             due_set = set(due)
+            # A delivery wakes an idle receiver but never a halted one:
+            # halt() is permanent, so resurrecting the node here would
+            # reset its wake below and spin it for the rest of the run.
             extra = [
-                u for u in inboxes if u not in due_set and u not in crashed
+                u
+                for u in inboxes
+                if u not in due_set
+                and u not in crashed
+                and not contexts[u]._halted
             ]
             if extra:
                 extra.sort()
@@ -441,65 +492,219 @@ class Network:
         # skips TraceEvent construction entirely; with tracing on, the
         # deliver event takes ``round_received`` from the Delivery actually
         # handed to the receiver, so the validator checks the real latency.
+        #
+        # Under a Δ>0 schedule the adversary may hold any surviving wire
+        # message extra rounds: those go to the in-flight queue and are
+        # absorbed at the top of their arrival round instead.  The Δ=0
+        # branch below is the classic engine, untouched.
         trace = self.trace
         new_inboxes = self._inboxes
         next_round = r + 1
         delivered = 0
         expired = 0
-        for envelope in wire:
-            src = envelope.src
-            dst = envelope.dst
-            if dropped and (src, dst) in dropped:
-                metrics.record_drop()
+        if self._sync:
+            for envelope in wire:
+                src = envelope.src
+                dst = envelope.dst
+                if dropped and (src, dst) in dropped:
+                    metrics.record_drop()
+                    if trace is not None:
+                        trace.record(
+                            TraceEvent(
+                                round=r,
+                                kind="drop",
+                                src=src,
+                                dst=dst,
+                                message_kind=envelope.message.kind,
+                            )
+                        )
+                    continue
+                if dst in crashed:
+                    # Receiver is dead: the message expires.  It still
+                    # counts as sent (the paper's measure), so conservation
+                    # demands it be accounted:
+                    # sent == delivered + dropped + expired.
+                    expired += 1
+                    if trace is not None:
+                        trace.record(
+                            TraceEvent(
+                                round=r,
+                                kind="expire",
+                                src=src,
+                                dst=dst,
+                                message_kind=envelope.message.kind,
+                            )
+                        )
+                    continue
+                delivered += 1
+                delivery = Delivery(src, envelope.message, next_round)
                 if trace is not None:
                     trace.record(
                         TraceEvent(
                             round=r,
-                            kind="drop",
+                            kind="deliver",
                             src=src,
                             dst=dst,
                             message_kind=envelope.message.kind,
+                            round_received=next_round,
                         )
                     )
-                continue
-            if dst in crashed:
-                # Receiver is dead: the message expires.  It still counts
-                # as sent (the paper's measure), so conservation demands
-                # it be accounted: sent == delivered + dropped + expired.
-                expired += 1
+                inbox = new_inboxes.get(dst)
+                if inbox is None:
+                    new_inboxes[dst] = [delivery]
+                else:
+                    inbox.append(delivery)
+            if delivered:
+                metrics.delivery_latency[1] += delivered
+        else:
+            schedule = self.delivery
+            max_extra = schedule.max_delay
+            in_flight = self._in_flight
+            latency = metrics.delivery_latency
+            for envelope in wire:
+                src = envelope.src
+                dst = envelope.dst
+                if dropped and (src, dst) in dropped:
+                    metrics.record_drop()
+                    if trace is not None:
+                        trace.record(
+                            TraceEvent(
+                                round=r,
+                                kind="drop",
+                                src=src,
+                                dst=dst,
+                                message_kind=envelope.message.kind,
+                            )
+                        )
+                    continue
+                extra = schedule.delay(envelope)
+                if extra > 0:
+                    # Held in flight; its fate (deliver or expire) is
+                    # resolved when the arrival round begins.  The bound is
+                    # clamped so a buggy schedule cannot exceed Δ.
+                    if extra > max_extra:
+                        extra = max_extra
+                    arrival = next_round + extra
+                    bucket = in_flight.get(arrival)
+                    if bucket is None:
+                        in_flight[arrival] = [envelope]
+                    else:
+                        bucket.append(envelope)
+                    self._in_flight_total += 1
+                    continue
+                if dst in crashed:
+                    expired += 1
+                    if trace is not None:
+                        trace.record(
+                            TraceEvent(
+                                round=r,
+                                kind="expire",
+                                src=src,
+                                dst=dst,
+                                message_kind=envelope.message.kind,
+                            )
+                        )
+                    continue
+                delivered += 1
+                latency[1] += 1
+                delivery = Delivery(src, envelope.message, next_round)
                 if trace is not None:
                     trace.record(
                         TraceEvent(
                             round=r,
-                            kind="expire",
+                            kind="deliver",
                             src=src,
                             dst=dst,
                             message_kind=envelope.message.kind,
+                            round_received=next_round,
                         )
                     )
-                continue
-            delivered += 1
-            delivery = Delivery(src, envelope.message, next_round)
-            if trace is not None:
-                trace.record(
-                    TraceEvent(
-                        round=r,
-                        kind="deliver",
-                        src=src,
-                        dst=dst,
-                        message_kind=envelope.message.kind,
-                        round_received=next_round,
-                    )
-                )
-            inbox = new_inboxes.get(dst)
-            if inbox is None:
-                new_inboxes[dst] = [delivery]
-            else:
-                inbox.append(delivery)
+                inbox = new_inboxes.get(dst)
+                if inbox is None:
+                    new_inboxes[dst] = [delivery]
+                else:
+                    inbox.append(delivery)
         metrics.messages_delivered += delivered
         metrics.messages_expired += expired
         if profiling:
             timers.add(PHASE_DELIVER, _perf() - _mark)
+
+    def _absorb_arrivals(self, arrivals: List[Envelope], r: Round) -> None:
+        """Resolve delayed messages whose arrival round is ``r``.
+
+        Runs before the round's inbox swap, so arrivals land in the same
+        inbox map as the synchronous traffic deposited by round ``r - 1``
+        and wake idle receivers identically.  A receiver that crashed while
+        the message was in flight expires it here (checked at arrival, not
+        at send — the crash may postdate the send round).
+        """
+        metrics = self.metrics
+        trace = self.trace
+        crashed = self.crashed
+        inboxes = self._inboxes
+        latency = metrics.delivery_latency
+        delivered = 0
+        expired = 0
+        for envelope in arrivals:
+            dst = envelope.dst
+            if dst in crashed:
+                expired += 1
+                if trace is not None:
+                    trace.record(
+                        TraceEvent(
+                            round=envelope.round_sent,
+                            kind="expire",
+                            src=envelope.src,
+                            dst=dst,
+                            message_kind=envelope.message.kind,
+                            round_received=r,
+                        )
+                    )
+                continue
+            delivered += 1
+            latency[r - envelope.round_sent] += 1
+            delivery = Delivery(envelope.src, envelope.message, r)
+            if trace is not None:
+                trace.record(
+                    TraceEvent(
+                        round=envelope.round_sent,
+                        kind="deliver",
+                        src=envelope.src,
+                        dst=dst,
+                        message_kind=envelope.message.kind,
+                        round_received=r,
+                    )
+                )
+            inbox = inboxes.get(dst)
+            if inbox is None:
+                inboxes[dst] = [delivery]
+            else:
+                inbox.append(delivery)
+        metrics.messages_delivered += delivered
+        metrics.messages_expired += expired
+
+    def _expire_in_flight(self) -> None:
+        """Expire every message still in flight when the run ends."""
+        metrics = self.metrics
+        trace = self.trace
+        expired = 0
+        for arrival in sorted(self._in_flight):
+            for envelope in self._in_flight[arrival]:
+                expired += 1
+                if trace is not None:
+                    trace.record(
+                        TraceEvent(
+                            round=envelope.round_sent,
+                            kind="expire",
+                            src=envelope.src,
+                            dst=envelope.dst,
+                            message_kind=envelope.message.kind,
+                            round_received=arrival,
+                        )
+                    )
+        self._in_flight.clear()
+        self._in_flight_total = 0
+        metrics.messages_expired += expired
 
     def _record_send(self, envelope: Envelope) -> bool:
         """Account for one wire message; False means it was budget-suppressed.

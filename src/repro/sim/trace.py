@@ -22,11 +22,17 @@ class TraceEvent:
     whose receiver had already crashed by delivery time.  For message
     events ``src``/``dst``/``message_kind`` are set; for crash events only
     ``src``.  ``round`` is always the round of the matching *send*
-    (deliveries, drops, and expiries are resolved in the round their
-    message was put on the wire); for ``"deliver"`` events
-    ``round_received`` additionally records the round the receiver saw the
-    message — by the model's one-round latency it must equal ``round + 1``
-    (:func:`repro.sim.validate.validate_run` enforces this).
+    (deliveries, drops, and expiries are keyed by the round their message
+    was put on the wire); for ``"deliver"`` events ``round_received``
+    additionally records the round the receiver saw the message — the
+    model's one-round latency demands ``round + 1``, relaxed to
+    ``[round + 1, round + 1 + Δ]`` under a Δ-bounded
+    :class:`~repro.sim.delivery.DeliverySchedule`
+    (:func:`repro.sim.validate.validate_run` enforces the bound).
+    ``"expire"`` events of *delayed* messages also carry
+    ``round_received`` — the arrival round at which the dead receiver was
+    discovered, or the post-horizon round of a message still in flight
+    when the run ended.
 
     A ``__slots__`` class (not a dataclass): traced runs construct one
     event per send/delivery, so the event itself must stay cheap.

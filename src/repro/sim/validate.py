@@ -18,8 +18,10 @@ Checked invariants:
   messages occur only in their sender's crash round, and expired messages
   only go to receivers already crashed by delivery time;
 * **delivery latency** — every delivery/drop is resolved in the round of
-  its matching send, and a delivery reaches its receiver exactly one round
-  after the send (``round_received == round_sent + 1``);
+  its matching send, and a delivery reaches its receiver within the run's
+  delay bound: ``round_sent + 1 <= round_received <= round_sent + 1 + Δ``
+  (``Δ = RunResult.max_delay``; the synchronous model is the Δ=0 case,
+  where the bound collapses to ``round_received == round_sent + 1``);
 * **no self-messages** and all endpoints in ``[0, n)``;
 * **fault discipline** — only members of the (final) faulty set crash.
 """
@@ -74,7 +76,10 @@ def validate_run(result: RunResult) -> List[str]:
             f"{len(deliveries)} deliveries + {len(drops)} drops + "
             f"{len(expires)} expiries"
         )
-    if expires and not crashes:
+    max_delay = result.max_delay
+    if expires and not crashes and max_delay == 0:
+        # Under Δ>0 a run can end with messages in flight, which expire
+        # without any crash; synchronously an expiry implies a dead node.
         violations.append(
             f"{len(expires)} messages expired but nothing ever crashed"
         )
@@ -129,18 +134,22 @@ def validate_run(result: RunResult) -> List[str]:
             )
         outcome_edges[key] = event.kind
 
-    # Delivery latency: the model delivers at the start of round r + 1.
+    # Delivery latency: the model delivers at the start of round r + 1;
+    # a Δ-bounded schedule may stretch that to any round in
+    # [r + 1, r + 1 + Δ], never earlier, never later.
     for event in deliveries:
         if event.round_received is None:
             violations.append(
                 f"round {event.round}: delivery {event.src} -> {event.dst} "
                 f"has no recorded arrival round"
             )
-        elif event.round_received != event.round + 1:
+        elif not (
+            event.round + 1 <= event.round_received <= event.round + 1 + max_delay
+        ):
             violations.append(
                 f"round {event.round}: delivery {event.src} -> {event.dst} "
-                f"arrived in round {event.round_received}, expected "
-                f"{event.round + 1}"
+                f"arrived in round {event.round_received}, expected a round "
+                f"in [{event.round + 1}, {event.round + 1 + max_delay}]"
             )
 
     for event in drops:
@@ -151,15 +160,34 @@ def validate_run(result: RunResult) -> List[str]:
                 f"crash round ({crash_round})"
             )
 
-    # An expiry is legal only when the receiver had crashed by the end of
-    # the send round (delivery happens at the start of round + 1).
+    # An expiry is legal only when the receiver had crashed before the
+    # message's arrival round, or (Δ>0 only) when the arrival round lies
+    # past the last executed round — the run ended with the message still
+    # in flight.  Synchronously the arrival is always ``round + 1``, so
+    # this collapses to "the receiver crashed by the end of the send
+    # round".  Delayed expiries record their arrival in ``round_received``.
     for event in expires:
-        crash_round = crashes.get(event.dst)
-        if crash_round is None or crash_round > event.round:
+        arrival = (
+            event.round_received
+            if event.round_received is not None
+            else event.round + 1
+        )
+        if not (event.round + 1 <= arrival <= event.round + 1 + max_delay):
             violations.append(
-                f"round {event.round}: message {event.src} -> {event.dst} "
-                f"expired but the receiver crashed in round {crash_round}"
+                f"round {event.round}: expiry {event.src} -> {event.dst} "
+                f"resolved at round {arrival}, outside "
+                f"[{event.round + 1}, {event.round + 1 + max_delay}]"
             )
+            continue
+        crash_round = crashes.get(event.dst)
+        if crash_round is not None and crash_round < arrival:
+            continue  # receiver was dead when the message arrived
+        if arrival > result.rounds:
+            continue  # run ended with the message still in flight
+        violations.append(
+            f"round {event.round}: message {event.src} -> {event.dst} "
+            f"expired but the receiver crashed in round {crash_round}"
+        )
 
     # Fault discipline.
     for node, round_ in crashes.items():

@@ -1,0 +1,186 @@
+"""Version-2 script wire-format tests (repro.chaos.script): the explicit
+version stamp, the byzantine/delivery sections, ScriptError validation of
+malformed input, and the structural edits the shrinker relies on."""
+
+import pytest
+
+from repro.chaos.script import (
+    SCRIPT_VERSION,
+    SUPPORTED_SCRIPT_VERSIONS,
+    CrashScript,
+    DeliveryFilter,
+    as_script,
+)
+from repro.errors import ScriptError
+from repro.faults.byzantine import ByzantinePlan
+from repro.sim.delivery import SYNCHRONOUS, TargetedDelay, UniformDelay
+
+
+def _script():
+    return CrashScript(
+        faulty=(1, 3),
+        crashes={1: (4, DeliveryFilter(kind="drop_all"))},
+        label="",
+        byzantine=ByzantinePlan(
+            modes={7: "zero_forger", 9: "omission"},
+            omission_fraction=0.5,
+            salt=13,
+        ),
+        delivery=UniformDelay(2, salt=21),
+    )
+
+
+class TestVersionStamp:
+    def test_writes_current_version(self):
+        assert CrashScript().to_dict()["version"] == SCRIPT_VERSION
+        assert SCRIPT_VERSION in SUPPORTED_SCRIPT_VERSIONS
+
+    def test_version_one_still_loads(self):
+        # A pre-v2 journal entry has no version key and no new sections.
+        legacy = {
+            "faulty": [2, 5],
+            "crashes": {
+                "2": {"round": 3, "filter": {"kind": "drop_all"}},
+            },
+            "label": "old",
+        }
+        script = CrashScript.from_dict(legacy)
+        assert script.faulty == (2, 5)
+        assert script.crashes[2][0] == 3
+        assert not script.byzantine.modes
+        assert script.delivery.is_synchronous
+
+    def test_future_version_rejected_with_context(self):
+        with pytest.raises(ScriptError, match="version 99"):
+            CrashScript.from_dict({"version": 99})
+
+
+class TestRoundTrip:
+    def test_v2_sections_survive(self):
+        script = _script()
+        restored = CrashScript.from_json(script.to_json())
+        assert restored.faulty == script.faulty
+        assert restored.crashes == script.crashes
+        assert restored.byzantine == script.byzantine
+        assert restored.delivery.to_dict() == script.delivery.to_dict()
+        assert restored.to_dict() == script.to_dict()
+
+    def test_crash_only_script_keeps_compact_shape(self):
+        data = CrashScript(faulty=(0,), crashes={}).to_dict()
+        assert "byzantine" not in data
+        assert "delivery" not in data
+
+    def test_targeted_delivery_round_trips(self):
+        script = CrashScript(delivery=TargetedDelay({4: 3}))
+        restored = as_script(script.to_dict())
+        assert restored.delivery.to_dict() == {
+            "kind": "targeted",
+            "targets": {"4": 3},
+        }
+        assert restored.max_delay == 3
+
+
+class TestValidation:
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ScriptError, match="expected an object"):
+            CrashScript.from_dict([1, 2, 3])
+
+    def test_bad_crashes_shape(self):
+        with pytest.raises(ScriptError, match="'crashes'"):
+            CrashScript.from_dict({"crashes": [1, 2]})
+
+    def test_bad_node_id_named(self):
+        with pytest.raises(ScriptError, match="crashes\\['leader'\\]"):
+            CrashScript.from_dict(
+                {"crashes": {"leader": {"round": 1, "filter": {"kind": "drop_all"}}}}
+            )
+
+    def test_missing_round_named(self):
+        with pytest.raises(ScriptError, match="missing required key 'round'"):
+            CrashScript.from_dict(
+                {"crashes": {"3": {"filter": {"kind": "drop_all"}}}}
+            )
+
+    def test_bad_filter_kind_names_entry(self):
+        with pytest.raises(ScriptError, match="crashes\\['3'\\].filter"):
+            CrashScript.from_dict(
+                {"crashes": {"3": {"round": 1, "filter": {"kind": "teleport"}}}}
+            )
+
+    def test_bad_faulty_list(self):
+        with pytest.raises(ScriptError, match="'faulty'"):
+            CrashScript.from_dict({"faulty": ["node-one"]})
+
+    def test_bad_byzantine_section(self):
+        with pytest.raises(ScriptError, match="'byzantine'"):
+            CrashScript.from_dict(
+                {"byzantine": {"modes": {"3": "sleeper_agent"}}}
+            )
+
+    def test_bad_delivery_section(self):
+        with pytest.raises(ScriptError, match="'delivery'"):
+            CrashScript.from_dict({"delivery": {"kind": "wormhole"}})
+
+    def test_invalid_json_wrapped(self):
+        with pytest.raises(ScriptError, match="not valid JSON"):
+            CrashScript.from_json("{not json")
+
+
+class TestNameAndSize:
+    def test_name_suffixes_new_dimensions(self):
+        assert _script().name() == "script/1crashes+2byz+delay2"
+        assert CrashScript().name() == "script/0crashes"
+
+    def test_label_wins(self):
+        assert _script().with_delivery(SYNCHRONOUS) is not None
+        labelled = CrashScript(label="fuzz@7")
+        assert labelled.name() == "fuzz@7"
+
+    def test_size_counts_byzantine_and_delay(self):
+        script = _script()
+        # 2 crash-faulty + 2 byzantine; 1 crash + 2 assignments;
+        # drop_all (2) + zero_forger (2) + omission (1) + delay 2.
+        assert script.size() == (4, 3, 7)
+
+    def test_size_strictly_shrinks_under_edits(self):
+        script = _script()
+        assert script.without_byzantine(7).size() < script.size()
+        assert (
+            script.with_byzantine_mode(7, "omission").size() < script.size()
+        )
+        assert script.with_delivery(SYNCHRONOUS).size() < script.size()
+        assert script.without_faulty(1).size() < script.size()
+
+    def test_v1_size_components_unchanged(self):
+        script = CrashScript(
+            faulty=(0, 1),
+            crashes={0: (2, DeliveryFilter(kind="drop_all"))},
+        )
+        assert script.size() == (2, 1, 2)
+
+
+class TestStructuralEdits:
+    def test_edits_preserve_unrelated_fields(self):
+        script = _script()
+        edited = script.without_crash(1)
+        assert edited.byzantine == script.byzantine
+        assert edited.delivery is script.delivery
+        assert edited.faulty == script.faulty
+
+    def test_without_byzantine_removes_only_that_node(self):
+        edited = _script().without_byzantine(7)
+        assert edited.byzantine.modes == {9: "omission"}
+        assert edited.crashes == _script().crashes
+
+    def test_with_delivery_swaps_schedule(self):
+        edited = _script().with_delivery(SYNCHRONOUS)
+        assert edited.delivery.is_synchronous
+        assert edited.max_delay == 0
+        assert edited.byzantine == _script().byzantine
+
+    def test_adversary_wraps_byzantine_plans(self):
+        from repro.faults.byzantine import ByzantineAdversary
+
+        assert isinstance(_script().adversary(), ByzantineAdversary)
+        crash_only = CrashScript(faulty=(1,))
+        assert crash_only.adversary() is crash_only

@@ -122,10 +122,10 @@ class TestResilientRunner:
 
 
 class TestRegistry:
-    def test_sixteen_experiments(self):
+    def test_seventeen_experiments(self):
         experiments = all_experiments()
         assert [e.experiment_id for e in experiments] == [
-            f"E{i}" for i in range(1, 17)
+            f"E{i}" for i in range(1, 18)
         ]
 
     def test_lookup_case_insensitive(self):

@@ -1,0 +1,228 @@
+"""First-class Byzantine/omission fault tests (repro.faults.byzantine):
+plan validation and round-trips, factory wiring, deterministic omission,
+budget charging, and the measured attacker damage."""
+
+import random
+
+import pytest
+
+from repro.core.runner import agree, elect_leader
+from repro.errors import ConfigurationError
+from repro.faults.adversary import Adversary, RoundView
+from repro.faults.byzantine import (
+    AGREEMENT_MODES,
+    BYZANTINE_MODES,
+    ELECTION_MODES,
+    ByzantineAdversary,
+    ByzantinePlan,
+    SelectiveOmission,
+    plan_factory,
+)
+from repro.sim import Message, Network, Protocol
+
+
+class TestByzantinePlan:
+    def test_mode_constants_are_consistent(self):
+        assert set(ELECTION_MODES) <= set(BYZANTINE_MODES)
+        assert set(AGREEMENT_MODES) <= set(BYZANTINE_MODES)
+        assert "omission" in ELECTION_MODES
+        assert "omission" in AGREEMENT_MODES
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError, match="sleeper"):
+            ByzantinePlan(modes={3: "sleeper"})
+
+    def test_rejects_bad_omission_fraction(self):
+        with pytest.raises(ConfigurationError, match="omission_fraction"):
+            ByzantinePlan(omission_fraction=1.5)
+
+    def test_nodes_and_len(self):
+        plan = ByzantinePlan(modes={2: "omission", 5: "zero_forger"})
+        assert plan.nodes == {2, 5}
+        assert len(plan) == 2
+
+    def test_round_trip(self):
+        plan = ByzantinePlan(
+            modes={1: "rank_forger", 4: "omission"},
+            omission_fraction=0.6,
+            salt=99,
+        )
+        restored = ByzantinePlan.from_dict(plan.to_dict())
+        assert restored == plan
+
+    def test_structural_edits(self):
+        plan = ByzantinePlan(modes={1: "equivocator", 2: "omission"}, salt=7)
+        honest = plan.without_node(1)
+        assert honest.modes == {2: "omission"}
+        assert honest.salt == 7
+        downgraded = plan.with_mode(1, "omission")
+        assert downgraded.modes[1] == "omission"
+        assert downgraded.modes[2] == "omission"
+        # Edits never mutate the original (plans are frozen).
+        assert plan.modes[1] == "equivocator"
+
+
+class _Sender(Protocol):
+    """Every node sends one tagged message to every port each round."""
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.received = []
+
+    def on_round(self, ctx, inbox):
+        self.received.extend(d.sender for d in inbox)
+        if ctx.round <= 3:
+            for dst in ctx.all_ports():
+                ctx.send(dst, Message("T", (ctx.round,)))
+        else:
+            ctx.idle()
+
+
+class TestPlanFactory:
+    def test_unmapped_node_stays_honest(self):
+        factory = plan_factory(ByzantinePlan(), _Sender)
+        protocol = factory(3)
+        assert isinstance(protocol, _Sender)
+        assert protocol.node_id == 3
+
+    def test_omission_wraps_honest_instance(self):
+        plan = ByzantinePlan(modes={0: "omission"}, omission_fraction=0.5)
+        factory = plan_factory(plan, _Sender)
+        wrapped = factory(0)
+        assert isinstance(wrapped, SelectiveOmission)
+        assert isinstance(wrapped.inner, _Sender)
+        # Attribute reads fall through to the inner protocol.
+        assert wrapped.node_id == 0
+
+    def test_unknown_mode_fails_loudly(self):
+        plan = ByzantinePlan(modes={2: "rank_forger"})
+        factory = plan_factory(plan, _Sender)  # no attacker factories
+        with pytest.raises(ConfigurationError, match="node 2"):
+            factory(2)
+
+    def test_attacker_factory_used(self):
+        class FakeAttacker(Protocol):
+            def __init__(self, u):
+                self.node_id = u
+
+        plan = ByzantinePlan(modes={1: "zero_forger"})
+        factory = plan_factory(
+            plan, _Sender, {"zero_forger": FakeAttacker}
+        )
+        assert isinstance(factory(1), FakeAttacker)
+        assert isinstance(factory(0), _Sender)
+
+
+class TestSelectiveOmission:
+    def _run(self, plan):
+        factory = plan_factory(plan, _Sender)
+        network = Network(4, factory, seed=11)
+        return network.run(6)
+
+    def test_full_omission_silences_the_node(self):
+        result = self._run(
+            ByzantinePlan(modes={0: "omission"}, omission_fraction=1.0)
+        )
+        for u in (1, 2, 3):
+            assert 0 not in result.protocol(u).received
+        # The omitted node still hears everyone else.
+        assert set(result.protocol(0).received) == {1, 2, 3}
+
+    def test_zero_omission_is_honest(self):
+        silent = self._run(
+            ByzantinePlan(modes={0: "omission"}, omission_fraction=0.0)
+        )
+        honest = Network(4, _Sender, seed=11).run(6)
+        assert (
+            silent.metrics.messages_sent == honest.metrics.messages_sent
+        )
+
+    def test_partial_omission_is_deterministic(self):
+        plan = ByzantinePlan(
+            modes={0: "omission"}, omission_fraction=0.5, salt=21
+        )
+        first = self._run(plan)
+        second = self._run(plan)
+        assert (
+            first.protocol(1).received == second.protocol(1).received
+        )
+        assert (
+            first.metrics.messages_sent == second.metrics.messages_sent
+        )
+        # And the coin actually bites: fewer messages than honest.
+        honest = Network(4, _Sender, seed=11).run(6)
+        assert first.metrics.messages_sent < honest.metrics.messages_sent
+
+
+class TestByzantineAdversary:
+    def _view(self, round_=1, n=8):
+        return RoundView(
+            round=round_,
+            n=n,
+            faulty_alive=set(),
+            crashed={},
+            outboxes={},
+            protocols={},
+            budget_remaining=0,
+        )
+
+    def test_byzantine_nodes_join_faulty_set(self):
+        plan = ByzantinePlan(modes={2: "omission", 5: "zero_forger"})
+        adversary = ByzantineAdversary(plan)
+        faulty = adversary.select_faulty(8, 4, random.Random(0))
+        assert {2, 5} <= faulty
+
+    def test_budget_overflow_rejected(self):
+        plan = ByzantinePlan(modes={1: "omission", 2: "omission", 3: "omission"})
+        adversary = ByzantineAdversary(plan)
+        with pytest.raises(ConfigurationError, match="budget"):
+            adversary.select_faulty(8, 2, random.Random(0))
+
+    def test_crash_budget_reduced_by_byzantine_count(self):
+        class CountingCrash(Adversary):
+            def __init__(self):
+                self.seen_budget = None
+
+            def select_faulty(self, n, max_faulty, rng, inputs=None):
+                self.seen_budget = max_faulty
+                return set()
+
+        crash = CountingCrash()
+        plan = ByzantinePlan(modes={0: "omission", 1: "omission"})
+        ByzantineAdversary(plan, crash).select_faulty(8, 5, random.Random(0))
+        assert crash.seen_budget == 3
+
+    def test_byzantine_nodes_never_crash(self):
+        from repro.faults.adversary import CrashOrder
+
+        class CrashEverything(Adversary):
+            def plan_round(self, view, rng):
+                return {u: CrashOrder.drop_all() for u in range(view.n)}
+
+        plan = ByzantinePlan(modes={3: "omission"})
+        adversary = ByzantineAdversary(plan, CrashEverything())
+        orders = adversary.plan_round(self._view(), random.Random(0))
+        assert 3 not in orders
+
+    def test_name_mentions_byzantine_count(self):
+        plan = ByzantinePlan(modes={0: "omission"})
+        assert "byz[1]" in ByzantineAdversary(plan).name()
+
+
+class TestAttackerDamage:
+    """The headline measurements: one liar collapses each guarantee."""
+
+    def test_zero_forger_breaks_agreement_validity(self):
+        plan = ByzantinePlan(modes={5: "zero_forger"})
+        results = [
+            agree(n=48, alpha=0.5, inputs="all1", seed=seed, byzantine=plan)
+            for seed in range(4)
+        ]
+        # Every honest input is 1, so any decided 0 is the forged value.
+        assert any(not r.validity_holds for r in results)
+        assert all(5 in r.faulty for r in results)
+
+    def test_rank_forger_charged_to_budget(self):
+        plan = ByzantinePlan(modes={7: "rank_forger"})
+        result = elect_leader(n=48, alpha=0.5, seed=4, byzantine=plan)
+        assert 7 in result.faulty

@@ -124,3 +124,26 @@ def test_baseline_grandfathers_findings():
     config.baseline = ["DET002:detpkg/det001_bad.py"]
     report = lint_paths([FIXTURES / "detpkg" / "det001_bad.py"], config)
     assert any(f.rule == "DET001" for f in report.findings)
+
+
+def test_robustness_modules_in_det_scope():
+    """The delivery/Byzantine modules sit inside the DET rules' scope.
+
+    The deterministic scope is directory-based, so new files under
+    ``sim/`` and ``faults/`` are covered automatically — this pins that
+    down for the modules whose determinism the replay layer relies on.
+    """
+    from .conftest import REPO_ROOT
+
+    config = load_config(REPO_ROOT / ".reprolint.toml")
+    for relpath in (
+        "src/repro/sim/delivery.py",
+        "src/repro/faults/byzantine.py",
+        "src/repro/baselines/ben_or.py",
+        "src/repro/chaos/grammar.py",
+    ):
+        assert (REPO_ROOT / relpath).is_file(), relpath
+        for rule in ("DET001", "DET002"):
+            assert config.rule_scope(
+                rule, relpath, config.deterministic
+            ), f"{rule} must cover {relpath}"

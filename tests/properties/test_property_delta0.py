@@ -1,0 +1,131 @@
+"""Property: a Δ=0 delivery schedule is byte-identical to the synchronous
+engine for every protocol and every crash schedule.
+
+The engine bypasses the schedule entirely when ``is_synchronous`` holds,
+so attaching an explicit ``UniformDelay(0)`` must change *nothing
+observable* — message counts, round counts, decisions, elected leaders,
+crash realisations.  This is the invariant the elect512 canary guards for
+one configuration; here it is checked across grammar-sampled crash
+schedules for all three fuzzable protocols."""
+
+import random
+
+from repro.baselines.ben_or import ben_or_consensus, ben_or_horizon
+from repro.chaos.grammar import sample_script
+from repro.core.runner import agree, elect_leader, make_inputs
+from repro.params import Params
+from repro.sim.delivery import SYNCHRONOUS, UniformDelay
+
+N = 32
+ALPHA = 0.5
+SEEDS = (0, 1, 2)
+
+
+def _script(seed, horizon=15):
+    params = Params(n=N, alpha=ALPHA)
+    return sample_script(
+        random.Random(seed),
+        n=N,
+        max_faulty=params.max_faulty,
+        horizon=horizon,
+        label=f"parity@{seed}",
+    )
+
+
+def _zero_delay(seed):
+    schedule = UniformDelay(max_delay=0, salt=seed)
+    assert schedule.is_synchronous
+    return schedule
+
+
+class TestElectionParity:
+    def test_grammar_schedules_identical_under_zero_delay(self):
+        for seed in SEEDS:
+            script = _script(seed)
+            plain = elect_leader(
+                n=N, alpha=ALPHA, seed=seed, adversary=script
+            )
+            delayed = elect_leader(
+                n=N,
+                alpha=ALPHA,
+                seed=seed,
+                adversary=script,
+                delivery=_zero_delay(seed),
+            )
+            assert plain.metrics.messages_sent == delayed.metrics.messages_sent
+            assert plain.metrics.rounds == delayed.metrics.rounds
+            assert plain.leader_node == delayed.leader_node
+            assert plain.faulty == delayed.faulty
+            assert plain.crashed == delayed.crashed
+            assert delayed.max_delay == 0
+
+
+class TestAgreementParity:
+    def test_grammar_schedules_identical_under_zero_delay(self):
+        for seed in SEEDS:
+            script = _script(seed)
+            plain = agree(
+                n=N, alpha=ALPHA, inputs="mixed", seed=seed, adversary=script
+            )
+            delayed = agree(
+                n=N,
+                alpha=ALPHA,
+                inputs="mixed",
+                seed=seed,
+                adversary=script,
+                delivery=_zero_delay(seed),
+            )
+            assert plain.metrics.messages_sent == delayed.metrics.messages_sent
+            assert plain.metrics.rounds == delayed.metrics.rounds
+            assert plain.decisions == delayed.decisions
+            assert plain.crashed == delayed.crashed
+
+
+class TestBenOrParity:
+    def test_grammar_schedules_identical_under_zero_delay(self):
+        for seed in SEEDS:
+            script = _script(seed, horizon=ben_or_horizon())
+            inputs = make_inputs(N, "mixed", seed)
+            plain = ben_or_consensus(
+                n=N,
+                inputs=inputs,
+                seed=seed,
+                adversary=script,
+                faulty_count=(N - 1) // 2,
+            )
+            delayed = ben_or_consensus(
+                n=N,
+                inputs=inputs,
+                seed=seed,
+                adversary=script,
+                faulty_count=(N - 1) // 2,
+                delivery=_zero_delay(seed),
+            )
+            assert plain.messages == delayed.messages
+            assert plain.rounds == delayed.rounds
+            assert plain.decisions == delayed.decisions
+            assert plain.crashed == delayed.crashed
+            assert plain.success == delayed.success
+
+
+class TestLatencyUnderZeroDelay:
+    def test_all_latencies_are_one(self):
+        outcome = ben_or_consensus(
+            n=16,
+            inputs=make_inputs(16, "mixed", 3),
+            seed=3,
+            delivery=_zero_delay(3),
+        )
+        assert set(outcome.metrics.delivery_latency) <= {1}
+        assert outcome.metrics.max_delivery_latency == 1
+
+    def test_synchronous_sentinel_equals_zero_uniform(self):
+        # SYNCHRONOUS and UniformDelay(0) are interchangeable by design.
+        inputs = make_inputs(16, "all1", 5)
+        a = ben_or_consensus(n=16, inputs=inputs, seed=5, delivery=SYNCHRONOUS)
+        b = ben_or_consensus(
+            n=16, inputs=inputs, seed=5, delivery=UniformDelay(0, salt=77)
+        )
+        assert a.messages == b.messages
+        assert a.rounds == b.rounds
+        assert a.decisions == b.decisions

@@ -1,0 +1,293 @@
+"""Delivery-schedule tests (repro.sim.delivery): schedule semantics,
+engine integration under Δ > 0, latency accounting, quiescence with
+in-flight messages, and the halted-node / duplicate-wake engine
+regressions found while landing the delay layer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Message, Network, Protocol
+from repro.sim.delivery import (
+    SCHEDULE_KINDS,
+    SYNCHRONOUS,
+    DeliverySchedule,
+    SynchronousDelivery,
+    TargetedDelay,
+    UniformDelay,
+    schedule_from_dict,
+)
+from repro.sim.message import Envelope
+
+
+def _env(src=0, dst=1, round_sent=1):
+    return Envelope(src, dst, Message("X"), round_sent)
+
+
+class TestSchedules:
+    def test_synchronous_shared_instance(self):
+        assert SYNCHRONOUS.is_synchronous
+        assert SYNCHRONOUS.max_delay == 0
+        assert SYNCHRONOUS.delay(_env()) == 0
+        assert SYNCHRONOUS.name() == "sync"
+        assert isinstance(SYNCHRONOUS, SynchronousDelivery)
+
+    def test_uniform_delay_is_deterministic(self):
+        schedule = UniformDelay(max_delay=4, salt=17)
+        twin = UniformDelay(max_delay=4, salt=17)
+        envelopes = [
+            _env(src, dst, r)
+            for src in range(4)
+            for dst in range(4)
+            for r in (1, 5, 9)
+            if src != dst
+        ]
+        assert [schedule.delay(e) for e in envelopes] == [
+            twin.delay(e) for e in envelopes
+        ]
+
+    def test_uniform_delay_within_bound(self):
+        schedule = UniformDelay(max_delay=3, salt=5)
+        delays = {
+            schedule.delay(_env(src, dst, r))
+            for src in range(8)
+            for dst in range(8)
+            for r in range(1, 10)
+            if src != dst
+        }
+        assert delays <= set(range(4))
+        # The hash actually spreads: with 500+ draws every bucket shows up.
+        assert delays == {0, 1, 2, 3}
+
+    def test_uniform_delay_zero_is_synchronous(self):
+        schedule = UniformDelay(max_delay=0, salt=123)
+        assert schedule.is_synchronous
+        assert schedule.delay(_env()) == 0
+
+    def test_uniform_delay_salt_changes_draws(self):
+        envelopes = [_env(s, d, r) for s in range(6) for d in range(6) for r in (1, 2) if s != d]
+        a = [UniformDelay(3, salt=1).delay(e) for e in envelopes]
+        b = [UniformDelay(3, salt=2).delay(e) for e in envelopes]
+        assert a != b
+
+    def test_uniform_delay_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            UniformDelay(max_delay=-1)
+
+    def test_targeted_delay_hits_only_victims(self):
+        schedule = TargetedDelay({3: 2, 5: 4})
+        assert schedule.max_delay == 4
+        assert not schedule.is_synchronous
+        assert schedule.delay(_env(dst=3)) == 2
+        assert schedule.delay(_env(dst=5)) == 4
+        assert schedule.delay(_env(dst=0)) == 0
+
+    def test_targeted_delay_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            TargetedDelay({1: -2})
+
+    def test_empty_targeted_delay_is_synchronous(self):
+        assert TargetedDelay({}).is_synchronous
+
+
+class TestScheduleSerialisation:
+    def test_round_trips(self):
+        for schedule in (
+            SYNCHRONOUS,
+            UniformDelay(3, salt=42),
+            TargetedDelay({1: 2, 7: 5}),
+        ):
+            restored = schedule_from_dict(schedule.to_dict())
+            assert type(restored) is type(schedule)
+            assert restored.max_delay == schedule.max_delay
+            assert restored.to_dict() == schedule.to_dict()
+
+    def test_none_means_synchronous(self):
+        assert schedule_from_dict(None) is SYNCHRONOUS
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="quantum"):
+            schedule_from_dict({"kind": "quantum"})
+
+    def test_kinds_constant_matches_parser(self):
+        for kind in SCHEDULE_KINDS:
+            data = {"kind": kind}
+            assert isinstance(schedule_from_dict(data), DeliverySchedule)
+
+
+class _Chatter(Protocol):
+    """Node 0 sends one message to node 1 in round 1; everyone idles."""
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.received = []
+
+    def on_round(self, ctx, inbox):
+        for delivery in inbox:
+            self.received.append((ctx.round, delivery.kind, delivery.fields))
+        if self.node_id == 0 and ctx.round == 1:
+            ctx.learn(1)
+            ctx.send(1, Message("X", (0,)))
+        ctx.idle()
+
+
+class TestEngineIntegration:
+    def test_targeted_delay_stretches_arrival(self):
+        # Sent in round 1, +3 extra rounds: arrives in round 5, and the
+        # quiescence fast-forward must wait for the in-flight message.
+        network = Network(4, _Chatter, delivery=TargetedDelay({1: 3}))
+        result = network.run(10)
+        assert result.protocol(1).received == [(5, "X", (0,))]
+        assert result.metrics.max_delivery_latency == 4
+        assert result.max_delay == 3
+
+    def test_latency_histogram_within_bound(self):
+        class Broadcast(Protocol):
+            def __init__(self, u):
+                self.node_id = u
+
+            def on_round(self, ctx, inbox):
+                if ctx.round == 1:
+                    for dst in ctx.all_ports():
+                        ctx.send(dst, Message("B"))
+                ctx.idle()
+
+        delta = 2
+        network = Network(
+            8, Broadcast, delivery=UniformDelay(delta, salt=9)
+        )
+        result = network.run(12)
+        metrics = result.metrics
+        assert set(metrics.delivery_latency) <= set(range(1, delta + 2))
+        assert (
+            metrics.messages_sent
+            == metrics.messages_delivered
+            + metrics.messages_dropped
+            + metrics.messages_expired
+        )
+        assert metrics.messages_delivered == 8 * 7
+
+    def test_in_flight_message_expires_at_horizon(self):
+        # A message delayed past the last round is expired, not lost
+        # silently: conservation still balances.
+        network = Network(4, _Chatter, delivery=TargetedDelay({1: 50}))
+        result = network.run(6)
+        metrics = result.metrics
+        assert result.protocol(1).received == []
+        assert metrics.messages_expired == 1
+        assert (
+            metrics.messages_sent
+            == metrics.messages_delivered
+            + metrics.messages_dropped
+            + metrics.messages_expired
+        )
+
+    def test_delta_zero_schedule_matches_default_engine(self):
+        plain = Network(6, _Chatter).run(8)
+        delayed = Network(
+            6, _Chatter, delivery=UniformDelay(0, salt=77)
+        ).run(8)
+        assert plain.protocol(1).received == delayed.protocol(1).received
+        assert (
+            plain.metrics.messages_sent == delayed.metrics.messages_sent
+        )
+        assert plain.metrics.rounds == delayed.metrics.rounds
+        assert delayed.max_delay == 0
+
+
+class TestHaltedNodeRegression:
+    """A delivery must wake an idle node but never a halted one.
+
+    Regression: the delivery-woken ``extra`` list only excluded crashed
+    nodes, so a halted protocol was stepped again (with its wake reset by
+    the engine), spinning forever and defeating the quiescence
+    fast-forward."""
+
+    class _HaltsEarly(Protocol):
+        """Node 1 halts in round 1; node 0 keeps messaging it anyway."""
+
+        def __init__(self, node_id):
+            self.node_id = node_id
+            self.calls = 0
+
+        def on_round(self, ctx, inbox):
+            self.calls += 1
+            if self.node_id == 1:
+                ctx.halt()
+                return
+            if self.node_id == 0 and ctx.round <= 3:
+                ctx.learn(1)
+                ctx.send(1, Message("PING", (ctx.round,)))
+                return
+            ctx.idle()
+
+    def test_halted_node_not_resurrected_by_deliveries(self):
+        network = Network(4, self._HaltsEarly)
+        result = network.run(30)
+        assert result.protocol(1).calls == 1
+
+    def test_run_still_quiesces(self):
+        network = Network(4, self._HaltsEarly)
+        result = network.run(30)
+        # Last delivery to the halted node lands in round 4; nothing after
+        # that may keep the engine busy.
+        assert result.rounds <= 5
+        metrics = result.metrics
+        assert metrics.messages_sent == 3
+        assert metrics.messages_delivered == 3
+
+    def test_halted_with_delayed_in_flight_messages(self):
+        class _HaltsUnderDelay(self._HaltsEarly):
+            pass
+
+        network = Network(
+            4, _HaltsUnderDelay, delivery=TargetedDelay({1: 2})
+        )
+        result = network.run(30)
+        assert result.protocol(1).calls == 1
+        assert result.metrics.messages_delivered == 3
+
+
+class TestDuplicateWakeRegression:
+    """Each node steps at most once per round.
+
+    Regression: a node woken early by deliveries that re-arms the same
+    ``wake_at`` boundary pushes one heap entry per invocation; all are
+    live at the boundary, so the node used to step several times in one
+    round, re-reading the same inbox (message double-counting)."""
+
+    class _Buffering(Protocol):
+        """Node 1 buffers until round 5; node 0 pings it rounds 1-3."""
+
+        def __init__(self, node_id):
+            self.node_id = node_id
+            self.rounds_stepped = []
+            self.total_received = 0
+
+        def on_round(self, ctx, inbox):
+            self.rounds_stepped.append(ctx.round)
+            self.total_received += len(inbox)
+            if self.node_id == 1:
+                if ctx.round < 5:
+                    ctx.wake_at(5)  # re-arm the same boundary every wake
+                else:
+                    ctx.idle()
+                return
+            if self.node_id == 0 and ctx.round <= 3:
+                ctx.learn(1)
+                ctx.send(1, Message("PING", (ctx.round,)))
+                return
+            ctx.idle()
+
+    def test_boundary_round_steps_exactly_once(self):
+        network = Network(4, self._Buffering)
+        result = network.run(10)
+        stepped = result.protocol(1).rounds_stepped
+        assert stepped.count(5) == 1
+        # Woken by each delivery (rounds 2-4) plus the armed boundary.
+        assert stepped == [1, 2, 3, 4, 5]
+
+    def test_no_message_double_counting(self):
+        network = Network(4, self._Buffering)
+        result = network.run(10)
+        assert result.protocol(1).total_received == 3
+        assert result.metrics.messages_delivered == 3
