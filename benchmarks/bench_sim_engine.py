@@ -8,8 +8,11 @@ single protocol run costs, so regressions in the engine's hot paths
 import pytest
 
 from repro.core import agree, elect_leader
+from repro.optdeps import have_numpy
 from repro.params import Params
 from repro.sim import Message, Network, Protocol
+
+needs_numpy = pytest.mark.skipif(not have_numpy(), reason="numpy not installed")
 
 
 class Flood(Protocol):
@@ -48,10 +51,46 @@ def test_leader_election_run(benchmark):
     assert result.success
 
 
+@needs_numpy
+def test_leader_election_run_vec(benchmark):
+    """The n=512 election on the vectorized backend (same seed, same totals)."""
+    result = benchmark.pedantic(
+        lambda: elect_leader(n=512, alpha=0.5, seed=2, adversary="random", backend="vec"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.success
+    assert result.messages == 411687  # cross-backend canary (matches ref)
+
+
+@needs_numpy
+def test_leader_election_large_n_vec(benchmark):
+    """An n=4096 election — out of comfortable reach for the object engine."""
+    result = benchmark.pedantic(
+        lambda: elect_leader(n=4096, alpha=0.5, seed=2, adversary="none", backend="vec"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.success
+
+
 def test_agreement_run(benchmark):
     """One full Section V-A agreement at n=2048, paper constants."""
     result = benchmark.pedantic(
         lambda: agree(n=2048, alpha=0.5, inputs="mixed", seed=3, adversary="random"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.success
+
+
+@needs_numpy
+def test_agreement_run_vec(benchmark):
+    """The n=2048 agreement on the vectorized backend."""
+    result = benchmark.pedantic(
+        lambda: agree(
+            n=2048, alpha=0.5, inputs="mixed", seed=3, adversary="random", backend="vec"
+        ),
         rounds=1,
         iterations=1,
     )

@@ -6,13 +6,24 @@ numbers with one command::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--jobs N] [--out F]
 
-Three sections:
+Schema 2 sections (every schema-1 key is still written unchanged, so
+older tooling keeps reading the file):
 
 * ``engine`` — the raw round-loop: a 1024-node flood pushing ~12k
   messages through the per-edge FIFO/wake-heap machinery with tracing
   off (the no-trace fast path), reported as wall-clock and messages/sec.
 * ``single_trial`` — one full leader-election run (protocol + schedule +
   adversary on top of the engine).
+* ``engine_ref`` / ``engine_vec`` — the same full election (n=1024,
+  paper constants, fault-free so the engine hot path dominates) on the
+  reference and the vectorized backend, plus the headline ``speedup``
+  ratio (vec msgs/s over ref msgs/s).  ``engine_vec_faulty`` records
+  the random-crash variant, whose crash bookkeeping deliberately
+  replays the reference adversary in Python and therefore speeds up
+  less.  ``--check-vec-speedup`` turns the ratio into a CI gate.
+* ``large_n`` — one vectorized election at n=100,000 (the scale the
+  object engine cannot reach in reasonable time); skipped in
+  ``--quick`` mode.
 * ``sweep`` — the same Monte-Carlo campaign at ``jobs=1`` and
   ``jobs=N``, with the observed speedup.  The speedup is
   hardware-honest: the file records the machine's core count, and on a
@@ -165,6 +176,78 @@ def bench_single_trial(quick: bool) -> Dict[str, Any]:
     }
 
 
+def _timed_election(
+    n: int, adversary: str, backend: str, repeats: int, seed: int = 2
+) -> Dict[str, Any]:
+    """One full election, best-of-``repeats``, on the given backend."""
+
+    def run():
+        return elect_leader(n=n, alpha=0.5, seed=seed, adversary=adversary, backend=backend)
+
+    result = run()  # warm-up (vec: first call pays the numpy import)
+    seconds = best_of(run, repeats)
+    return {
+        "n": n,
+        "alpha": 0.5,
+        "adversary": adversary,
+        "backend": backend,
+        "messages": result.messages,
+        "seconds": round(seconds, 6),
+        "messages_per_second": round(result.messages / seconds, 1),
+        "repeats": repeats,
+    }
+
+
+def bench_backends(quick: bool) -> Dict[str, Any]:
+    """The cross-backend comparison: ``engine_ref``/``engine_vec``/``speedup``.
+
+    Fault-free election so the round-loop dominates; the faulty variant
+    is recorded separately because its crash phase replays the reference
+    adversary in Python (exact-parity requirement) and gains less.
+    Returns an empty-availability stanza when numpy is missing so the
+    file stays well-formed on stdlib-only machines.
+    """
+    from repro.optdeps import have_numpy
+
+    n = 256 if quick else 1024
+    repeats = 2 if quick else 3
+    ref = _timed_election(n, "none", "ref", repeats)
+    if not have_numpy():
+        return {
+            "engine_ref": ref,
+            "engine_vec": {"available": False},
+            "engine_vec_faulty": {"available": False},
+            "speedup": None,
+        }
+    vec = _timed_election(n, "none", "vec", repeats)
+    assert vec["messages"] == ref["messages"], "cross-backend parity violated"
+    vec_faulty = _timed_election(n, "random", "vec", repeats)
+    ref_faulty = _timed_election(n, "random", "ref", repeats)
+    assert vec_faulty["messages"] == ref_faulty["messages"]
+    vec_faulty["speedup_vs_ref"] = round(
+        vec_faulty["messages_per_second"] / ref_faulty["messages_per_second"], 3
+    )
+    return {
+        "engine_ref": ref,
+        "engine_vec": vec,
+        "engine_vec_faulty": vec_faulty,
+        "speedup": round(
+            vec["messages_per_second"] / ref["messages_per_second"], 3
+        ),
+    }
+
+
+def bench_large_n(quick: bool) -> Dict[str, Any]:
+    """One vectorized election at n=100,000 (skipped in quick mode)."""
+    from repro.optdeps import have_numpy
+
+    if quick or not have_numpy():
+        return {"skipped": True, "reason": "quick mode" if quick else "no numpy"}
+    row = _timed_election(100_000, "none", "vec", repeats=1)
+    row["skipped"] = False
+    return row
+
+
 def bench_sweep(quick: bool, jobs: int) -> Dict[str, Any]:
     grid = {"n": [32, 64], "alpha": [0.75]} if quick else {"n": [64, 128], "alpha": [0.5]}
     trials = 2 if quick else 4
@@ -200,11 +283,20 @@ def main(argv=None) -> int:
         help="exit 1 when the disabled observability path exceeds 5% "
         "over the uninstrumented engine",
     )
+    parser.add_argument(
+        "--check-vec-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit 1 when the vec/ref msgs-per-second ratio falls below "
+        "RATIO (skipped when numpy is unavailable or in --quick mode, "
+        "where sizes are too small for the ratio to be meaningful)",
+    )
     args = parser.parse_args(argv)
 
     jobs = resolve_jobs(args.jobs)
     payload: Dict[str, Any] = {
-        "schema": 1,
+        "schema": 2,
         "quick": args.quick,
         "machine": {
             "cpu_count": os.cpu_count(),
@@ -215,7 +307,9 @@ def main(argv=None) -> int:
         "single_trial": bench_single_trial(args.quick),
         "sweep": bench_sweep(args.quick, jobs),
         "obs_overhead": bench_obs_overhead(args.quick),
+        "large_n": bench_large_n(args.quick),
     }
+    payload.update(bench_backends(args.quick))
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -230,6 +324,27 @@ def main(argv=None) -> int:
         f"single trial: n={payload['single_trial']['n']}"
         f" {payload['single_trial']['seconds']:.4f}s"
     )
+    vec = payload["engine_vec"]
+    if vec.get("available") is False:
+        print("backends: vec unavailable (numpy not installed)")
+    else:
+        ref = payload["engine_ref"]
+        print(
+            f"backends: n={ref['n']} ref {ref['seconds']:.4f}s"
+            f" ({ref['messages_per_second']:,.0f} msg/s),"
+            f" vec {vec['seconds']:.4f}s"
+            f" ({vec['messages_per_second']:,.0f} msg/s)"
+            f" — speedup {payload['speedup']}x"
+            f" (faulty variant {payload['engine_vec_faulty']['speedup_vs_ref']}x)"
+        )
+    large = payload["large_n"]
+    if large.get("skipped"):
+        print(f"large-n: skipped ({large['reason']})")
+    else:
+        print(
+            f"large-n: n={large['n']} vec {large['seconds']:.3f}s"
+            f" ({large['messages_per_second']:,.0f} msg/s)"
+        )
     print(
         f"sweep: jobs=1 {sweep_row['seconds_jobs1']:.3f}s,"
         f" jobs={jobs} {sweep_row['seconds_jobsN']:.3f}s"
@@ -246,6 +361,18 @@ def main(argv=None) -> int:
             "FAIL: disabled observability path exceeds the 5% overhead "
             f"budget (noop {obs['seconds_noop']:.6f}s vs base "
             f"{obs['seconds_base']:.6f}s)",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.check_vec_speedup is not None
+        and not args.quick
+        and payload["speedup"] is not None
+        and payload["speedup"] < args.check_vec_speedup
+    ):
+        print(
+            f"FAIL: vec/ref speedup {payload['speedup']}x is below the "
+            f"required {args.check_vec_speedup}x",
             file=sys.stderr,
         )
         return 1

@@ -45,6 +45,7 @@ def monte_carlo(
     jobs: int = 1,
     progress: ProgressSpec = False,
     timers: Optional[PhaseTimers] = None,
+    backend: Optional[str] = None,
     **point: Any,
 ) -> List[Any]:
     """Run ``task(seed=..., **point)`` for ``trials`` derived seeds.
@@ -52,7 +53,9 @@ def monte_carlo(
     ``jobs`` > 1 dispatches the trials to a process pool; the returned
     list is identical to the serial one (same derived seeds, same order).
     ``progress=True`` emits a stderr heartbeat; ``timers`` profiles the
-    pool's dispatch/reassembly phases (parallel mode only).
+    pool's dispatch/reassembly phases (parallel mode only).  ``backend``
+    (e.g. ``"vec"``) is forwarded to every trial; backends never change
+    results, so it rides outside the grid point.
     """
     from ..parallel import TrialSpec, resolve_jobs, run_trials
 
@@ -62,15 +65,18 @@ def monte_carlo(
     if resolve_jobs(jobs) == 1:
         owns_reporter = not isinstance(progress, ProgressReporter)
         reporter = ensure_progress(progress, total=trials, label="monte-carlo")
+        kwargs = dict(point) if backend is None else {**point, "backend": backend}
         results = []
         for seed in seeds:
-            results.append(task(seed=seed, **point))
+            results.append(task(seed=seed, **kwargs))
             reporter.advance(completed=1, attempted=1)
         if owns_reporter:
             reporter.finish()
         return results
     specs = [
-        TrialSpec(index=index, task=task, seed=seed, point=dict(point))
+        TrialSpec(
+            index=index, task=task, seed=seed, point=dict(point), backend=backend
+        )
         for index, seed in enumerate(seeds)
     ]
     return run_trials(specs, jobs=jobs, timers=timers, progress=progress)
@@ -84,6 +90,7 @@ def sweep(
     jobs: int = 1,
     progress: ProgressSpec = False,
     timers: Optional[PhaseTimers] = None,
+    backend: Optional[str] = None,
 ) -> List[Tuple[Dict[str, Any], List[Any]]]:
     """Cross the ``grid`` and Monte-Carlo each point.
 
@@ -118,6 +125,7 @@ def sweep(
                 trials,
                 master_seed=master_seed + combo_index * 1_000_003,
                 progress=reporter,
+                backend=backend,
                 **point,
             )
             rows.append((point, results))
@@ -131,7 +139,13 @@ def sweep(
         point_seed = master_seed + combo_index * 1_000_003
         for seed in seed_sequence(point_seed, trials):
             specs.append(
-                TrialSpec(index=len(specs), task=task, seed=seed, point=point)
+                TrialSpec(
+                    index=len(specs),
+                    task=task,
+                    seed=seed,
+                    point=point,
+                    backend=backend,
+                )
             )
     flat = run_trials(specs, jobs=jobs, timers=timers, progress=progress)
     return [
@@ -235,6 +249,7 @@ def resilient_sweep(
     progress: ProgressSpec = False,
     manifest: Optional[Manifest] = None,
     shutdown: Optional[Any] = None,
+    backend: Optional[str] = None,
 ) -> ResilientSweepResult:
     """Cross ``grid`` like :func:`sweep`, but never die on a bad trial.
 
@@ -307,6 +322,7 @@ def resilient_sweep(
                     seed=seed,
                     point=point,
                     key=_trial_key(combo_index, point, trial),
+                    backend=backend,
                 )
             )
     trial_outcomes = run_trials_resilient(

@@ -75,6 +75,7 @@ def flooding_consensus(
     seed: int = 0,
     adversary: Optional[Adversary] = None,
     faulty_count: int = 0,
+    backend: str = "ref",
 ) -> BaselineOutcome:
     """Run flooding consensus (f + 1 rounds) and evaluate it.
 
@@ -83,20 +84,42 @@ def flooding_consensus(
     estimates converge to the global minimum alive estimate and stay
     there) or the adversary spends one of its ``f`` crashes, and there are
     ``f + 1`` rounds.
+
+    ``backend="vec"`` runs the numpy engine (identical results; falls
+    back to the reference engine for unsupported configurations).
     """
     if len(inputs) != n:
         raise ValueError(f"got {len(inputs)} inputs for n={n}")
     rounds = faulty_count + 1
-    network = Network(
-        n,
-        lambda u: FloodingConsensusProtocol(u, n, inputs[u], rounds),
-        seed=seed,
-        adversary=adversary or Adversary(),
-        max_faulty=faulty_count,
-        inputs=inputs,
-        knowledge=Knowledge.KT1,
-    )
-    run = network.run(rounds + 2)
+    run = None
+    if backend == "vec":
+        from ..errors import VecUnsupported
+        from ..sim.vec import ensure_vec_supported, run_flooding_vec
+
+        try:
+            ensure_vec_supported(adversary or Adversary())
+            run = run_flooding_vec(
+                n, inputs, seed, adversary or Adversary(), faulty_count, rounds
+            )
+        except VecUnsupported:
+            run = None  # fall back to the reference engine (same results)
+    elif backend != "ref":
+        from ..errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; choose from ('ref', 'vec')"
+        )
+    if run is None:
+        network = Network(
+            n,
+            lambda u: FloodingConsensusProtocol(u, n, inputs[u], rounds),
+            seed=seed,
+            adversary=adversary or Adversary(),
+            max_faulty=faulty_count,
+            inputs=inputs,
+            knowledge=Knowledge.KT1,
+        )
+        run = network.run(rounds + 2)
     outcome = BaselineOutcome(
         protocol="flooding",
         n=n,

@@ -313,6 +313,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # functools.partial of a module-level task stays picklable, so
         # profiled trials still fan out over the pool.
         task = functools.partial(task, profile=True)
+    backend = args.backend if args.backend != "ref" else None
+    if backend and args.task == "ben_or":
+        raise SystemExit(
+            "--backend vec supports the election/agreement tasks only "
+            "(Ben-Or is not vectorized)"
+        )
+    if backend and args.profile:
+        raise SystemExit(
+            "--backend vec cannot be combined with --profile (phase "
+            "timers require the reference engine)"
+        )
     grid = {
         "n": _parse_axis(args.n, int),
         "alpha": _parse_axis(args.alpha, float),
@@ -348,6 +359,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "retries": args.retries,
             "trial_timeout": args.trial_timeout,
             "resume": args.resume,
+            "backend": args.backend,
         },
         extra=extra or None,
     )
@@ -371,6 +383,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 progress=args.progress,
                 manifest=manifest,
                 shutdown=shutdown,
+                backend=backend,
             )
         rows = result.rows()
         sweep_counts = result.counts()
@@ -382,6 +395,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             master_seed=args.seed,
             jobs=args.jobs,
             progress=args.progress,
+            backend=backend,
         )
 
     def reduce(results: List[dict]) -> dict:
@@ -445,7 +459,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_elect(args: argparse.Namespace) -> int:
     result = elect_leader(
-        n=args.n, alpha=args.alpha, seed=args.seed, adversary=args.adversary
+        n=args.n,
+        alpha=args.alpha,
+        seed=args.seed,
+        adversary=args.adversary,
+        backend=args.backend,
     )
     print(format_table([result.summary()], title="leader election"))
     return 0 if result.success else 1
@@ -458,6 +476,7 @@ def _cmd_agree(args: argparse.Namespace) -> int:
         inputs=args.inputs,
         seed=args.seed,
         adversary=args.adversary,
+        backend=args.backend,
     )
     print(format_table([result.summary()], title="agreement"))
     return 0 if result.success else 1
@@ -694,6 +713,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="retries per trial with derived seeds and backoff",
     )
+    sweep_cmd.add_argument(
+        "--backend",
+        choices=("ref", "vec"),
+        default="ref",
+        help="engine backend for every trial (vec: numpy vectorized "
+        "engine, identical results; election/agreement tasks only)",
+    )
     sweep_cmd.set_defaults(func=_cmd_sweep)
 
     fuzz_cmd = sub.add_parser(
@@ -781,6 +807,13 @@ def build_parser() -> argparse.ArgumentParser:
     elect.add_argument("--alpha", type=float, default=0.5)
     elect.add_argument("--seed", type=int, default=0)
     elect.add_argument("--adversary", default="random")
+    elect.add_argument(
+        "--backend",
+        choices=("ref", "vec"),
+        default="ref",
+        help="engine backend: reference per-node engine, or the numpy "
+        "vectorized engine (identical results; needs repro[perf])",
+    )
     elect.set_defaults(func=_cmd_elect)
 
     agree_cmd = sub.add_parser("agree", help="one agreement run")
@@ -789,6 +822,13 @@ def build_parser() -> argparse.ArgumentParser:
     agree_cmd.add_argument("--seed", type=int, default=0)
     agree_cmd.add_argument("--inputs", default="mixed")
     agree_cmd.add_argument("--adversary", default="random")
+    agree_cmd.add_argument(
+        "--backend",
+        choices=("ref", "vec"),
+        default="ref",
+        help="engine backend: reference per-node engine, or the numpy "
+        "vectorized engine (identical results; needs repro[perf])",
+    )
     agree_cmd.set_defaults(func=_cmd_agree)
 
     params_cmd = sub.add_parser("params", help="show derived parameters")

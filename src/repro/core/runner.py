@@ -14,7 +14,7 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, VecUnsupported
 from ..faults.adversary import Adversary
 from ..faults.strategies import named_adversary
 from ..obs.timing import PhaseTimers
@@ -46,6 +46,17 @@ AdversarySpec = Union[str, Adversary]
 
 #: Named input patterns for the agreement problem.
 INPUT_PATTERNS = ("all0", "all1", "mixed", "single0", "single1")
+
+#: Engine backends: the reference per-node engine, and the numpy
+#: struct-of-arrays engine (exact same results, see ``docs/VEC.md``).
+BACKENDS = ("ref", "vec")
+
+
+def _check_backend(backend: str) -> None:
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}"
+        )
 
 
 def _resolve_adversary(spec: AdversarySpec, horizon: int) -> Adversary:
@@ -115,6 +126,7 @@ def elect_leader(
     timers: Optional[PhaseTimers] = None,
     delivery: Optional[DeliverySchedule] = None,
     byzantine: Optional["ByzantinePlan"] = None,
+    backend: str = "ref",
 ) -> LeaderElectionResult:
     """Run the Section IV-A fault-tolerant implicit leader election.
 
@@ -145,13 +157,40 @@ def elect_leader(
         Optional :class:`~repro.faults.byzantine.ByzantinePlan` turning
         designated nodes into attackers/omitters; the plan's nodes join
         the faulty set and charge ``faulty_count``.
+    backend:
+        ``"ref"`` (default) runs the per-node reference engine; ``"vec"``
+        runs the numpy struct-of-arrays engine, which produces identical
+        results and falls back to ``"ref"`` for configurations it cannot
+        mirror exactly (see ``docs/VEC.md``).
     """
+    _check_backend(backend)
     params = params or Params(n=n, alpha=alpha)
     schedule = LeaderElectionSchedule.from_params(params)
     total_rounds = schedule.last_round + extra_rounds
     adversary = _resolve_adversary(adversary, total_rounds)
     if faulty_count is None:
         faulty_count = params.max_faulty
+    if backend == "vec":
+        from ..sim.vec import ensure_vec_supported, run_election_vec
+
+        try:
+            ensure_vec_supported(
+                adversary,
+                collect_trace=collect_trace,
+                message_budget=message_budget,
+                timers=timers,
+                delivery=delivery,
+                byzantine=byzantine,
+            )
+            run = run_election_vec(
+                params, schedule, seed, adversary, faulty_count, total_rounds
+            )
+            return _evaluate_leader_election(run, params, seed, adversary)
+        except VecUnsupported:
+            # Unsupported configs replay on the reference engine; the
+            # adversary's selection state is rebuilt from the same seed,
+            # so the fallback run is byte-identical to a ref-only run.
+            pass
     factory = lambda u: LeaderElectionProtocol(u, params, schedule)  # noqa: E731
     if byzantine is not None and byzantine.modes:
         from ..faults.byzantine import (
@@ -271,6 +310,7 @@ def agree(
     timers: Optional[PhaseTimers] = None,
     delivery: Optional[DeliverySchedule] = None,
     byzantine: Optional["ByzantinePlan"] = None,
+    backend: str = "ref",
 ) -> AgreementResult:
     """Run the Section V-A fault-tolerant implicit agreement.
 
@@ -278,6 +318,7 @@ def agree(
     (see :func:`make_inputs`).  Other parameters as in
     :func:`elect_leader`.
     """
+    _check_backend(backend)
     params = params or Params(n=n, alpha=alpha)
     schedule = AgreementSchedule.from_params(params)
     total_rounds = schedule.last_round + extra_rounds
@@ -285,6 +326,30 @@ def agree(
     if faulty_count is None:
         faulty_count = params.max_faulty
     input_bits = make_inputs(n, inputs, seed)
+    if backend == "vec":
+        from ..sim.vec import ensure_vec_supported, run_agreement_vec
+
+        try:
+            ensure_vec_supported(
+                adversary,
+                collect_trace=collect_trace,
+                message_budget=message_budget,
+                timers=timers,
+                delivery=delivery,
+                byzantine=byzantine,
+            )
+            run = run_agreement_vec(
+                params,
+                schedule,
+                seed,
+                adversary,
+                faulty_count,
+                input_bits,
+                total_rounds,
+            )
+            return _evaluate_agreement(run, params, seed, adversary, input_bits)
+        except VecUnsupported:
+            pass  # fall back to the reference engine (same results)
     factory = lambda u: AgreementProtocol(  # noqa: E731
         u, params, schedule, input_bits[u]
     )

@@ -61,6 +61,25 @@ class TrialTimeout(TrialFailed):
     """A harness trial exceeded its wall-clock budget."""
 
 
+class BackendUnavailable(ReproError):
+    """A requested engine backend cannot run in this environment.
+
+    Raised when ``backend="vec"`` is requested but numpy is not installed
+    (install the ``perf`` extra: ``pip install repro[perf]``).
+    """
+
+
+class VecUnsupported(ReproError):
+    """The vectorized backend cannot reproduce this configuration exactly.
+
+    Raised *before any side effects* when a run uses a feature the vec
+    engine does not model (adaptive adversaries, delivery delays, traces,
+    message budgets, Byzantine faults, or a committee overflow).  Callers
+    fall back to the reference engine, so users only see this when they
+    request ``backend="vec"`` with ``strict=True`` semantics (tests).
+    """
+
+
 class OracleViolation(ReproError):
     """A fuzzed run broke a protocol-level safety oracle (see repro.chaos)."""
 

@@ -113,7 +113,9 @@ def estimate_mixing_time(graph: nx.Graph, epsilon: float = 0.25) -> int:
     walks on unfamiliar topologies; the closed forms above are used for
     the named test graphs.
     """
-    import numpy as np
+    from ..optdeps import require_numpy
+
+    np = require_numpy("estimate_mixing_time")
 
     n = graph.number_of_nodes()
     if n < 2:

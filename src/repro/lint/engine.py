@@ -221,6 +221,7 @@ def build_rules() -> List[object]:
     from .rules_exceptions import SwallowedExceptionRule
     from .rules_parallel import TaskRefRule
     from .rules_style import BarePrintRule, SlotsRule
+    from .rules_vec import NumpyIterationRule
 
     return [
         AmbientNondeterminismRule(),
@@ -230,6 +231,7 @@ def build_rules() -> List[object]:
         SlotsRule(),
         BarePrintRule(),
         SwallowedExceptionRule(),
+        NumpyIterationRule(),
     ]
 
 

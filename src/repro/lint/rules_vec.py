@@ -1,0 +1,196 @@
+"""Vectorized-backend discipline: VEC001.
+
+The struct-of-arrays engine (``repro.sim.vec``) earns its speedup by
+keeping per-element work out of Python: round phases operate on whole
+numpy arrays.  A ``for`` loop that iterates a numpy array directly
+un-does that — every element materialises as a numpy scalar object,
+which is slower than iterating a plain list and silently reintroduces
+the per-element interpreter cost the backend exists to remove.  The
+blessed pattern is ``array.tolist()`` (one bulk conversion, then plain
+``int``/``float`` elements).
+
+VEC001 flags ``for`` statements and comprehensions in the configured
+``vec_modules`` whose iterable is *syntactically* numpy-producing:
+
+* a call/attribute/subscript chain rooted at ``np`` or ``numpy``
+  (``np.flatnonzero(x)``, ``np.where(m)[0]``, ...);
+* a local name assigned from such an expression, or a subscript of one
+  (boolean-mask indexing yields another array);
+* a wrapper builtin (``enumerate``/``zip``/``sorted``/``list``/...)
+  over either of the above — those iterate the array element-wise too.
+
+Chains ending in ``.tolist()`` are the sanctioned escape and never
+flagged.  The analysis is deliberately local (per function body, no
+cross-function dataflow): it is a tripwire for the common regression,
+not a type checker.  Deliberate cold-path exceptions carry
+``# repro: lint-ignore[VEC001] <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set, Union
+
+from .config import LintConfig
+from .engine import FileRule, Finding, ParsedFile
+
+#: Module-level names treated as the numpy module.
+_NUMPY_NAMES = ("np", "numpy")
+
+#: Builtins that iterate their (first) argument element-wise.
+_ITER_WRAPPERS = (
+    "enumerate",
+    "zip",
+    "sorted",
+    "reversed",
+    "list",
+    "tuple",
+    "set",
+    "frozenset",
+    "iter",
+    "map",
+    "filter",
+)
+
+_LoopNode = Union[ast.For, ast.comprehension]
+
+
+def _root_name(node: ast.expr) -> str:
+    """The base ``Name`` of a call/attribute/subscript chain, if any."""
+    while True:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            return ""
+
+
+def _ends_in_tolist(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "tolist"
+    )
+
+
+class _FunctionScope(ast.NodeVisitor):
+    """Collects local names bound to numpy-producing expressions.
+
+    One pass over a function body (nested functions get their own
+    scope).  Only simple ``name = <numpy expr>`` bindings are tracked —
+    rebinding a name to a non-numpy value later does *not* clear it,
+    which errs on the side of flagging (the pragma documents the rare
+    deliberate case).
+    """
+
+    def __init__(self) -> None:
+        self.numpy_names: Set[str] = set()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_numpy(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.numpy_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and self._is_numpy(node.value):
+            if isinstance(node.target, ast.Name):
+                self.numpy_names.add(node.target.id)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested scopes are analysed separately
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _is_numpy(self, node: ast.expr) -> bool:
+        if _ends_in_tolist(node):
+            return False
+        root = _root_name(node)
+        if root in _NUMPY_NAMES:
+            return True
+        # A subscript or attribute-free reference to a tracked local
+        # (mask indexing an array yields another array).
+        if isinstance(node, (ast.Name, ast.Subscript)):
+            return root in self.numpy_names
+        return False
+
+
+class NumpyIterationRule(FileRule):
+    """VEC001: no Python ``for`` over a numpy array in vec hot paths."""
+
+    rule_id = "VEC001"
+    default_scope = "vec_modules"
+
+    def check(self, file: ParsedFile, config: LintConfig) -> List[Finding]:
+        assert file.tree is not None
+        findings: List[Finding] = []
+        scopes = [
+            node
+            for node in ast.walk(file.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes:
+            analysis = _FunctionScope()
+            for stmt in scope.body:
+                analysis.visit(stmt)
+            for node in self._walk_scope(scope):
+                loops: List[_LoopNode] = []
+                if isinstance(node, ast.For):
+                    loops.append(node)
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    loops.extend(node.generators)
+                for loop in loops:
+                    iterable = loop.iter
+                    if self._iterates_numpy(iterable, analysis):
+                        # ``ast.comprehension`` carries no location; anchor
+                        # those findings at the iterable expression.
+                        anchor = loop if isinstance(loop, ast.For) else iterable
+                        line, col = anchor.lineno, anchor.col_offset
+                        findings.append(
+                            Finding(
+                                rule=self.rule_id,
+                                path=file.relpath,
+                                line=line,
+                                col=col + 1,
+                                message=(
+                                    "for-loop iterates a numpy array element-"
+                                    "wise in a vectorized-engine module; "
+                                    "convert with .tolist() first (bulk "
+                                    "conversion beats per-element numpy "
+                                    "scalars) or justify with "
+                                    "'# repro: lint-ignore[VEC001] <why>'"
+                                ),
+                            )
+                        )
+        return findings
+
+    def _walk_scope(self, scope: ast.AST):
+        """Walk a function body without descending into nested functions."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _iterates_numpy(self, iterable: ast.expr, scope: _FunctionScope) -> bool:
+        if _ends_in_tolist(iterable):
+            return False
+        # Wrapper builtins iterate their arguments element-wise.
+        if (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in _ITER_WRAPPERS
+        ):
+            return any(self._iterates_numpy(arg, scope) for arg in iterable.args)
+        return scope._is_numpy(iterable)

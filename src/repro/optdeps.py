@@ -1,0 +1,53 @@
+"""Optional heavy dependencies, gated behind lazy imports.
+
+The core package is dependency-free by design (ROADMAP: "stdlib-only
+core").  Performance features — the vectorized engine backend and the
+general-graph extensions — use numpy when it is present.  Everything
+routes through :func:`require_numpy` so the failure mode is a single,
+actionable :class:`~repro.errors.BackendUnavailable` instead of a bare
+``ImportError`` deep inside a hot loop.
+
+Install the extra with ``pip install repro[perf]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .errors import BackendUnavailable
+
+_NUMPY: Optional[Any] = None
+_NUMPY_ERROR: Optional[str] = None
+
+
+def have_numpy() -> bool:
+    """Return True iff numpy can be imported (cached)."""
+    try:
+        return require_numpy() is not None
+    except BackendUnavailable:
+        return False
+
+
+def require_numpy(feature: str = "the vectorized backend") -> Any:
+    """Import and return numpy, or raise :class:`BackendUnavailable`.
+
+    The import is attempted once per process; subsequent calls return the
+    cached module (or re-raise the cached failure) without touching the
+    import machinery again.
+    """
+    global _NUMPY, _NUMPY_ERROR
+    if _NUMPY is not None:
+        return _NUMPY
+    if _NUMPY_ERROR is None:
+        try:
+            import numpy  # noqa: PLC0415 - deliberate lazy optional import
+
+            _NUMPY = numpy
+            return _NUMPY
+        except ImportError as exc:
+            _NUMPY_ERROR = str(exc)
+    raise BackendUnavailable(
+        f"numpy is required for {feature} but is not installed; "
+        f'install the perf extra ("pip install repro[perf]") '
+        f"[import error: {_NUMPY_ERROR}]"
+    )

@@ -95,7 +95,15 @@ class TrialSpec:
     seed: int
     point: Dict[str, Any] = field(default_factory=dict)
     key: Optional[str] = None
+    #: Engine backend forwarded to the task (``None`` = task default).
+    #: A separate field rather than a ``point`` entry so grid points stay
+    #: pure parameters (journal keys, sweep rows) while the backend —
+    #: which never changes results — rides alongside.
+    backend: Optional[str] = None
 
     def run(self) -> Any:
         """Execute the trial in this process (resolves the task first)."""
-        return resolve_task(self.task)(seed=self.seed, **self.point)
+        kwargs = dict(self.point)
+        if self.backend is not None:
+            kwargs["backend"] = self.backend
+        return resolve_task(self.task)(seed=self.seed, **kwargs)

@@ -1,0 +1,49 @@
+"""Vectorized struct-of-arrays engine backend (``--backend vec``).
+
+A second implementation of the synchronous round engine that represents a
+round as numpy struct-of-arrays state and executes the broadcast / sample
+/ deliver / crash phases as batched array operations.  It reproduces the
+reference engine (:mod:`repro.sim.network`) *exactly* — same seed, same
+``Metrics`` (message/bit/round counters, per-round totals, per-node and
+per-kind counts), same protocol outcomes — for the three protocols it
+vectorizes:
+
+* the Section IV-A leader election (:func:`run_election_vec`),
+* the Section V-A agreement (:func:`run_agreement_vec`),
+* the flooding consensus baseline (:func:`run_flooding_vec`).
+
+Exactness is possible because the reference protocols are anonymous and
+state-light: every per-node random draw is an independent stream
+(:class:`~repro.rng.RngFactory`), every message fold (rank lists, maxima,
+zero propagation) is order-independent, and the only order-sensitive
+artifact — the adversary's per-envelope ``keep()`` calls on a crashing
+node's outbox — is reproduced by materialising exactly those outboxes, in
+exactly the reference engine's wire order, for exactly the crash victims
+(see :class:`~repro.sim.vec._support.LazyOutboxes`).
+
+Configurations the backend cannot reproduce exactly raise
+:class:`~repro.errors.VecUnsupported` *before any side effects*; callers
+(:mod:`repro.core.runner`) fall back to the reference engine.  Missing
+numpy raises :class:`~repro.errors.BackendUnavailable` instead — that one
+is the user's problem to fix (``pip install repro[perf]``), not a silent
+fallback.
+
+See ``docs/VEC.md`` for the SoA layout and the parity argument.
+"""
+
+from __future__ import annotations
+
+from ...optdeps import have_numpy  # noqa: F401  (re-export for callers)
+from ._support import VEC_ADVERSARIES, ensure_vec_supported
+from .agreement import run_agreement_vec
+from .election import run_election_vec
+from .flooding import run_flooding_vec
+
+__all__ = [
+    "VEC_ADVERSARIES",
+    "ensure_vec_supported",
+    "have_numpy",
+    "run_agreement_vec",
+    "run_election_vec",
+    "run_flooding_vec",
+]

@@ -1,0 +1,263 @@
+"""Exact scalar port of the leader-election candidate state machine.
+
+The vec engine keeps the *candidate* role of
+:class:`repro.core.leader_election.LeaderElectionProtocol` as per-node
+Python state (the committee has ``Theta(log n / alpha)`` members, so this
+is never the hot path), while the referee role and all message transport
+are array-level.  Every method here is a line-for-line port of the
+corresponding protocol method; the only differences are mechanical:
+
+* ``ctx.send`` loops over the referee sample become one *emit batch*
+  (the reference protocol always sends a candidate message to all of its
+  referees with identical payload);
+* ``ctx.wake_at`` / ``ctx.idle`` mutate :attr:`next_wake` directly
+  (``NEVER`` mirrors :data:`repro.sim.node.NEVER`);
+* ``rank_list`` materialises lazily from the engine's delivered-ranks
+  bitmap the first time the candidate acts (the reference candidate only
+  reads it from the first PROPOSE round on, and the drain-bound guard in
+  the engine proves no LE_LIST message can arrive after that round).
+
+Keeping the port scalar keeps it *checkable*: diffing this module against
+``core/leader_election.py`` is a code review, not a proof.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ...core.schedule import LeaderElectionSchedule
+from ...errors import SimulationError
+from ...sim.node import NEVER
+from ...types import NodeState
+
+MSG_PROPOSE = "LE_PROP"
+MSG_CONFIRM = "LE_CONF"
+
+#: One candidate->referees batch: ``(kind, sender_rank, value)``.
+Emit = Tuple[str, int, int]
+
+
+class CandState:
+    """Candidate-role state of one committee member (exact port)."""
+
+    __slots__ = (
+        "node",
+        "rank",
+        "refs",
+        "schedule",
+        "rank_list",
+        "proposed",
+        "supported",
+        "outstanding",
+        "deadline",
+        "marked",
+        "confirmed",
+        "leader_rank",
+        "state",
+        "round",
+        "next_wake",
+        "emits",
+    )
+
+    def __init__(
+        self,
+        node: int,
+        rank: int,
+        refs: List[int],
+        schedule: LeaderElectionSchedule,
+    ) -> None:
+        self.node = node
+        self.rank = rank
+        self.refs = refs
+        self.schedule = schedule
+        #: ``None`` until materialised from the engine's delivered-LIST
+        #: bitmap (mirrors ``{rank} | {delivered LIST ranks}``).
+        self.rank_list: Optional[Set[int]] = None
+        self.proposed: Set[int] = set()
+        self.supported: Set[int] = set()
+        self.outstanding: Optional[int] = None
+        self.deadline: Optional[int] = None
+        self.marked = False
+        self.confirmed = False
+        self.leader_rank: Optional[int] = None
+        self.state = NodeState.UNDECIDED
+        self.round = 0
+        #: Mirrors ``Context._next_wake``; ``on_start`` leaves the
+        #: reference candidate scheduled for the first PROPOSE round.
+        self.next_wake = schedule.iteration_start
+        self.emits: List[Emit] = []
+
+    # -- Context shims ---------------------------------------------------
+
+    def _wake_at(self, round_: int) -> None:
+        if round_ <= self.round:
+            raise SimulationError(
+                f"vec candidate {self.node}: wake_at({round_}) in round "
+                f"{self.round} (engine bug — reference raises here too)"
+            )
+        self.next_wake = round_
+
+    def _idle(self) -> None:
+        self.next_wake = NEVER
+
+    def _emit(self, kind: str, value: int) -> None:
+        self.emits.append((kind, self.rank, value))
+
+    # -- invocation ------------------------------------------------------
+
+    def invoke(
+        self, round_: int, agg: Optional[Tuple[int, bool]]
+    ) -> List[Emit]:
+        """One ``on_round`` of the candidate role.
+
+        ``agg`` is the already-folded maximum of this round's LE_AGG
+        deliveries (the engine folds them exactly like the reference
+        inbox loop: max value, owner-flag OR on ties).  LE_LIST
+        deliveries are folded into the engine's bitmap instead.  Returns
+        the emit batches (the reference candidate sends at most one
+        batch per invocation; the engine asserts this).
+        """
+        self.round = round_
+        self.next_wake = round_ + 1  # engine default: stay active
+        self.emits = []
+        if agg is not None:
+            self._handle_aggregate(agg[0], agg[1])
+        self._act()
+        return self.emits
+
+    # -- exact ports -----------------------------------------------------
+
+    def _handle_aggregate(self, pmax: int, owner: bool) -> None:
+        rank_list = self.rank_list
+        assert rank_list is not None  # first AGG arrives after first act
+        if any(r < pmax for r in rank_list):
+            self.rank_list = rank_list = {r for r in rank_list if r >= pmax}
+        if self.marked and pmax > self.rank:
+            self.marked = False
+            self.confirmed = False
+            self.state = NodeState.UNDECIDED
+            self.leader_rank = None
+
+        if pmax == self.rank:
+            if owner:
+                self.marked = True
+                self.confirmed = True
+                self.state = NodeState.ELECTED
+                self.leader_rank = self.rank
+                self.outstanding = None
+                self.deadline = None
+            else:
+                self.marked = True
+                self.state = NodeState.ELECTED
+                self.leader_rank = self.rank
+                self._send_confirmation()
+            return
+
+        if (
+            self.leader_rank is not None
+            and self.confirmed
+            and pmax < self.leader_rank
+        ):
+            return
+
+        if owner:
+            previously_confirmed = self.confirmed and self.leader_rank == pmax
+            self.leader_rank = pmax
+            self.confirmed = True
+            self.marked = False
+            self.state = NodeState.UNDECIDED
+            self.outstanding = None
+            self.deadline = None
+            if pmax not in self.supported and not previously_confirmed:
+                self.supported.add(pmax)
+                self._send_support(pmax)
+            return
+
+        if pmax in rank_list:
+            if self.confirmed and self.leader_rank == pmax:
+                return
+            self.confirmed = False
+            self.leader_rank = pmax
+            if self.outstanding != pmax:
+                self.outstanding = pmax
+                self.deadline = self.schedule.confirmation_deadline(self.round)
+                self._wake_for_deadline()
+            if pmax not in self.supported:
+                self.supported.add(pmax)
+                self._send_support(pmax)
+            return
+
+        if self.outstanding is not None and self.outstanding < pmax:
+            self.outstanding = None
+            self.deadline = None
+
+    def _act(self) -> None:
+        round_ = self.round
+        if round_ < self.schedule.iteration_start:
+            self._wake_at(self.schedule.iteration_start)
+            return
+
+        if self.outstanding is not None and self.deadline is not None:
+            if round_ >= self.deadline:
+                timed_out = self.outstanding
+                self.outstanding = None
+                self.deadline = None
+                if timed_out == self.rank:
+                    self._send_confirmation()
+                else:
+                    assert self.rank_list is not None
+                    self.rank_list.discard(timed_out)
+                    self.supported.discard(timed_out)
+                    if self.leader_rank == timed_out and not self.confirmed:
+                        self.leader_rank = None
+
+        if self.confirmed:
+            self._idle()
+            return
+
+        if self.outstanding is None:
+            self._propose_next()
+
+        self._wake_for_deadline()
+
+    def _propose_next(self) -> None:
+        if not self.rank_list:
+            self.rank_list = {self.rank}
+            self.proposed.clear()
+        unproposed = [r for r in self.rank_list if r not in self.proposed]
+        if not unproposed:
+            self.proposed -= self.rank_list
+            unproposed = sorted(self.rank_list)
+        proposal = min(unproposed)
+        self.proposed.add(proposal)
+        self.outstanding = proposal
+        self.deadline = self.schedule.confirmation_deadline(self.round)
+        if proposal == self.rank:
+            self.marked = True
+            self.state = NodeState.ELECTED
+            self.leader_rank = self.rank
+        self._emit(MSG_PROPOSE, proposal)
+
+    def _send_confirmation(self) -> None:
+        self.outstanding = self.rank
+        self.deadline = self.schedule.confirmation_deadline(self.round)
+        self._emit(MSG_CONFIRM, self.rank)
+        self._wake_for_deadline()
+
+    def _send_support(self, rank: int) -> None:
+        self._emit(MSG_CONFIRM, rank)
+
+    def _wake_for_deadline(self) -> None:
+        if self.deadline is not None and self.deadline > self.round:
+            self._wake_at(self.deadline)
+        elif self.confirmed:
+            self._idle()
+
+    def on_stop(self, last_round: int) -> None:
+        """Exact port of the protocol's ``on_stop`` (alive candidates)."""
+        self.round = last_round
+        if self.leader_rank is None:
+            self.leader_rank = (
+                min(self.rank_list) if self.rank_list else self.rank
+            )
+        self.state = NodeState.ELECTED if self.marked else NodeState.NON_ELECTED

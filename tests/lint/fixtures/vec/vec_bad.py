@@ -1,0 +1,41 @@
+"""VEC001 fixtures: numpy iteration the rule must flag."""
+
+import numpy as np
+
+
+def direct_np_call(mask):
+    total = 0
+    for i in np.flatnonzero(mask):  # flagged: direct np call
+        total += i
+    return total
+
+
+def subscripted_np_result(mask):
+    out = []
+    for i in np.where(mask)[0]:  # flagged: subscript of np call
+        out.append(i)
+    return out
+
+
+def tracked_local(mask):
+    hits = np.flatnonzero(mask)
+    return [i * 2 for i in hits]  # flagged: local bound to np expression
+
+
+def masked_subscript(values, mask):
+    arr = np.asarray(values)
+    return [int(v) for v in arr[mask]]  # flagged: subscript of tracked local
+
+
+def wrapped_builtin(mask):
+    for rank, i in enumerate(np.flatnonzero(mask)):  # flagged: via enumerate
+        if rank > 3:
+            return i
+    return -1
+
+
+def pragma_with_reason(mask):
+    # repro: lint-ignore[VEC001] cold path exercised once per run
+    for i in np.flatnonzero(mask):
+        return i
+    return -1

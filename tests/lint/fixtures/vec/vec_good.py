@@ -1,0 +1,29 @@
+"""VEC001 fixtures: sanctioned iteration patterns (no findings)."""
+
+import numpy as np
+
+
+def tolist_escape(mask):
+    total = 0
+    for i in np.flatnonzero(mask).tolist():  # bulk conversion: fine
+        total += i
+    return total
+
+
+def tracked_local_tolist(values):
+    arr = np.asarray(values)
+    return [v + 1 for v in arr.tolist()]  # tolist on a tracked local: fine
+
+
+def plain_python(values):
+    out = []
+    for v in sorted(values):  # plain container: fine
+        out.append(v)
+    for i in range(len(values)):  # range: fine
+        out.append(i)
+    return out
+
+
+def np_scalar_reduction(mask):
+    # Calling np without iterating it is fine.
+    return int(np.count_nonzero(mask))

@@ -198,3 +198,27 @@ def test_exc001_negative(lint_fixture):
 def test_exc001_out_of_scope(lint_fixture):
     # The same swallow outside the guarded modules is not flagged.
     assert lint_fixture("otherpkg/exc001_outside_scope.py").clean
+
+
+# ----------------------------------------------------------------------
+# VEC001 — numpy iteration in the vectorized engine
+# ----------------------------------------------------------------------
+
+
+def test_vec001_positive(lint_fixture):
+    report = lint_fixture("vec/vec_bad.py")
+    assert rules_of(report) == ["VEC001"] * 5
+    assert ".tolist()" in report.findings[0].message
+    flagged_lines = {f.line for f in report.findings}
+    # The pragma'd loop at the bottom of the fixture is suppressed.
+    assert max(flagged_lines) < 37
+
+
+def test_vec001_negative(lint_fixture):
+    assert lint_fixture("vec/vec_good.py").clean
+
+
+def test_vec001_out_of_scope(lint_fixture):
+    # The same iteration outside vec_modules is not flagged.
+    report = lint_fixture("otherpkg/exc001_outside_scope.py")
+    assert "VEC001" not in rules_of(report)
