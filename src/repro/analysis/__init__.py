@@ -19,6 +19,8 @@ from .sweeps import (
     ResilientSweepResult,
     SweepPoint,
     collect,
+    enumerate_sweep_specs,
+    grid_points,
     monte_carlo,
     resilient_sweep,
     sweep,
@@ -32,8 +34,10 @@ __all__ = [
     "chernoff_upper_tail",
     "collect",
     "doubling_ratios",
+    "enumerate_sweep_specs",
     "fit_power_law",
     "format_table",
+    "grid_points",
     "mean",
     "median",
     "monte_carlo",

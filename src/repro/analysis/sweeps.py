@@ -104,7 +104,7 @@ def sweep(
     ``progress``/``timers`` as in :func:`monte_carlo`, covering the
     whole grid with one heartbeat.
     """
-    from ..parallel import TrialSpec, resolve_jobs, run_trials
+    from ..parallel import resolve_jobs, run_trials
 
     if not grid:
         raise ValueError("grid must contain at least one axis")
@@ -134,19 +134,9 @@ def sweep(
         return rows
 
     points = [dict(zip(names, combo)) for combo in combos]
-    specs: List[TrialSpec] = []
-    for combo_index, point in enumerate(points):
-        point_seed = master_seed + combo_index * 1_000_003
-        for seed in seed_sequence(point_seed, trials):
-            specs.append(
-                TrialSpec(
-                    index=len(specs),
-                    task=task,
-                    seed=seed,
-                    point=point,
-                    backend=backend,
-                )
-            )
+    specs = enumerate_sweep_specs(
+        task, grid, trials, master_seed=master_seed, backend=backend
+    )
     flat = run_trials(specs, jobs=jobs, timers=timers, progress=progress)
     return [
         (point, flat[combo_index * trials : (combo_index + 1) * trials])
@@ -234,6 +224,60 @@ def _trial_key(combo_index: int, point: Mapping[str, Any], trial: int) -> str:
     return f"point[{combo_index}]({described})#trial{trial}"
 
 
+def grid_points(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cross a parameter grid into its ordered list of point dicts.
+
+    Axis order follows the mapping's insertion order, exactly as
+    :func:`sweep` has always crossed it — this is the single definition
+    every driver (and the campaign service) shares, so grid order can
+    never drift between them.
+    """
+    if not grid:
+        raise ValueError("grid must contain at least one axis")
+    names = list(grid)
+    return [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(grid[k] for k in names))
+    ]
+
+
+def enumerate_sweep_specs(
+    task: Any,
+    grid: Mapping[str, Sequence[Any]],
+    trials: int,
+    master_seed: int = 0,
+    backend: Optional[str] = None,
+) -> List[Any]:
+    """The full ``grid`` × ``trials`` campaign as ordered trial specs.
+
+    This is the sweep's seed-derivation contract in one place: point
+    ``i`` seeds its trial stream from ``master_seed + i * 1_000_003``,
+    and every spec carries the :func:`_trial_key` journal key.  Serial,
+    parallel, resilient, and served campaigns all enumerate through
+    here, which is what makes a cache entry computed by one mode valid
+    for every other.
+    """
+    from ..parallel import TrialSpec
+
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    specs: List[TrialSpec] = []
+    for combo_index, point in enumerate(grid_points(grid)):
+        point_seed = master_seed + combo_index * 1_000_003
+        for trial, seed in enumerate(seed_sequence(point_seed, trials)):
+            specs.append(
+                TrialSpec(
+                    index=len(specs),
+                    task=task,
+                    seed=seed,
+                    point=point,
+                    key=_trial_key(combo_index, point, trial),
+                    backend=backend,
+                )
+            )
+    return specs
+
+
 def resilient_sweep(
     task: Task,
     grid: Mapping[str, Sequence[Any]],
@@ -286,7 +330,7 @@ def resilient_sweep(
     chunks); its counters land on the result's ``supervisor`` field.
     """
     from ..exec import Journal, ResilientExecutor, RetryPolicy
-    from ..parallel import TrialSpec, run_trials_resilient
+    from ..parallel import run_trials_resilient
 
     if not grid:
         raise ValueError("grid must contain at least one axis")
@@ -306,25 +350,10 @@ def resilient_sweep(
     if manifest is not None:
         executor.write_manifest(manifest)
 
-    names = list(grid)
-    points = [
-        dict(zip(names, combo))
-        for combo in itertools.product(*(grid[k] for k in names))
-    ]
-    specs: List["TrialSpec"] = []
-    for combo_index, point in enumerate(points):
-        point_seed = master_seed + combo_index * 1_000_003
-        for trial, seed in enumerate(seed_sequence(point_seed, trials)):
-            specs.append(
-                TrialSpec(
-                    index=len(specs),
-                    task=task,
-                    seed=seed,
-                    point=point,
-                    key=_trial_key(combo_index, point, trial),
-                    backend=backend,
-                )
-            )
+    points = grid_points(grid)
+    specs = enumerate_sweep_specs(
+        task, grid, trials, master_seed=master_seed, backend=backend
+    )
     trial_outcomes = run_trials_resilient(
         specs, jobs=jobs, executor=executor, progress=progress, shutdown=shutdown
     )

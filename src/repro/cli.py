@@ -37,6 +37,11 @@ Commands
     Run the project's AST-based determinism & invariant linter
     (``docs/LINT.md``) over ``paths`` (default ``src``).  Exit 0 when
     clean, 1 on findings, 2 on configuration errors.
+``serve --port 8750 [--cache-dir DIR] [--jobs N]``
+    Start the campaign service (``docs/SERVE.md``): an HTTP/JSON queue
+    that schedules submitted sweeps on the supervised pool, answers
+    previously-computed trials from a persistent result cache, and
+    streams sealed journal-v2 records over chunked JSONL.
 
 ``--jobs N`` fans trials out over N worker processes; ``--jobs 0``
 auto-detects the core count.  Results are deterministic and identical
@@ -57,6 +62,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 from typing import List, Optional
 
 from .analysis.tables import format_table
@@ -548,6 +554,34 @@ def _cmd_journal_fsck(args: argparse.Namespace) -> int:
     return 0 if report.clean or args.repair else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import CampaignServer, CampaignService
+
+    service = CampaignService(
+        cache_dir=args.cache_dir,
+        max_cache_entries=args.max_cache_entries,
+        allow_task_refs=args.allow_task_refs,
+        default_jobs=args.jobs,
+    )
+    server = CampaignServer(service, host=args.host, port=args.port)
+    server.start()
+    print(
+        f"repro serve: listening on http://{args.host}:{server.port} "
+        f"(cache: {args.cache_dir}; POST /campaigns to submit)",
+        flush=True,
+    )
+    try:
+        # The HTTP loop and the campaign worker are both daemon threads;
+        # the main thread just waits for Ctrl-C / SIGTERM.
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+        service.close()
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -911,6 +945,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON report to this path (for CI artifacts)",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="campaign service: HTTP queue + result cache + streaming "
+        "(docs/SERVE.md)",
+    )
+    serve_cmd.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: loopback only)",
+    )
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=8750,
+        help="TCP port to listen on (0 picks a free port)",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="directory of the persistent trial-result cache",
+    )
+    serve_cmd.add_argument(
+        "--max-cache-entries",
+        type=int,
+        default=None,
+        help="LRU-evict cache entries beyond this count (default: unbounded)",
+    )
+    serve_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="default pool width for campaigns that do not specify one "
+        "(0 = all cores)",
+    )
+    serve_cmd.add_argument(
+        "--allow-task-refs",
+        action="store_true",
+        help="accept arbitrary 'module:qualname' task references instead "
+        "of only registered task names (runs submitted code; trusted "
+        "clients only)",
+    )
+    serve_cmd.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -12,6 +12,7 @@ Entry points: :class:`ResilientExecutor` (one guarded trial),
 """
 
 from .executor import (
+    CACHED,
     FAILED,
     OK,
     QUARANTINED,
@@ -22,11 +23,12 @@ from .executor import (
     TrialOutcome,
     default_serialize,
 )
-from .journal import FsckReport, Journal, fsck_journal, open_journal
+from .journal import FsckReport, Journal, fsck_journal, open_journal, seal_record
 from .retry import RetryPolicy
 from .timeout import call_with_timeout, timeouts_supported
 
 __all__ = [
+    "CACHED",
     "FAILED",
     "FsckReport",
     "OK",
@@ -42,5 +44,6 @@ __all__ = [
     "default_serialize",
     "fsck_journal",
     "open_journal",
+    "seal_record",
     "timeouts_supported",
 ]

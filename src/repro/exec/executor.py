@@ -35,6 +35,9 @@ FAILED = "failed"
 TIMEOUT = "timeout"
 QUARANTINED = "quarantined"
 RESUMED = "resumed"
+#: Served from a campaign result cache — same serialised value a fresh
+#: execution would have produced, zero trial executions.
+CACHED = "cached"
 
 #: Default serialisation of a trial value into the journal: result objects
 #: expose ``summary()`` (LeaderElectionResult, AgreementResult,
@@ -66,7 +69,7 @@ class TrialOutcome:
 
     @property
     def ok(self) -> bool:
-        return self.status in (OK, RESUMED)
+        return self.status in (OK, RESUMED, CACHED)
 
     def journal_record(
         self, serialize: Callable[[Any], Any] = default_serialize

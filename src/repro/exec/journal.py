@@ -58,6 +58,19 @@ def record_crc(record: Dict[str, Any]) -> str:
     return format(zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, "08x")
 
 
+def seal_record(record: Dict[str, Any], seq: int) -> Dict[str, Any]:
+    """Seal a record with the v2 envelope (``_crc`` + ``_seq``).
+
+    This is the journal's wire format, reused verbatim by the campaign
+    service's streamed results (:mod:`repro.serve`): a sealed record is
+    one self-verifying JSON line wherever it travels.
+    """
+    sealed = dict(record)
+    sealed[CRC_KEY] = record_crc(record)
+    sealed[SEQ_KEY] = seq
+    return sealed
+
+
 def _classify_line(line: str) -> Tuple[str, Optional[Dict[str, Any]]]:
     """One journal line → (``ok``/``unverified``/``corrupt``, record).
 
@@ -123,9 +136,7 @@ class Journal:
             return
         try:
             self._ensure_handle()
-            sealed = dict(record)
-            sealed[CRC_KEY] = record_crc(record)
-            sealed[SEQ_KEY] = self._next_seq
+            sealed = seal_record(record, self._next_seq)
             line = json.dumps(sealed, sort_keys=True, default=str) + "\n"
             assert self._handle is not None
             self._handle.write(line.encode("utf-8"))
@@ -225,40 +236,47 @@ class Journal:
         """All intact records, skipping corrupt/half-written lines."""
         return list(self.iter_records())
 
+    def _raw_lines(self) -> List[bytes]:
+        """The journal file's raw lines (empty when absent/unreadable)."""
+        if not self.path.exists():
+            return []
+        try:
+            return self.path.read_bytes().splitlines()
+        except OSError:
+            return []
+
     def iter_records(self) -> Iterator[Dict[str, Any]]:
         """Yield intact records in write order (envelope keys stripped).
 
-        Resets and refreshes :attr:`corrupt_lines`,
-        :attr:`unverified_records`, and :attr:`verified_records`.  After
-        degradation the in-memory records are yielded after whatever is
-        still readable on disk, so a same-process report sees the whole
-        campaign.
+        :attr:`corrupt_lines`, :attr:`unverified_records`, and
+        :attr:`verified_records` are refreshed as one atomic snapshot
+        *after* the iteration completes — a partially consumed (or
+        concurrent) iteration never leaves another layer reading
+        half-reset counters.  After degradation the in-memory records are
+        yielded after whatever is still readable on disk, so a
+        same-process report sees the whole campaign.
         """
-        self.corrupt_lines = 0
-        self.unverified_records = 0
-        self.verified_records = 0
-        if self.path.exists():
-            try:
-                raw_lines = self.path.read_bytes().splitlines()
-            except OSError:
-                raw_lines = []
-            for raw in raw_lines:
-                # Binary garbage must not kill the load: decode lossily,
-                # the CRC/JSON checks below reject what isn't a record.
-                line = raw.decode("utf-8", errors="replace").strip()
-                if not line:
-                    continue
-                status, record = _classify_line(line)
-                if status == "corrupt":
-                    self.corrupt_lines += 1
-                elif status == "unverified":
-                    self.unverified_records += 1
-                    yield record  # type: ignore[misc]
-                else:
-                    self.verified_records += 1
-                    yield record  # type: ignore[misc]
+        corrupt = unverified = verified = 0
+        for raw in self._raw_lines():
+            # Binary garbage must not kill the load: decode lossily,
+            # the CRC/JSON checks below reject what isn't a record.
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            status, record = _classify_line(line)
+            if status == "corrupt":
+                corrupt += 1
+            elif status == "unverified":
+                unverified += 1
+                yield record  # type: ignore[misc]
+            else:
+                verified += 1
+                yield record  # type: ignore[misc]
         for record in self._memory:
             yield dict(record)
+        self.corrupt_lines = corrupt
+        self.unverified_records = unverified
+        self.verified_records = verified
 
     def last_manifest(self) -> Optional[Dict[str, Any]]:
         """The most recent embedded provenance-manifest record, if any.
@@ -266,26 +284,58 @@ class Journal:
         Campaign drivers append a ``{"kind": "manifest", ...}`` record per
         invocation (see :mod:`repro.obs.provenance`); the latest one
         describes the run that wrote most recently.
+
+        Scans the journal from its *tail* and stops at the first manifest
+        found, so a mid-campaign call costs one reverse pass over the
+        (usually short) suffix instead of re-CRCing the whole file — and
+        it never touches the corrupt/unverified/verified counters.
         """
         from ..obs.provenance import is_manifest_record
 
-        found: Optional[Dict[str, Any]] = None
-        for record in self.iter_records():
-            if is_manifest_record(record):
-                found = record
-        return found
+        for memory_record in reversed(self._memory):
+            if is_manifest_record(memory_record):
+                return dict(memory_record)
+        for raw in reversed(self._raw_lines()):
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            status, record = _classify_line(line)
+            if status != "corrupt" and is_manifest_record(record):  # type: ignore[arg-type]
+                return record
+        return None
 
     def exists(self) -> bool:
         """Whether the journal file is present on disk."""
         return self.path.exists()
 
     def clear(self) -> None:
-        """Delete the journal file (fresh, non-resumed runs)."""
+        """Delete the journal file *and* its quarantine sidecar.
+
+        A fresh (non-resumed) run must not inherit anything from the
+        previous campaign at this path: the ``.corrupt`` sidecar from an
+        earlier run would otherwise pollute fsck output and reports of
+        the new one.  Degradation state is reset too — a fresh campaign
+        gets a fresh shot at the disk (and degrades again, loudly, if the
+        filesystem is still broken).
+        """
         self._close_handle()
-        if self.path.exists():
-            self.path.unlink()
+        for artifact in (self.path, self.corrupt_path):
+            try:
+                artifact.unlink()
+            except FileNotFoundError:
+                pass
+            except OSError:
+                # A path that cannot be unlinked (e.g. the degraded
+                # "journal is a directory" case) still gets its
+                # in-memory state reset below.
+                pass
         self._next_seq = 0
         self._memory = []
+        self.degraded = False
+        self.degraded_reason = None
+        self.corrupt_lines = 0
+        self.unverified_records = 0
+        self.verified_records = 0
 
     def close(self) -> None:
         """Release the append handle (appends re-open on demand)."""

@@ -61,6 +61,9 @@ def render_progress_line(
         parts.append(f"{completed}/{total} ({percent:.0f}%)")
     else:
         parts.append(f"{completed} done")
+    # A true zero is a real value here (e.g. every trial served from
+    # cache/resume without an execution) — only equality with
+    # ``completed`` suppresses the field, never falsiness.
     if attempted is not None and attempted != completed:
         parts.append(f"attempted {attempted}")
     if elapsed > 0 and completed > 0:
@@ -115,16 +118,30 @@ class ProgressReporter:
         self.restarts = 0
         self.workers: Optional[int] = None
         self.busy: Optional[int] = None
-        self.started = clock() if enabled else 0.0
+        #: Monotonic instant of the first *enabled* event — ``None`` until
+        #: one happens, so a reporter constructed disabled and enabled
+        #: mid-campaign measures elapsed/ETA from when it started seeing
+        #: events, not from construction (let alone from 0.0).
+        self.started: Optional[float] = None
+        if enabled:
+            self.started = clock()
         self._last_emit = float("-inf")
         self.lines_emitted = 0
 
     # -- driver API ------------------------------------------------------
 
+    def _now(self) -> float:
+        """Current clock, starting the elapsed baseline on first use."""
+        now = self.clock()
+        if self.started is None:
+            self.started = now
+        return now
+
     def set_workers(self, workers: int, busy: Optional[int] = None) -> None:
         """Record pool width (and optionally how many workers are busy)."""
         if not self.enabled:
             return
+        self._now()
         self.workers = workers
         self.busy = busy
 
@@ -155,7 +172,7 @@ class ProgressReporter:
         """Emit a line when at least ``interval`` passed since the last."""
         if not self.enabled:
             return
-        now = self.clock()
+        now = self._now()
         if now - self._last_emit >= self.interval:
             self._emit(now)
 
@@ -163,9 +180,15 @@ class ProgressReporter:
         """Emit the final line unconditionally."""
         if not self.enabled:
             return
-        self._emit(self.clock())
+        self._emit(self._now())
 
     # -- internals -------------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Seconds since the first enabled event (0.0 before any)."""
+        if self.started is None:
+            return 0.0
+        return max(0.0, self.clock() - self.started)
 
     def render(self) -> str:
         """The current heartbeat line (without emitting it)."""
@@ -173,8 +196,8 @@ class ProgressReporter:
             label=self.label,
             completed=self.completed,
             total=self.total,
-            elapsed=max(0.0, self.clock() - self.started),
-            attempted=self.attempted or None,
+            elapsed=self.elapsed(),
+            attempted=self.attempted,
             failed=self.failed,
             retries=self.retries,
             quarantined=self.quarantined,
@@ -182,6 +205,28 @@ class ProgressReporter:
             busy=self.busy,
             restarts=self.restarts,
         )
+
+    def snapshot(self) -> dict:
+        """The current counters as a ``{"kind": "progress"}`` record.
+
+        This is the JSON twin of :meth:`render`: campaign services stream
+        it over the wire (sealed like a journal v2 record) so clients get
+        machine-readable progress instead of scraping heartbeat lines.
+        """
+        return {
+            "kind": "progress",
+            "label": self.label,
+            "completed": self.completed,
+            "total": self.total,
+            "attempted": self.attempted,
+            "failed": self.failed,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            "restarts": self.restarts,
+            "workers": self.workers,
+            "busy": self.busy,
+            "elapsed_seconds": round(self.elapsed(), 6),
+        }
 
     def _emit(self, now: float) -> None:
         self._last_emit = now

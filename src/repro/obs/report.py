@@ -24,8 +24,10 @@ from typing import Any, Dict, List, Mapping, Optional, Union
 
 from .provenance import Manifest, is_manifest_record, load_manifest
 
-#: Journal statuses treated as "the trial produced a value".
-_OK_STATUSES = ("ok", "resumed")
+#: Journal statuses treated as "the trial produced a value".  "cached"
+#: is the campaign service's journal status for a trial answered from
+#: its result cache — same serialised value as a fresh run, no execution.
+_OK_STATUSES = ("ok", "resumed", "cached")
 
 
 def is_structural_record(record: Mapping[str, Any]) -> bool:
@@ -202,6 +204,7 @@ _SUPERVISOR_COUNTERS = (
     "redispatched_chunks",
     "redispatched_trials",
     "abandoned_trials",
+    "dispatched_chunks",
 )
 
 
@@ -285,6 +288,7 @@ def _render_supervision(totals: Mapping[str, Any]) -> List[str]:
         "redispatched_chunks": "chunks redispatched",
         "redispatched_trials": "trials redispatched",
         "abandoned_trials": "trials abandoned (recorded failed)",
+        "dispatched_chunks": "chunks dispatched",
     }
     lines = []
     runs = totals.get("runs", 0)

@@ -6,12 +6,13 @@ seed — same derived seed streams, results reassembled by trial index.
 """
 
 from .pool import (
+    OutcomeHook,
     default_chunk_size,
     resolve_jobs,
     run_trials,
     run_trials_resilient,
 )
-from .spec import TrialSpec, resolve_task, task_ref
+from .spec import TrialSpec, canonical_task_ref, resolve_task, task_ref
 from .supervisor import (
     GracefulShutdown,
     PoolSupervisor,
@@ -23,11 +24,13 @@ from .tasks import agreement_trial, ben_or_trial, election_trial
 
 __all__ = [
     "GracefulShutdown",
+    "OutcomeHook",
     "PoolSupervisor",
     "SupervisorStats",
     "TrialSpec",
     "agreement_trial",
     "ben_or_trial",
+    "canonical_task_ref",
     "chunk_deadline_seconds",
     "default_chunk_size",
     "election_trial",

@@ -31,7 +31,7 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from concurrent.futures.process import BrokenProcessPool
 
@@ -277,6 +277,11 @@ def _shutdown_fast(pool: ProcessPoolExecutor, futures: Sequence[Any]) -> None:
     pool.shutdown(wait=False, cancel_futures=True)
 
 
+#: Per-outcome hook: ``on_outcome(spec, outcome)`` fires once per trial,
+#: in completion order, as soon as the outcome is final.
+OutcomeHook = Callable[[TrialSpec, TrialOutcome], None]
+
+
 def run_trials_resilient(
     specs: Sequence[TrialSpec],
     jobs: int = 1,
@@ -286,6 +291,7 @@ def run_trials_resilient(
     progress: ProgressSpec = False,
     shutdown: Optional[GracefulShutdown] = None,
     max_dispatches: int = 3,
+    on_outcome: Optional[OutcomeHook] = None,
 ) -> List[TrialOutcome]:
     """Run ``specs`` under the resilience layer, parallelised per worker.
 
@@ -330,6 +336,12 @@ def run_trials_resilient(
     ``progress`` turns on a stderr heartbeat: trials completed/attempted,
     throughput/ETA, retry/quarantine counts, pool restarts, and how many
     workers still hold work.
+
+    ``on_outcome(spec, outcome)`` fires once per trial in completion
+    order, as soon as the outcome is final (resumed, quarantined, fresh,
+    or abandoned) — the seam campaign services use to stream results and
+    populate caches while the run is still in flight.  It runs in the
+    parent process; exceptions it raises propagate (don't raise).
     """
     jobs = resolve_jobs(jobs)
     owns_reporter = not isinstance(progress, ProgressReporter)
@@ -346,6 +358,8 @@ def run_trials_resilient(
             )
             outcomes_serial.append(outcome)
             _advance_for(reporter, outcome)
+            if on_outcome is not None:
+                on_outcome(spec, outcome)
         if owns_reporter:
             reporter.finish()
         return outcomes_serial
@@ -354,6 +368,9 @@ def run_trials_resilient(
 
     base = min(spec.index for spec in specs)
     outcomes: List[Optional[TrialOutcome]] = [None] * len(specs)
+    spec_by_slot: Dict[int, TrialSpec] = {
+        spec.index - base: spec for spec in specs
+    }
     dispatchable: List[TrialSpec] = []
     for spec in specs:
         key = spec.key or f"trial[{spec.index}]"
@@ -368,6 +385,8 @@ def run_trials_resilient(
             )
             outcomes[spec.index - base] = resumed
             _advance_for(reporter, resumed)
+            if on_outcome is not None:
+                on_outcome(spec, resumed)
             continue
         if executor.quarantine.blocks(key):
             outcome = TrialOutcome(
@@ -380,6 +399,8 @@ def run_trials_resilient(
             outcomes[spec.index - base] = outcome
             _journal(executor, outcome)
             _advance_for(reporter, outcome)
+            if on_outcome is not None:
+                on_outcome(spec, outcome)
             continue
         dispatchable.append(spec)
 
@@ -401,6 +422,8 @@ def run_trials_resilient(
         if outcome.status != RESUMED:
             _journal(executor, outcome)
         _advance_for(reporter, outcome)
+        if on_outcome is not None:
+            on_outcome(spec_by_slot[slot], outcome)
 
     def on_abandon(spec: TrialSpec, reason: str) -> None:
         slot = spec.index - base
@@ -414,6 +437,8 @@ def run_trials_resilient(
         executor.quarantine.record_failure(key)
         _journal(executor, outcome)
         _advance_for(reporter, outcome)
+        if on_outcome is not None:
+            on_outcome(spec, outcome)
 
     stats = SupervisorStats()
     executor.last_supervisor_stats = stats

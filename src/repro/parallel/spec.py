@@ -47,6 +47,22 @@ def task_ref(task: Callable[..., Any]) -> str:
     return f"{module}:{name}"
 
 
+def canonical_task_ref(task: TaskRef) -> str:
+    """The stable ``"module:qualname"`` string form of any task.
+
+    String references pass through unchanged; callables are named via
+    :func:`task_ref`.  This is the task half of the campaign service's
+    cache key, so it must be identical however the task was supplied.
+    """
+    if isinstance(task, str):
+        if ":" not in task:
+            raise ConfigurationError(
+                f"task reference must be 'module:qualname', got {task!r}"
+            )
+        return task
+    return task_ref(task)
+
+
 def resolve_task(task: TaskRef) -> Callable[..., Any]:
     """Materialise a task: callables pass through, strings are imported.
 

@@ -68,6 +68,11 @@ class SupervisorStats:
     redispatched_chunks: int = 0
     redispatched_trials: int = 0
     abandoned_trials: int = 0
+    #: Total chunk submissions to the pool (first dispatches *and*
+    #: redispatches).  Not an incident — it is the supervisor's work
+    #: ledger, which is how the campaign service proves a fully cached
+    #: resubmission touched the pool zero times.
+    dispatched_chunks: int = 0
     interrupted: bool = False
 
     @property
@@ -91,6 +96,7 @@ class SupervisorStats:
             "redispatched_chunks": self.redispatched_chunks,
             "redispatched_trials": self.redispatched_trials,
             "abandoned_trials": self.abandoned_trials,
+            "dispatched_chunks": self.dispatched_chunks,
             "interrupted": self.interrupted,
         }
 
@@ -102,6 +108,7 @@ class SupervisorStats:
         self.redispatched_chunks += other.redispatched_chunks
         self.redispatched_trials += other.redispatched_trials
         self.abandoned_trials += other.abandoned_trials
+        self.dispatched_chunks += other.dispatched_chunks
         self.interrupted = self.interrupted or other.interrupted
 
     def journal_record(self) -> Dict[str, Any]:
@@ -319,6 +326,7 @@ class PoolSupervisor:
                 continue
             chunk.dispatches += 1
             chunk.started = time.monotonic()
+            self.stats.dispatched_chunks += 1
             inflight[future] = chunk
         return pool
 

@@ -1,0 +1,47 @@
+"""The ``repro serve`` campaign service.
+
+A stdlib-only HTTP/JSON front over the harness: submit sweep campaigns,
+have them scheduled on the supervised process pool, answer repeated
+trials from a persistent content-addressed result cache, and stream
+progress + per-trial results as sealed journal-v2 records.
+
+Layering (each importable without the ones above it):
+
+* :mod:`repro.serve.cache` — the trial-result cache (pure persistence);
+* :mod:`repro.serve.service` — queue + execution + stream buffers;
+* :mod:`repro.serve.http` — the asyncio HTTP transport.
+
+See ``docs/SERVE.md`` for the API, the wire format, and the cache-key
+soundness argument.
+"""
+
+from .cache import ResultCache, cache_key_digest, cache_key_payload, canonical_json
+from .http import CampaignServer
+from .service import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TASKS,
+    CampaignService,
+    CampaignSpec,
+    Job,
+    parse_campaign_spec,
+)
+
+__all__ = [
+    "CampaignServer",
+    "CampaignService",
+    "CampaignSpec",
+    "DONE",
+    "FAILED",
+    "Job",
+    "QUEUED",
+    "RUNNING",
+    "ResultCache",
+    "TASKS",
+    "cache_key_digest",
+    "cache_key_payload",
+    "canonical_json",
+    "parse_campaign_spec",
+]

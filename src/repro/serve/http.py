@@ -1,0 +1,312 @@
+"""Stdlib-only asyncio HTTP front for the campaign service.
+
+A deliberately small HTTP/1.1 server (``asyncio.start_server``, no
+framework): JSON in, JSON out, one request per connection
+(``Connection: close``).  The only long-lived response is the campaign
+stream, sent with chunked transfer encoding — one sealed journal-v2
+record per line, exactly the bytes :meth:`repro.serve.service.Job.emit`
+buffered.
+
+Endpoints
+---------
+
+=======  ==========================  =======================================
+GET      ``/health``                 liveness + version
+GET      ``/tasks``                  the task registry (name → reference)
+GET      ``/cache``                  result-cache counters
+POST     ``/campaigns``              submit a campaign spec; ``202`` + job id
+GET      ``/campaigns``              all jobs, queue order
+GET      ``/campaigns/<id>``         one job's status/summary
+GET      ``/campaigns/<id>/stream``  chunked JSONL stream until the job ends
+=======  ==========================  =======================================
+
+Campaign execution happens on the service's worker thread; the event
+loop only parses requests and pumps stream buffers, so a slow campaign
+never blocks health checks or further submissions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .cache import canonical_json
+from .service import CampaignService, Job
+
+#: Request-body ceiling: campaign specs are small; anything bigger is
+#: either a mistake or abuse.
+MAX_BODY_BYTES = 1 << 20
+
+#: How long a stream pump waits on the job buffer per poll.  Bounded so
+#: a cancelled client connection is noticed promptly.
+_STREAM_POLL_SECONDS = 0.25
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def _response_bytes(status: int, payload: Any) -> bytes:
+    body = (canonical_json(payload) + "\n").encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+class CampaignServer:
+    """Bind a :class:`CampaignService` to a TCP port.
+
+    Two ways to run it:
+
+    * :meth:`run` — serve in the calling thread until cancelled
+      (the CLI path; Ctrl-C stops it).
+    * :meth:`start` / :meth:`stop` — serve on a background thread with
+      its own event loop (tests and embedding); :attr:`port` is the
+      bound port, available once :meth:`start` returns.
+    """
+
+    def __init__(
+        self,
+        service: CampaignService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def run(self) -> None:
+        """Serve in this thread until :meth:`stop` or KeyboardInterrupt."""
+        asyncio.run(self._serve())
+
+    def start(self, timeout: float = 10.0) -> None:
+        """Serve on a daemon thread; returns once the port is bound."""
+        self._thread = threading.Thread(
+            target=self._run_captured, name="repro-serve-http", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("campaign server did not start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"campaign server failed to bind: {self._startup_error}"
+            )
+
+    def _run_captured(self) -> None:
+        try:
+            self.run()
+        except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+            self._startup_error = exc
+            self._ready.set()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the listener (joins the background thread when present)."""
+        loop, stopping = self._loop, self._stopping
+        if loop is not None and stopping is not None:
+            loop.call_soon_threadsafe(stopping.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        async with server:
+            await self._stopping.wait()
+
+    # -- request handling ------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            parsed = await asyncio.wait_for(_read_request(reader), timeout=30.0)
+            if parsed is None:
+                return
+            method, path, body = parsed
+            await self._route(method, path, body, writer)
+        except asyncio.TimeoutError:
+            writer.write(_response_bytes(400, {"error": "request timed out"}))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except _BodyTooLarge:
+            writer.write(_response_bytes(413, {"error": "request body too large"}))
+        except Exception as exc:  # noqa: BLE001 - never kill the listener
+            try:
+                writer.write(
+                    _response_bytes(500, {"error": f"{type(exc).__name__}: {exc}"})
+                )
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if path == "/health" and method == "GET":
+            from .. import __version__
+
+            writer.write(
+                _response_bytes(200, {"status": "ok", "version": __version__})
+            )
+            return
+        if path == "/tasks" and method == "GET":
+            writer.write(_response_bytes(200, dict(self.service.registry)))
+            return
+        if path == "/cache" and method == "GET":
+            writer.write(_response_bytes(200, self.service.cache.stats()))
+            return
+        if path == "/campaigns" and method == "POST":
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else None
+            except ValueError:
+                writer.write(
+                    _response_bytes(400, {"error": "request body is not JSON"})
+                )
+                return
+            try:
+                job = self.service.submit(payload)
+            except ConfigurationError as exc:
+                writer.write(_response_bytes(400, {"error": str(exc)}))
+                return
+            writer.write(
+                _response_bytes(
+                    202,
+                    {
+                        "job": job.id,
+                        "state": job.state,
+                        "status_url": f"/campaigns/{job.id}",
+                        "stream_url": f"/campaigns/{job.id}/stream",
+                    },
+                )
+            )
+            return
+        if path == "/campaigns" and method == "GET":
+            writer.write(
+                _response_bytes(
+                    200, [job.describe() for job in self.service.jobs()]
+                )
+            )
+            return
+        if path.startswith("/campaigns/"):
+            rest = path[len("/campaigns/") :]
+            job_id, _, tail = rest.partition("/")
+            job = self.service.job(job_id)
+            if job is None:
+                writer.write(
+                    _response_bytes(404, {"error": f"no such job {job_id!r}"})
+                )
+                return
+            if tail == "" and method == "GET":
+                writer.write(_response_bytes(200, job.describe()))
+                return
+            if tail == "stream" and method == "GET":
+                await self._stream(job, writer)
+                return
+        if method not in ("GET", "POST"):
+            writer.write(_response_bytes(405, {"error": f"method {method}"}))
+            return
+        writer.write(_response_bytes(404, {"error": f"no route {path}"}))
+
+    async def _stream(self, job: Job, writer: asyncio.StreamWriter) -> None:
+        """Chunk-stream the job's sealed records until it finishes."""
+        writer.write(
+            (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("latin-1")
+        )
+        await writer.drain()
+        loop = asyncio.get_running_loop()
+        cursor = 0
+        while True:
+            # The buffer wait blocks, so it runs on an executor thread;
+            # the poll timeout bounds how long a dead client lingers.
+            records, done = await loop.run_in_executor(
+                None, job.wait_records, cursor, _STREAM_POLL_SECONDS
+            )
+            if records:
+                cursor += len(records)
+                payload = "".join(
+                    canonical_json(record) + "\n" for record in records
+                ).encode("utf-8")
+                writer.write(_chunk(payload))
+                await writer.drain()
+            if done and not records:
+                writer.write(b"0\r\n\r\n")
+                await writer.drain()
+                return
+
+
+def _chunk(payload: bytes) -> bytes:
+    return f"{len(payload):x}\r\n".encode("latin-1") + payload + b"\r\n"
+
+
+class _BodyTooLarge(Exception):
+    pass
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, bytes]]:
+    """Parse one request: ``(method, path, body)``; ``None`` on EOF."""
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    try:
+        method, target, _ = request_line.decode("latin-1").split(" ", 2)
+    except ValueError:
+        raise ConfigurationError("malformed request line") from None
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length_raw = headers.get("content-length", "0")
+    try:
+        length = int(length_raw or "0")
+    except ValueError:
+        raise ConfigurationError("malformed Content-Length") from None
+    if length > MAX_BODY_BYTES:
+        raise _BodyTooLarge()
+    body = await reader.readexactly(length) if length > 0 else b""
+    path = target.split("?", 1)[0]
+    return method.upper(), path, body

@@ -181,6 +181,146 @@ class TestDegradation:
         assert journal.load() == [{"key": "a"}]
 
 
+class TestClear:
+    def test_clear_removes_quarantine_sidecar(self, tmp_path):
+        """A fresh campaign must not inherit the old run's quarantine."""
+        path = write_v2_journal(tmp_path / "j.jsonl", [{"key": "a"}])
+        with open(path, "ab") as handle:
+            handle.write(b'{"torn')  # tear the tail...
+        journal = Journal(path)
+        journal.append({"key": "b"})  # ...healing quarantines it
+        assert journal.corrupt_path.exists()
+        journal.clear()
+        assert not path.exists()
+        assert not journal.corrupt_path.exists()
+
+    def test_clear_resets_counters_and_sequence(self, tmp_path):
+        path = write_v2_journal(tmp_path / "j.jsonl", [{"key": "a"}])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "v1"}\n')  # one unverified record
+        journal = Journal(path)
+        journal.load()
+        assert (journal.verified_records, journal.unverified_records) == (1, 1)
+        journal.clear()
+        assert journal.verified_records == 0
+        assert journal.unverified_records == 0
+        assert journal.corrupt_lines == 0
+        journal.append({"key": "fresh"})
+        line = json.loads(path.read_text().splitlines()[0])
+        assert line[SEQ_KEY] == 0  # sequence restarts with the new campaign
+
+    def test_clear_in_degraded_memory_mode(self, tmp_path, capsys):
+        journal = Journal(tmp_path)  # a directory: first append degrades
+        journal.append({"key": "a"})
+        assert journal.degraded and journal.load() == [{"key": "a"}]
+        capsys.readouterr()
+        journal.clear()
+        assert not journal.degraded
+        assert journal.degraded_reason is None
+        assert journal.load() == []  # in-memory records dropped too
+
+    def test_clear_without_artifacts_is_a_noop(self, tmp_path):
+        journal = Journal(tmp_path / "never-written.jsonl")
+        journal.clear()  # must not raise
+        assert journal.load() == []
+
+
+class TestCounterSnapshot:
+    """iter_records() refreshes counters atomically, after full iteration."""
+
+    def _journal_with_one_of_each(self, tmp_path):
+        path = write_v2_journal(
+            tmp_path / "j.jsonl", [{"key": "a"}, {"key": "b"}]
+        )
+        with open(path, "ab") as handle:
+            handle.write(b'{"key": "v1"}\n')  # unverified (no envelope)
+            handle.write(b"\xde\xad garbage\n")  # corrupt
+        return Journal(path)
+
+    def test_partial_iteration_does_not_clobber_counters(self, tmp_path):
+        journal = self._journal_with_one_of_each(tmp_path)
+        journal.load()
+        before = (
+            journal.verified_records,
+            journal.unverified_records,
+            journal.corrupt_lines,
+        )
+        assert before == (2, 1, 1)
+        iterator = journal.iter_records()
+        next(iterator)  # consume one record, then abandon the iterator
+        assert (
+            journal.verified_records,
+            journal.unverified_records,
+            journal.corrupt_lines,
+        ) == before
+
+    def test_full_iteration_refreshes_counters(self, tmp_path):
+        journal = self._journal_with_one_of_each(tmp_path)
+        assert len(list(journal.iter_records())) == 3
+        assert journal.verified_records == 2
+        assert journal.unverified_records == 1
+        assert journal.corrupt_lines == 1
+
+    def test_interleaved_iterations_are_independent(self, tmp_path):
+        journal = self._journal_with_one_of_each(tmp_path)
+        outer = journal.iter_records()
+        next(outer)
+        # A nested full pass (e.g. a report while resume is scanning).
+        assert len(journal.load()) == 3
+        snapshot = (journal.verified_records, journal.corrupt_lines)
+        list(outer)  # finishing the outer pass re-lands the same snapshot
+        assert (journal.verified_records, journal.corrupt_lines) == snapshot
+
+
+class TestLastManifest:
+    def _manifest(self, run):
+        return {"kind": "manifest", "command": "sweep", "run": run}
+
+    def test_latest_manifest_wins(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append(self._manifest(1))
+        journal.append({"key": "a", "status": "ok"})
+        journal.append(self._manifest(2))
+        journal.append({"key": "b", "status": "ok"})
+        manifest = journal.last_manifest()
+        assert manifest is not None and manifest["run"] == 2
+
+    def test_returns_none_without_manifests(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append({"key": "a"})
+        assert journal.last_manifest() is None
+        assert Journal(tmp_path / "absent.jsonl").last_manifest() is None
+
+    def test_tail_scan_does_not_touch_counters(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append(self._manifest(1))
+        journal.append({"key": "a"})
+        journal.load()
+        before = journal.verified_records
+        assert before == 2
+        journal.last_manifest()
+        assert journal.verified_records == before
+
+    def test_corrupt_tail_is_skipped(self, tmp_path):
+        path = write_v2_journal(
+            tmp_path / "j.jsonl", [self._manifest(1), {"key": "a"}]
+        )
+        with open(path, "ab") as handle:
+            handle.write(b'{"kind": "manifest", "torn')
+        manifest = Journal(path).last_manifest()
+        assert manifest is not None and manifest["run"] == 1
+
+    def test_degraded_memory_records_are_seen_first(self, tmp_path, capsys):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append(self._manifest(1))
+        journal._handle.close()
+        journal._handle = TestDegradation._FullDiskHandle()
+        journal.append(self._manifest(2))  # lands in memory, degraded
+        capsys.readouterr()
+        manifest = journal.last_manifest()
+        assert manifest is not None and manifest["run"] == 2
+
+
 class TestFsck:
     def _corrupt_journal(self, tmp_path):
         path = write_v2_journal(

@@ -130,6 +130,96 @@ class TestProgressReporter:
         assert "workers 2/4" in stream.getvalue()
 
 
+class TestElapsedBaseline:
+    """The elapsed/ETA baseline starts at the first *enabled* event."""
+
+    def test_enabled_reporter_measures_from_construction(self):
+        clock = FakeClock(start=100.0)
+        reporter = ProgressReporter(total=4, stream=io.StringIO(), clock=clock)
+        clock.tick(2.0)
+        assert reporter.elapsed() == 2.0
+
+    def test_late_enabled_reporter_does_not_count_disabled_time(self):
+        clock = FakeClock(start=100.0)
+        reporter = ProgressReporter(
+            total=4, stream=io.StringIO(), clock=clock, enabled=False
+        )
+        assert reporter.started is None
+        clock.tick(500.0)  # half an idle eternity while disabled
+        reporter.enabled = True
+        reporter.advance(completed=1, attempted=1)
+        clock.tick(1.0)
+        assert reporter.elapsed() == 1.0
+        assert "elapsed 1.0s" in reporter.render()
+
+    def test_elapsed_zero_before_any_event(self):
+        clock = FakeClock(start=42.0)
+        reporter = ProgressReporter(
+            total=4, stream=io.StringIO(), clock=clock, enabled=False
+        )
+        reporter.enabled = True
+        assert reporter.elapsed() == 0.0
+
+    def test_never_negative(self):
+        clock = FakeClock(start=10.0)
+        reporter = ProgressReporter(total=4, stream=io.StringIO(), clock=clock)
+        clock.now = 5.0  # clock anomaly
+        assert reporter.elapsed() == 0.0
+
+
+class TestAttemptedZero:
+    """A true attempted=0 renders as a value, not as absence."""
+
+    def test_render_line_shows_attempted_zero(self):
+        line = render_progress_line(
+            "cachehit", completed=4, total=4, elapsed=1.0, attempted=0
+        )
+        assert "attempted 0" in line
+
+    def test_reporter_render_with_only_cached_completions(self):
+        clock = FakeClock()
+        reporter = ProgressReporter(
+            total=3, label="served", stream=io.StringIO(), clock=clock
+        )
+        # Three trials answered from cache: completed, zero executions.
+        reporter.advance(completed=3)
+        clock.tick(1.0)
+        assert "attempted 0" in reporter.render()
+
+
+class TestSnapshot:
+    def test_snapshot_is_a_progress_record(self):
+        clock = FakeClock(start=7.0)
+        reporter = ProgressReporter(
+            total=10, label="job-1", stream=io.StringIO(), clock=clock
+        )
+        reporter.set_workers(4, busy=2)
+        reporter.advance(completed=2, attempted=3, failed=1, retries=1)
+        clock.tick(2.5)
+        snap = reporter.snapshot()
+        assert snap == {
+            "kind": "progress",
+            "label": "job-1",
+            "completed": 2,
+            "total": 10,
+            "attempted": 3,
+            "failed": 1,
+            "retries": 1,
+            "quarantined": 0,
+            "restarts": 0,
+            "workers": 4,
+            "busy": 2,
+            "elapsed_seconds": 2.5,
+        }
+
+    def test_snapshot_attempted_zero_survives(self):
+        reporter = ProgressReporter(
+            total=2, stream=io.StringIO(), clock=FakeClock()
+        )
+        reporter.advance(completed=2)
+        assert reporter.snapshot()["attempted"] == 0
+
+
 class TestEnsureProgress:
     def test_false_and_none_give_null(self):
         assert ensure_progress(False) is NULL_PROGRESS

@@ -1,0 +1,152 @@
+"""Tests for the persistent trial-result cache (repro.serve.cache)."""
+
+import json
+import os
+
+import pytest
+
+from repro.serve.cache import (
+    ResultCache,
+    cache_key_digest,
+    cache_key_payload,
+    canonical_json,
+)
+
+TASK = "repro.parallel.tasks:election_trial"
+
+
+class TestKeying:
+    def test_key_is_canonical_over_point_order(self):
+        a = cache_key_payload(TASK, {"n": 64, "alpha": 0.5}, 7)
+        b = cache_key_payload(TASK, {"alpha": 0.5, "n": 64}, 7)
+        assert cache_key_digest(a) == cache_key_digest(b)
+
+    def test_key_separates_task_point_and_seed(self):
+        base = cache_key_digest(cache_key_payload(TASK, {"n": 64}, 7))
+        assert base != cache_key_digest(cache_key_payload(TASK, {"n": 65}, 7))
+        assert base != cache_key_digest(cache_key_payload(TASK, {"n": 64}, 8))
+        assert base != cache_key_digest(
+            cache_key_payload("other:task", {"n": 64}, 7)
+        )
+
+    def test_backend_is_not_part_of_the_key(self):
+        # Backends are exact-parity by contract: the payload simply has
+        # no backend field, so vec-computed results serve ref requests.
+        assert "backend" not in cache_key_payload(TASK, {"n": 64}, 7)
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        hit, _ = cache.get(TASK, {"n": 64}, 7)
+        assert not hit
+        cache.put(TASK, {"n": 64}, 7, {"messages": 123})
+        hit, value = cache.get(TASK, {"n": 64}, 7)
+        assert hit
+        assert value == {"messages": 123}
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_cached_none_is_a_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(TASK, {"n": 64}, 7, None)
+        hit, value = cache.get(TASK, {"n": 64}, 7)
+        assert hit and value is None
+
+    def test_round_trip_is_byte_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        value = {"messages": 411687, "elected": True, "rounds": 3, "bits": 1.5}
+        cache.put(TASK, {"n": 512, "alpha": 0.5}, 2, value)
+        _, cached = cache.get(TASK, {"n": 512, "alpha": 0.5}, 2)
+        assert canonical_json(cached) == canonical_json(value)
+
+    def test_survives_reopen(self, tmp_path):
+        ResultCache(tmp_path).put(TASK, {"n": 64}, 7, {"messages": 9})
+        reopened = ResultCache(tmp_path)
+        hit, value = reopened.get(TASK, {"n": 64}, 7)
+        assert hit and value == {"messages": 9}
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(TASK, {"n": 64}, 7, {"messages": 9})
+        path = cache.entry_path(
+            cache_key_digest(cache_key_payload(TASK, {"n": 64}, 7))
+        )
+        path.write_text("not json at all")
+        hit, _ = cache.get(TASK, {"n": 64}, 7)
+        assert not hit
+
+    def test_key_collision_degrades_to_miss_not_wrong_answer(self, tmp_path):
+        """A foreign payload under our digest must never be returned."""
+        cache = ResultCache(tmp_path)
+        cache.put(TASK, {"n": 64}, 7, {"messages": 9})
+        path = cache.entry_path(
+            cache_key_digest(cache_key_payload(TASK, {"n": 64}, 7))
+        )
+        foreign = {"key": cache_key_payload(TASK, {"n": 9999}, 7), "value": 1}
+        path.write_text(json.dumps(foreign))
+        hit, _ = cache.get(TASK, {"n": 64}, 7)
+        assert not hit
+
+    def test_contains_does_not_move_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(TASK, {"n": 64}, 7, 1)
+        assert cache.contains(TASK, {"n": 64}, 7)
+        assert not cache.contains(TASK, {"n": 65}, 7)
+        assert (cache.hits, cache.misses) == (0, 0)
+
+
+class TestEviction:
+    def test_lru_eviction_keeps_recently_used(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for seed in range(4):
+            cache.put(TASK, {"n": 64}, seed, seed)
+            os.utime(
+                cache.entry_path(
+                    cache_key_digest(cache_key_payload(TASK, {"n": 64}, seed))
+                ),
+                (seed + 1, seed + 1),  # deterministic mtime order
+            )
+        dropped = cache.evict(keep=2)
+        assert dropped == 2
+        assert cache.entries() == 2
+        assert not cache.get(TASK, {"n": 64}, 0)[0]  # oldest: gone
+        assert not cache.get(TASK, {"n": 64}, 1)[0]
+        assert cache.get(TASK, {"n": 64}, 2)[0]  # newest: kept
+        assert cache.get(TASK, {"n": 64}, 3)[0]
+
+    def test_max_entries_bounds_inserts(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=3)
+        for seed in range(6):
+            cache.put(TASK, {"n": 64}, seed, seed)
+        assert cache.entries() <= 3
+        assert cache.evictions >= 3
+
+    def test_stats_shape(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=10)
+        cache.put(TASK, {"n": 64}, 0, 1)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["max_entries"] == 10
+        assert stats["root"] == str(tmp_path)
+
+    def test_bad_max_entries_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_entries=0)
+
+
+class TestCanary:
+    """The acceptance canary: elect n=512/seed=2 → 411687 messages,
+    identical through the fresh and cached paths."""
+
+    def test_fresh_and_cached_paths_agree_on_411687(self, tmp_path):
+        from repro.exec import default_serialize
+        from repro.parallel.tasks import election_trial
+
+        fresh = default_serialize(election_trial(seed=2, n=512, alpha=0.5))
+        assert fresh["messages"] == 411687
+        cache = ResultCache(tmp_path)
+        cache.put(TASK, {"n": 512, "alpha": 0.5}, 2, fresh)
+        hit, cached = cache.get(TASK, {"n": 512, "alpha": 0.5}, 2)
+        assert hit
+        assert cached["messages"] == 411687
+        assert canonical_json(cached) == canonical_json(fresh)

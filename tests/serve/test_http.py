@@ -1,0 +1,143 @@
+"""Tests for the asyncio HTTP front (repro.serve.http).
+
+These go through real sockets on the loopback interface — urllib client
+against the served port — so request parsing, chunked streaming, and
+connection teardown are exercised exactly as a client sees them.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.exec.journal import CRC_KEY, SEQ_KEY, record_crc
+from repro.serve import CampaignServer, CampaignService
+from repro.serve.cache import canonical_json
+
+SPEC = {
+    "task": "election",
+    "grid": {"n": [24, 32], "alpha": [0.5]},
+    "trials": 2,
+    "master_seed": 11,
+}
+
+
+@pytest.fixture
+def server(tmp_path):
+    service = CampaignService(cache_dir=tmp_path / "cache")
+    server = CampaignServer(service)  # port 0: pick a free one
+    server.start()
+    yield server
+    server.stop()
+    service.close()
+
+
+def base_url(server):
+    return f"http://127.0.0.1:{server.port}"
+
+
+def get_json(server, path):
+    with urllib.request.urlopen(base_url(server) + path, timeout=30) as resp:
+        return resp.status, json.load(resp)
+
+
+def post_json(server, path, payload):
+    request = urllib.request.Request(
+        base_url(server) + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as resp:
+        return resp.status, json.load(resp)
+
+
+def stream_records(server, path):
+    with urllib.request.urlopen(base_url(server) + path, timeout=120) as resp:
+        assert resp.headers.get("Transfer-Encoding") == "chunked"
+        return [json.loads(line) for line in resp.read().decode().splitlines()]
+
+
+class TestEndpoints:
+    def test_health(self, server):
+        status, payload = get_json(server, "/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["version"]
+
+    def test_tasks_lists_the_registry(self, server):
+        _, payload = get_json(server, "/tasks")
+        assert payload["election"] == "repro.parallel.tasks:election_trial"
+
+    def test_cache_stats(self, server):
+        _, payload = get_json(server, "/cache")
+        assert payload["entries"] == 0
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_unknown_job_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, "/campaigns/job-9999")
+        assert excinfo.value.code == 404
+
+    def test_bad_json_body_is_400(self, server):
+        request = urllib.request.Request(
+            base_url(server) + "/campaigns", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_invalid_spec_is_400_with_reason(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(server, "/campaigns", {"task": "nope", "grid": {"n": [8]}})
+        assert excinfo.value.code == 400
+        assert "nope" in json.load(excinfo.value)["error"]
+
+
+class TestCampaignFlow:
+    def test_submit_stream_and_status(self, server):
+        status, submitted = post_json(server, "/campaigns", SPEC)
+        assert status == 202
+        assert submitted["job"] == "job-0001"
+
+        records = stream_records(server, submitted["stream_url"])
+        assert [r[SEQ_KEY] for r in records] == list(range(len(records)))
+        for sealed in records:
+            payload = {
+                k: v for k, v in sealed.items() if k not in (CRC_KEY, SEQ_KEY)
+            }
+            assert sealed[CRC_KEY] == record_crc(payload)
+        summary = records[-1]
+        assert summary["kind"] == "summary"
+        assert summary["completed"] == 4
+
+        _, described = get_json(server, submitted["status_url"])
+        assert described["state"] == "done"
+        assert described["summary"]["completed"] == 4
+
+        _, listing = get_json(server, "/campaigns")
+        assert [job["job"] for job in listing] == ["job-0001"]
+
+    def test_stream_of_finished_job_replays_full_history(self, server):
+        _, submitted = post_json(server, "/campaigns", SPEC)
+        live = stream_records(server, submitted["stream_url"])
+        replay = stream_records(server, submitted["stream_url"])
+        assert canonical_json(replay) == canonical_json(live)
+
+    def test_http_resubmission_hits_cache(self, server):
+        _, first = post_json(server, "/campaigns", SPEC)
+        first_records = stream_records(server, first["stream_url"])
+        _, second = post_json(server, "/campaigns", SPEC)
+        second_records = stream_records(server, second["stream_url"])
+        summary = second_records[-1]
+        assert summary["cache_hits"] == 4
+        assert summary["dispatched_trials"] == 0
+        assert summary["dispatched_chunks"] == 0
+        assert canonical_json(summary["points"]) == canonical_json(
+            first_records[-1]["points"]
+        )
