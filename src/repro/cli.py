@@ -33,7 +33,7 @@ Commands
     Verify a checkpoint journal's per-record checksums and sequence
     numbers; ``--repair`` quarantines corrupt lines into a ``.corrupt``
     sidecar and rewrites the journal atomically.
-``lint [paths ...] [--format text|json]``
+``lint [paths ...] [--format text|json|sarif]``
     Run the project's AST-based determinism & invariant linter
     (``docs/LINT.md``) over ``paths`` (default ``src``).  Exit 0 when
     clean, 1 on findings, 2 on configuration errors.
@@ -615,8 +615,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.output is not None:
         with open(args.output, "w") as handle:
             handle.write(report.render_json() + "\n")
+    if args.sarif is not None:
+        from .lint.sarif import render_sarif
+
+        with open(args.sarif, "w") as handle:
+            handle.write(render_sarif(report) + "\n")
     if args.format == "json":
         print(report.render_json())
+    elif args.format == "sarif":
+        from .lint.sarif import render_sarif
+
+        print(render_sarif(report))
     else:
         print(report.render_text())
     return report.exit_code
@@ -929,7 +938,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format on stdout",
     )
@@ -943,6 +952,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=None,
         help="also write the JSON report to this path (for CI artifacts)",
+    )
+    lint.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        help="also write a SARIF 2.1.0 report to this path "
+        "(for CI code-scanning upload)",
     )
     lint.set_defaults(func=_cmd_lint)
 

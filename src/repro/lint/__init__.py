@@ -2,11 +2,15 @@
 
 A zero-dependency static-analysis pass enforcing the source-level
 discipline the reproduction's guarantees rest on: seeded RNG streams
-only (DET001), no hash-order iteration (DET002), picklable task
-references (PAR001), ``Metrics``/``merge``/validator counter agreement
-(ACC001), ``__slots__`` on engine hot paths (PERF001), and a clean
-stdout (IO001).  See ``docs/LINT.md`` for the full rule catalogue and
-``.reprolint.toml`` for project scoping.
+only (DET001), no hash-order iteration (DET002), no *transitive*
+escapes to ambient nondeterminism over the project call graph (DET003),
+picklable task references (PAR001), ``Metrics``/``merge``/validator
+counter agreement (ACC001), ``__slots__`` on engine hot paths
+(PERF001), a clean stdout (IO001), and event-loop hygiene in async code
+(ASYNC001–003).  The interprocedural layer (``symbols`` → ``callgraph``
+→ ``dataflow``) is built statically from the same per-file ASTs.  See
+``docs/LINT.md`` for the full rule catalogue and ``.reprolint.toml``
+for project scoping.
 
 Use it from the CLI (``repro lint src/ --format json``) or as a
 library::
@@ -37,7 +41,8 @@ from .engine import (
     collect_files,
     lint_paths,
 )
-from .pragmas import PRAGMA_RULE, Suppressions
+from .pragmas import PRAGMA_RULE, STALE_PRAGMA_RULE, Suppressions
+from .sarif import render_sarif, sarif_dict
 
 __all__ = [
     "CONFIG_FILENAME",
@@ -48,6 +53,7 @@ __all__ = [
     "ParsedFile",
     "PRAGMA_RULE",
     "RuleConfig",
+    "STALE_PRAGMA_RULE",
     "Suppressions",
     "build_rules",
     "collect_files",
@@ -56,4 +62,6 @@ __all__ = [
     "lint_paths",
     "load_config",
     "path_matches",
+    "render_sarif",
+    "sarif_dict",
 ]

@@ -1,0 +1,279 @@
+"""The project call graph: who calls whom, with call-site evidence.
+
+Built statically on top of :mod:`repro.lint.symbols` from the ASTs the
+engine already parsed.  Nodes are symbol ids (``module:qualname`` for
+project functions, dotted names for external callables); edges are
+:class:`CallSite` records carrying the exact file/line/column, so any
+analysis over the graph can render actionable evidence chains.
+
+Edge sources
+------------
+
+* plain calls — ``f(...)`` resolved through the symbol table (local
+  defs, ``from x import y`` re-export chains, module aliases);
+* attribute calls — ``module.attr(...)``, ``self.method(...)``,
+  ``Cls.classmethod(...)``;
+* **task references** — string literals shaped like
+  ``"module:qualname"`` (the parallel/serve dispatch seam).  The pool
+  and the campaign service call through these strings at runtime, so
+  they are graph edges (``kind="taskref"``), keeping the interprocedural
+  rules honest across the process boundary.
+
+What is *not* an edge: callables passed as arguments without being
+called (``run_in_executor(None, fn)``), dynamic ``getattr`` dispatch,
+and method calls on values of unknown type.  The graph is an
+under-approximation — standard for lint-grade analysis and documented
+in ``docs/LINT.md``.
+
+Construction is deterministic: modules, symbols, and edges are visited
+and stored in sorted order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .config import LintConfig
+from .symbols import (
+    FunctionSymbol,
+    ModuleSymbols,
+    SymbolTable,
+    iter_owned_nodes,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from .engine import ParsedFile
+
+from .rules_parallel import _REF_RE  # the one task-ref grammar
+
+#: Edge kinds.
+CALL = "call"
+TASKREF = "taskref"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge, anchored at its source location."""
+
+    caller: str  #: symbol id of the calling function
+    callee: str  #: symbol id (project ``mod:qual`` or external dotted)
+    relpath: str
+    line: int
+    col: int
+    kind: str = CALL
+    #: Did the call pass any arguments?  (``random.Random()`` with no
+    #: seed is an entropy source; ``random.Random(seed)`` is not.)
+    has_args: bool = False
+
+
+class CallGraph:
+    """The assembled graph plus per-function auxiliary facts."""
+
+    def __init__(self, symbols: SymbolTable) -> None:
+        self.symbols = symbols
+        #: caller sid -> sorted, deduplicated outgoing call sites.
+        self.out: Dict[str, List[CallSite]] = {}
+        #: callee id -> sorted incoming call sites (reverse edges).
+        self.into: Dict[str, List[CallSite]] = {}
+        #: sid -> (line, col) of bare-set iterations in that function
+        #: (the DET002 pattern, exported here as a taint source).
+        self.set_iteration: Dict[str, List[Tuple[int, int]]] = {}
+
+    def functions(self) -> List[FunctionSymbol]:
+        """Every project function symbol, sorted by id."""
+        out = []
+        for name in sorted(self.symbols.modules):
+            module = self.symbols.modules[name]
+            for qualname in sorted(module.functions):
+                out.append(module.functions[qualname])
+        return out
+
+    def callers_of(self, node_id: str) -> List[CallSite]:
+        return self.into.get(node_id, [])
+
+    def calls_from(self, node_id: str) -> List[CallSite]:
+        return self.out.get(node_id, [])
+
+
+def build_call_graph(
+    files: "Dict[str, ParsedFile]", config: LintConfig
+) -> CallGraph:
+    """Build the project call graph over the collected ``files``."""
+    symbols = SymbolTable.build(files, config)
+    graph = CallGraph(symbols)
+    prefixes = [
+        str(p)
+        for p in config.rule("PAR001").options.get("ref_prefixes", ["repro"])
+    ]
+
+    edges: Dict[str, List[CallSite]] = {}
+    for relpath in sorted(symbols.by_path):
+        module = symbols.by_path[relpath]
+        for qualname in sorted(module.functions):
+            symbol = module.functions[qualname]
+            sites = _extract_edges(symbol, module, symbols, prefixes)
+            if sites:
+                edges[symbol.sid] = sites
+            set_sites = _set_iteration_sites(symbol)
+            if set_sites:
+                graph.set_iteration[symbol.sid] = set_sites
+
+    for caller in sorted(edges):
+        sites = sorted(
+            set(edges[caller]),
+            key=lambda s: (s.relpath, s.line, s.col, s.callee, s.kind),
+        )
+        graph.out[caller] = sites
+        for site in sites:
+            graph.into.setdefault(site.callee, []).append(site)
+    for callee in graph.into:
+        graph.into[callee].sort(
+            key=lambda s: (s.caller, s.relpath, s.line, s.col, s.kind)
+        )
+    return graph
+
+
+def _extract_edges(
+    symbol: FunctionSymbol,
+    module: "ModuleSymbols",
+    symbols: SymbolTable,
+    ref_prefixes: List[str],
+) -> List[CallSite]:
+    sites: List[CallSite] = []
+    own_class = (
+        symbol.qualname.split(".")[0] if "." in symbol.qualname else None
+    )
+    for node in iter_owned_nodes(symbol):
+        if isinstance(node, ast.Call):
+            callee = resolve_call(node, module, symbols, own_class)
+            if callee is not None:
+                sites.append(
+                    CallSite(
+                        caller=symbol.sid,
+                        callee=callee,
+                        relpath=symbol.relpath,
+                        line=getattr(node, "lineno", symbol.lineno),
+                        col=getattr(node, "col_offset", 0) + 1,
+                        has_args=bool(node.args or node.keywords),
+                    )
+                )
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            match = _REF_RE.match(node.value)
+            if match is None:
+                continue
+            target_module = match.group("module")
+            if not any(
+                target_module == prefix or target_module.startswith(prefix + ".")
+                for prefix in ref_prefixes
+            ):
+                continue
+            target = symbols.function(node.value)
+            if target is None:
+                continue  # dangling refs are PAR001's finding, not an edge
+            sites.append(
+                CallSite(
+                    caller=symbol.sid,
+                    callee=target.sid,
+                    relpath=symbol.relpath,
+                    line=getattr(node, "lineno", symbol.lineno),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    kind=TASKREF,
+                    has_args=True,  # task refs are always called with args
+                )
+            )
+    return sites
+
+
+def resolve_call(
+    node: ast.Call,
+    module: "ModuleSymbols",
+    symbols: SymbolTable,
+    own_class: Optional[str] = None,
+) -> Optional[str]:
+    """Resolve one call expression to a callee node id (or ``None``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        resolved = symbols.resolve_name(module, func.id)
+        if resolved is None or resolved.startswith("<module>"):
+            return None
+        return resolved
+    if isinstance(func, ast.Attribute):
+        chain: List[str] = []
+        base: ast.AST = func
+        while isinstance(base, ast.Attribute):
+            chain.append(base.attr)
+            base = base.value
+        if not isinstance(base, ast.Name):
+            return None
+        chain.reverse()
+        if base.id in ("self", "cls") and own_class is not None:
+            if len(chain) == 1 and chain[0] in module.classes.get(
+                own_class, set()
+            ):
+                return f"{module.name}:{own_class}.{chain[0]}"
+            return None
+        resolved = symbols.resolve_dotted(module, base.id, chain)
+        if resolved is None or resolved.startswith("<module>"):
+            return None
+        return resolved
+    return None
+
+
+def _set_iteration_sites(symbol: FunctionSymbol) -> List[Tuple[int, int]]:
+    """Bare-set iterations in the symbol's body (DET002's pattern)."""
+    from .rules_determinism import _set_expr_in_iter
+
+    sites: List[Tuple[int, int]] = []
+    for node in iter_owned_nodes(symbol):
+        iters: List[ast.AST] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(
+            node, (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp)
+        ):
+            iters.extend(gen.iter for gen in node.generators)
+        for candidate in iters:
+            if _set_expr_in_iter(candidate) is not None:
+                sites.append(
+                    (
+                        getattr(candidate, "lineno", symbol.lineno),
+                        getattr(candidate, "col_offset", 0) + 1,
+                    )
+                )
+    return sorted(set(sites))
+
+
+class ProjectContext:
+    """Shared, lazily-built interprocedural analyses for one lint run.
+
+    The engine constructs one per invocation and hands it to every
+    :class:`~repro.lint.engine.ProjectRule`, so the symbol table and
+    call graph are built at most once no matter how many rules consume
+    them.
+    """
+
+    def __init__(
+        self, files: "Dict[str, ParsedFile]", config: LintConfig
+    ) -> None:
+        self.files = files
+        self.config = config
+        self._symbols: Optional[SymbolTable] = None
+        self._graph: Optional[CallGraph] = None
+
+    @property
+    def symbols(self) -> SymbolTable:
+        if self._symbols is None:
+            if self._graph is not None:
+                self._symbols = self._graph.symbols
+            else:
+                self._symbols = SymbolTable.build(self.files, self.config)
+        return self._symbols
+
+    @property
+    def graph(self) -> CallGraph:
+        if self._graph is None:
+            self._graph = build_call_graph(self.files, self.config)
+            self._symbols = self._graph.symbols
+        return self._graph

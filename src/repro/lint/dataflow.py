@@ -1,0 +1,305 @@
+"""Nondeterminism taint flow over the project call graph (DET003).
+
+DET001/DET002 are *syntactic and file-local*: they catch `time.time()`
+written inside a deterministic package.  They are blind to the flow
+that actually breaks campaigns in a growing codebase — a function in
+``analysis/`` calling through three frames into a helper in ``obs/``
+that reads the wall clock.  This module closes that hole with a
+taint-style reachability analysis:
+
+* **sources** — calls to ambient-nondeterminism callables
+  (``time.time``/``time_ns``, ``os.urandom``/``getrandom``,
+  ``uuid.uuid1``/``uuid4``, anything in ``secrets``, module-level
+  ``random.*``, ``random.Random()`` with no seed) *plus* bare-set
+  hash-order iteration (the DET002 pattern) — seeded only **outside**
+  the deterministic packages, where DET001/DET002 cannot see them;
+* **sanitizers** — modules of the seeded-RNG façade (``repro.rng`` by
+  default): taint never propagates through their functions, because
+  deriving a seeded stream is the *sanctioned* way to consume a seed;
+* **propagation** — reverse reachability over call edges (including
+  ``"module:qualname"`` task-ref edges, so the pool/serve dispatch seam
+  does not launder taint), cut at any call site carrying a justified
+  ``# repro: lint-ignore[DET003]`` pragma.
+
+**DET003** then reports every *boundary edge*: a call site inside a
+deterministic package whose callee is a tainted function outside them.
+Each finding renders the full evidence chain
+(``a -> b -> c -> time.time``, with file:line per hop) so the fix —
+re-route through ``repro.rng``, hoist the clock read out, or justify a
+pragma — is obvious from the report alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import CallGraph, CallSite, ProjectContext
+from .config import LintConfig, path_matches
+from .engine import Finding, ParsedFile, ProjectRule
+
+#: External callables whose *call* injects ambient nondeterminism.
+DEFAULT_SOURCES: Set[str] = {
+    "time.time",
+    "time.time_ns",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+#: Prefixes treated as source families (any attribute of the module).
+DEFAULT_SOURCE_PREFIXES: Tuple[str, ...] = ("secrets.", "random.")
+
+#: Modules whose functions are taint barriers by default: the seeded-RNG
+#: façade.  ``derive_seed``/``RngFactory`` exist to turn a seed into a
+#: stream — flows through them are the sanctioned design.
+DEFAULT_SANITIZERS: Tuple[str, ...] = ("repro.rng",)
+
+#: Pseudo-callee id for the intrinsic hash-order-iteration source.
+SET_ITERATION_SOURCE = "<hash-order set iteration>"
+
+#: Rules whose pragma cuts a taint edge or seed.  A DET002 pragma on a
+#: helper's set iteration is accepted too: the author already justified
+#: that exact hazard at that exact line.
+_CUTTING_RULES = ("DET003", "DET002", "DET001")
+
+
+@dataclass(frozen=True)
+class TaintStep:
+    """One hop of an evidence chain."""
+
+    node: str  #: the callee reached by this hop
+    relpath: str
+    line: int
+
+
+class TaintAnalysis:
+    """Reverse reachability from nondeterminism sources.
+
+    ``tainted`` maps every function id that can reach a source to the
+    :class:`CallSite` (or intrinsic pseudo-site) of its first hop toward
+    that source; chains are reconstructed by following first hops until
+    an external callee.  Results are deterministic: seeds and reverse
+    edges are processed in sorted order, so the recorded hop is stable.
+    """
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        files: Dict[str, ParsedFile],
+        config: LintConfig,
+        deterministic: Sequence[str],
+        sanitizers: Sequence[str],
+        extra_sources: Sequence[str] = (),
+    ) -> None:
+        self.graph = graph
+        self.files = files
+        self.config = config
+        self.deterministic = list(deterministic)
+        self.sanitizers = list(sanitizers)
+        self.sources = set(DEFAULT_SOURCES) | set(extra_sources)
+        self.tainted: Dict[str, CallSite] = {}
+        self._run()
+
+    # -- classification --------------------------------------------------
+
+    def is_source_call(self, site: CallSite) -> bool:
+        """Is this edge a direct call into an ambient source?"""
+        callee = site.callee
+        if ":" in callee:
+            return False  # project function, never an external source
+        if callee == "random.Random":
+            return not site.has_args  # unseeded constructor = OS entropy
+        if callee in self.sources:
+            return True
+        return any(callee.startswith(p) for p in DEFAULT_SOURCE_PREFIXES)
+
+    def in_deterministic(self, relpath: str) -> bool:
+        return any(path_matches(relpath, p) for p in self.deterministic)
+
+    def _sanitized(self, sid: str) -> bool:
+        module = sid.partition(":")[0]
+        return any(
+            module == s or module.startswith(s + ".") for s in self.sanitizers
+        )
+
+    def _cut(self, relpath: str, line: int) -> bool:
+        """Does a justified pragma sever flows at this location?"""
+        file = self.files.get(relpath)
+        if file is None:
+            return False
+        return any(
+            file.suppressions.suppressed(rule, line) for rule in _CUTTING_RULES
+        )
+
+    # -- the analysis ----------------------------------------------------
+
+    def _run(self) -> None:
+        queue: List[str] = []
+        for symbol in self.graph.functions():
+            sid = symbol.sid
+            if self.in_deterministic(symbol.relpath) or self._sanitized(sid):
+                # Direct sources inside deterministic packages are
+                # DET001/DET002 findings (or carry pragmas); sanitizer
+                # modules are trusted by construction.
+                continue
+            seed = self._seed_site(sid, symbol.relpath)
+            if seed is not None:
+                self.tainted[sid] = seed
+                queue.append(sid)
+        index = 0
+        while index < len(queue):
+            current = queue[index]
+            index += 1
+            for site in self.graph.callers_of(current):
+                caller = site.caller
+                if caller in self.tainted or self._sanitized(caller):
+                    continue
+                if self._cut(site.relpath, site.line):
+                    continue
+                self.tainted[caller] = site
+                queue.append(caller)
+
+    def _seed_site(self, sid: str, relpath: str) -> Optional[CallSite]:
+        """The function's first unsuppressed intrinsic source, if any."""
+        candidates: List[CallSite] = []
+        for site in self.graph.calls_from(sid):
+            if self.is_source_call(site) and not self._cut(
+                site.relpath, site.line
+            ):
+                candidates.append(site)
+        for line, col in self.graph.set_iteration.get(sid, []):
+            if not self._cut(relpath, line):
+                candidates.append(
+                    CallSite(
+                        caller=sid,
+                        callee=SET_ITERATION_SOURCE,
+                        relpath=relpath,
+                        line=line,
+                        col=col,
+                    )
+                )
+        if not candidates:
+            return None
+        return min(candidates, key=lambda s: (s.line, s.col, s.callee))
+
+    # -- evidence --------------------------------------------------------
+
+    def chain_from(self, site: CallSite) -> List[TaintStep]:
+        """Follow first hops from ``site`` down to the external source."""
+        steps: List[TaintStep] = []
+        current = site
+        for _ in range(len(self.tainted) + 2):  # bounded: hops strictly
+            # descend toward seeds discovered earlier in the BFS.
+            steps.append(
+                TaintStep(
+                    node=current.callee,
+                    relpath=current.relpath,
+                    line=current.line,
+                )
+            )
+            if ":" not in current.callee:  # external / intrinsic source
+                return steps
+            nxt = self.tainted.get(current.callee)
+            if nxt is None:
+                return steps
+            current = nxt
+        return steps
+
+    @staticmethod
+    def render_chain(start: str, steps: Sequence[TaintStep]) -> str:
+        parts = [start]
+        for step in steps:
+            parts.append(f"{step.node} ({step.relpath}:{step.line})")
+        return " -> ".join(parts)
+
+
+class NondeterminismFlowRule(ProjectRule):
+    """DET003: deterministic code reaching an ambient source transitively.
+
+    Reports every call site in a deterministic package whose callee —
+    a helper outside those packages, possibly through a chain of further
+    calls or a ``module:qualname`` task reference — can reach an
+    ambient-nondeterminism source without passing through the seeded-RNG
+    façade.  The message carries the full call chain so the finding is
+    actionable without re-running the analysis.
+    """
+
+    rule_id = "DET003"
+
+    def check_project(
+        self,
+        files: Dict[str, ParsedFile],
+        config: LintConfig,
+        context: Optional[ProjectContext] = None,
+    ) -> List[Finding]:
+        options = config.rule(self.rule_id).options
+        sanitizers = [
+            str(s) for s in options.get("sanitizers", list(DEFAULT_SANITIZERS))
+        ]
+        extra_sources = [str(s) for s in options.get("sources", [])]
+        deterministic = config.deterministic
+        if not deterministic:
+            return []
+        if context is None:
+            context = ProjectContext(files, config)
+        graph = context.graph
+        analysis = TaintAnalysis(
+            graph,
+            files,
+            config,
+            deterministic=deterministic,
+            sanitizers=sanitizers,
+            extra_sources=extra_sources,
+        )
+
+        findings: List[Finding] = []
+        seen: Set[Tuple[str, int, int, str]] = set()
+        for symbol in graph.functions():
+            if not analysis.in_deterministic(symbol.relpath):
+                continue
+            if not config.rule_scope(
+                self.rule_id, symbol.relpath, deterministic
+            ):
+                continue
+            for site in graph.calls_from(symbol.sid):
+                target = site.callee
+                if ":" not in target or target not in analysis.tainted:
+                    continue
+                target_symbol = graph.symbols.function(target)
+                if target_symbol is None or analysis.in_deterministic(
+                    target_symbol.relpath
+                ):
+                    # Deterministic-to-deterministic edges are covered by
+                    # the finding at the eventual boundary crossing.
+                    continue
+                key = (site.relpath, site.line, site.col, target)
+                if key in seen:
+                    continue
+                seen.add(key)
+                chain = analysis.chain_from(analysis.tainted[target])
+                source = chain[-1].node if chain else "?"
+                rendered = analysis.render_chain(
+                    target, [TaintStep(s.node, s.relpath, s.line) for s in chain]
+                )
+                via = " via task reference" if site.kind == "taskref" else ""
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=site.relpath,
+                        line=site.line,
+                        col=site.col,
+                        message=(
+                            f"call{via} into {target!r} reaches the ambient "
+                            f"nondeterminism source {source} without passing "
+                            "through the seeded-RNG facade: "
+                            f"{symbol.sid} -> {rendered}; route randomness "
+                            "through repro.rng / hoist the ambient read out, "
+                            "or justify with "
+                            "'# repro: lint-ignore[DET003] <why>'"
+                        ),
+                    )
+                )
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.message))
+        return findings

@@ -21,10 +21,13 @@ import ast
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
 
 from .config import LintConfig, LintConfigError, path_matches
-from .pragmas import PRAGMA_RULE, Suppressions
+from .pragmas import PRAGMA_RULE, STALE_PRAGMA_RULE, Suppressions
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (callgraph imports us)
+    from .callgraph import ProjectContext
 
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
@@ -100,12 +103,20 @@ class FileRule:
 
 
 class ProjectRule:
-    """Base class of cross-file rules."""
+    """Base class of cross-file rules.
+
+    ``context`` is the run's shared :class:`~repro.lint.callgraph.\
+ProjectContext` — symbol table and call graph, built lazily and at most
+    once per invocation no matter how many rules consume them.
+    """
 
     rule_id: str = ""
 
     def check_project(
-        self, files: Dict[str, ParsedFile], config: LintConfig
+        self,
+        files: Dict[str, ParsedFile],
+        config: LintConfig,
+        context: "Optional[ProjectContext]" = None,
     ) -> List[Finding]:
         raise NotImplementedError
 
@@ -216,7 +227,13 @@ def collect_files(
 
 def build_rules() -> List[object]:
     """Fresh rule instances (rules may cache parsed modules per run)."""
+    from .dataflow import NondeterminismFlowRule
     from .rules_accounting import MergeDriftRule
+    from .rules_async import (
+        BlockingCallRule,
+        LockAcrossAwaitRule,
+        LostCoroutineRule,
+    )
     from .rules_determinism import AmbientNondeterminismRule, SetIterationRule
     from .rules_exceptions import SwallowedExceptionRule
     from .rules_parallel import TaskRefRule
@@ -226,12 +243,16 @@ def build_rules() -> List[object]:
     return [
         AmbientNondeterminismRule(),
         SetIterationRule(),
+        NondeterminismFlowRule(),
         TaskRefRule(),
         MergeDriftRule(),
         SlotsRule(),
         BarePrintRule(),
         SwallowedExceptionRule(),
         NumpyIterationRule(),
+        BlockingCallRule(),
+        LockAcrossAwaitRule(),
+        LostCoroutineRule(),
     ]
 
 
@@ -241,9 +262,12 @@ def lint_paths(
     rules: Optional[Sequence[object]] = None,
 ) -> LintReport:
     """Lint ``paths`` (files or directories) under ``config``."""
+    from .callgraph import ProjectContext  # lazy: callgraph imports us
+
     files = collect_files(paths, config)
     rules = list(rules) if rules is not None else build_rules()
     report = LintReport(root=config.root, files=list(files))
+    context = ProjectContext(files, config)
 
     raw: List[Finding] = []
     for file in files.values():
@@ -273,7 +297,7 @@ def lint_paths(
                 raw.extend(rule.check(file, config))
     for rule in rules:
         if isinstance(rule, ProjectRule) and config.rule(rule.rule_id).enabled:
-            raw.extend(rule.check_project(files, config))
+            raw.extend(rule.check_project(files, config, context))
 
     for finding in raw:
         file = files.get(finding.path)
@@ -284,5 +308,34 @@ def lint_paths(
         if config.baselined(finding.rule, finding.path):
             continue
         report.findings.append(finding)
+
+    # LINT002: pragmas that suppressed nothing this run.  Must come after
+    # the filter loop above — that is what populates the ``used`` sets.
+    if config.rule(STALE_PRAGMA_RULE).enabled:
+        for file in files.values():
+            for declared, unused in file.suppressions.stale():
+                if config.baselined(STALE_PRAGMA_RULE, file.relpath):
+                    continue
+                rules_text = ", ".join(unused)
+                where = (
+                    "the whole file"
+                    if declared.target == 0
+                    else f"line {declared.target}"
+                )
+                report.findings.append(
+                    Finding(
+                        rule=STALE_PRAGMA_RULE,
+                        path=file.relpath,
+                        line=declared.line,
+                        col=declared.col,
+                        message=(
+                            f"stale suppression: pragma for {rules_text} "
+                            f"covers {where} but suppressed no finding; "
+                            "delete it (or narrow it) so dead exceptions "
+                            "don't accumulate"
+                        ),
+                        severity=SEVERITY_WARNING,
+                    )
+                )
     report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return report

@@ -32,6 +32,9 @@ from typing import Dict, List, Set, Tuple
 
 PRAGMA_RULE = "LINT001"
 
+#: Rule id for declared pragmas that suppress nothing (stale pragmas).
+STALE_PRAGMA_RULE = "LINT002"
+
 _PRAGMA_RE = re.compile(
     r"repro:\s*lint-ignore(?P<filelevel>-file)?"
     r"\[(?P<rules>[A-Za-z0-9_*,\s]+)\]"
@@ -49,6 +52,22 @@ class BadPragma:
 
 
 @dataclass
+class DeclaredPragma:
+    """One well-formed pragma as written in the file.
+
+    ``target`` is the code line the pragma covers (its own line for a
+    same-line pragma, the next code line for a comment-only pragma) or
+    ``0`` for a file-level ``lint-ignore-file``.  Tracked so the engine
+    can report pragmas that suppressed nothing (LINT002).
+    """
+
+    line: int
+    col: int
+    rules: Tuple[str, ...]
+    target: int
+
+
+@dataclass
 class Suppressions:
     """The parsed pragmas of one file."""
 
@@ -60,6 +79,8 @@ class Suppressions:
     bad: List[BadPragma] = field(default_factory=list)
     #: (line, rule) pairs that suppressed at least one finding.
     used: Set[Tuple[int, str]] = field(default_factory=set)
+    #: every well-formed pragma, in source order (LINT002 input).
+    declared: List[DeclaredPragma] = field(default_factory=list)
 
     @classmethod
     def from_source(cls, source: str) -> "Suppressions":
@@ -110,7 +131,15 @@ class Suppressions:
                     )
                 )
                 continue
+            declared = DeclaredPragma(
+                line=line,
+                col=token.start[1] + 1,
+                rules=tuple(sorted(rules)),
+                target=line,
+            )
+            suppressions.declared.append(declared)
             if match.group("filelevel"):
+                declared.target = 0
                 suppressions.file_rules |= rules
                 continue
             if line not in code_lines:
@@ -118,18 +147,23 @@ class Suppressions:
             suppressions.lines.setdefault(line, set()).update(rules)
         # A pragma on a comment-only line covers the next *code* line (the
         # justification may continue over further comment lines).
+        targets: Dict[int, int] = {}
         for line in comment_only:
             rules = suppressions.lines.get(line, set())
             target = line + 1
             while target not in code_lines and target <= last_line:
                 target += 1
+            targets[line] = target
             suppressions.lines.setdefault(target, set()).update(rules)
+        for declared in suppressions.declared:
+            if declared.target in targets:
+                declared.target = targets[declared.target]
         return suppressions
 
     def suppressed(self, rule_id: str, line: int) -> bool:
         """Does a pragma cover a ``rule_id`` finding on ``line``?"""
-        if rule_id == PRAGMA_RULE:
-            return False  # the pragma rule cannot be pragma'd away
+        if rule_id in (PRAGMA_RULE, STALE_PRAGMA_RULE):
+            return False  # the pragma rules cannot be pragma'd away
         if rule_id in self.file_rules or "*" in self.file_rules:
             self.used.add((0, rule_id))
             return True
@@ -138,3 +172,28 @@ class Suppressions:
             self.used.add((line, rule_id))
             return True
         return False
+
+    def stale(self) -> List[Tuple[DeclaredPragma, Tuple[str, ...]]]:
+        """Declared pragmas (or rule ids within them) that suppressed nothing.
+
+        Must be called *after* a full lint pass has routed every raw
+        finding through :meth:`suppressed` — that is what populates
+        ``used``.  Returns ``(pragma, unused_rule_ids)`` pairs; a
+        wildcard pragma is unused only when no finding at all hit its
+        target.
+        """
+        out: List[Tuple[DeclaredPragma, Tuple[str, ...]]] = []
+        hit_targets = {line for line, _ in self.used}
+        for declared in self.declared:
+            unused = tuple(
+                rule
+                for rule in declared.rules
+                if (
+                    declared.target not in hit_targets
+                    if rule == "*"
+                    else (declared.target, rule) not in self.used
+                )
+            )
+            if unused:
+                out.append((declared, unused))
+        return out

@@ -68,7 +68,10 @@ class MergeDriftRule(ProjectRule):
     rule_id = "ACC001"
 
     def check_project(
-        self, files: Dict[str, ParsedFile], config: LintConfig
+        self,
+        files: Dict[str, ParsedFile],
+        config: LintConfig,
+        context: object = None,
     ) -> List[Finding]:
         options = config.rule(self.rule_id).options
         metrics_path = str(options.get("metrics", ""))

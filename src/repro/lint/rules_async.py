@@ -1,0 +1,422 @@
+"""Async-safety rules for the serving layer (ASYNC001/002/003).
+
+``repro serve`` runs its HTTP front on an asyncio event loop, and the
+planned real-network backend will multiply the async surface.  The
+event-loop contract is invisible to the runtime until production: a
+blocking call in a coroutine does not crash anything, it just freezes
+every other connection for its duration.  These rules machine-check the
+three failure modes that matter:
+
+* **ASYNC001** — a blocking call executed directly on the event loop:
+  ``time.sleep``, synchronous ``subprocess``/``os.system``/socket/
+  ``urllib`` calls, builtin ``open``, ``queue.Queue.get/put/join``, and
+  ``threading`` primitive ``acquire``/``wait`` inside an ``async def``
+  body.  The sanctioned escapes — ``await asyncio.sleep(...)``,
+  ``loop.run_in_executor(...)``, ``asyncio.to_thread(...)`` — pass the
+  callable *uncalled* and therefore never trip the rule.
+* **ASYNC002** — a lost coroutine: a statement-level call of an
+  ``async def`` whose result is neither awaited, gathered, nor stored.
+  The coroutine object is created and silently garbage-collected; the
+  code it was supposed to run never executes.  Bare
+  ``asyncio.create_task(...)`` / ``ensure_future(...)`` statements are
+  flagged too — a task without a reference can be collected mid-flight.
+* **ASYNC003** — a ``threading`` primitive held across an ``await``:
+  ``with self._lock: ... await ...`` parks the coroutine while holding
+  an OS lock, deadlocking any thread (or the loop itself, via
+  ``run_in_executor``) that needs it.  Use ``asyncio`` primitives or
+  release before awaiting.
+
+ASYNC001/003 are file-local (an ``async def`` and its body are visible
+in one module); ASYNC002 resolves callees through the project symbol
+table so imported coroutines are recognised.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .callgraph import ProjectContext, resolve_call
+from .config import LintConfig
+from .engine import FileRule, Finding, ParsedFile, ProjectRule
+from .symbols import ModuleSymbols, build_module_symbols, iter_owned_nodes
+
+#: External callables that block the calling thread.
+BLOCKING_CALLS: Set[str] = {
+    "time.sleep",
+    "os.system",
+    "os.wait",
+    "os.waitpid",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "urllib.request.urlopen",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.getoutput",
+    "requests.get",
+    "requests.post",
+    "requests.put",
+    "requests.patch",
+    "requests.delete",
+    "requests.head",
+    "requests.request",
+    "builtins.open",
+}
+
+#: Constructors producing blocking queue objects.
+_QUEUE_TYPES = {
+    "queue.Queue",
+    "queue.LifoQueue",
+    "queue.PriorityQueue",
+    "queue.SimpleQueue",
+    "multiprocessing.Queue",
+    "multiprocessing.JoinableQueue",
+}
+
+#: Blocking methods on queue objects.
+_QUEUE_METHODS = {"get", "put", "join"}
+
+#: Constructors producing OS-level synchronisation primitives.
+_LOCK_TYPES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+    "threading.Event",
+    "threading.Barrier",
+}
+
+#: Blocking methods on threading primitives.
+_LOCK_METHODS = {"acquire", "wait", "wait_for"}
+
+
+def _finding(rule_id: str, relpath: str, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        rule=rule_id,
+        path=relpath,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        message=message,
+    )
+
+
+def _dotted_callee(call: ast.Call, module: ModuleSymbols) -> Optional[str]:
+    """Best-effort dotted name of a call's target (file-local aliases)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id in module.imported_names:
+            source, original = module.imported_names[func.id]
+            return f"{source}.{original}"
+        if func.id == "open":
+            return "builtins.open"
+        return None
+    if isinstance(func, ast.Attribute):
+        chain: List[str] = []
+        base: ast.AST = func
+        while isinstance(base, ast.Attribute):
+            chain.append(base.attr)
+            base = base.value
+        if not isinstance(base, ast.Name):
+            return None
+        chain.reverse()
+        if base.id in module.module_aliases:
+            return ".".join([module.module_aliases[base.id]] + chain)
+        if base.id in module.imported_names:
+            source, original = module.imported_names[base.id]
+            return ".".join([f"{source}.{original}"] + chain)
+        return None
+    return None
+
+
+@dataclass
+class _FileFacts:
+    """Per-file facts shared by the ASYNC rules (computed once)."""
+
+    module: ModuleSymbols
+    #: local variable names bound to blocking queue objects.
+    queue_names: Set[str] = field(default_factory=set)
+    #: ``self.<attr>`` names bound to blocking queue objects.
+    queue_attrs: Set[str] = field(default_factory=set)
+    #: local variable names bound to threading primitives.
+    lock_names: Set[str] = field(default_factory=set)
+    #: ``self.<attr>`` names bound to threading primitives.
+    lock_attrs: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def build(cls, file: ParsedFile) -> "_FileFacts":
+        assert file.tree is not None
+        module = build_module_symbols("<file>", file.relpath, file.tree)
+        facts = cls(module=module)
+        for node in ast.walk(file.tree):
+            targets: List[ast.AST] = []
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None or not isinstance(value, ast.Call):
+                continue
+            dotted = _dotted_callee(value, module)
+            if dotted is None:
+                continue
+            if dotted in _QUEUE_TYPES:
+                names, attrs = facts.queue_names, facts.queue_attrs
+            elif dotted in _LOCK_TYPES:
+                names, attrs = facts.lock_names, facts.lock_attrs
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, ast.Attribute):
+                    attrs.add(target.attr)
+        return facts
+
+    def is_queue(self, expr: ast.AST) -> bool:
+        return self._matches(expr, self.queue_names, self.queue_attrs)
+
+    def is_lock(self, expr: ast.AST) -> bool:
+        return self._matches(expr, self.lock_names, self.lock_attrs)
+
+    @staticmethod
+    def _matches(expr: ast.AST, names: Set[str], attrs: Set[str]) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in names
+        if isinstance(expr, ast.Attribute):
+            return expr.attr in attrs
+        return False
+
+
+def _async_defs(tree: ast.Module) -> List[ast.AsyncFunctionDef]:
+    return [
+        node for node in ast.walk(tree) if isinstance(node, ast.AsyncFunctionDef)
+    ]
+
+
+def _iter_loop_body(func: ast.AsyncFunctionDef) -> List[ast.AST]:
+    """Nodes executed *on the event loop* inside this coroutine.
+
+    Nested ``def``/``lambda`` bodies are excluded: a callable passed to
+    ``run_in_executor``/``to_thread`` runs on a worker thread, and a
+    nested ``async def`` is scanned as its own coroutine.
+    """
+    out: List[ast.AST] = []
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+    return out
+
+
+class BlockingCallRule(FileRule):
+    """ASYNC001 — blocking calls executed directly on the event loop."""
+
+    rule_id = "ASYNC001"
+    default_scope = None  # async code can appear anywhere
+
+    def check(self, file: ParsedFile, config: LintConfig) -> List[Finding]:
+        assert file.tree is not None
+        coroutines = _async_defs(file.tree)
+        if not coroutines:
+            return []
+        facts = _FileFacts.build(file)
+        findings: List[Finding] = []
+        for func in coroutines:
+            for node in _iter_loop_body(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = _dotted_callee(node, facts.module)
+                if dotted in BLOCKING_CALLS:
+                    findings.append(
+                        _finding(
+                            self.rule_id,
+                            file.relpath,
+                            node,
+                            f"{dotted}() blocks the event loop inside "
+                            f"'async def {func.name}'; await an async "
+                            "equivalent (e.g. asyncio.sleep) or move it off "
+                            "the loop with loop.run_in_executor(...) / "
+                            "asyncio.to_thread(...)",
+                        )
+                    )
+                    continue
+                func_expr = node.func
+                if not isinstance(func_expr, ast.Attribute):
+                    continue
+                owner = func_expr.value
+                if (
+                    func_expr.attr in _QUEUE_METHODS
+                    and facts.is_queue(owner)
+                ):
+                    findings.append(
+                        _finding(
+                            self.rule_id,
+                            file.relpath,
+                            node,
+                            f"queue.{func_expr.attr}() blocks the event loop "
+                            f"inside 'async def {func.name}'; run it in an "
+                            "executor (loop.run_in_executor / "
+                            "asyncio.to_thread) or use an asyncio.Queue",
+                        )
+                    )
+                elif (
+                    func_expr.attr in _LOCK_METHODS
+                    and facts.is_lock(owner)
+                ):
+                    findings.append(
+                        _finding(
+                            self.rule_id,
+                            file.relpath,
+                            node,
+                            f"threading-primitive .{func_expr.attr}() blocks "
+                            f"the event loop inside 'async def {func.name}'; "
+                            "use an asyncio primitive or move the wait to an "
+                            "executor thread",
+                        )
+                    )
+        findings.sort(key=lambda f: (f.line, f.col))
+        return findings
+
+
+class LockAcrossAwaitRule(FileRule):
+    """ASYNC003 — threading primitives held across an ``await``."""
+
+    rule_id = "ASYNC003"
+    default_scope = None
+
+    def check(self, file: ParsedFile, config: LintConfig) -> List[Finding]:
+        assert file.tree is not None
+        coroutines = _async_defs(file.tree)
+        if not coroutines:
+            return []
+        facts = _FileFacts.build(file)
+        if not facts.lock_names and not facts.lock_attrs:
+            return []
+        findings: List[Finding] = []
+        for func in coroutines:
+            for node in _iter_loop_body(func):
+                if not isinstance(node, (ast.With, ast.AsyncWith)):
+                    continue
+                held = [
+                    item.context_expr
+                    for item in node.items
+                    if facts.is_lock(item.context_expr)
+                ]
+                if not held or not _contains_await(node.body):
+                    continue
+                label = _expr_label(held[0])
+                findings.append(
+                    _finding(
+                        self.rule_id,
+                        file.relpath,
+                        node,
+                        f"threading primitive {label} is held across an "
+                        f"'await' in 'async def {func.name}': the coroutine "
+                        "parks while holding an OS lock, deadlocking any "
+                        "thread that needs it; release before awaiting or "
+                        "use an asyncio primitive",
+                    )
+                )
+        findings.sort(key=lambda f: (f.line, f.col))
+        return findings
+
+
+def _contains_await(body: List[ast.stmt]) -> bool:
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Await):
+            return True
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+    return False
+
+
+def _expr_label(expr: ast.AST) -> str:
+    if isinstance(expr, ast.Name):
+        return repr(expr.id)
+    if isinstance(expr, ast.Attribute):
+        return repr(expr.attr)
+    return "<lock>"
+
+
+class LostCoroutineRule(ProjectRule):
+    """ASYNC002 — coroutine calls whose result silently disappears."""
+
+    rule_id = "ASYNC002"
+
+    def check_project(
+        self,
+        files: Dict[str, ParsedFile],
+        config: LintConfig,
+        context: Optional[ProjectContext] = None,
+    ) -> List[Finding]:
+        if context is None or not isinstance(context, ProjectContext):
+            context = ProjectContext(files, config)
+        symbols = context.symbols
+        findings: List[Finding] = []
+        for relpath in sorted(symbols.by_path):
+            if not config.rule_scope(self.rule_id, relpath, None):
+                continue
+            module = symbols.by_path[relpath]
+            for qualname in sorted(module.functions):
+                symbol = module.functions[qualname]
+                own_class = (
+                    qualname.split(".")[0] if "." in qualname else None
+                )
+                for node in iter_owned_nodes(symbol):
+                    if not isinstance(node, ast.Expr) or not isinstance(
+                        node.value, ast.Call
+                    ):
+                        continue
+                    call = node.value
+                    callee = resolve_call(call, module, symbols, own_class)
+                    if callee is None:
+                        continue
+                    if callee in (
+                        "asyncio.create_task",
+                        "asyncio.ensure_future",
+                    ):
+                        findings.append(
+                            _finding(
+                                self.rule_id,
+                                relpath,
+                                call,
+                                f"{callee}() result is discarded: a task "
+                                "without a live reference can be garbage-"
+                                "collected mid-flight; store the task (and "
+                                "await or gather it) so completion and "
+                                "exceptions are observed",
+                            )
+                        )
+                        continue
+                    target = symbols.function(callee)
+                    if target is not None and target.is_async:
+                        findings.append(
+                            _finding(
+                                self.rule_id,
+                                relpath,
+                                call,
+                                f"coroutine {target.sid!r} is called but its "
+                                "result is neither awaited, gathered, nor "
+                                "stored — the body never runs; add 'await' "
+                                "(or schedule it with asyncio.create_task "
+                                "and keep the handle)",
+                            )
+                        )
+        findings.sort(key=lambda f: (f.path, f.line, f.col))
+        return findings

@@ -185,7 +185,10 @@ class TaskRefRule(FileRule, ProjectRule):
     # ------------------------------------------------------------------
 
     def check_project(
-        self, files: Dict[str, ParsedFile], config: LintConfig
+        self,
+        files: Dict[str, ParsedFile],
+        config: LintConfig,
+        context: object = None,
     ) -> List[Finding]:
         options = config.rule(self.rule_id).options
         findings: List[Finding] = []

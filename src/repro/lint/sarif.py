@@ -1,0 +1,110 @@
+"""SARIF 2.1.0 rendering of lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is the schema code
+hosts ingest to annotate pull requests with findings.  This module maps
+a :class:`~repro.lint.engine.LintReport` onto the minimal conforming
+subset: one ``run``, the full rule catalogue in the tool's ``driver``,
+and one ``result`` per finding with a physical location.
+
+Output is deterministic — the catalogue is sorted by rule id, results
+keep the report's (path, line, col, rule) order, and the JSON is dumped
+with sorted keys — so two runs over the same tree are byte-identical,
+same as the text and JSON formats.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .engine import SEVERITY_WARNING, LintReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+TOOL_NAME = "repro-lint"
+TOOL_URI = "docs/LINT.md"
+
+#: One-line descriptions for every rule the engine can emit, including
+#: the engine-intrinsic ids that have no rule class.  Kept here (not on
+#: the classes) so the catalogue renders without instantiating rules.
+RULE_DESCRIPTIONS: Dict[str, str] = {
+    "PARSE": "File does not parse as Python.",
+    "LINT001": "Suppression pragma has no justification.",
+    "LINT002": "Suppression pragma suppresses no finding (stale).",
+    "DET001": "Ambient nondeterminism call in a deterministic package.",
+    "DET002": "Hash-order set/dict iteration in a deterministic package.",
+    "DET003": (
+        "Deterministic code transitively reaches a nondeterminism "
+        "source without passing through the seeded-RNG facade."
+    ),
+    "PAR001": "Task reference does not resolve to a picklable function.",
+    "ACC001": "Metrics/merge/validator message-counter drift.",
+    "PERF001": "Hot-path class without __slots__.",
+    "IO001": "Bare print on a library path.",
+    "EXC001": "Exception swallowed without handling or logging.",
+    "VEC001": "Per-element Python loop over numpy arrays on a hot path.",
+    "ASYNC001": "Blocking call inside an async def body.",
+    "ASYNC002": "Coroutine called but never awaited, gathered, or stored.",
+    "ASYNC003": "Threading primitive held across an await.",
+}
+
+
+def _level(severity: str) -> str:
+    return "warning" if severity == SEVERITY_WARNING else "error"
+
+
+def sarif_dict(report: LintReport) -> Dict[str, object]:
+    """The report as a SARIF 2.1.0 ``log`` object (plain dicts)."""
+    rules: List[Dict[str, object]] = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": RULE_DESCRIPTIONS[rule_id]},
+            "helpUri": TOOL_URI,
+        }
+        for rule_id in sorted(RULE_DESCRIPTIONS)
+    ]
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results: List[Dict[str, object]] = []
+    for finding in report.findings:
+        result: Dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": _level(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport) -> str:
+    """The report as a SARIF 2.1.0 JSON string (deterministic)."""
+    return json.dumps(sarif_dict(report), indent=2, sort_keys=True)

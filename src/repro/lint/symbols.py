@@ -1,0 +1,357 @@
+"""Project-wide symbol table for the interprocedural lint pass.
+
+The per-file rules see one AST at a time; the interprocedural layer
+(:mod:`repro.lint.callgraph` / :mod:`repro.lint.dataflow`) needs to know,
+for the whole lint target, *which function a name refers to*.  This
+module builds that map from the already-parsed files — no imports are
+executed, everything is resolved statically from ``import`` statements
+and top-level ``def``/``class`` nodes.
+
+Identity scheme
+---------------
+
+Every function the analysis can talk about has a stable string id:
+
+* ``"repro.sim.network:Network.run"`` — a project function or method
+  (``module:qualname``, the same shape the parallel layer's task
+  references use);
+* ``"repro.analysis.sweeps:<module>"`` — the *module pseudo-function*:
+  code that runs at import time (module body, class bodies, decorators,
+  argument defaults);
+* ``"time.time"`` — an external callable (dotted, no colon).
+
+Construction is deterministic: modules are visited in sorted relpath
+order and symbols in source order, so downstream graphs and reports are
+byte-stable across runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from .config import LintConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us lazily)
+    from .engine import ParsedFile
+
+#: Qualname of the module pseudo-function (import-time code).
+MODULE_BODY = "<module>"
+
+#: Re-export chains longer than this are abandoned (cycle guard).
+_MAX_REEXPORT_DEPTH = 16
+
+
+@dataclass
+class FunctionSymbol:
+    """One project function, method, or module pseudo-function."""
+
+    sid: str  #: ``module:qualname`` — the node id used everywhere.
+    module: str
+    qualname: str
+    relpath: str
+    lineno: int
+    is_async: bool
+    #: The statements the symbol *owns* (its body; for the module
+    #: pseudo-function: import-time code).  Call extraction walks these.
+    owned: List[ast.AST] = field(default_factory=list, repr=False)
+
+
+@dataclass
+class ModuleSymbols:
+    """Everything name resolution needs to know about one module."""
+
+    name: str  #: dotted module name (``repro.sim.network``)
+    relpath: str
+    #: qualname -> symbol, includes :data:`MODULE_BODY`.
+    functions: Dict[str, FunctionSymbol] = field(default_factory=dict)
+    #: local alias -> dotted module (``import numpy as np``).
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: local name -> (source module, original name) for ``from m import x``.
+    imported_names: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: top-level class name -> its method names.
+    classes: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def symbol(self, qualname: str) -> Optional[FunctionSymbol]:
+        return self.functions.get(qualname)
+
+
+def module_name_for(relpath: str, config: LintConfig) -> Optional[str]:
+    """The dotted module name of ``relpath`` under the source roots.
+
+    ``src/repro/sim/network.py`` -> ``repro.sim.network``;
+    ``src/repro/sim/__init__.py`` -> ``repro.sim``.  ``None`` when the
+    file is outside every configured source root.
+    """
+    for root in config.source_roots:
+        root = root.replace("\\", "/").strip("/")
+        if root and root != ".":
+            if not relpath.startswith(root + "/"):
+                continue
+            inner = relpath[len(root) + 1 :]
+        else:
+            inner = relpath
+        if not inner.endswith(".py"):
+            continue
+        parts = inner[: -len(".py")].split("/")
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        if not parts or not all(part.isidentifier() for part in parts):
+            continue
+        return ".".join(parts)
+    return None
+
+
+def _relative_module(base: str, level: int, module: Optional[str]) -> Optional[str]:
+    """Resolve a ``from ...x import y`` relative import to a dotted name.
+
+    ``base`` is the importing module's dotted name.  Packages
+    (``__init__``) and plain modules share the resolution used by the
+    interpreter: level 1 is the containing package.
+    """
+    parts = base.split(".")
+    # The containing package of a module `a.b.c` is `a.b`; going one
+    # level up from there per extra dot.
+    if len(parts) < level:
+        return None
+    prefix = parts[: len(parts) - level]
+    if module:
+        prefix = prefix + module.split(".")
+    return ".".join(prefix) if prefix else None
+
+
+class SymbolTable:
+    """All modules of one lint run, indexed by dotted name and relpath."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleSymbols] = {}
+        self.by_path: Dict[str, ModuleSymbols] = {}
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def build(cls, files: "Dict[str, ParsedFile]", config: LintConfig) -> "SymbolTable":
+        table = cls()
+        for relpath in sorted(files):
+            file = files[relpath]
+            if file.tree is None:
+                continue
+            name = module_name_for(relpath, config)
+            if name is None:
+                continue
+            module = build_module_symbols(name, relpath, file.tree)
+            table.modules[name] = module
+            table.by_path[relpath] = module
+        return table
+
+    # -- lookups ---------------------------------------------------------
+
+    def module(self, name: str) -> Optional[ModuleSymbols]:
+        return self.modules.get(name)
+
+    def function(self, sid: str) -> Optional[FunctionSymbol]:
+        module, _, qualname = sid.partition(":")
+        info = self.modules.get(module)
+        return info.symbol(qualname) if info is not None else None
+
+    def resolve_name(
+        self, module: ModuleSymbols, name: str, _depth: int = 0
+    ) -> Optional[str]:
+        """Resolve a bare ``name`` used in ``module`` to a node id.
+
+        Returns ``"mod:qualname"`` for a project function/class (classes
+        resolve to their ``__init__`` when defined, else ``mod:Cls``),
+        a dotted external id for names imported from outside the table,
+        or ``None`` for locals/builtins the analysis cannot see.
+        Re-export chains (``from .impl import run``) are followed.
+        """
+        if _depth > _MAX_REEXPORT_DEPTH:
+            return None
+        if name in module.functions:
+            return module.functions[name].sid
+        if name in module.classes:
+            init = f"{name}.__init__"
+            if init in module.functions:
+                return module.functions[init].sid
+            return f"{module.name}:{name}"
+        if name in module.imported_names:
+            source, original = module.imported_names[name]
+            target = self.modules.get(source)
+            if target is not None:
+                resolved = self.resolve_name(target, original, _depth + 1)
+                if resolved is not None:
+                    return resolved
+                # `from pkg import submodule` where pkg is a package.
+                submodule = self.modules.get(f"{source}.{original}")
+                if submodule is not None:
+                    return f"<module>{submodule.name}"
+                return None  # name exists in-project but is data, not code
+            submodule = self.modules.get(f"{source}.{original}")
+            if submodule is not None:
+                return f"<module>{submodule.name}"
+            return f"{source}.{original}"
+        if name in module.module_aliases:
+            return f"<module>{module.module_aliases[name]}"
+        return None
+
+    def resolve_dotted(
+        self, module: ModuleSymbols, root: str, attrs: List[str]
+    ) -> Optional[str]:
+        """Resolve ``root.a.b(...)`` attribute-call chains to a node id.
+
+        ``root`` is the base :class:`ast.Name`; ``attrs`` the attribute
+        path.  Handles module aliases (``np.linalg.norm``), project
+        modules (``sweeps.sweep`` after ``from repro.analysis import
+        sweeps``), and classmethod access on project classes.
+        """
+        base = self.resolve_name(module, root)
+        if base is None or not attrs:
+            return None
+        if base.startswith("<module>"):
+            dotted = base[len("<module>") :]
+            # Longest module prefix wins: `pkg.sub.fn` may be module
+            # `pkg.sub` + function `fn` or module `pkg` + attr path.
+            for split in range(len(attrs) - 1, -1, -1):
+                candidate = ".".join([dotted] + attrs[:split])
+                target = self.modules.get(candidate)
+                if target is None:
+                    continue
+                rest = attrs[split:]
+                if not rest:
+                    return f"<module>{candidate}"
+                if len(rest) == 1:
+                    resolved = self.resolve_name(target, rest[0])
+                    if resolved is not None:
+                        return resolved
+                    return f"{candidate}.{rest[0]}"
+                if rest[0] in target.classes:
+                    qualname = ".".join(rest)
+                    symbol = target.symbol(qualname)
+                    if symbol is not None:
+                        return symbol.sid
+                return None
+            return ".".join([dotted] + attrs)  # external module attr chain
+        if ":" in base:
+            # Attribute on a project class: classmethod / static access.
+            mod_name, _, qualname = base.partition(":")
+            owner = self.modules.get(mod_name)
+            if owner is None:
+                return None
+            cls = qualname.split(".")[0]
+            if cls in owner.classes and len(attrs) == 1:
+                symbol = owner.symbol(f"{cls}.{attrs[0]}")
+                if symbol is not None:
+                    return symbol.sid
+            return None
+        return f"{base}.{'.'.join(attrs)}"  # external symbol attr chain
+
+
+def build_module_symbols(
+    name: str, relpath: str, tree: ast.Module
+) -> ModuleSymbols:
+    """Extract one module's symbols (see module docstring for ownership)."""
+    module = ModuleSymbols(name=name, relpath=relpath)
+
+    def add_function(
+        node: ast.AST, qualname: str, owned: List[ast.AST], is_async: bool
+    ) -> None:
+        module.functions[qualname] = FunctionSymbol(
+            sid=f"{name}:{qualname}",
+            module=name,
+            qualname=qualname,
+            relpath=relpath,
+            lineno=getattr(node, "lineno", 1),
+            is_async=is_async,
+            owned=owned,
+        )
+
+    pseudo_owned: List[ast.AST] = []
+    add_function(tree, MODULE_BODY, pseudo_owned, is_async=False)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    module.module_aliases[alias.asname] = alias.name
+                else:
+                    # `import a.b.c` binds `a`; dotted chains rooted at
+                    # `a` resolve through the longest-prefix search.
+                    root = alias.name.split(".")[0]
+                    module.module_aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            source = (
+                _relative_module(name, node.level, node.module)
+                if node.level > 0
+                else node.module
+            )
+            if source is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                module.imported_names[alias.asname or alias.name] = (
+                    source,
+                    alias.name,
+                )
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            add_function(
+                node,
+                node.name,
+                list(node.body),
+                is_async=isinstance(node, ast.AsyncFunctionDef),
+            )
+            pseudo_owned.extend(node.decorator_list)
+            pseudo_owned.extend(_argument_defaults(node))
+        elif isinstance(node, ast.ClassDef):
+            methods: Set[str] = set()
+            pseudo_owned.extend(node.decorator_list)
+            pseudo_owned.extend(node.bases)
+            pseudo_owned.extend(kw.value for kw in node.keywords)
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods.add(item.name)
+                    add_function(
+                        item,
+                        f"{node.name}.{item.name}",
+                        list(item.body),
+                        is_async=isinstance(item, ast.AsyncFunctionDef),
+                    )
+                    pseudo_owned.extend(item.decorator_list)
+                    pseudo_owned.extend(_argument_defaults(item))
+                else:
+                    pseudo_owned.append(item)
+            module.classes[node.name] = methods
+        else:
+            pseudo_owned.append(node)
+    return module
+
+
+def _argument_defaults(node: ast.AST) -> List[ast.AST]:
+    """Default-value expressions evaluate at def time (import time)."""
+    args = getattr(node, "args", None)
+    if args is None:
+        return []
+    defaults: List[ast.AST] = list(args.defaults)
+    defaults.extend(d for d in args.kw_defaults if d is not None)
+    return defaults
+
+
+def iter_owned_nodes(symbol: FunctionSymbol) -> "List[ast.AST]":
+    """All AST nodes a symbol owns.
+
+    The ``owned`` lists are disjoint by construction — top-level
+    functions and class methods were split out into their own symbols,
+    so walking from here never re-enters another symbol's body.  Nested
+    functions and lambdas *are* descended: they execute (if at all) in
+    the owner's dynamic extent and have no symbol of their own.
+    """
+    out: List[ast.AST] = []
+    stack: List[ast.AST] = list(symbol.owned)
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return out
