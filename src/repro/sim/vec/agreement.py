@@ -437,7 +437,6 @@ class _AgreementVec(VecEngineBase):
             msg = Message(MSG_ZERO_TO_CANDIDATE, ())
             start = int(self.ref_start[sender])
             d = int(self.ref_d[sender])
-            # repro: lint-ignore[VEC001] cold path: victim-only outbox
             for q in range(d):
                 dst = self.cand_nodes[int(self.g_ci[start + q])]
                 if dst in seen:

@@ -740,8 +740,6 @@ class _ElectionVec(VecEngineBase):
             # order; receiver at original position p gets item r - 2,
             # i.e. the rank of member q = j + (j >= p).
             start = int(self.ref_start[sender])
-            # repro: lint-ignore[VEC001] cold path: only crash victims
-            # materialise outboxes, bounded by the committee degree
             members = [int(self.g_ci[start + q]) for q in range(d)]
             j = r - 2
             out = []
@@ -775,7 +773,6 @@ class _ElectionVec(VecEngineBase):
             agg_msg = Message(MSG_AGG, (flag, best))
             start = int(self.ref_start[sender])
             d_reg = int(self.ref_d[sender])
-            # repro: lint-ignore[VEC001] cold path: victim-only outbox
             for q in range(d_reg):
                 dst = self.cand_nodes[int(self.g_ci[start + q])]
                 if dst in seen:
