@@ -198,7 +198,13 @@ class CampaignServer:
                 )
                 return
             try:
-                job = self.service.submit(payload)
+                # submit() validates the spec and resolves task refs,
+                # which imports task modules — blocking disk I/O that
+                # must not run on the event loop (ASYNC001).
+                loop = asyncio.get_running_loop()
+                job = await loop.run_in_executor(
+                    None, self.service.submit, payload
+                )
             except ConfigurationError as exc:
                 writer.write(_response_bytes(400, {"error": str(exc)}))
                 return
