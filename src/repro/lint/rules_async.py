@@ -209,12 +209,11 @@ def _iter_loop_body(func: ast.AsyncFunctionDef) -> List[ast.AST]:
     while stack:
         node = stack.pop()
         out.append(node)
-        for child in ast.iter_child_nodes(node):
-            if isinstance(
-                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
-            ):
-                continue
-            stack.append(child)
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue  # never descend into a nested callable's body
+        stack.extend(ast.iter_child_nodes(node))
     return out
 
 
@@ -337,12 +336,11 @@ def _contains_await(body: List[ast.stmt]) -> bool:
         node = stack.pop()
         if isinstance(node, ast.Await):
             return True
-        for child in ast.iter_child_nodes(node):
-            if isinstance(
-                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
-            ):
-                continue
-            stack.append(child)
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue  # a nested callable's await is its own concern
+        stack.extend(ast.iter_child_nodes(node))
     return False
 
 

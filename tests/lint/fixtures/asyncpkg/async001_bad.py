@@ -1,0 +1,30 @@
+"""ASYNC001 fixture: blocking calls directly on the event loop."""
+
+import queue
+import threading
+import time
+
+
+WORK = queue.Queue()
+GATE = threading.Lock()
+
+
+async def sleeper():
+    time.sleep(0.5)
+
+
+async def reader():
+    with open("data.txt") as fh:
+        return fh.read()
+
+
+async def drainer():
+    return WORK.get()
+
+
+async def acquirer():
+    GATE.acquire()
+    try:
+        return 1
+    finally:
+        GATE.release()

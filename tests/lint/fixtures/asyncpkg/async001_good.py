@@ -1,0 +1,30 @@
+"""ASYNC001 fixture: the sanctioned escapes stay quiet."""
+
+import asyncio
+import queue
+import time
+
+
+WORK = queue.Queue()
+
+
+async def pauser():
+    await asyncio.sleep(0.5)
+
+
+async def offloaded():
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, WORK.get)
+
+
+async def offloaded_nested():
+    def pull():
+        time.sleep(0.1)
+        return WORK.get()
+
+    return await asyncio.to_thread(pull)
+
+
+def plain_sync_code():
+    time.sleep(0.1)
+    return WORK.get()

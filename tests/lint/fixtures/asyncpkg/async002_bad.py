@@ -1,0 +1,19 @@
+"""ASYNC002 fixture: coroutine results that silently disappear."""
+
+import asyncio
+
+
+async def work():
+    return 1
+
+
+async def drops_coroutine():
+    work()
+
+
+async def drops_task():
+    asyncio.create_task(work())
+
+
+def sync_caller_drops():
+    work()

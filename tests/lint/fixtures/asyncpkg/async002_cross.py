@@ -1,0 +1,7 @@
+"""ASYNC002 fixture: dropping an *imported* coroutine's result."""
+
+from asyncpkg.coros import acoro
+
+
+def fire_and_forget():
+    acoro()

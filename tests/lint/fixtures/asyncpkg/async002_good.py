@@ -1,0 +1,25 @@
+"""ASYNC002 fixture: awaited, stored, and gathered results are fine."""
+
+import asyncio
+
+
+async def work():
+    return 1
+
+
+async def awaits_it():
+    await work()
+
+
+async def stores_the_task():
+    task = asyncio.create_task(work())
+    return await task
+
+
+async def gathers():
+    return await asyncio.gather(work(), work())
+
+
+def stores_the_coroutine():
+    pending = work()
+    return pending

@@ -1,0 +1,21 @@
+"""ASYNC003 fixture: a threading primitive held across an await."""
+
+import asyncio
+import threading
+
+
+GATE = threading.Lock()
+
+
+class Holder:
+    def __init__(self):
+        self._cond = threading.Condition()
+
+    async def parked(self):
+        with self._cond:
+            await asyncio.sleep(0.1)
+
+
+async def held_across():
+    with GATE:
+        await asyncio.sleep(0.1)

@@ -1,0 +1,20 @@
+"""ASYNC003 fixture: release before awaiting, or use asyncio locks."""
+
+import asyncio
+import threading
+
+
+GATE = threading.Lock()
+ALOCK = asyncio.Lock()
+
+
+async def released_before_await():
+    with GATE:
+        value = 1
+    await asyncio.sleep(0.1)
+    return value
+
+
+async def asyncio_lock_is_fine():
+    async with ALOCK:
+        await asyncio.sleep(0.1)

@@ -1,0 +1,5 @@
+"""ASYNC002 fixture: a coroutine imported by another module."""
+
+
+async def acoro():
+    return 1

@@ -1,0 +1,5 @@
+"""Pragma fixture: a justified pragma that suppresses nothing is stale."""
+
+
+def quiet():  # repro: lint-ignore[DET001] nothing on this line trips DET001
+    return 1

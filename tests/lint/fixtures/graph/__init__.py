@@ -1,0 +1,1 @@
+"""Callgraph fixture package."""

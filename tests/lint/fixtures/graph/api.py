@@ -1,0 +1,5 @@
+"""Callgraph fixture: a re-export facade (relative import + rename)."""
+
+from .impl import Widget, helper as aliased_helper
+
+__all__ = ["Widget", "aliased_helper"]

@@ -1,0 +1,20 @@
+"""Callgraph fixture: the base module real work lives in."""
+
+
+def leaf():
+    return 1
+
+
+def helper():
+    return leaf()
+
+
+class Widget:
+    def __init__(self, size):
+        self.size = size
+
+    def grow(self):
+        return helper() + self.size
+
+    def spin(self):
+        return self.grow()

@@ -1,0 +1,21 @@
+"""Callgraph fixture: every resolution shape in one consumer module."""
+
+import graph.impl as gi
+from graph.api import Widget, aliased_helper
+
+
+def call_via_module_alias():
+    return gi.helper()
+
+
+def call_via_reexport():
+    return aliased_helper()
+
+
+def build_widget():
+    return Widget(3)
+
+
+def dispatch():
+    ref = "graph.impl:leaf"
+    return ref

@@ -1,0 +1,63 @@
+"""ASYNC001/002/003 event-loop hygiene rules over the asyncpkg fixtures."""
+
+from repro.lint import lint_paths
+
+from .conftest import FIXTURES
+
+
+def rules_of(report):
+    return [finding.rule for finding in report.findings]
+
+
+def test_async001_flags_blocking_calls(lint_fixture):
+    report = lint_fixture("asyncpkg/async001_bad.py")
+    assert rules_of(report) == ["ASYNC001"] * 4
+    messages = " | ".join(f.message for f in report.findings)
+    assert "time.sleep" in messages
+    assert "builtins.open" in messages
+    assert "queue.get" in messages
+    assert ".acquire" in messages
+    # Each message names the offending coroutine.
+    assert "async def sleeper" in messages
+
+
+def test_async001_sanctioned_escapes_stay_quiet(lint_fixture):
+    assert lint_fixture("asyncpkg/async001_good.py").clean
+
+
+def test_async002_flags_lost_coroutines(lint_fixture):
+    report = lint_fixture("asyncpkg/async002_bad.py")
+    assert rules_of(report) == ["ASYNC002"] * 3
+    messages = " | ".join(f.message for f in report.findings)
+    assert "asyncio.create_task" in messages
+    assert "neither awaited" in messages
+
+
+def test_async002_awaited_stored_gathered_are_fine(lint_fixture):
+    assert lint_fixture("asyncpkg/async002_good.py").clean
+
+
+def test_async002_resolves_imported_coroutines(fixture_config):
+    report = lint_paths(
+        [
+            FIXTURES / "asyncpkg" / "coros.py",
+            FIXTURES / "asyncpkg" / "async002_cross.py",
+        ],
+        fixture_config,
+    )
+    assert rules_of(report) == ["ASYNC002"]
+    finding = report.findings[0]
+    assert finding.path == "asyncpkg/async002_cross.py"
+    assert "asyncpkg.coros:acoro" in finding.message
+
+
+def test_async003_flags_locks_held_across_await(lint_fixture):
+    report = lint_fixture("asyncpkg/async003_bad.py")
+    assert rules_of(report) == ["ASYNC003"] * 2
+    messages = " | ".join(f.message for f in report.findings)
+    assert "async def parked" in messages  # self._cond case
+    assert "async def held_across" in messages  # module-global case
+
+
+def test_async003_release_before_await_is_fine(lint_fixture):
+    assert lint_fixture("asyncpkg/async003_good.py").clean

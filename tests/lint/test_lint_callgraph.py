@@ -1,0 +1,102 @@
+"""Symbol table + call graph construction over the graph/ fixtures."""
+
+from repro.lint import collect_files, config_from_dict
+from repro.lint.callgraph import TASKREF, ProjectContext, build_call_graph
+from repro.lint.symbols import SymbolTable
+
+from .conftest import FIXTURES
+
+
+def graph_config():
+    return config_from_dict(
+        {
+            "lint": {
+                "source_roots": ["."],
+                "rules": {"PAR001": {"ref_prefixes": ["graph"]}},
+            }
+        },
+        root=FIXTURES,
+    )
+
+
+def build():
+    config = graph_config()
+    files = collect_files([FIXTURES / "graph"], config)
+    return build_call_graph(files, config), files, config
+
+
+def test_symbol_table_modules_and_functions():
+    config = graph_config()
+    files = collect_files([FIXTURES / "graph"], config)
+    table = SymbolTable.build(files, config)
+    assert set(table.modules) == {
+        "graph",
+        "graph.api",
+        "graph.impl",
+        "graph.uses",
+    }
+    impl = table.modules["graph.impl"]
+    assert "leaf" in impl.functions
+    assert "Widget.grow" in impl.functions
+    assert "<module>" in impl.functions  # the module pseudo-function
+    assert impl.classes == {"Widget": {"__init__", "grow", "spin"}}
+
+
+def test_module_alias_call_resolves():
+    graph, _, _ = build()
+    callees = [s.callee for s in graph.calls_from("graph.uses:call_via_module_alias")]
+    assert callees == ["graph.impl:helper"]
+
+
+def test_reexport_chain_resolves_to_origin():
+    graph, _, _ = build()
+    callees = [s.callee for s in graph.calls_from("graph.uses:call_via_reexport")]
+    assert callees == ["graph.impl:helper"]
+
+
+def test_class_constructor_resolves_to_init():
+    graph, _, _ = build()
+    callees = [s.callee for s in graph.calls_from("graph.uses:build_widget")]
+    assert callees == ["graph.impl:Widget.__init__"]
+
+
+def test_self_method_call_resolves():
+    graph, _, _ = build()
+    callees = [s.callee for s in graph.calls_from("graph.impl:Widget.spin")]
+    assert callees == ["graph.impl:Widget.grow"]
+
+
+def test_task_ref_string_becomes_edge():
+    graph, _, _ = build()
+    sites = graph.calls_from("graph.uses:dispatch")
+    assert len(sites) == 1
+    site = sites[0]
+    assert site.callee == "graph.impl:leaf"
+    assert site.kind == TASKREF
+    assert site.relpath == "graph/uses.py"
+
+
+def test_reverse_edges_collect_all_callers():
+    graph, _, _ = build()
+    callers = sorted(s.caller for s in graph.callers_of("graph.impl:helper"))
+    assert callers == [
+        "graph.impl:Widget.grow",
+        "graph.uses:call_via_module_alias",
+        "graph.uses:call_via_reexport",
+    ]
+
+
+def test_construction_is_deterministic():
+    first, _, _ = build()
+    second, _, _ = build()
+    assert first.out == second.out
+    assert first.into == second.into
+
+
+def test_project_context_builds_graph_once():
+    config = graph_config()
+    files = collect_files([FIXTURES / "graph"], config)
+    context = ProjectContext(files, config)
+    graph = context.graph
+    assert context.graph is graph
+    assert context.symbols is graph.symbols

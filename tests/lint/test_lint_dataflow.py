@@ -1,0 +1,278 @@
+"""DET003 nondeterminism taint flow: chains, sanitizers, pragma cuts."""
+
+import textwrap
+
+from repro.lint import collect_files, config_from_dict, lint_paths
+from repro.lint.callgraph import ProjectContext
+from repro.lint.dataflow import NondeterminismFlowRule
+
+
+def make_tree(tmp_path, files, extra_rules=None):
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    rules = {"DET003": {"sanitizers": ["facade"]}}
+    if extra_rules:
+        rules.update(extra_rules)
+    config = config_from_dict(
+        {
+            "lint": {
+                "source_roots": ["."],
+                "deterministic": ["det"],
+                "rules": rules,
+            }
+        },
+        root=tmp_path,
+    )
+    files = collect_files([tmp_path], config)
+    return files, config
+
+
+def run_rule(files, config):
+    context = ProjectContext(files, config)
+    return NondeterminismFlowRule().check_project(files, config, context)
+
+
+def test_transitive_chain_is_found_with_evidence(tmp_path):
+    files, config = make_tree(
+        tmp_path,
+        {
+            "det/algo.py": """\
+                from helpers.util import stamp
+
+
+                def run(n):
+                    return stamp(n)
+                """,
+            "helpers/__init__.py": "",
+            "helpers/util.py": """\
+                import time
+
+
+                def stamp(n):
+                    return inner(n)
+
+
+                def inner(n):
+                    return n + time.time()
+                """,
+            "det/__init__.py": "",
+        },
+    )
+    findings = run_rule(files, config)
+    assert [f.rule for f in findings] == ["DET003"]
+    finding = findings[0]
+    assert finding.path == "det/algo.py"
+    assert finding.line == 5  # the boundary call site, not the source
+    # Full evidence chain, hop by hop, down to the external source.
+    assert "det.algo:run -> helpers.util:stamp" in finding.message
+    assert "helpers.util:inner (helpers/util.py:5)" in finding.message
+    assert "time.time (helpers/util.py:9)" in finding.message
+
+
+def test_sanitizer_module_blocks_taint(tmp_path):
+    files, config = make_tree(
+        tmp_path,
+        {
+            "det/algo.py": """\
+                from facade import derive
+
+
+                def run(n):
+                    return derive(n)
+                """,
+            "facade.py": """\
+                import time
+
+
+                def derive(n):
+                    return n + time.time()
+                """,
+        },
+    )
+    assert run_rule(files, config) == []
+
+
+def test_seeded_random_is_not_a_source(tmp_path):
+    files, config = make_tree(
+        tmp_path,
+        {
+            "det/algo.py": """\
+                from helpers import draw
+
+
+                def run(seed):
+                    return draw(seed)
+                """,
+            "helpers.py": """\
+                import random
+
+
+                def draw(seed):
+                    rng = random.Random(seed)
+                    return rng.random()
+                """,
+        },
+    )
+    assert run_rule(files, config) == []
+
+
+def test_unseeded_random_constructor_is_a_source(tmp_path):
+    files, config = make_tree(
+        tmp_path,
+        {
+            "det/algo.py": """\
+                from helpers import draw
+
+
+                def run():
+                    return draw()
+                """,
+            "helpers.py": """\
+                import random
+
+
+                def draw():
+                    rng = random.Random()
+                    return rng.random()
+                """,
+        },
+    )
+    findings = run_rule(files, config)
+    assert [f.rule for f in findings] == ["DET003"]
+    assert "random.Random" in findings[0].message
+
+
+def test_set_iteration_escape_is_a_source(tmp_path):
+    files, config = make_tree(
+        tmp_path,
+        {
+            "det/algo.py": """\
+                from helpers import order
+
+
+                def run(items):
+                    return order(items)
+                """,
+            "helpers.py": """\
+                def order(items):
+                    return [x for x in set(items)]
+                """,
+        },
+    )
+    findings = run_rule(files, config)
+    assert [f.rule for f in findings] == ["DET003"]
+    assert "set iteration" in findings[0].message
+
+
+def test_det003_pragma_suppresses_and_counts_as_used(tmp_path):
+    files, config = make_tree(
+        tmp_path,
+        {
+            "det/algo.py": """\
+                from helpers import stamp
+
+
+                def run(n):
+                    # repro: lint-ignore[DET003] boundary is deliberate here
+                    return stamp(n)
+                """,
+            "helpers.py": """\
+                import time
+
+
+                def stamp(n):
+                    return n + time.time()
+                """,
+        },
+    )
+    report = lint_paths([tmp_path], config)
+    # The finding is suppressed AND the pragma is not reported stale.
+    assert report.clean, report.render_text()
+
+
+def test_pragma_on_intermediate_edge_cuts_the_flow(tmp_path):
+    files, config = make_tree(
+        tmp_path,
+        {
+            "det/algo.py": """\
+                from helpers import stamp
+
+
+                def run(n):
+                    return stamp(n)
+                """,
+            "helpers.py": """\
+                import time
+
+
+                def stamp(n):
+                    # repro: lint-ignore[DET003] wall clock is metadata only
+                    return n + inner(n)
+
+
+                def inner(n):
+                    return n + time.time()
+                """,
+        },
+    )
+    report = lint_paths([tmp_path], config)
+    assert report.clean, report.render_text()
+
+
+def test_taskref_edge_carries_taint(tmp_path):
+    files, config = make_tree(
+        tmp_path,
+        {
+            "det/algo.py": """\
+                def dispatch():
+                    ref = "helpers:stamp"
+                    return ref
+                """,
+            "helpers.py": """\
+                import time
+
+
+                def stamp(n):
+                    return n + time.time()
+                """,
+        },
+        extra_rules={"PAR001": {"ref_prefixes": ["helpers"]}},
+    )
+    findings = run_rule(files, config)
+    assert [f.rule for f in findings] == ["DET003"]
+    assert "via task reference" in findings[0].message
+
+
+def test_det_to_det_edges_are_not_double_reported(tmp_path):
+    files, config = make_tree(
+        tmp_path,
+        {
+            "det/outer.py": """\
+                from det.inner import mid
+
+
+                def run(n):
+                    return mid(n)
+                """,
+            "det/inner.py": """\
+                from helpers import stamp
+
+
+                def mid(n):
+                    return stamp(n)
+                """,
+            "det/__init__.py": "",
+            "helpers.py": """\
+                import time
+
+
+                def stamp(n):
+                    return n + time.time()
+                """,
+        },
+    )
+    findings = run_rule(files, config)
+    # Only the boundary crossing in det/inner.py, not the det->det hop.
+    assert [(f.rule, f.path) for f in findings] == [("DET003", "det/inner.py")]

@@ -60,3 +60,57 @@ def test_lint001_cannot_be_pragmad_away():
     source = "x = 1  # repro: lint-ignore[LINT001] self-referential\n"
     suppressions = Suppressions.from_source(source)
     assert not suppressions.suppressed("LINT001", 1)
+
+
+# -- LINT002: stale pragmas ---------------------------------------------
+
+
+def test_stale_pragma_is_reported(lint_fixture):
+    report = lint_fixture("detpkg/pragma_stale.py")
+    assert [f.rule for f in report.findings] == ["LINT002"]
+    finding = report.findings[0]
+    assert finding.severity == "warning"
+    assert "DET001" in finding.message
+    assert "suppressed no finding" in finding.message
+
+
+def test_used_pragma_is_not_reported_stale(lint_fixture):
+    # pragma_justified.py suppresses real DET001 findings: no LINT002.
+    assert lint_fixture("detpkg/pragma_justified.py").clean
+
+
+def test_stale_file_level_pragma_names_the_whole_file(tmp_path):
+    from repro.lint import config_from_dict, lint_paths
+
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "# repro: lint-ignore-file[IO001] nothing here prints\n"
+        "x = 1\n",
+        encoding="utf-8",
+    )
+    config = config_from_dict({"lint": {}}, root=tmp_path)
+    report = lint_paths([tmp_path], config)
+    assert [f.rule for f in report.findings] == ["LINT002"]
+    assert "the whole file" in report.findings[0].message
+
+
+def test_lint002_cannot_be_pragmad_away():
+    source = "x = 1  # repro: lint-ignore[LINT002] self-referential\n"
+    suppressions = Suppressions.from_source(source)
+    assert not suppressions.suppressed("LINT002", 1)
+
+
+def test_stale_tracks_declared_targets():
+    source = (
+        "import time\n"
+        "# repro: lint-ignore[DET001] covers the next code line\n"
+        "NOW = time.time()\n"
+        "LATER = 2  # repro: lint-ignore[DET002] nothing set-iterates here\n"
+    )
+    suppressions = Suppressions.from_source(source)
+    assert suppressions.suppressed("DET001", 3)  # marks the pragma used
+    stale = suppressions.stale()
+    assert len(stale) == 1
+    declared, unused = stale[0]
+    assert declared.line == 4 and declared.target == 4
+    assert unused == ("DET002",)

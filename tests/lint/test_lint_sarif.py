@@ -1,0 +1,51 @@
+"""SARIF 2.1.0 rendering: schema shape, levels, determinism."""
+
+import json
+
+from repro.lint import render_sarif, sarif_dict
+from repro.lint.sarif import RULE_DESCRIPTIONS
+
+
+def test_sarif_schema_shape(lint_fixture):
+    report = lint_fixture("detpkg/det001_bad.py")
+    assert not report.clean  # the fixture must actually produce findings
+    doc = json.loads(render_sarif(report))
+    assert doc["version"] == "2.1.0"
+    assert doc["$schema"].endswith("sarif-2.1.0.json")
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)  # catalogue sorted = deterministic
+    for new_rule in ("DET003", "ASYNC001", "ASYNC002", "ASYNC003", "LINT002"):
+        assert new_rule in rule_ids
+    result = run["results"][0]
+    assert result["ruleId"] == "DET001"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "detpkg/det001_bad.py"
+    assert location["region"]["startLine"] == report.findings[0].line
+    assert location["region"]["startColumn"] == report.findings[0].col
+    # ruleIndex must point back at the catalogue entry for the rule.
+    assert driver["rules"][result["ruleIndex"]]["id"] == "DET001"
+
+
+def test_sarif_warning_level_for_lint002(lint_fixture):
+    report = lint_fixture("detpkg/pragma_stale.py")
+    doc = sarif_dict(report)
+    (result,) = doc["runs"][0]["results"]
+    assert result["ruleId"] == "LINT002"
+    assert result["level"] == "warning"
+
+
+def test_sarif_output_is_deterministic(lint_fixture):
+    report = lint_fixture("detpkg/det001_bad.py")
+    again = lint_fixture("detpkg/det001_bad.py")
+    assert render_sarif(report) == render_sarif(again)
+
+
+def test_every_rule_has_a_catalogue_description():
+    from repro.lint import build_rules
+
+    for rule in build_rules():
+        assert rule.rule_id in RULE_DESCRIPTIONS, rule.rule_id

@@ -28,3 +28,45 @@ def test_injected_nondeterminism_fails_lint(tmp_path):
     assert report.exit_code == 1
     assert [f.rule for f in report.findings] == ["DET001"]
     assert report.findings[0].path == "src/repro/sim/node.py"
+
+
+def test_injected_transitive_nondeterminism_fails_lint(tmp_path):
+    """The DET003 canary: sim/ reaching time.time() through a helper
+    module *outside* the deterministic packages must flip lint to red,
+    with the full call chain in the finding."""
+    shutil.copy(REPO_ROOT / ".reprolint.toml", tmp_path / ".reprolint.toml")
+    sim = tmp_path / "src" / "repro" / "sim"
+    obs = tmp_path / "src" / "repro" / "obsx"
+    sim.mkdir(parents=True)
+    obs.mkdir(parents=True)
+    (sim / "node.py").write_text(
+        "from repro.obsx.helper import jitter\n"
+        "\n"
+        "\n"
+        "def act():\n"
+        "    return jitter()\n",
+        encoding="utf-8",
+    )
+    (obs / "helper.py").write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "def jitter():\n"
+        "    return wobble()\n"
+        "\n"
+        "\n"
+        "def wobble():\n"
+        "    return time.time()\n",
+        encoding="utf-8",
+    )
+
+    config = load_config(tmp_path / ".reprolint.toml")
+    report = lint_paths([tmp_path / "src"], config)
+    assert report.exit_code == 1
+    assert [f.rule for f in report.findings] == ["DET003"]
+    finding = report.findings[0]
+    assert finding.path == "src/repro/sim/node.py"
+    # The chain is rendered hop by hop down to the ambient source.
+    assert "repro.sim.node:act -> repro.obsx.helper:jitter" in finding.message
+    assert "repro.obsx.helper:wobble" in finding.message
+    assert "time.time" in finding.message
