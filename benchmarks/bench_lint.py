@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Tracked lint-engine benchmark: writes ``BENCH_lint.json``.
+
+Standalone (no pytest needed) so CI and developers produce comparable
+numbers with one command::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py [--out F] [--check-seconds S]
+
+The interprocedural pass (symbol table -> call graph -> taint
+reachability, ``docs/LINT.md``) turned the linter from a per-file scan
+into a whole-project analysis, so its wall-clock now scales with the
+tree and deserves the same tracking as the simulator.  Sections:
+
+* ``full`` — one complete ``repro lint src`` pipeline (collect + parse +
+  file rules + project rules + suppression/baseline filtering), the
+  number every CI run and pre-commit hook pays.  Reported as wall-clock,
+  files/sec, and lines/sec.
+* ``parse`` — ``collect_files`` alone: directory walk, source read,
+  ``ast.parse``, pragma tokenization.
+* ``interprocedural`` — building the :class:`ProjectContext` (symbol
+  table + call graph) over the parsed files, i.e. the marginal cost the
+  project-level rules added on top of the old per-file engine.
+* ``sarif`` — rendering the report to SARIF 2.1.0.
+
+Timings are best-of-``repeats`` (minimum wall-clock), matching
+``run_bench.py``.  ``--check-seconds`` turns the ``full`` time into a CI
+gate: the whole-project analysis must stay interactive (default budget
+10 s — roughly 6x the current time, so the gate catches accidental
+quadratic blowups in graph construction, not machine jitter).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict
+
+if __package__ in (None, ""):
+    # Allow running from a checkout without PYTHONPATH.
+    _src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _src not in sys.path:
+        sys.path.insert(0, _src)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+from repro.lint import collect_files, lint_paths, load_config, render_sarif  # noqa: E402
+from repro.lint.callgraph import ProjectContext  # noqa: E402
+
+
+def best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Minimum wall-clock over ``repeats`` calls of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_lint(repeats: int) -> Dict[str, Any]:
+    from pathlib import Path
+
+    config = load_config(Path(REPO_ROOT) / ".reprolint.toml")
+    src = Path(REPO_ROOT) / "src"
+
+    # Warm-up doubles as the correctness anchor: the benchmark is only
+    # meaningful while the tree it measures is lint-clean.
+    report = lint_paths([src], config)
+    files = collect_files([src], config)
+    lines = sum(f.source.count("\n") + 1 for f in files.values())
+
+    def build_context() -> None:
+        context = ProjectContext(files, config)
+        context.symbols  # noqa: B018 — force the lazy builds
+        context.graph  # noqa: B018
+
+    seconds_full = best_of(lambda: lint_paths([src], config), repeats)
+    seconds_parse = best_of(lambda: collect_files([src], config), repeats)
+    seconds_graph = best_of(build_context, repeats)
+    seconds_sarif = best_of(lambda: render_sarif(report), repeats)
+
+    return {
+        "files": len(files),
+        "lines": lines,
+        "findings": len(report.findings),
+        "clean": report.clean,
+        "repeats": repeats,
+        "full": {
+            "seconds": round(seconds_full, 6),
+            "files_per_second": round(len(files) / seconds_full, 1),
+            "lines_per_second": round(lines / seconds_full, 1),
+        },
+        "parse": {"seconds": round(seconds_parse, 6)},
+        "interprocedural": {"seconds": round(seconds_graph, 6)},
+        "sarif": {"seconds": round(seconds_sarif, 6)},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_lint.json", help="output path")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of repeats (default 3)"
+    )
+    parser.add_argument(
+        "--check-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="exit 1 when the full-project lint exceeds S seconds "
+        "wall-clock (the CI gate uses 10)",
+    )
+    args = parser.parse_args(argv)
+
+    row = bench_lint(max(1, args.repeats))
+    payload: Dict[str, Any] = {
+        "schema": 1,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "lint": row,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    full = row["full"]
+    print(
+        f"lint: {row['files']} files / {row['lines']} lines in"
+        f" {full['seconds']:.3f}s ({full['files_per_second']:,.0f} files/s,"
+        f" {full['lines_per_second']:,.0f} lines/s)"
+    )
+    print(
+        f"  parse {row['parse']['seconds']:.3f}s,"
+        f" interprocedural {row['interprocedural']['seconds']:.3f}s,"
+        f" sarif {row['sarif']['seconds']:.4f}s"
+    )
+    print(f"wrote {args.out}")
+    if not row["clean"]:
+        print(
+            f"FAIL: the measured tree has {row['findings']} lint finding(s);"
+            " the benchmark only tracks clean runs",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check_seconds is not None and full["seconds"] > args.check_seconds:
+        print(
+            f"FAIL: full-project lint took {full['seconds']:.3f}s, over the"
+            f" {args.check_seconds:.1f}s budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
