@@ -42,6 +42,14 @@ Commands
     that schedules submitted sweeps on the supervised pool, answers
     previously-computed trials from a persistent result cache, and
     streams sealed journal-v2 records over chunked JSONL.
+``wire elect|agree|flood --n 8 [--script s.json] [--backend wire|loopback]``
+    Run a protocol on the real-network backend (``docs/NET.md``): one OS
+    process per node over localhost TCP, heartbeat failure detection,
+    and CrashScript-driven SIGKILL fault injection with per-node
+    journals.
+``wire parity [--sizes 8 16 32] [--backend wire|loopback]``
+    The sim-vs-wire parity oracle: for each grid cell the wire run's
+    message accounting and outcome must equal the simulator's exactly.
 
 ``--jobs N`` fans trials out over N worker processes; ``--jobs 0``
 auto-detects the core count.  Results are deterministic and identical
@@ -631,6 +639,146 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _wire_spec_from_args(args: argparse.Namespace, protocol: str):
+    from .chaos import CrashScript
+    from .net import WireSpec
+
+    script = None
+    if getattr(args, "script", None):
+        with open(args.script) as handle:
+            script = CrashScript.from_dict(json.load(handle))
+    kwargs = {
+        "protocol": protocol,
+        "n": args.n,
+        "alpha": args.alpha,
+        "seed": args.seed,
+        "script": script,
+        "heartbeat_interval": args.heartbeat_interval,
+        "suspicion_threshold": args.suspicion_threshold,
+        "round_timeout": args.round_timeout,
+        "trial_timeout": args.trial_timeout,
+    }
+    if protocol != "election":
+        kwargs["inputs"] = args.inputs
+    if protocol == "flooding" and args.faulty_count is not None:
+        kwargs["faulty_count"] = args.faulty_count
+    return WireSpec(**kwargs)
+
+
+def _cmd_wire_run(args: argparse.Namespace) -> int:
+    from .net.driver import run_loopback_trial, run_wire_trial
+
+    protocol = {"elect": "election", "agree": "agreement", "flood": "flooding"}[
+        args.wire_command
+    ]
+    spec = _wire_spec_from_args(args, protocol)
+    if args.backend == "loopback":
+        result = run_loopback_trial(spec)
+    else:
+        result = run_wire_trial(spec, journal_dir=args.journal_dir)
+    if not result.ok:
+        print(f"wire trial FAILED: {result.reason}", file=sys.stderr)
+        if result.journal_dir:
+            print(f"journals: {result.journal_dir}", file=sys.stderr)
+        return 2
+    assert result.metrics is not None and result.outcome is not None
+    summary = dict(result.metrics.summary())
+    summary["backend"] = result.backend
+    summary["success"] = result.outcome["success"]
+    print(format_table([summary], title=f"wire {protocol} (n={spec.n})"))
+    if result.journal_dir:
+        print(f"journals: {result.journal_dir}")
+    return 0 if result.outcome["success"] else 1
+
+
+def _cmd_wire_parity(args: argparse.Namespace) -> int:
+    from .net.parity import parity_grid
+
+    overrides = {
+        "heartbeat_interval": args.heartbeat_interval,
+        "suspicion_threshold": args.suspicion_threshold,
+        "round_timeout": args.round_timeout,
+        "trial_timeout": args.trial_timeout,
+    }
+    reports = parity_grid(
+        protocols=args.protocols,
+        sizes=args.sizes,
+        modes=args.modes,
+        seed=args.seed,
+        backend=args.backend,
+        journal_dir=args.journal_dir,
+        **overrides,
+    )
+    rows = []
+    for report in reports:
+        rows.append(
+            {
+                "protocol": report.spec.protocol,
+                "n": report.spec.n,
+                "mode": "scripted" if report.spec.script else "fault-free",
+                "backend": report.backend,
+                "parity": "OK" if report.ok else "MISMATCH",
+                "messages": (
+                    report.wire_metrics["messages_sent"]
+                    if report.wire_metrics
+                    else "-"
+                ),
+            }
+        )
+    print(format_table(rows, title="sim-vs-wire parity"))
+    failed = [report for report in reports if not report.ok]
+    for report in failed:
+        where = (
+            f"{report.spec.protocol} n={report.spec.n} "
+            f"{'scripted' if report.spec.script else 'fault-free'}"
+        )
+        for diff in report.diffs:
+            print(f"  {where}: {diff}", file=sys.stderr)
+        if report.trial.journal_dir:
+            print(f"  {where}: journals {report.trial.journal_dir}", file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump([report.to_dict() for report in reports], handle, indent=2)
+        print(f"wrote {args.out}")
+    print(f"parity: {len(reports) - len(failed)}/{len(reports)} cells match")
+    return 0 if not failed else 1
+
+
+def _add_wire_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.1,
+        help="seconds between node heartbeats to the coordinator",
+    )
+    parser.add_argument(
+        "--suspicion-threshold",
+        type=int,
+        default=30,
+        help="missed-beat multiplier before a silent node is suspected "
+        "(detection bound = interval * threshold)",
+    )
+    parser.add_argument(
+        "--round-timeout",
+        type=float,
+        default=30.0,
+        help="per-barrier deadline (frames / reports)",
+    )
+    parser.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=180.0,
+        help="whole-trial wall-clock deadline",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        default=None,
+        help="directory for per-node + coordinator journals "
+        "(default: a fresh temp dir)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -1004,6 +1152,76 @@ def build_parser() -> argparse.ArgumentParser:
         "clients only)",
     )
     serve_cmd.set_defaults(func=_cmd_serve)
+
+    wire_cmd = sub.add_parser(
+        "wire",
+        help="real-network backend: protocols over localhost TCP with "
+        "SIGKILL fault injection (docs/NET.md)",
+    )
+    wire_sub = wire_cmd.add_subparsers(dest="wire_command", required=True)
+    for name, help_text in (
+        ("elect", "leader election over TCP node processes"),
+        ("agree", "agreement over TCP node processes"),
+        ("flood", "flooding baseline over TCP node processes"),
+    ):
+        wire_run = wire_sub.add_parser(name, help=help_text)
+        wire_run.add_argument("--n", type=int, default=8)
+        wire_run.add_argument("--alpha", type=float, default=0.75)
+        if name != "elect":
+            wire_run.add_argument("--inputs", default="mixed")
+        if name == "flood":
+            wire_run.add_argument(
+                "--faulty-count",
+                type=int,
+                default=None,
+                help="fault budget f (rounds = f + 1); default: the "
+                "script's faulty set size",
+            )
+        wire_run.add_argument(
+            "--script",
+            default=None,
+            help="CrashScript JSON file: scripted SIGKILLs with partial "
+            "final-round delivery",
+        )
+        wire_run.add_argument(
+            "--backend",
+            choices=("wire", "loopback"),
+            default="wire",
+            help="wire = real node processes over TCP; loopback = the "
+            "in-process twin (same accounting, no sockets)",
+        )
+        _add_wire_common(wire_run)
+        wire_run.set_defaults(func=_cmd_wire_run)
+
+    wire_parity = wire_sub.add_parser(
+        "parity",
+        help="sim-vs-wire parity oracle: identical message counts and "
+        "outcomes for the same (spec, seed, script)",
+    )
+    wire_parity.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["election", "agreement", "flooding"],
+        choices=("election", "agreement", "flooding"),
+    )
+    wire_parity.add_argument("--sizes", nargs="+", type=int, default=[8, 16, 32])
+    wire_parity.add_argument(
+        "--modes",
+        nargs="+",
+        default=["fault-free", "scripted"],
+        choices=("fault-free", "scripted"),
+    )
+    wire_parity.add_argument(
+        "--backend",
+        choices=("wire", "loopback"),
+        default="wire",
+        help="wire = real node processes; loopback = in-process twin",
+    )
+    wire_parity.add_argument(
+        "--out", default=None, help="write the full parity reports as JSON"
+    )
+    _add_wire_common(wire_parity)
+    wire_parity.set_defaults(func=_cmd_wire_parity)
     return parser
 
 

@@ -80,6 +80,17 @@ class VecUnsupported(ReproError):
     """
 
 
+class WireError(ReproError):
+    """A real-network trial (:mod:`repro.net`) failed at the system layer.
+
+    Raised by the wire coordinator for transport-level faults the model
+    does not contain: a node process that never connected, heartbeat
+    silence from an unscripted death, a frame-count mismatch, or a
+    sender-side delivery filter diverging from the coordinator's replay.
+    The driver converts it into a journalled failed trial — never a hang.
+    """
+
+
 class OracleViolation(ReproError):
     """A fuzzed run broke a protocol-level safety oracle (see repro.chaos)."""
 

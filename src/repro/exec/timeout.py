@@ -1,50 +1,59 @@
 """Per-trial wall-clock budgets.
 
-``call_with_timeout`` runs a callable under a hard deadline using the
-POSIX interval timer (``SIGALRM``): when the deadline fires mid-call a
-:class:`~repro.errors.TrialTimeout` is raised *inside* the call, which
-unwinds it cleanly — no threads to orphan, no state to pickle, and the
-interrupted simulation is simply garbage.
+``call_with_timeout`` runs a callable under a hard deadline.  On the main
+thread it uses the POSIX interval timer (``SIGALRM``): when the deadline
+fires mid-call a :class:`~repro.errors.TrialTimeout` is raised *inside*
+the call, which unwinds it cleanly — no threads to orphan, no state to
+pickle, and the interrupted simulation is simply garbage.
 
-Signals only reach the main thread, so when invoked from a worker thread
-(or on a platform without ``setitimer``) the call degrades gracefully to
-running without a deadline — the executor records this and the retry
-machinery still applies.
+Signals only reach the main thread, so off the main thread (the wire
+driver's coordinator, the serve drainer) or on a platform without
+``setitimer`` the call falls back to a portable thread-based deadline: the
+callable runs in a daemon worker thread and the caller joins it with a
+timeout.  On expiry the *caller* gets the same :class:`TrialTimeout`; the
+worker thread is abandoned (Python cannot kill a thread), which is
+acceptable for the pure-compute trials this guards — the abandoned thread
+holds no locks the caller needs and exits with the process.  The SIGALRM
+path is preferred exactly because it has no such zombie.
 """
 
 from __future__ import annotations
 
 import signal
 import threading
-from typing import Any, Callable, Optional, TypeVar
+from typing import Any, Callable, List, Optional, TypeVar
 
 from ..errors import TrialTimeout
 
 T = TypeVar("T")
 
 
-def timeouts_supported() -> bool:
-    """True when hard deadlines can be enforced here and now."""
+def _signal_timeouts_usable() -> bool:
+    """True when the zero-thread SIGALRM path can be used right now."""
     return (
         hasattr(signal, "setitimer")
         and threading.current_thread() is threading.main_thread()
     )
 
 
-def call_with_timeout(
-    fn: Callable[..., T],
-    timeout_seconds: Optional[float],
-    *args: Any,
-    **kwargs: Any,
-) -> T:
-    """Run ``fn(*args, **kwargs)``, raising :class:`TrialTimeout` on expiry.
+def timeouts_supported() -> bool:
+    """True when hard deadlines can be enforced here and now.
 
-    ``timeout_seconds`` of ``None`` or ``0`` disables the deadline.  When
-    deadlines are unsupported in the calling context the function simply
-    runs uncapped (graceful degradation; see :func:`timeouts_supported`).
+    Always true since the thread-based fallback: off the main thread the
+    deadline is enforced by joining a worker thread instead of SIGALRM.
+    Kept as a function for API compatibility (executors record which
+    mechanism a run used via :func:`_signal_timeouts_usable`).
     """
-    if not timeout_seconds or not timeouts_supported():
-        return fn(*args, **kwargs)
+    return True
+
+
+def _call_with_signal_deadline(
+    fn: Callable[..., T],
+    timeout_seconds: float,
+    args: Any,
+    kwargs: Any,
+) -> T:
+    """Main-thread path: SIGALRM raises TrialTimeout inside the call."""
 
     def _expired(signum: int, frame: Any) -> None:
         raise TrialTimeout(
@@ -58,3 +67,60 @@ def call_with_timeout(
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous_handler)
+
+
+def _call_with_thread_deadline(
+    fn: Callable[..., T],
+    timeout_seconds: float,
+    args: Any,
+    kwargs: Any,
+) -> T:
+    """Portable path: run ``fn`` in a daemon worker, join with a timeout.
+
+    The worker re-raises nothing itself; it parks the outcome and the
+    caller re-raises or returns it, so exceptions propagate with their
+    original traceback chained.
+    """
+    outcome: List[Any] = []
+    failure: List[BaseException] = []
+
+    def _run() -> None:
+        try:
+            outcome.append(fn(*args, **kwargs))
+        # repro: lint-ignore[EXC001] parked for the joining caller, which re-raises it
+        except BaseException as exc:
+            failure.append(exc)
+
+    worker = threading.Thread(
+        target=_run, name="repro-trial-deadline", daemon=True
+    )
+    worker.start()
+    worker.join(timeout_seconds)
+    if worker.is_alive():
+        raise TrialTimeout(
+            f"trial exceeded its {timeout_seconds}s wall-clock budget "
+            "(worker thread abandoned)"
+        )
+    if failure:
+        raise failure[0]
+    return outcome[0]
+
+
+def call_with_timeout(
+    fn: Callable[..., T],
+    timeout_seconds: Optional[float],
+    *args: Any,
+    **kwargs: Any,
+) -> T:
+    """Run ``fn(*args, **kwargs)``, raising :class:`TrialTimeout` on expiry.
+
+    ``timeout_seconds`` of ``None`` or ``0`` disables the deadline.  On
+    the main thread the deadline is a SIGALRM interval timer (byte-
+    identical to the historical behaviour); elsewhere it is a joined
+    daemon worker thread (see module docstring for the trade-off).
+    """
+    if not timeout_seconds:
+        return fn(*args, **kwargs)
+    if _signal_timeouts_usable():
+        return _call_with_signal_deadline(fn, timeout_seconds, args, kwargs)
+    return _call_with_thread_deadline(fn, timeout_seconds, args, kwargs)

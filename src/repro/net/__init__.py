@@ -1,0 +1,56 @@
+"""Real-network execution backend: the model, on actual sockets.
+
+The sim (:mod:`repro.sim`) executes the paper's synchronous crash-fault
+model as a discrete-event loop; this package executes the *same protocol
+objects* as one OS process per node over localhost TCP, with heartbeat
+failure detection, SIGKILL fault injection driven by chaos
+:class:`~repro.chaos.script.CrashScript`\\ s, and a coordinator that
+replays the engine's accounting from ground-truth node reports.
+
+The headline artefact is the parity oracle (:mod:`repro.net.parity`):
+for the same ``(spec, seed, script)``, wire message counts and outcomes
+must equal the sim **exactly** — the real network is a measurement of
+the model, not an approximation of it.
+
+Modules:
+
+* :mod:`~repro.net.spec` — :class:`WireSpec` and the shared sim/wire
+  vocabulary (canonical outcomes, metrics dicts, the sim reference run);
+* :mod:`~repro.net.comm` — length-prefixed JSON frames over asyncio TCP;
+* :mod:`~repro.net.heartbeat` — heartbeat sender + timeout failure
+  detector (injectable clock);
+* :mod:`~repro.net.faults` — CrashScript-driven SIGKILL injection and
+  partial final-round delivery;
+* :mod:`~repro.net.rounds` — the round-barrier coordinator and the
+  engine-exact :class:`RoundAccountant`;
+* :mod:`~repro.net.node` — the per-node process entrypoint
+  (``python -m repro.net.node``);
+* :mod:`~repro.net.driver` — :func:`run_wire_trial` /
+  :func:`run_loopback_trial`, journals, teardown guarantees;
+* :mod:`~repro.net.parity` — the sim-vs-wire oracle and the parity grid.
+"""
+
+from .driver import WireTrialResult, run_loopback_trial, run_wire_trial
+from .parity import (
+    PARITY_MODES,
+    ParityReport,
+    default_script,
+    parity_grid,
+    parity_specs,
+    run_parity_trial,
+)
+from .spec import WIRE_PROTOCOLS, WireSpec
+
+__all__ = [
+    "WIRE_PROTOCOLS",
+    "PARITY_MODES",
+    "WireSpec",
+    "WireTrialResult",
+    "ParityReport",
+    "default_script",
+    "parity_grid",
+    "parity_specs",
+    "run_loopback_trial",
+    "run_parity_trial",
+    "run_wire_trial",
+]

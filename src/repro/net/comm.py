@@ -1,0 +1,203 @@
+"""Framed JSON transport over asyncio TCP.
+
+Every connection in the wire backend — node ↔ node data edges and the
+node ↔ coordinator control channel — speaks the same trivially parseable
+protocol: a 4-byte big-endian length prefix followed by a UTF-8 JSON
+object.  JSON keeps the frames debuggable (`journal` files quote them
+verbatim) and is cheap at wire-trial scale; the CONGEST *accounting*
+never looks at frame bytes, it counts model messages.
+
+:class:`FrameStream` wraps an asyncio reader/writer pair with:
+
+* write serialisation (an ``asyncio.Lock``) so concurrent tasks — the
+  heartbeat sender and the round loop share the coordinator channel —
+  never interleave partial frames;
+* send/receive frame counters, which the parity layer cross-checks
+  against the coordinator's delivery accounting (a frame the model says
+  was delivered must actually have crossed the socket);
+* EOF as ``None`` from :meth:`recv`, so peers dying mid-read surface as
+  data, not exceptions.
+
+:func:`connect_with_backoff` dials a peer with capped exponential
+backoff: node processes race the coordinator/each other at startup, so
+the first connect legitimately lands before the listener is up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Dict, Optional, Tuple
+
+from ..errors import WireError
+
+#: Length-prefix codec: 4-byte unsigned big-endian frame size.
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame; a longer frame is a protocol bug.
+MAX_FRAME_BYTES = 4 << 20
+
+
+def encode_frame(payload: Dict[str, object]) -> bytes:
+    """Serialise one frame (length prefix + compact JSON)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(body)) + body
+
+
+class FrameStream:
+    """A counted, write-serialised frame channel over one TCP connection."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._write_lock = asyncio.Lock()
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    async def send(self, payload: Dict[str, object]) -> None:
+        """Write one frame and drain (serialised across tasks)."""
+        data = encode_frame(payload)
+        async with self._write_lock:
+            self._writer.write(data)
+            await self._writer.drain()
+            self.frames_sent += 1
+
+    async def recv(self) -> Optional[Dict[str, object]]:
+        """Read one frame; ``None`` on clean or mid-frame EOF."""
+        try:
+            header = await self._reader.readexactly(_HEADER.size)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise WireError(
+                f"peer announced a {length}-byte frame (cap {MAX_FRAME_BYTES})"
+            )
+        try:
+            body = await self._reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        try:
+            frame = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireError(f"undecodable frame: {exc}") from exc
+        if not isinstance(frame, dict):
+            raise WireError(f"frame is not an object: {frame!r}")
+        self.frames_received += 1
+        return frame
+
+    def close(self) -> None:
+        """Close the underlying transport (best effort)."""
+        try:
+            self._writer.close()
+        except (RuntimeError, OSError):  # loop already torn down
+            pass
+
+    async def wait_closed(self) -> None:
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def connect_with_backoff(
+    host: str,
+    port: int,
+    *,
+    attempts: int = 8,
+    base_delay: float = 0.05,
+    max_delay: float = 1.0,
+) -> FrameStream:
+    """Dial ``host:port``, retrying with capped exponential backoff.
+
+    Raises :class:`~repro.errors.WireError` once the attempt budget is
+    spent — callers decide whether a dead peer is fatal (coordinator) or
+    expected (a crashed node's data edge).
+    """
+    delay = base_delay
+    last_error: Optional[Exception] = None
+    for attempt in range(attempts):
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            return FrameStream(reader, writer)
+        except (ConnectionError, OSError) as exc:
+            last_error = exc
+            if attempt == attempts - 1:
+                break
+            await asyncio.sleep(delay)
+            delay = min(max_delay, delay * 2)
+    raise WireError(
+        f"could not connect to {host}:{port} after {attempts} attempts: "
+        f"{last_error}"
+    )
+
+
+class PeerBook:
+    """Lazy outbound connections to peers, with dead-peer memory.
+
+    A sender keeps one connection per destination.  A destination that
+    cannot be reached (its process was SIGKILLed) is remembered as dead:
+    the model counts such messages as sent-and-expired, so the sender
+    must not stall re-dialling a corpse every round.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        ports: Dict[int, int],
+        *,
+        attempts: int = 4,
+        base_delay: float = 0.03,
+    ) -> None:
+        self._host = host
+        self._ports = ports
+        self._attempts = attempts
+        self._base_delay = base_delay
+        self._streams: Dict[int, FrameStream] = {}
+        self._dead: set = set()
+        self.frames_sent = 0
+
+    async def send(self, dst: int, payload: Dict[str, object]) -> bool:
+        """Send one frame to ``dst``; False if the peer is unreachable."""
+        if dst in self._dead:
+            return False
+        stream = self._streams.get(dst)
+        if stream is None:
+            try:
+                stream = await connect_with_backoff(
+                    self._host,
+                    self._ports[dst],
+                    attempts=self._attempts,
+                    base_delay=self._base_delay,
+                )
+            except WireError:
+                self._dead.add(dst)
+                return False
+            self._streams[dst] = stream
+        try:
+            await stream.send(payload)
+        except (ConnectionError, OSError):
+            self._dead.add(dst)
+            stream.close()
+            del self._streams[dst]
+            return False
+        self.frames_sent += 1
+        return True
+
+    def close(self) -> None:
+        for stream in self._streams.values():
+            stream.close()
+        self._streams.clear()
+
+
+def split_host_port(address: str) -> Tuple[str, int]:
+    """Parse ``host:port`` (used by the node CLI)."""
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise WireError(f"expected HOST:PORT, got {address!r}")
+    return host, int(port)

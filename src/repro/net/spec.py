@@ -1,0 +1,503 @@
+"""Wire-trial specification and the sim/wire shared vocabulary.
+
+A :class:`WireSpec` pins everything a real-network trial needs — protocol,
+size, seed, input pattern, fault script, and the transport tunables — and
+is the unit the parity oracle quantifies over: for one ``(spec, seed,
+script)`` the simulator and the wire backend must produce identical
+message accounting and identical outcomes.
+
+To make "identical" checkable, this module also owns:
+
+* protocol construction (:meth:`WireSpec.make_runtime`) — the *same*
+  protocol classes, parameters, schedules, and per-node RNG streams the
+  sim backends use, behind the :class:`~repro.sim.adapter.NodeRuntime`
+  seam;
+* the sim reference run (:func:`sim_reference`) — the discrete-round
+  engine driven through the public runners;
+* outcome canonicalisation (:func:`canonical_outcome`,
+  :func:`wire_outcome`) — both sides reduce to one plain-dict shape, and
+  the wire side reuses the *runner's own evaluators* over reconstructed
+  protocol outputs, so the success predicate cannot drift between
+  backends;
+* :func:`metrics_dict` — the full accounting surface that parity
+  compares (not just headline totals: per-round, per-kind, and per-node
+  attribution too).
+
+The spec (JSON-serialisable via :meth:`to_dict`/:meth:`from_dict`) is
+handed verbatim to every node process, which rebuilds its runtime from
+``(spec, node_id)`` alone — determinism across process boundaries comes
+from :mod:`repro.rng`'s hash-derived streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from types import SimpleNamespace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..chaos.script import CrashScript
+from ..core.runner import (
+    _evaluate_agreement,
+    _evaluate_leader_election,
+    make_inputs,
+)
+from ..core.schedule import AgreementSchedule, LeaderElectionSchedule
+from ..errors import ConfigurationError
+from ..faults.strategies import named_adversary
+from ..params import CongestBudget, Params
+from ..rng import RngFactory
+from ..sim.adapter import NodeRuntime
+from ..sim.metrics import Metrics
+from ..sim.network import RunResult
+from ..sim.node import Protocol
+from ..types import Decision, Knowledge, NodeState
+
+#: Protocols the wire backend can run (same logic objects as the sim).
+WIRE_PROTOCOLS = ("election", "agreement", "flooding")
+
+
+@dataclass(frozen=True)
+class WireSpec:
+    """Everything one wire trial needs, JSON-round-trippable."""
+
+    protocol: str
+    n: int
+    alpha: float = 0.75
+    seed: int = 0
+    inputs: str = "mixed"
+    faulty_count: Optional[int] = None
+    extra_rounds: int = 0
+    script: Optional[CrashScript] = None
+    # -- transport tunables (no effect on accounting or outcomes) -------
+    host: str = "127.0.0.1"
+    heartbeat_interval: float = 0.1
+    suspicion_threshold: int = 30
+    round_timeout: float = 30.0
+    setup_timeout: float = 20.0
+    trial_timeout: float = 180.0
+
+    def __post_init__(self) -> None:
+        if self.protocol not in WIRE_PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown wire protocol {self.protocol!r}; "
+                f"choose from {WIRE_PROTOCOLS}"
+            )
+        if self.heartbeat_interval <= 0 or self.suspicion_threshold < 2:
+            raise ConfigurationError(
+                "heartbeat_interval must be positive and "
+                "suspicion_threshold >= 2"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived model quantities (must match the sim runners exactly)
+    # ------------------------------------------------------------------
+
+    def params(self) -> Params:
+        """Paper parameters (election/agreement only)."""
+        return Params(n=self.n, alpha=self.alpha)
+
+    def resolved_faulty_count(self) -> int:
+        """The fault budget the sim runner would use for this spec."""
+        if self.faulty_count is not None:
+            return self.faulty_count
+        if self.protocol == "flooding":
+            return len(self.script.faulty) if self.script else 0
+        return self.params().max_faulty
+
+    def horizon(self) -> int:
+        """The nominal round count the sim runner would request."""
+        if self.protocol == "election":
+            schedule = LeaderElectionSchedule.from_params(self.params())
+            return schedule.last_round + self.extra_rounds
+        if self.protocol == "agreement":
+            schedule = AgreementSchedule.from_params(self.params())
+            return schedule.last_round + self.extra_rounds
+        # flooding: f + 1 protocol rounds, run for two extra delivery rounds
+        return self.resolved_faulty_count() + 1 + 2 + self.extra_rounds
+
+    def knowledge(self) -> Knowledge:
+        """Knowledge model of the protocol (flooding assumes KT1)."""
+        return Knowledge.KT1 if self.protocol == "flooding" else Knowledge.KT0
+
+    def input_bits(self) -> Optional[List[int]]:
+        """Agreement/flooding input vector (None for election)."""
+        if self.protocol == "election":
+            return None
+        return make_inputs(self.n, self.inputs, self.seed)
+
+    def adversary(self) -> Any:
+        """The adversary object the sim reference run uses."""
+        if self.script is not None:
+            return self.script
+        return named_adversary("none", self.horizon())
+
+    def faulty_set(self) -> Tuple[int, ...]:
+        """Static faulty set (scripted runs only; empty otherwise)."""
+        return self.script.faulty if self.script else ()
+
+    def validate(self) -> None:
+        """Reject specs the wire backend cannot replay round-faithfully."""
+        # Params strictness (alpha floor, n >= 8) for the paper protocols.
+        if self.protocol != "flooding":
+            self.params()
+        script = self.script
+        if script is None:
+            return
+        if script.byzantine.modes:
+            raise ConfigurationError(
+                "wire backend replays crash faults only; the script has a "
+                "Byzantine plan"
+            )
+        if not script.delivery.is_synchronous:
+            raise ConfigurationError(
+                "wire backend is round-synchronous; the script has a "
+                f"delay-{script.delivery.max_delay} delivery schedule"
+            )
+        faulty = set(script.faulty)
+        for node, (round_, _) in script.crashes.items():
+            if node not in faulty:
+                raise ConfigurationError(
+                    f"script crashes node {node} outside its faulty set"
+                )
+            if not 0 <= node < self.n:
+                raise ConfigurationError(
+                    f"script crashes node {node}, but n={self.n}"
+                )
+            if round_ < 1:
+                raise ConfigurationError(
+                    f"script crashes node {node} in round {round_} (< 1)"
+                )
+        if len(faulty) > self.resolved_faulty_count():
+            raise ConfigurationError(
+                f"script has {len(faulty)} faulty nodes; the budget is "
+                f"{self.resolved_faulty_count()}"
+            )
+
+    # ------------------------------------------------------------------
+    # Node-side construction
+    # ------------------------------------------------------------------
+
+    def make_protocol(self, node_id: int) -> Protocol:
+        """Build node ``node_id``'s protocol exactly as the runner does."""
+        if self.protocol == "election":
+            from ..core.leader_election import LeaderElectionProtocol
+
+            params = self.params()
+            schedule = LeaderElectionSchedule.from_params(params)
+            return LeaderElectionProtocol(node_id, params, schedule)
+        if self.protocol == "agreement":
+            from ..core.agreement import AgreementProtocol
+
+            params = self.params()
+            schedule = AgreementSchedule.from_params(params)
+            bits = self.input_bits()
+            assert bits is not None
+            return AgreementProtocol(node_id, params, schedule, bits[node_id])
+        from ..baselines.flooding import FloodingConsensusProtocol
+
+        bits = self.input_bits()
+        assert bits is not None
+        return FloodingConsensusProtocol(
+            node_id, self.n, bits[node_id], self.resolved_faulty_count() + 1
+        )
+
+    def make_runtime(self, node_id: int) -> NodeRuntime:
+        """Build node ``node_id``'s engine-faithful runtime."""
+        return NodeRuntime(
+            node_id,
+            self.n,
+            self.make_protocol(node_id),
+            RngFactory(self.seed).node_stream(node_id),
+            knowledge=self.knowledge(),
+            congest=CongestBudget(self.n),
+        )
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (spec travels to the node processes as argv)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "protocol": self.protocol,
+            "n": self.n,
+            "alpha": self.alpha,
+            "seed": self.seed,
+            "inputs": self.inputs,
+            "faulty_count": self.faulty_count,
+            "extra_rounds": self.extra_rounds,
+            "host": self.host,
+            "heartbeat_interval": self.heartbeat_interval,
+            "suspicion_threshold": self.suspicion_threshold,
+            "round_timeout": self.round_timeout,
+            "setup_timeout": self.setup_timeout,
+            "trial_timeout": self.trial_timeout,
+        }
+        if self.script is not None:
+            data["script"] = self.script.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "WireSpec":
+        raw_script = data.get("script")
+        script = (
+            CrashScript.from_dict(raw_script)  # type: ignore[arg-type]
+            if raw_script is not None
+            else None
+        )
+        faulty_count = data.get("faulty_count")
+        return cls(
+            protocol=str(data["protocol"]),
+            n=int(data["n"]),  # type: ignore[arg-type]
+            alpha=float(data.get("alpha", 0.75)),  # type: ignore[arg-type]
+            seed=int(data.get("seed", 0)),  # type: ignore[arg-type]
+            inputs=str(data.get("inputs", "mixed")),
+            faulty_count=(
+                int(faulty_count) if faulty_count is not None else None  # type: ignore[arg-type]
+            ),
+            extra_rounds=int(data.get("extra_rounds", 0)),  # type: ignore[arg-type]
+            script=script,
+            host=str(data.get("host", "127.0.0.1")),
+            heartbeat_interval=float(data.get("heartbeat_interval", 0.1)),  # type: ignore[arg-type]
+            suspicion_threshold=int(data.get("suspicion_threshold", 30)),  # type: ignore[arg-type]
+            round_timeout=float(data.get("round_timeout", 30.0)),  # type: ignore[arg-type]
+            setup_timeout=float(data.get("setup_timeout", 20.0)),  # type: ignore[arg-type]
+            trial_timeout=float(data.get("trial_timeout", 180.0)),  # type: ignore[arg-type]
+        )
+
+    def with_(self, **changes: object) -> "WireSpec":
+        """Copy with fields replaced (mirrors ``Params.with_``)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Protocol-output snapshots (what a node reports about itself)
+# ----------------------------------------------------------------------
+
+
+def snapshot_outputs(spec: WireSpec, protocol: Protocol) -> Dict[str, object]:
+    """A node's protocol outputs as a JSON-safe dict.
+
+    For crashed nodes this is taken in their crash round, *after* the
+    step/transmit phases — the protocol object never runs again, so the
+    snapshot equals its end-of-run state in the sim.
+    """
+    if spec.protocol == "election":
+        return {
+            "rank": protocol.rank,  # type: ignore[attr-defined]
+            "is_candidate": protocol.is_candidate,  # type: ignore[attr-defined]
+            "state": protocol.state.name,  # type: ignore[attr-defined]
+            "leader_rank": protocol.leader_rank,  # type: ignore[attr-defined]
+        }
+    if spec.protocol == "agreement":
+        return {
+            "is_candidate": protocol.is_candidate,  # type: ignore[attr-defined]
+            "decision": protocol.decision.name,  # type: ignore[attr-defined]
+        }
+    return {
+        "decided": protocol.decided,  # type: ignore[attr-defined]
+        "estimate": protocol.estimate,  # type: ignore[attr-defined]
+    }
+
+
+def _fake_protocol(spec: WireSpec, outputs: Mapping[str, object]) -> object:
+    """Rehydrate a snapshot into the attribute surface the evaluators read."""
+    if spec.protocol == "election":
+        rank = outputs["rank"]
+        leader_rank = outputs["leader_rank"]
+        return SimpleNamespace(
+            rank=int(rank) if rank is not None else None,  # type: ignore[arg-type]
+            is_candidate=bool(outputs["is_candidate"]),
+            state=NodeState[str(outputs["state"])],
+            leader_rank=(
+                int(leader_rank) if leader_rank is not None else None  # type: ignore[arg-type]
+            ),
+        )
+    if spec.protocol == "agreement":
+        return SimpleNamespace(
+            is_candidate=bool(outputs["is_candidate"]),
+            decision=Decision[str(outputs["decision"])],
+        )
+    decided = outputs["decided"]
+    return SimpleNamespace(
+        decided=int(decided) if decided is not None else None,  # type: ignore[arg-type]
+        estimate=int(outputs["estimate"]),  # type: ignore[arg-type]
+    )
+
+
+# ----------------------------------------------------------------------
+# Canonical outcomes — one dict shape for both backends
+# ----------------------------------------------------------------------
+
+
+def canonical_outcome(spec: WireSpec, result: object) -> Dict[str, object]:
+    """Reduce a runner result / baseline outcome to the parity dict."""
+    if spec.protocol == "election":
+        return {
+            "protocol": "election",
+            "success": result.success,  # type: ignore[attr-defined]
+            "strict_success": result.strict_success,  # type: ignore[attr-defined]
+            "leader_node": result.leader_node,  # type: ignore[attr-defined]
+            "elected_alive": list(result.elected_alive),  # type: ignore[attr-defined]
+            "elected_crashed": list(result.elected_crashed),  # type: ignore[attr-defined]
+            "candidates_all": list(result.candidates_all),  # type: ignore[attr-defined]
+            "candidates_alive": list(result.candidates_alive),  # type: ignore[attr-defined]
+            "beliefs": dict(result.beliefs),  # type: ignore[attr-defined]
+            "ranks": dict(result.ranks),  # type: ignore[attr-defined]
+            "crashed": dict(result.crashed),  # type: ignore[attr-defined]
+            "faulty": sorted(result.faulty),  # type: ignore[attr-defined]
+        }
+    if spec.protocol == "agreement":
+        return {
+            "protocol": "agreement",
+            "success": result.success,  # type: ignore[attr-defined]
+            "decision": result.decision,  # type: ignore[attr-defined]
+            "decisions": {
+                u: d.name
+                for u, d in sorted(result.decisions.items())  # type: ignore[attr-defined]
+            },
+            "candidates_all": list(result.candidates_all),  # type: ignore[attr-defined]
+            "candidates_alive": list(result.candidates_alive),  # type: ignore[attr-defined]
+            "crashed": dict(result.crashed),  # type: ignore[attr-defined]
+            "faulty": sorted(result.faulty),  # type: ignore[attr-defined]
+        }
+    return {
+        "protocol": "flooding",
+        "success": result.success,  # type: ignore[attr-defined]
+        "decisions": dict(sorted(result.decisions.items())),  # type: ignore[attr-defined]
+        "crashed": dict(result.crashed),  # type: ignore[attr-defined]
+        "faulty": sorted(result.faulty),  # type: ignore[attr-defined]
+    }
+
+
+def wire_outcome(
+    spec: WireSpec,
+    outputs: Mapping[int, Mapping[str, object]],
+    crashed: Mapping[int, int],
+    metrics: Metrics,
+) -> Dict[str, object]:
+    """Evaluate wire-gathered protocol outputs with the sim's evaluators.
+
+    Builds a faithful :class:`RunResult` over rehydrated protocol
+    snapshots and hands it to the *same* evaluation functions the sim
+    runners use, so the success predicates are shared by construction.
+    """
+    missing = [u for u in range(spec.n) if u not in outputs]
+    if missing:
+        raise ConfigurationError(
+            f"wire outcome needs outputs from every node; missing {missing}"
+        )
+    protocols = [_fake_protocol(spec, outputs[u]) for u in range(spec.n)]
+    run = RunResult(
+        n=spec.n,
+        protocols=protocols,  # type: ignore[arg-type]
+        metrics=metrics,
+        trace=None,
+        faulty=set(spec.faulty_set()),
+        crashed=dict(crashed),
+        rounds=metrics.rounds,
+        horizon=metrics.horizon,
+        max_delay=0,
+    )
+    if spec.protocol == "election":
+        result: object = _evaluate_leader_election(
+            run, spec.params(), spec.seed, spec.adversary()
+        )
+    elif spec.protocol == "agreement":
+        bits = spec.input_bits()
+        assert bits is not None
+        result = _evaluate_agreement(
+            run, spec.params(), spec.seed, spec.adversary(), bits
+        )
+    else:
+        result = _flooding_outcome(spec, run)
+    return canonical_outcome(spec, result)
+
+
+def _flooding_outcome(spec: WireSpec, run: RunResult) -> object:
+    from ..baselines.base import BaselineOutcome, evaluate_explicit_agreement
+
+    bits = spec.input_bits()
+    assert bits is not None
+    outcome = BaselineOutcome(
+        protocol="flooding",
+        n=spec.n,
+        faulty=run.faulty,
+        crashed=run.crashed,
+        metrics=run.metrics,
+        inputs=list(bits),
+    )
+    for u in run.alive:
+        decided = run.protocol(u).decided  # type: ignore[attr-defined]
+        if decided is not None:
+            outcome.decisions[u] = decided
+    outcome.success = evaluate_explicit_agreement(outcome, run.alive)
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# The sim reference run
+# ----------------------------------------------------------------------
+
+
+def sim_reference(
+    spec: WireSpec, backend: str = "ref"
+) -> Tuple[Metrics, Dict[str, object]]:
+    """Run ``spec`` on the discrete-round simulator (the parity baseline)."""
+    if spec.protocol == "election":
+        from ..core.runner import elect_leader
+
+        result: object = elect_leader(
+            n=spec.n,
+            alpha=spec.alpha,
+            seed=spec.seed,
+            adversary=spec.adversary(),
+            faulty_count=spec.resolved_faulty_count(),
+            extra_rounds=spec.extra_rounds,
+            backend=backend,
+        )
+    elif spec.protocol == "agreement":
+        from ..core.runner import agree
+
+        result = agree(
+            n=spec.n,
+            alpha=spec.alpha,
+            inputs=spec.inputs,
+            seed=spec.seed,
+            adversary=spec.adversary(),
+            faulty_count=spec.resolved_faulty_count(),
+            extra_rounds=spec.extra_rounds,
+            backend=backend,
+        )
+    else:
+        from ..baselines.flooding import flooding_consensus
+
+        bits = spec.input_bits()
+        assert bits is not None
+        result = flooding_consensus(
+            spec.n,
+            bits,
+            seed=spec.seed,
+            adversary=spec.script,
+            faulty_count=spec.resolved_faulty_count(),
+            backend=backend,
+        )
+    return result.metrics, canonical_outcome(spec, result)  # type: ignore[attr-defined]
+
+
+def metrics_dict(metrics: Metrics) -> Dict[str, object]:
+    """The full accounting surface the parity oracle compares."""
+    return {
+        "messages_sent": metrics.messages_sent,
+        "messages_delivered": metrics.messages_delivered,
+        "messages_dropped": metrics.messages_dropped,
+        "messages_expired": metrics.messages_expired,
+        "bits_sent": metrics.bits_sent,
+        "rounds": metrics.rounds,
+        "horizon": metrics.horizon,
+        "rounds_executed": metrics.rounds_executed,
+        "crashes": metrics.crashes,
+        "per_round_messages": list(metrics.per_round_messages),
+        "per_kind_messages": dict(sorted(metrics.per_kind_messages.items())),
+        "per_node_sent": dict(sorted(metrics.per_node_sent.items())),
+        "delivery_latency": dict(sorted(metrics.delivery_latency.items())),
+    }

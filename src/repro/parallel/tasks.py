@@ -84,6 +84,51 @@ def ben_or_trial(
     return _with_phases(summary, outcome.metrics)
 
 
+def fuzz_trial(
+    seed: int = 0,
+    protocol: str = "election",
+    n: int = 64,
+    alpha: float = 0.5,
+    inputs: str = "mixed",
+    extra_rounds: int = 0,
+    **kwargs: Any,
+) -> Dict[str, Any]:
+    """One adversary-fuzzing trial → a plain-dict verdict.
+
+    A pure function of ``(scenario, seed)`` — the sampled crash schedule
+    derives from the engine's seeded adversary stream — so the serve
+    layer's content-addressed result cache can answer repeats.  A failing
+    case ships its full replayable reproducer (``repro replay`` accepts
+    the embedded ``case`` object verbatim); fault-fragile findings are
+    flagged separately so campaign aggregation can journal instead of
+    fail, mirroring ``repro fuzz``.
+    """
+    from ..chaos.fuzzer import FuzzScenario, fuzz_one
+
+    scenario = FuzzScenario(
+        protocol=protocol,
+        n=n,
+        alpha=alpha,
+        inputs=inputs,
+        extra_rounds=extra_rounds,
+        **kwargs,
+    )
+    case = fuzz_one(scenario, seed)
+    summary: Dict[str, Any] = {
+        "protocol": protocol,
+        "n": n,
+        "alpha": alpha,
+        "seed": seed,
+        "failed": case is not None,
+    }
+    if case is not None:
+        summary["violations"] = list(case.violations)
+        summary["classes"] = list(case.signature)
+        summary["finding"] = case.is_finding
+        summary["case"] = case.to_dict()
+    return summary
+
+
 def _make_timers(profile: bool):
     if not profile:
         return None

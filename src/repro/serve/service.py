@@ -66,6 +66,9 @@ TASKS: Dict[str, str] = {
     "election": "repro.parallel.tasks:election_trial",
     "agreement": "repro.parallel.tasks:agreement_trial",
     "ben_or": "repro.parallel.tasks:ben_or_trial",
+    # Adversary fuzzing as a campaign: pure per-(scenario, seed) verdicts,
+    # so repeat submissions hit the result cache like any other task.
+    "fuzz": "repro.parallel.tasks:fuzz_trial",
 }
 
 #: Job states.

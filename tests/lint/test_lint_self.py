@@ -30,6 +30,41 @@ def test_injected_nondeterminism_fails_lint(tmp_path):
     assert report.findings[0].path == "src/repro/sim/node.py"
 
 
+def test_injected_blocking_call_in_net_fails_lint(tmp_path):
+    """The ASYNC001 canary: the async rules have no path scope, so a
+    blocking call inside a coroutine under src/repro/net/ must flip lint
+    to red — the wire backend lives or dies by event-loop hygiene."""
+    shutil.copy(REPO_ROOT / ".reprolint.toml", tmp_path / ".reprolint.toml")
+    net = tmp_path / "src" / "repro" / "net"
+    net.mkdir(parents=True)
+    (net / "coord.py").write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "async def barrier():\n"
+        "    time.sleep(1.0)\n",
+        encoding="utf-8",
+    )
+
+    config = load_config(tmp_path / ".reprolint.toml")
+    report = lint_paths([tmp_path / "src"], config)
+    assert report.exit_code == 1
+    assert [f.rule for f in report.findings] == ["ASYNC001"]
+    assert report.findings[0].path == "src/repro/net/coord.py"
+    assert "time.sleep" in report.findings[0].message
+
+
+def test_real_net_package_is_async_lint_clean():
+    """The shipped wire backend passes the async rules file by file
+    (subsumed by the whole-tree check, but pinned here so a future scope
+    change cannot silently exempt repro.net)."""
+    config = load_config(REPO_ROOT / ".reprolint.toml")
+    net = REPO_ROOT / "src" / "repro" / "net"
+    report = lint_paths([net], config)
+    assert len(report.files) >= 8, report.files
+    assert report.clean, "\n" + report.render_text()
+
+
 def test_injected_transitive_nondeterminism_fails_lint(tmp_path):
     """The DET003 canary: sim/ reaching time.time() through a helper
     module *outside* the deterministic packages must flip lint to red,

@@ -1,0 +1,1 @@
+"""Tests for the real-network execution backend (repro.net)."""

@@ -1,0 +1,215 @@
+"""Framed-JSON transport tests: round-trips, limits, EOF, dead peers."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import WireError
+from repro.net.comm import (
+    MAX_FRAME_BYTES,
+    FrameStream,
+    PeerBook,
+    connect_with_backoff,
+    encode_frame,
+    split_host_port,
+)
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=10.0))
+
+
+async def echo_pair():
+    """A connected (client FrameStream, server FrameStream) pair."""
+    accepted = asyncio.get_event_loop().create_future()
+
+    def on_connect(reader, writer):
+        accepted.set_result(FrameStream(reader, writer))
+
+    server = await asyncio.start_server(on_connect, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    client = await connect_with_backoff("127.0.0.1", port)
+    peer = await accepted
+    return server, client, peer
+
+
+class TestFrameStream:
+    def test_frames_round_trip_and_are_counted(self):
+        async def scenario():
+            server, client, peer = await echo_pair()
+            try:
+                payloads = [
+                    {"t": "m", "ar": 2, "src": 0, "k": "probe", "f": [1, "x"]},
+                    {"t": "hb", "node": 3},
+                ]
+                for payload in payloads:
+                    await client.send(payload)
+                received = [await peer.recv() for _ in payloads]
+                return payloads, received, client.frames_sent, peer.frames_received
+            finally:
+                client.close()
+                server.close()
+                await server.wait_closed()
+
+        payloads, received, sent, got = run(scenario())
+        assert received == payloads
+        assert (sent, got) == (2, 2)
+
+    def test_eof_surfaces_as_none_not_exception(self):
+        async def scenario():
+            server, client, peer = await echo_pair()
+            try:
+                client.close()
+                await client.wait_closed()
+                return await peer.recv()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        assert run(scenario()) is None
+
+    def test_oversize_announcement_is_a_wire_error(self):
+        async def scenario():
+            server, client, peer = await echo_pair()
+            try:
+                # A hand-forged header announcing an absurd frame.
+                client._writer.write((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+                await client._writer.drain()
+                with pytest.raises(WireError, match="cap"):
+                    await peer.recv()
+            finally:
+                client.close()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_undecodable_body_is_a_wire_error(self):
+        async def scenario():
+            server, client, peer = await echo_pair()
+            try:
+                body = b"\xff\xfe not json"
+                client._writer.write(len(body).to_bytes(4, "big") + body)
+                await client._writer.drain()
+                with pytest.raises(WireError, match="undecodable"):
+                    await peer.recv()
+            finally:
+                client.close()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+
+class TestEncodeFrame:
+    def test_oversize_frame_rejected_at_the_sender(self):
+        with pytest.raises(WireError, match="exceeds"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_header_is_big_endian_length(self):
+        data = encode_frame({"a": 1})
+        assert int.from_bytes(data[:4], "big") == len(data) - 4
+
+
+class TestConnectWithBackoff:
+    def test_gives_up_with_a_wire_error(self):
+        async def scenario():
+            # Grab a port, then close it so nothing listens there.
+            server = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            server.close()
+            await server.wait_closed()
+            with pytest.raises(WireError, match="could not connect"):
+                await connect_with_backoff(
+                    "127.0.0.1", port, attempts=2, base_delay=0.01
+                )
+
+        run(scenario())
+
+    def test_retries_until_the_listener_appears(self):
+        async def scenario():
+            probe = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+
+            async def late_listener():
+                await asyncio.sleep(0.05)
+                return await asyncio.start_server(
+                    lambda r, w: None, "127.0.0.1", port
+                )
+
+            listener_task = asyncio.ensure_future(late_listener())
+            stream = await connect_with_backoff(
+                "127.0.0.1", port, attempts=8, base_delay=0.02
+            )
+            stream.close()
+            server = await listener_task
+            server.close()
+            await server.wait_closed()
+
+        run(scenario())
+
+
+class TestPeerBook:
+    def test_dead_peer_is_remembered_not_redialled(self):
+        async def scenario():
+            probe = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+
+            book = PeerBook("127.0.0.1", {5: port}, attempts=2, base_delay=0.01)
+            first = await book.send(5, {"t": "m"})
+            # The second send must short-circuit on the dead-peer memo.
+            loop = asyncio.get_event_loop()
+            before = loop.time()
+            second = await book.send(5, {"t": "m"})
+            elapsed = loop.time() - before
+            book.close()
+            return first, second, elapsed
+
+        first, second, elapsed = run(scenario())
+        assert (first, second) == (False, False)
+        assert elapsed < 0.01  # no re-dial of a corpse
+
+    def test_live_peer_receives_frames(self):
+        async def scenario():
+            inbox = []
+            done = asyncio.get_event_loop().create_future()
+
+            def on_connect(reader, writer):
+                async def pump():
+                    stream = FrameStream(reader, writer)
+                    frame = await stream.recv()
+                    inbox.append(frame)
+                    done.set_result(None)
+
+                asyncio.ensure_future(pump())
+
+            server = await asyncio.start_server(on_connect, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            book = PeerBook("127.0.0.1", {0: port})
+            ok = await book.send(0, {"t": "m", "src": 1})
+            await done
+            book.close()
+            server.close()
+            await server.wait_closed()
+            return ok, inbox, book.frames_sent
+
+        ok, inbox, sent = run(scenario())
+        assert ok is True
+        assert inbox == [{"t": "m", "src": 1}]
+        assert sent == 1
+
+
+class TestSplitHostPort:
+    def test_parses_host_and_port(self):
+        assert split_host_port("127.0.0.1:9000") == ("127.0.0.1", 9000)
+
+    @pytest.mark.parametrize("bad", ["localhost", ":80", "host:", "host:abc"])
+    def test_rejects_malformed_addresses(self, bad):
+        with pytest.raises(WireError):
+            split_host_port(bad)

@@ -1,0 +1,152 @@
+"""Failure-detector semantics under a fake clock (no real sleeping).
+
+The three properties the wire backend leans on:
+
+* no false suspicion below the detection bound (jitter-tolerance),
+* detection within one bound of the last beat (a SIGKILLed node is
+  noticed, which is what turns a dead barrier into a failed trial),
+* quiescence after expected deaths are forgotten (clean shutdown).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.net.heartbeat import HEARTBEAT_FRAME, FailureDetector, HeartbeatSender
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def detector(clock):
+    # bound = 0.1 * 5 = 0.5s of silence
+    return FailureDetector(0.1, 5, clock=clock)
+
+
+class TestNoFalseSuspicion:
+    def test_silence_below_the_bound_is_never_suspected(self, detector, clock):
+        detector.register(3)
+        clock.advance(detector.bound)  # exactly the bound: still innocent
+        assert detector.suspects() == []
+
+    def test_jittered_beats_keep_a_node_innocent_forever(self, detector, clock):
+        detector.register(7)
+        for _ in range(50):
+            clock.advance(detector.bound * 0.9)  # late, but below the bound
+            detector.beat(7)
+        assert detector.suspects() == []
+        assert detector.silence(7) == 0.0
+
+    def test_registration_counts_as_a_beat(self, detector, clock):
+        clock.advance(10.0)  # long silence before the node even exists
+        detector.register(1)
+        assert detector.suspects() == []
+
+
+class TestDetectionWithinBound:
+    def test_silent_node_is_suspected_just_past_the_bound(self, detector, clock):
+        detector.register(2)
+        detector.register(4)
+        clock.advance(detector.bound * 0.5)
+        detector.beat(4)  # node 2 goes silent here
+        clock.advance(detector.bound * 0.5)
+        assert detector.suspects() == []  # node 2 exactly at the bound
+        clock.advance(0.001)
+        assert detector.suspects() == [2]
+
+    def test_suspects_are_sorted_and_cumulative(self, detector, clock):
+        for node in (5, 1, 9):
+            detector.register(node)
+        clock.advance(detector.bound + 1.0)
+        assert detector.suspects() == [1, 5, 9]
+
+    def test_silence_reports_elapsed_quiet_time(self, detector, clock):
+        detector.register(0)
+        clock.advance(0.25)
+        assert detector.silence(0) == pytest.approx(0.25)
+        assert detector.silence(99) == 0.0  # untracked
+
+
+class TestQuiescence:
+    def test_forgotten_nodes_never_raise_suspicion(self, detector, clock):
+        detector.register(3)
+        detector.forget(3)  # scripted crash: an expected death
+        clock.advance(detector.bound * 100)
+        assert detector.suspects() == []
+        assert detector.quiescent
+
+    def test_detector_is_quiescent_after_all_forgets(self, detector):
+        for node in range(4):
+            detector.register(node)
+        assert detector.tracked == [0, 1, 2, 3]
+        assert not detector.quiescent
+        for node in range(4):
+            detector.forget(node)
+        assert detector.quiescent
+        assert detector.tracked == []
+
+    def test_beats_from_untracked_nodes_are_ignored(self, detector, clock):
+        detector.beat(8)  # never registered (or already forgotten)
+        assert detector.quiescent
+        assert detector.suspects() == []
+
+
+class TestValidation:
+    def test_rejects_nonpositive_interval(self, clock):
+        with pytest.raises(ValueError, match="interval"):
+            FailureDetector(0.0, 5, clock=clock)
+
+    def test_rejects_single_missed_beat_threshold(self, clock):
+        with pytest.raises(ValueError, match="suspicion_threshold"):
+            FailureDetector(0.1, 1, clock=clock)
+
+
+class _RecordingStream:
+    def __init__(self, fail_after=None):
+        self.frames = []
+        self._fail_after = fail_after
+
+    async def send(self, payload):
+        if self._fail_after is not None and len(self.frames) >= self._fail_after:
+            raise ConnectionResetError("coordinator is gone")
+        self.frames.append(payload)
+
+
+class TestHeartbeatSender:
+    def test_beats_carry_the_node_id_until_stopped(self):
+        async def scenario():
+            stream = _RecordingStream()
+            sender = HeartbeatSender(stream, node_id=6, interval=0.005)
+            task = asyncio.ensure_future(sender.run())
+            await asyncio.sleep(0.03)
+            sender.stop()
+            await task
+            return stream.frames, sender.beats_sent
+
+        frames, beats = asyncio.run(scenario())
+        assert beats >= 2
+        assert all(f == {"t": HEARTBEAT_FRAME, "node": 6} for f in frames)
+
+    def test_dead_control_channel_ends_the_sender_quietly(self):
+        async def scenario():
+            stream = _RecordingStream(fail_after=1)
+            sender = HeartbeatSender(stream, node_id=0, interval=0.001)
+            await asyncio.wait_for(sender.run(), timeout=2.0)
+            return stream.frames
+
+        frames = asyncio.run(scenario())
+        assert len(frames) == 1  # second send hit the dead socket and bailed

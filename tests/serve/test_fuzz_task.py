@@ -1,0 +1,86 @@
+"""Fuzz campaigns through the serve streaming service (registry task "fuzz").
+
+Byte-parity with a serial in-process sweep, same as the election task:
+the fuzz verdicts are pure functions of (scenario, seed), so the service
+must stream — and later answer from cache — exactly what
+:func:`repro.parallel.tasks.fuzz_trial` computes serially.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.sweeps import sweep
+from repro.exec import default_serialize
+from repro.parallel.tasks import fuzz_trial
+from repro.serve import CampaignService, parse_campaign_spec
+from repro.serve.cache import canonical_json
+from repro.serve.service import TASKS
+
+GRID = {"protocol": ["election"], "n": [16]}
+SPEC = {"task": "fuzz", "grid": GRID, "trials": 2, "master_seed": 0}
+
+
+def wait_done(job, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while not job.done:
+        if time.monotonic() > deadline:
+            raise AssertionError(f"job {job.id} still {job.state}")
+        time.sleep(0.01)
+    assert job.state == "done", job.error
+    return job
+
+
+@pytest.fixture
+def service(tmp_path):
+    service = CampaignService(cache_dir=tmp_path / "cache")
+    yield service
+    service.close()
+
+
+class TestRegistration:
+    def test_fuzz_resolves_from_the_registry(self):
+        assert TASKS["fuzz"] == "repro.parallel.tasks:fuzz_trial"
+        spec = parse_campaign_spec(SPEC, TASKS)
+        assert spec.task_ref == TASKS["fuzz"]
+        assert spec.grid == {"protocol": ["election"], "n": [16]}
+
+
+class TestExecution:
+    def test_streamed_verdicts_match_the_serial_sweep(self, service):
+        job = wait_done(service.submit(SPEC))
+        summary = job.summary
+        assert summary["failed"] == 0
+        reference = [
+            {
+                "point": point,
+                "results": [default_serialize(v) for v in results],
+                "failed": 0,
+            }
+            for point, results in sweep(
+                fuzz_trial, GRID, trials=2, master_seed=0
+            )
+        ]
+        assert canonical_json(summary["points"]) == canonical_json(reference)
+
+    def test_verdicts_have_the_fuzz_shape(self, service):
+        job = wait_done(service.submit(SPEC))
+        trials = [r for r in job.records if "status" in r]
+        assert len(trials) == 2
+        for record in trials:
+            assert record["status"] == "ok"
+            verdict = record["value"]
+            assert verdict["protocol"] == "election"
+            assert verdict["n"] == 16
+            assert "failed" in verdict
+            if verdict["failed"]:
+                assert "case" in verdict  # replayable reproducer rides along
+
+    def test_resubmission_is_served_from_cache(self, service):
+        first = wait_done(service.submit(SPEC))
+        second = wait_done(service.submit(SPEC))
+        assert second.summary["cache_hits"] == 2
+        assert second.summary["cache_misses"] == 0
+        assert canonical_json(second.summary["points"]) == canonical_json(
+            first.summary["points"]
+        )

@@ -246,3 +246,55 @@ class TestObservability:
         assert code == 0
         assert "[sweep]" in captured.err
         assert "elapsed" in captured.err
+
+
+class TestWireCli:
+    def test_wire_elect_defaults(self):
+        args = build_parser().parse_args(["wire", "elect"])
+        assert args.n == 8
+        assert args.alpha == 0.75
+        assert args.backend == "wire"
+        assert args.suspicion_threshold == 30
+        assert args.script is None
+
+    def test_wire_parity_defaults(self):
+        args = build_parser().parse_args(["wire", "parity"])
+        assert args.sizes == [8, 16, 32]
+        assert args.backend == "wire"
+        assert sorted(args.modes) == ["fault-free", "scripted"]
+
+    def test_wire_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["wire"])
+
+    def test_wire_elect_loopback_command(self, capsys):
+        code = main(["wire", "elect", "--n", "8", "--backend", "loopback"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wire election" in out
+        assert "loopback" in out
+
+    def test_wire_parity_loopback_command(self, capsys):
+        code = main(
+            ["wire", "parity", "--protocols", "agreement", "--sizes", "8",
+             "--backend", "loopback"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "parity: 2/2 cells match" in out
+
+    def test_wire_flood_with_script_file(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.net import WireSpec, default_script
+
+        spec = WireSpec(protocol="flooding", n=8)
+        script_path = tmp_path / "script.json"
+        script_path.write_text(_json.dumps(default_script(spec).to_dict()))
+        code = main(
+            ["wire", "flood", "--n", "8", "--script", str(script_path),
+             "--backend", "loopback"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wire flooding" in out
